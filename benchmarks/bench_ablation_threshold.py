@@ -1,0 +1,63 @@
+"""Ablation: the static-similarity prune threshold.
+
+The paper sets the threshold at 0.5 and argues "the common subtree
+sets are clearly divided into static-content (high similarity) groups
+and dynamic-content (low similarity) groups, so that the choice of the
+exact threshold is not essential". This ablation sweeps the threshold
+across the middle of the range and checks that phase-2 P/R barely
+moves — the operational meaning of Figure 9's bimodality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import BENCH_SEED, emit
+from repro.config import SubtreeConfig
+from repro.eval.experiments import DISTANCE_VARIANTS, phase2_distance_experiment
+from repro.eval.reporting import format_table
+
+THRESHOLDS = (0.3, 0.4, 0.5, 0.6, 0.7)
+
+
+def test_ablation_threshold(corpus, benchmark, capsys):
+    scores = {}
+    for threshold in THRESHOLDS:
+        config = replace(
+            SubtreeConfig(), static_similarity_threshold=threshold
+        )
+        result = phase2_distance_experiment(
+            corpus,
+            {"All": DISTANCE_VARIANTS["All"]},
+            subtree_config=config,
+            seed=BENCH_SEED,
+        )
+        scores[threshold] = result["All"]
+
+    rows = [
+        [t, f"{s.precision:.3f}", f"{s.recall:.3f}"]
+        for t, s in scores.items()
+    ]
+    emit(
+        capsys,
+        "ablation_threshold",
+        format_table(
+            ["static threshold", "precision", "recall"],
+            rows,
+            title="Ablation — static-content prune threshold (paper: 0.5)",
+        ),
+    )
+
+    # "Not essential": the spread across the sweep stays small.
+    precisions = [s.precision for s in scores.values()]
+    assert max(precisions) - min(precisions) < 0.1
+    assert scores[0.5].precision >= 0.9
+
+    one_site = [corpus[0]]
+    benchmark.pedantic(
+        lambda: phase2_distance_experiment(
+            one_site, {"All": DISTANCE_VARIANTS["All"]}, seed=BENCH_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,46 @@
+"""Figure 4: average clustering entropy vs pages per site.
+
+Paper claim: the TFIDF-weighted tag signature (ttag) yields entropy far
+below the content-, size-, URL-, and random-based alternatives, with
+raw tags second; entropy rises with sample size then levels off.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, emit
+from repro.eval.reporting import format_series
+from repro.signatures.registry import get_configuration
+
+
+def test_fig04_entropy(corpus, quality_results, benchmark, capsys):
+    sizes, configs, results = quality_results
+    series = {
+        key: [results[key][n].entropy for n in sizes] for key in configs
+    }
+    emit(
+        capsys,
+        "fig04_entropy",
+        format_series(
+            "pages/site",
+            sizes,
+            series,
+            title="Figure 4 — avg clustering entropy (0 best, 1 worst)",
+        ),
+    )
+
+    # Shape assertions from the paper.
+    final = {key: results[key][110].entropy for key in configs}
+    assert final["ttag"] <= final["tcon"]
+    assert final["ttag"] <= final["url"]
+    assert final["ttag"] <= final["rand"]
+    assert final["ttag"] < 0.2  # tag signatures keep classes apart
+    assert final["rand"] > 0.3  # the baseline does not
+
+    # Benchmark one ttag clustering run at the largest size.
+    pages = list(corpus[0].pages)
+    config = get_configuration("ttag")
+    benchmark.pedantic(
+        lambda: config(pages, 5, restarts=1, seed=BENCH_SEED),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,65 @@
+"""Figure 7: per-iteration clustering time vs collection size (log–log).
+
+Paper claim: the average clustering time grows linearly with collection
+size — the K-Means assignment step dominates — so the approach scales
+to very large page collections, with tag-based representations an
+order of magnitude cheaper than content-based ones.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, SCALE_MAX, emit
+from repro.eval.experiments import cluster_synthetic, synthetic_scale_experiment
+from repro.eval.reporting import format_series
+
+
+def _sizes() -> list[int]:
+    sizes = [110, 550, 1100, 5500, 11000, 55000]
+    return [s for s in sizes if s <= SCALE_MAX] or [SCALE_MAX]
+
+
+def test_fig07_scale_time(synthetic_collections, benchmark, capsys):
+    synthetic_pages = synthetic_collections[0]
+    sizes = _sizes()
+    representations = ("ttag", "rtag", "tcon", "rcon")
+    results = synthetic_scale_experiment(
+        synthetic_pages, representations, sizes, seed=BENCH_SEED,
+        entropy_restarts=1,
+    )
+    series = {
+        rep: [results[rep][n].seconds for n in sizes] for rep in representations
+    }
+    emit(
+        capsys,
+        "fig07_scale_time",
+        format_series(
+            "pages",
+            sizes,
+            series,
+            title="Figure 7 — seconds per clustering iteration vs size",
+            precision=4,
+        ),
+    )
+
+    # Growth must be roughly linear: time ratio within ~4x of the size
+    # ratio over the measured decade (constant factors and cache
+    # effects allowed), i.e. clearly sub-quadratic.
+    first, last = sizes[0], sizes[-1]
+    size_ratio = last / first
+    for rep in representations:
+        t_first = max(results[rep][first].seconds, 1e-6)
+        time_ratio = results[rep][last].seconds / t_first
+        assert time_ratio < size_ratio * 4, (rep, time_ratio, size_ratio)
+
+    # Content-based costs more than tag-based at the largest size.
+    assert (
+        results["tcon"][last].seconds > results["ttag"][last].seconds
+    )
+
+    benchmark.pedantic(
+        lambda: cluster_synthetic(
+            synthetic_pages[: sizes[-1]], "tcon", k=5, restarts=1, seed=BENCH_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,54 @@
+"""Figure 9: intra-subtree-set similarity histograms, ± TFIDF.
+
+Paper claim: with the TFIDF weighting the common subtree sets separate
+into a clearly bimodal distribution — static (high similarity) vs
+query-dependent (low similarity) — so the 0.5 prune threshold is not
+delicate. Without TFIDF the mass shifts toward the high/middle end and
+the separation blurs.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, emit
+from repro.eval.experiments import similarity_histogram_experiment
+from repro.eval.reporting import format_histogram
+
+
+def test_fig09_similarity_histogram(corpus, benchmark, capsys):
+    with_tfidf = similarity_histogram_experiment(
+        corpus, use_tfidf=True, seed=BENCH_SEED
+    )
+    without_tfidf = similarity_histogram_experiment(
+        corpus, use_tfidf=False, seed=BENCH_SEED
+    )
+    text = (
+        format_histogram(
+            with_tfidf, title="Figure 9 (right) — intra-set similarity WITH TFIDF"
+        )
+        + "\n\n"
+        + format_histogram(
+            without_tfidf,
+            title="Figure 9 (left) — intra-set similarity WITHOUT TFIDF",
+        )
+    )
+    emit(capsys, "fig09_similarity_hist", text)
+
+    def bucket_counts(hist):
+        return [count for _, count in hist]
+
+    tfidf_counts = bucket_counts(with_tfidf)
+    raw_counts = bucket_counts(without_tfidf)
+    # Bimodality with TFIDF: the extreme buckets dominate the middle.
+    middle = sum(tfidf_counts[1:4])
+    extremes = tfidf_counts[0] + tfidf_counts[-1]
+    assert extremes > middle
+    # Without TFIDF the middle is heavier than with it.
+    assert sum(raw_counts[1:4]) > middle
+
+    benchmark.pedantic(
+        lambda: similarity_histogram_experiment(
+            [corpus[0]], use_tfidf=True, seed=BENCH_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""In-text sensitivity sweep: cluster count k and restart count.
+
+Paper (Section 4.1): "varying the cluster number resulted in only minor
+changes to the overall performance" (k from 2 to 5 — an over-
+provisioned k merely refines clusters) and "running the clusterer 10
+times provided a balance" (restarts from 2 to 20).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, emit
+from repro.eval.experiments import sensitivity_experiment
+from repro.eval.reporting import format_table
+from repro.signatures.registry import get_configuration
+
+K_VALUES = (2, 3, 4, 5, 6)
+RESTARTS = (2, 5, 10, 20)
+
+
+def test_k_sensitivity(corpus, benchmark, capsys):
+    results = sensitivity_experiment(
+        corpus, k_values=K_VALUES, restart_values=RESTARTS, seed=BENCH_SEED
+    )
+    rows = []
+    for k in K_VALUES:
+        rows.append(
+            [k] + [f"{results[(k, r)]:.3f}" for r in RESTARTS]
+        )
+    emit(
+        capsys,
+        "k_sensitivity",
+        format_table(
+            ["k \\ restarts"] + [str(r) for r in RESTARTS],
+            rows,
+            title="Average entropy per (k, restarts) — ttag clustering",
+        ),
+    )
+
+    # With enough clusters and restarts, entropy is low; more restarts
+    # never hurt much at the paper's k range.
+    assert results[(5, 10)] < 0.25
+    assert results[(5, 20)] <= results[(5, 2)] + 0.1
+
+    pages = list(corpus[0].pages)
+    config = get_configuration("ttag")
+    benchmark.pedantic(
+        lambda: config(pages, 5, restarts=10, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )

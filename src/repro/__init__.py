@@ -1,0 +1,64 @@
+"""THOR: Probe, Cluster, and Discover — an ICDE 2004 reproduction.
+
+Focused extraction of QA-Pagelets (the query-answer content regions)
+from dynamically generated deep-web pages, via the paper's two-phase
+algorithm: tag-tree-signature page clustering followed by cross-page
+subtree filtering.
+
+Quickstart::
+
+    from repro import Thor, ThorConfig
+    from repro.deepweb import make_site
+
+    site = make_site(domain="ecommerce", seed=7)
+    result = Thor(ThorConfig(seed=7)).run(site)
+    for part in result.partitioned:
+        print(part.pagelet.path, len(part.objects), "objects")
+"""
+
+from repro.config import (
+    ClusteringConfig,
+    ProbeConfig,
+    SubtreeConfig,
+    ThorConfig,
+    DEFAULT_CONFIG,
+)
+from repro.core import (
+    Page,
+    QAObject,
+    QAPagelet,
+    ProbeResult,
+    QueryProber,
+    PageClusterer,
+    PageClusteringResult,
+    PageletIdentifier,
+    IdentificationResult,
+    ObjectPartitioner,
+    Thor,
+    ThorResult,
+)
+from repro.errors import ThorError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusteringConfig",
+    "ProbeConfig",
+    "SubtreeConfig",
+    "ThorConfig",
+    "DEFAULT_CONFIG",
+    "Page",
+    "QAObject",
+    "QAPagelet",
+    "ProbeResult",
+    "QueryProber",
+    "PageClusterer",
+    "PageClusteringResult",
+    "PageletIdentifier",
+    "IdentificationResult",
+    "ObjectPartitioner",
+    "Thor",
+    "ThorResult",
+    "ThorError",
+    "__version__",
+]

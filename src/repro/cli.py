@@ -1,0 +1,166 @@
+"""Command-line interface for the THOR reproduction.
+
+Subcommands::
+
+    python -m repro.cli probe    --domain music --seed 3 --out pages.jsonl
+    python -m repro.cli extract  --pages pages.jsonl --out result.json
+    python -m repro.cli demo     --domain ecommerce --seed 7
+    python -m repro.cli search   --domains ecommerce,music --query camera
+
+``probe`` samples a simulated deep-web site and caches the pages;
+``extract`` runs the two-phase extraction over a cached sample;
+``demo`` does both and prints a human-readable summary; ``search``
+spins up the deep-web search engine over several simulated sources.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.config import ThorConfig
+from repro.core.thor import Thor
+from repro.deepweb.corpus import make_site
+from repro.engine.engine import DeepWebSearchEngine
+from repro.io.cache import load_pages, save_pages
+from repro.io.export import export_result
+
+
+def _thor_config(args: argparse.Namespace) -> ThorConfig:
+    config = ThorConfig(seed=args.seed)
+    if getattr(args, "k", None):
+        config = replace(
+            config, clustering=replace(config.clustering, k=args.k)
+        )
+    if getattr(args, "top_m", None):
+        config = replace(
+            config, clustering=replace(config.clustering, top_m=args.top_m)
+        )
+    return config
+
+
+def cmd_probe(args: argparse.Namespace) -> int:
+    site = make_site(args.domain, seed=args.seed, records=args.records)
+    thor = Thor(_thor_config(args))
+    result = thor.probe(site)
+    count = save_pages(list(result.pages), args.out)
+    classes = Counter(
+        getattr(p, "class_label", "?") for p in result.pages
+    )
+    print(f"Probed {site.theme.host}: {count} pages -> {args.out}")
+    print(f"Class mix: {dict(classes)}")
+    return 0
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    pages = load_pages(args.pages)
+    if not pages:
+        print("no pages in cache", file=sys.stderr)
+        return 1
+    thor = Thor(_thor_config(args))
+    result = thor.partition(thor.extract(pages))
+    export_result(result, args.out, include_html=args.html)
+    print(
+        f"Extracted {len(result.pagelets)} QA-Pagelets / "
+        f"{sum(len(p.objects) for p in result.partitioned)} QA-Objects "
+        f"from {len(pages)} pages -> {args.out}"
+    )
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    site = make_site(args.domain, seed=args.seed, records=args.records)
+    thor = Thor(_thor_config(args))
+    result = thor.run(site)
+    print(f"Site: {site.theme.host} ({args.domain}, {len(site.database)} records)")
+    print(f"Pages: {len(result.pages)}; pagelets: {len(result.pagelets)}")
+    for part in result.partitioned[: args.show]:
+        print(f"\nquery={part.pagelet.page.query!r} "
+              f"pagelet={part.pagelet.path}")
+        for obj in part.objects[:3]:
+            text = " ".join(obj.text().split())
+            print(f"  - {text[:76]}")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    engine = DeepWebSearchEngine(_thor_config(args))
+    domains = [d.strip() for d in args.domains.split(",") if d.strip()]
+    for index, domain in enumerate(domains):
+        summary = engine.register(
+            make_site(domain, seed=args.seed + index, records=args.records)
+        )
+        print(
+            f"registered {summary.site}: {summary.objects_indexed} objects"
+        )
+    hits = engine.search(args.query, top_k=args.top_k)
+    if not hits:
+        print(f"\nno matches for {args.query!r}")
+        return 0
+    print(f"\nTop results for {args.query!r}:")
+    for hit in hits:
+        print(f"  {hit.score:.3f} [{hit.document.site}] "
+              f"{hit.document.highlighted_snippet(args.query, 64)}")
+    print("\nSources ranked:")
+    for site_hit in engine.search_sites(args.query):
+        print(
+            f"  {site_hit.site}: {site_hit.matching_objects} matching "
+            f"objects (score {site_hit.score:.2f})"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="THOR deep-web QA-Pagelet extraction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--records", type=int, default=150)
+        p.add_argument("--k", type=int, default=None, help="page clusters")
+        p.add_argument("--top-m", type=int, default=None, dest="top_m",
+                       help="clusters forwarded to phase 2")
+
+    probe = sub.add_parser("probe", help="probe a site, cache the pages")
+    common(probe)
+    probe.add_argument("--domain", default="ecommerce")
+    probe.add_argument("--out", default="pages.jsonl")
+    probe.set_defaults(func=cmd_probe)
+
+    extract = sub.add_parser("extract", help="extract from cached pages")
+    common(extract)
+    extract.add_argument("--pages", required=True)
+    extract.add_argument("--out", default="result.json")
+    extract.add_argument("--html", action="store_true",
+                         help="include pagelet HTML in the export")
+    extract.set_defaults(func=cmd_extract)
+
+    demo = sub.add_parser("demo", help="probe + extract + print")
+    common(demo)
+    demo.add_argument("--domain", default="ecommerce")
+    demo.add_argument("--show", type=int, default=3)
+    demo.set_defaults(func=cmd_demo)
+
+    search = sub.add_parser("search", help="deep-web search engine demo")
+    common(search)
+    search.add_argument("--domains", default="ecommerce,music")
+    search.add_argument("--query", required=True)
+    search.add_argument("--top-k", type=int, default=8, dest="top_k")
+    search.set_defaults(func=cmd_search)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

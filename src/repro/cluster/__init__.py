@@ -1,0 +1,34 @@
+"""Clustering substrate.
+
+Provides the Simple K-Means algorithm the paper uses for page
+clustering (with random restarts and internal-similarity model
+selection), the quality metrics of Section 3.1.4 (internal similarity
+and entropy), and the alternative algorithms needed by the evaluation:
+k-medoids for edit-distance-only representations (URLs), scalar 1-D
+clustering (page size), a random baseline, and Zhang–Shasha tree edit
+distance (the expensive comparator of Section 4.1).
+"""
+
+from repro.cluster.assignments import Clustering
+from repro.cluster.kmeans import KMeans, KMeansResult
+from repro.cluster.quality import clustering_entropy, clustering_similarity, cluster_entropy
+from repro.cluster.editdist import levenshtein, normalized_levenshtein
+from repro.cluster.kmedoids import KMedoids
+from repro.cluster.scalar import ScalarKMeans
+from repro.cluster.random_baseline import random_clustering
+from repro.cluster.treeedit import tree_edit_distance
+
+__all__ = [
+    "Clustering",
+    "KMeans",
+    "KMeansResult",
+    "KMedoids",
+    "ScalarKMeans",
+    "clustering_entropy",
+    "clustering_similarity",
+    "cluster_entropy",
+    "levenshtein",
+    "normalized_levenshtein",
+    "random_clustering",
+    "tree_edit_distance",
+]

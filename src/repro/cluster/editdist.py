@@ -1,0 +1,55 @@
+"""String edit distance (Levenshtein 1966).
+
+Used in two places: comparing simplified subtree paths in the Phase-2
+distance function, and comparing URLs in the URL-based clustering
+baseline. The implementation is the standard two-row dynamic program,
+O(|a|·|b|) time and O(min(|a|,|b|)) space.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Number of single-character edits transforming ``a`` into ``b``.
+
+    >>> levenshtein("cat", "cake")
+    2
+    >>> levenshtein("", "abc")
+    3
+    """
+    if a == b:
+        return 0
+    # Keep the shorter string in the inner dimension.
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def normalized_levenshtein(a: str, b: str) -> float:
+    """Edit distance scaled by max(len) into [0, 1].
+
+    This is the paper's path-distance term: ``EditDist(P_i, P_j) /
+    max(len(P_i), len(P_j))``. Two empty strings have distance 0.
+
+    >>> normalized_levenshtein("he", "het")
+    0.3333333333333333
+    """
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 0.0
+    return levenshtein(a, b) / longest

@@ -1,0 +1,102 @@
+"""Agglomerative (hierarchical) clustering over sparse vectors.
+
+Section 3.1.2 notes that "given the tag-tree signatures of pages and
+the similarity function, a number of clustering algorithms can be
+applied"; the first THOR prototype picks Simple K-Means for cost. This
+module provides the classic alternative — average-link agglomerative
+clustering under cosine similarity — so the choice can be ablated
+(``benchmarks/bench_ablation_clusterer.py``).
+
+Average-link merges the pair of clusters with the highest mean
+pairwise similarity until ``k`` clusters remain. With unit-length
+vectors the mean pairwise similarity between clusters A and B is
+``(S_A · S_B) / (|A|·|B|)`` where ``S_X`` is the sum of X's member
+vectors — so merges are O(1) vector additions and the whole run is
+O(n² log n) with a heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.assignments import Clustering
+from repro.errors import ClusteringError
+from repro.vsm.vector import SparseVector
+
+
+@dataclass(frozen=True)
+class AgglomerativeResult:
+    clustering: Clustering
+    #: Similarity at which each merge happened (n - k entries,
+    #: descending for well-separated data).
+    merge_similarities: tuple[float, ...]
+
+
+class AverageLinkClusterer:
+    """Average-link agglomerative clustering with a target k."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ClusteringError(f"k must be >= 1, got {k}")
+        self.k = k
+
+    def fit(self, vectors: Sequence[SparseVector]) -> AgglomerativeResult:
+        n = len(vectors)
+        if n == 0:
+            raise ClusteringError("cannot cluster an empty collection")
+        target_k = min(self.k, n)
+
+        # Normalize defensively; zero vectors stay zero (similarity 0
+        # to everything, merged last).
+        unit: list[SparseVector] = [
+            v if v.is_zero() else v.normalized() for v in vectors
+        ]
+
+        # Union-find-ish bookkeeping: active cluster id → (sum vector,
+        # size, member indices).
+        sums: dict[int, SparseVector] = {i: unit[i] for i in range(n)}
+        sizes: dict[int, int] = {i: 1 for i in range(n)}
+        members: dict[int, list[int]] = {i: [i] for i in range(n)}
+        next_id = n
+
+        def linkage(a: int, b: int) -> float:
+            denom = sizes[a] * sizes[b]
+            if denom == 0:
+                return 0.0
+            return sums[a].dot(sums[b]) / denom
+
+        heap: list[tuple[float, int, int]] = []
+        active = set(range(n))
+        for a in active:
+            for b in active:
+                if a < b:
+                    heapq.heappush(heap, (-linkage(a, b), a, b))
+
+        merge_similarities: list[float] = []
+        while len(active) > target_k and heap:
+            neg_sim, a, b = heapq.heappop(heap)
+            if a not in active or b not in active:
+                continue  # stale entry
+            merge_similarities.append(-neg_sim)
+            merged = next_id
+            next_id += 1
+            sums[merged] = sums[a] + sums[b]
+            sizes[merged] = sizes[a] + sizes[b]
+            members[merged] = members[a] + members[b]
+            for stale in (a, b):
+                active.discard(stale)
+                del sums[stale], sizes[stale], members[stale]
+            for other in active:
+                heapq.heappush(heap, (-linkage(merged, other), merged, other))
+            active.add(merged)
+
+        labels = [0] * n
+        for label, cluster_id in enumerate(sorted(active)):
+            for index in members[cluster_id]:
+                labels[index] = label
+        return AgglomerativeResult(
+            clustering=Clustering(tuple(labels), len(active)),
+            merge_similarities=tuple(merge_similarities),
+        )

@@ -1,0 +1,124 @@
+"""Cluster quality: internal similarity and entropy (Section 3.1.4).
+
+Internal similarity needs no labels and doubles as the model-selection
+criterion for K-Means restarts. Entropy compares a clustering against
+known class labels and is the evaluation metric of Figures 4 and 6:
+0 is perfect (every cluster pure), 1 is worst (classes spread evenly).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+from repro.cluster.assignments import Clustering
+from repro.errors import EvaluationError
+from repro.vsm.centroid import centroid
+from repro.vsm.similarity import cosine_similarity
+from repro.vsm.vector import SparseVector
+
+
+def cluster_internal_similarity(vectors: Sequence[SparseVector]) -> float:
+    """Σ over members of cos(member, cluster centroid)."""
+    if not vectors:
+        return 0.0
+    center = centroid(vectors)
+    return sum(cosine_similarity(v, center) for v in vectors)
+
+
+def clustering_similarity(
+    vectors: Sequence[SparseVector], clustering: Clustering
+) -> float:
+    """Similarity(C) = Σ_i (n_i / n) · Similarity(Cluster_i)."""
+    n = clustering.n
+    if n == 0:
+        return 0.0
+    if len(vectors) != n:
+        raise EvaluationError(
+            f"{len(vectors)} vectors but clustering covers {n} items"
+        )
+    total = 0.0
+    for cluster in range(clustering.k):
+        members = clustering.select(vectors, cluster)
+        if members:
+            total += (len(members) / n) * cluster_internal_similarity(members)
+    return total
+
+
+def cluster_entropy(
+    member_classes: Sequence[Hashable], num_classes: int
+) -> float:
+    """Entropy of one cluster, normalized by log(c) to lie in [0, 1].
+
+    ``member_classes`` are the true class labels of the cluster's
+    members; ``num_classes`` is the total number of classes ``c`` in
+    the whole collection (the normalization base). With a single class
+    overall the entropy is defined as 0 (nothing to confuse).
+    """
+    if num_classes < 1:
+        raise EvaluationError("num_classes must be >= 1")
+    size = len(member_classes)
+    if size == 0 or num_classes == 1:
+        return 0.0
+    counts: dict[Hashable, int] = {}
+    for cls in member_classes:
+        counts[cls] = counts.get(cls, 0) + 1
+    entropy = 0.0
+    for count in counts.values():
+        p = count / size
+        entropy -= p * math.log(p)
+    return entropy / math.log(num_classes)
+
+
+def clustering_entropy(
+    clustering: Clustering, classes: Sequence[Hashable]
+) -> float:
+    """Total entropy: Σ_i (n_i / n) · Entropy(Cluster_i).
+
+    ``classes[j]`` is the true class of item ``j``. Returns a value in
+    [0, 1]; lower is better.
+
+    >>> c = Clustering.from_labels([0, 0, 1, 1], k=2)
+    >>> clustering_entropy(c, ["a", "a", "b", "b"])
+    0.0
+    """
+    n = clustering.n
+    if n == 0:
+        return 0.0
+    if len(classes) != n:
+        raise EvaluationError(
+            f"{len(classes)} class labels but clustering covers {n} items"
+        )
+    num_classes = len(set(classes))
+    total = 0.0
+    for cluster in range(clustering.k):
+        member_classes = clustering.select(classes, cluster)
+        if member_classes:
+            total += (len(member_classes) / n) * cluster_entropy(
+                member_classes, num_classes
+            )
+    return total
+
+
+def purity(clustering: Clustering, classes: Sequence[Hashable]) -> float:
+    """Fraction of items in their cluster's majority class.
+
+    Not in the paper, but a useful companion diagnostic for tests:
+    purity 1.0 ⇔ entropy 0.0.
+    """
+    n = clustering.n
+    if n == 0:
+        return 1.0
+    if len(classes) != n:
+        raise EvaluationError(
+            f"{len(classes)} class labels but clustering covers {n} items"
+        )
+    correct = 0
+    for cluster in range(clustering.k):
+        member_classes = clustering.select(classes, cluster)
+        if member_classes:
+            counts: dict[Hashable, int] = {}
+            for cls in member_classes:
+                counts[cls] = counts.get(cls, 0) + 1
+            correct += max(counts.values())
+    return correct / n

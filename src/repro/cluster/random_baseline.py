@@ -1,0 +1,27 @@
+"""The random-assignment baseline of Section 4.1.
+
+"As a baseline, we also considered an approach that randomly assigned
+pages to clusters."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.cluster.assignments import Clustering
+from repro.errors import ClusteringError
+
+
+def random_clustering(n: int, k: int, seed: Optional[int] = None) -> Clustering:
+    """Assign ``n`` items to ``k`` clusters uniformly at random.
+
+    >>> random_clustering(5, 2, seed=0).n
+    5
+    """
+    if n < 0:
+        raise ClusteringError(f"n must be non-negative, got {n}")
+    if k < 1:
+        raise ClusteringError(f"k must be >= 1, got {k}")
+    rng = random.Random(seed)
+    return Clustering(tuple(rng.randrange(k) for _ in range(n)), k)

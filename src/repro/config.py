@@ -1,0 +1,101 @@
+"""Configuration for the THOR pipeline.
+
+Every tunable the paper mentions is a field here, with the paper's
+value as the default:
+
+- K-Means: k clusters (paper explores 2–5), 10 restarts.
+- Cluster ranking: equal-weight linear combination of the three
+  criteria; top-m clusters passed to Phase 2 (Figure 11 shows m=2 is
+  the sweet spot when k=3).
+- Subtree distance: w1..w4 = 0.25 each; q-letter codes with q=1.
+- Static-content prune threshold: 0.5 (paper: "not essential").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ClusteringConfig:
+    """Phase 1 (page clustering) settings."""
+
+    #: Number of page clusters. The paper varies k from 2 to 5 and
+    #: finds the system insensitive because over-provisioned k "merely
+    #: generates more refined clusters". 5 covers the four natural
+    #: classes (multi-match, single-match, no-match, exception) plus
+    #: one refinement slot for per-page template jitter.
+    k: int = 5
+    #: K-Means restarts; paper: "running the clusterer 10 times
+    #: provided a balance".
+    restarts: int = 10
+    #: Which page representation to use; "ttag" is THOR's choice.
+    configuration: str = "ttag"
+    #: Number of top-ranked clusters forwarded to Phase 2.
+    top_m: int = 2
+    #: Clusters smaller than this are skipped when filling the top-m
+    #: slots (the next ranked cluster takes the slot): cross-page
+    #: analysis needs contrast, and a 2-page refinement cluster offers
+    #: almost none while crowding out a full answer-page class.
+    min_cluster_pages: int = 3
+    #: Weights of the three cluster-ranking criteria (distinct terms,
+    #: max fanout, page size); the paper uses "a simple linear
+    #: combination".
+    ranking_weights: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3)
+
+
+@dataclass(frozen=True)
+class SubtreeConfig:
+    """Phase 2 (QA-Pagelet identification) settings."""
+
+    #: Weights (w1..w4) of the path / fanout / depth / node-count terms
+    #: of the subtree distance; paper: initially equal at 0.25.
+    distance_weights: tuple[float, float, float, float] = (0.25, 0.25, 0.25, 0.25)
+    #: Length of simplified tag codes (paper example uses q = 1).
+    path_code_length: int = 1
+    #: Maximum shape distance for a subtree to join a common subtree
+    #: set; subtrees farther than this from every prototype stay
+    #: unassigned.
+    max_assign_distance: float = 0.5
+    #: Common subtree sets with mean intra-set content similarity above
+    #: this are considered static and pruned (paper: 0.5, not
+    #: sensitive).
+    static_similarity_threshold: float = 0.5
+    #: A common subtree set must have members in at least this fraction
+    #: of the cluster's pages to participate in ranking (guards against
+    #: one-page-only accidental groupings).
+    min_support: float = 0.5
+    #: Selection score weights: (contained dynamic subtrees, depth).
+    selection_weights: tuple[float, float] = (0.5, 0.5)
+    #: Selection descends from the page-level wrapper into a contained
+    #: set only while that set still covers at least this fraction of
+    #: the dynamic content; the stop point is the QA-Pagelet.
+    coverage_ratio: float = 0.3
+    #: Require candidates to contain a branching node (fanout > 1).
+    #: The paper's third single-page rule is ambiguous; off by default.
+    require_branching: bool = False
+
+
+@dataclass(frozen=True)
+class ProbeConfig:
+    """Stage 1 (query probing) settings."""
+
+    #: Dictionary probes per site (paper: 100 random dictionary words).
+    dictionary_queries: int = 100
+    #: Nonsense-word probes per site (paper: 10).
+    nonsense_queries: int = 10
+
+
+@dataclass(frozen=True)
+class ThorConfig:
+    """Top-level pipeline configuration."""
+
+    probing: ProbeConfig = field(default_factory=ProbeConfig)
+    clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
+    subtrees: SubtreeConfig = field(default_factory=SubtreeConfig)
+    #: Seed for every stochastic component (K-Means starts, probe word
+    #: sampling, prototype page choice); None = nondeterministic.
+    seed: int | None = None
+
+
+DEFAULT_CONFIG = ThorConfig()

@@ -1,0 +1,44 @@
+"""THOR core: the paper's primary contribution.
+
+- :mod:`repro.core.page` — the page abstraction shared by every stage.
+- :mod:`repro.core.pagelet` — QA-Pagelet / QA-Object result types.
+- :mod:`repro.core.probing` — Stage 1: sample-page collection by query
+  probing.
+- :mod:`repro.core.page_clustering` — Phase 1: tag-tree-signature page
+  clustering.
+- :mod:`repro.core.cluster_ranking` — Phase 1: ranking page clusters.
+- :mod:`repro.core.single_page` — Phase 2: single-page candidate
+  subtree filtering.
+- :mod:`repro.core.subtree_sets` — Phase 2: common subtree sets via the
+  ⟨P, F, D, N⟩ shape distance.
+- :mod:`repro.core.subtree_ranking` — Phase 2: TFIDF content ranking of
+  common subtree sets.
+- :mod:`repro.core.selection` — Phase 2: minimal-subtree QA-Pagelet
+  selection.
+- :mod:`repro.core.identification` — Phase 2 orchestration.
+- :mod:`repro.core.partitioning` — Stage 3: QA-Object partitioning.
+- :mod:`repro.core.thor` — the end-to-end pipeline.
+"""
+
+from repro.core.page import Page
+from repro.core.pagelet import QAObject, QAPagelet
+from repro.core.probing import ProbeResult, QueryProber
+from repro.core.page_clustering import PageClusterer, PageClusteringResult
+from repro.core.identification import PageletIdentifier, IdentificationResult
+from repro.core.partitioning import ObjectPartitioner
+from repro.core.thor import Thor, ThorResult
+
+__all__ = [
+    "Page",
+    "QAObject",
+    "QAPagelet",
+    "ProbeResult",
+    "QueryProber",
+    "PageClusterer",
+    "PageClusteringResult",
+    "PageletIdentifier",
+    "IdentificationResult",
+    "ObjectPartitioner",
+    "Thor",
+    "ThorResult",
+]

@@ -1,0 +1,163 @@
+"""QA-Object attribute alignment: objects → structured records.
+
+Stage 3 hands "itemized QA-Objects ... into the deep web search or
+information integration system". An integration system needs more than
+text blobs: it needs the objects' *attributes* aligned into columns
+(title, seller, price, …). Because all objects of one pagelet come
+from the same template, their leaf structure repeats; aligning leaves
+positionally — with path-code agreement as a safety check — recovers
+the record structure without any schema knowledge.
+
+The column *names* are unknown (the paper's pages rarely label result
+columns); columns are numbered, and a caller with domain knowledge can
+rename them. Detail pages (single-object partitions) often DO carry
+labels (``<dt>``/``<dd>``, label cells); :func:`extract_labeled_fields`
+recovers those pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.pagelet import PartitionedPagelet, QAObject
+from repro.html.paths import TagCodec, node_tag_sequence
+from repro.html.tree import ContentNode
+
+
+@dataclass(frozen=True)
+class AlignedRecord:
+    """One QA-Object's leaf texts, in template order."""
+
+    object_path: str
+    values: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class AlignedTable:
+    """Records aligned into columns across a pagelet's objects."""
+
+    records: tuple[AlignedRecord, ...]
+    #: Number of columns = the mode of per-object leaf counts.
+    columns: int
+    #: Fraction of objects whose leaf count matched the template
+    #: (others are padded/truncated).
+    conformity: float = 1.0
+
+    def column(self, index: int) -> list[str]:
+        """All values of one column ('' where a record fell short)."""
+        if not 0 <= index < self.columns:
+            raise IndexError(f"column {index} of {self.columns}")
+        return [
+            record.values[index] if index < len(record.values) else ""
+            for record in self.records
+        ]
+
+    def rows(self) -> list[tuple[str, ...]]:
+        """Records normalized to exactly ``columns`` values."""
+        normalized = []
+        for record in self.records:
+            values = list(record.values[: self.columns])
+            values += [""] * (self.columns - len(values))
+            normalized.append(tuple(values))
+        return normalized
+
+
+def _object_leaves(obj: QAObject, codec: TagCodec) -> list[tuple[str, str]]:
+    """(leaf path-code, text) pairs for one object's content leaves."""
+    leaves: list[tuple[str, str]] = []
+    for node in obj.node.iter():
+        if isinstance(node, ContentNode) and node.text.strip():
+            parent = node.parent
+            code = (
+                codec.simplify(node_tag_sequence(parent)) if parent else ""
+            )
+            leaves.append((code, node.text.strip()))
+    return leaves
+
+
+def align_objects(part: PartitionedPagelet) -> AlignedTable:
+    """Align one partition's objects into a positional record table.
+
+    The column count is the modal leaf count; objects that deviate
+    (a row missing an optional field) are padded with empty strings in
+    :meth:`AlignedTable.rows`.
+
+    >>> # doctest exercised in tests; see tests/test_alignment.py
+    """
+    codec = TagCodec()
+    per_object = [
+        (obj, _object_leaves(obj, codec)) for obj in part.objects
+    ]
+    counts: dict[int, int] = {}
+    for _obj, leaves in per_object:
+        counts[len(leaves)] = counts.get(len(leaves), 0) + 1
+    if not counts:
+        return AlignedTable(records=(), columns=0, conformity=1.0)
+    columns = max(counts, key=lambda c: (counts[c], c))
+    conforming = counts.get(columns, 0)
+
+    records = tuple(
+        AlignedRecord(
+            object_path=obj.path,
+            values=tuple(text for _code, text in leaves),
+        )
+        for obj, leaves in per_object
+    )
+    return AlignedTable(
+        records=records,
+        columns=columns,
+        conformity=conforming / max(1, len(per_object)),
+    )
+
+
+@dataclass(frozen=True)
+class LabeledField:
+    """One (label, value) pair from a detail page."""
+
+    label: str
+    value: str
+
+
+def extract_labeled_fields(part: PartitionedPagelet) -> list[LabeledField]:
+    """Recover label/value pairs from a single-object detail pagelet.
+
+    Handles the two layouts detail pages use: definition lists
+    (``<dt>label</dt><dd>value</dd>``) and two-cell rows
+    (``<tr><td>label</td><td>value</td></tr>``). Returns an empty list
+    when the pagelet has no such structure (e.g. a results list).
+    """
+    if len(part.objects) != 1:
+        return []
+    root = part.objects[0].node
+    fields: list[LabeledField] = []
+
+    # Layout 1: dt/dd alternation under any node.
+    for node in root.iter_tags():
+        children = node.tag_children()
+        pending_label: Optional[str] = None
+        for child in children:
+            if child.tag == "dt":
+                pending_label = child.text().strip()
+            elif child.tag == "dd" and pending_label is not None:
+                fields.append(LabeledField(pending_label, child.text().strip()))
+                pending_label = None
+    if fields:
+        return fields
+
+    # Layout 2: rows of exactly two content-bearing cells.
+    for node in root.iter_tags():
+        if node.tag != "tr":
+            continue
+        cells = [
+            c for c in node.tag_children() if c.tag in ("td", "th")
+        ]
+        if len(cells) == 2:
+            label = cells[0].text().strip()
+            value = cells[1].text().strip()
+            if label and value:
+                fields.append(LabeledField(label, value))
+    return fields

@@ -1,0 +1,91 @@
+"""Phase 1, step 2: ranking the page clusters (Section 3.1.3).
+
+Clusters likely to contain QA-Pagelets rise to the top under a linear
+combination of three criteria, each a per-cluster average:
+
+- **average distinct terms** — content-rich pages answer diverse
+  probes, so they carry more unique words;
+- **average fanout** — the largest fanout of a node in each page
+  (result lists repeat siblings);
+- **average page size** — bytes of HTML.
+
+Each criterion is normalized by its maximum across clusters before the
+weighted combination, so the weights compare like with like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.assignments import Clustering
+from repro.core.page import Page
+
+
+@dataclass(frozen=True)
+class ClusterScore:
+    """One cluster's ranking criteria and combined score."""
+
+    cluster: int
+    size: int
+    avg_distinct_terms: float
+    avg_fanout: float
+    avg_page_size: float
+    combined: float
+
+
+def score_clusters(
+    pages: Sequence[Page],
+    clustering: Clustering,
+    weights: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3),
+) -> list[ClusterScore]:
+    """Score every non-empty cluster, best first.
+
+    >>> from repro.cluster.assignments import Clustering
+    >>> rich = Page("<html><body><table>" + "<tr><td>item word</td></tr>" * 5
+    ...             + "</table></body></html>")
+    >>> poor = Page("<html><body><p>no matches</p></body></html>")
+    >>> c = Clustering.from_labels([0, 1], k=2)
+    >>> [s.cluster for s in score_clusters([rich, poor], c)]
+    [0, 1]
+    """
+    raw: list[tuple[int, int, float, float, float]] = []
+    for cluster in clustering.non_empty_clusters():
+        members = clustering.select(pages, cluster)
+        count = len(members)
+        avg_terms = sum(p.distinct_terms_count() for p in members) / count
+        avg_fanout = sum(p.max_fanout() for p in members) / count
+        avg_size = sum(p.size for p in members) / count
+        raw.append((cluster, count, avg_terms, avg_fanout, avg_size))
+
+    max_terms = max((r[2] for r in raw), default=0.0) or 1.0
+    max_fanout = max((r[3] for r in raw), default=0.0) or 1.0
+    max_size = max((r[4] for r in raw), default=0.0) or 1.0
+
+    w_terms, w_fanout, w_size = weights
+    scores = [
+        ClusterScore(
+            cluster=cluster,
+            size=count,
+            avg_distinct_terms=avg_terms,
+            avg_fanout=avg_fanout,
+            avg_page_size=avg_size,
+            combined=(
+                w_terms * (avg_terms / max_terms)
+                + w_fanout * (avg_fanout / max_fanout)
+                + w_size * (avg_size / max_size)
+            ),
+        )
+        for cluster, count, avg_terms, avg_fanout, avg_size in raw
+    ]
+    scores.sort(key=lambda s: s.combined, reverse=True)
+    return scores
+
+
+def rank_clusters(
+    pages: Sequence[Page],
+    clustering: Clustering,
+    weights: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3),
+) -> list[int]:
+    """Cluster labels ordered by decreasing likelihood of QA-Pagelets."""
+    return [s.cluster for s in score_clusters(pages, clustering, weights)]

@@ -1,0 +1,89 @@
+"""Result types: QA-Pagelets and QA-Objects.
+
+A *QA-Pagelet* is the subtree of an answer page that holds the primary
+query-answer content. A *QA-Object* is one itemized match inside a
+QA-Pagelet. Both carry the node, its path expression, and provenance
+(which page, which common subtree set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.page import Page
+from repro.html.tree import TagNode
+
+
+@dataclass(frozen=True)
+class QAObject:
+    """One itemized query match inside a QA-Pagelet."""
+
+    #: Path expression from the page root to the object's subtree root.
+    path: str
+    #: The object's subtree root.
+    node: TagNode
+
+    def text(self) -> str:
+        """The object's visible text."""
+        return self.node.text()
+
+    def __repr__(self) -> str:
+        preview = self.text()
+        if len(preview) > 40:
+            preview = preview[:37] + "..."
+        return f"QAObject({self.path!r}, {preview!r})"
+
+
+@dataclass(frozen=True)
+class QAPagelet:
+    """The primary query-answer region of one page."""
+
+    #: The page this pagelet was extracted from.
+    page: Page
+    #: Path expression from the page root to the pagelet's subtree root.
+    path: str
+    #: The pagelet's subtree root.
+    node: TagNode
+    #: Selection score (higher = more likely the primary region).
+    score: float = 0.0
+    #: Rank among the page's recommended pagelets (0 = primary).
+    rank: int = 0
+    #: Paths of other dynamic-content subtrees contained in this
+    #: pagelet — the QA-Object candidates forwarded to Stage 3.
+    contained_dynamic_paths: tuple[str, ...] = field(default_factory=tuple)
+    #: Paths of *static*-content subtrees contained in this pagelet
+    #: (e.g. the field-name labels of a detail page). Stage 3 uses
+    #: them to tell a property list (one object) from a results list
+    #: (one object per row).
+    contained_static_paths: tuple[str, ...] = field(default_factory=tuple)
+
+    def text(self) -> str:
+        """The pagelet's visible text."""
+        return self.node.text()
+
+    def html(self) -> str:
+        """The pagelet serialized back to HTML."""
+        from repro.html.serialize import to_html
+
+        return to_html(self.node)
+
+    def __repr__(self) -> str:
+        return (
+            f"QAPagelet(page={self.page.url!r}, path={self.path!r}, "
+            f"score={self.score:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class PartitionedPagelet:
+    """Stage-3 output: a pagelet together with its QA-Objects."""
+
+    pagelet: QAPagelet
+    objects: tuple[QAObject, ...]
+    #: Path (relative to the page root) of the node whose children were
+    #: identified as the repeating unit; None when no repetition found.
+    separator_parent: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.objects)

@@ -1,0 +1,111 @@
+"""Stage 1: sample-page collection by query probing.
+
+THOR repeatedly queries a deep-web source with single-word probes drawn
+from two candidate pools — dictionary words and nonsense words — so the
+sample is guaranteed to contain at least two classes of pages (normal
+answers and "no matches") and, in practice, the full diversity of the
+site's answer templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+from repro.config import ProbeConfig
+from repro.core.page import Page
+from repro.core.wordlists import DICTIONARY_WORDS, generate_nonsense_words
+from repro.errors import ProbeError
+from repro.seeding import namespaced_rng
+
+
+@runtime_checkable
+class DeepWebSource(Protocol):
+    """Anything THOR can probe: a search form behind ``query()``.
+
+    Implementations may raise on individual queries (real sites time
+    out, return 500s, …); the prober records per-query failures and
+    continues.
+    """
+
+    def query(self, term: str) -> Page:
+        """Submit a single-keyword query, returning the answer page."""
+        ...  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """The sample collected from one source."""
+
+    pages: tuple[Page, ...]
+    #: Probe terms in submission order (parallel to pages for the
+    #: successes; failed terms appear only in ``failures``).
+    terms: tuple[str, ...]
+    #: (term, error message) for probes the source rejected.
+    failures: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+
+class QueryProber:
+    """Stage-1 prober.
+
+    ``dictionary`` defaults to the bundled general-English list;
+    nonsense words are generated fresh per probe run (seeded). The
+    paper submits 110 queries per site: 100 dictionary + 10 nonsense.
+    """
+
+    def __init__(
+        self,
+        config: ProbeConfig = ProbeConfig(),
+        dictionary: Sequence[str] = DICTIONARY_WORDS,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not dictionary:
+            raise ProbeError("probe dictionary must not be empty")
+        self.config = config
+        self.dictionary = tuple(dictionary)
+        self.seed = seed
+
+    def select_terms(self) -> list[str]:
+        """Choose the probe terms for one run (dictionary + nonsense)."""
+        rng = namespaced_rng("prober", self.seed)
+        want = self.config.dictionary_queries
+        if want <= len(self.dictionary):
+            words = rng.sample(list(self.dictionary), want)
+        else:
+            # Small custom dictionaries: sample with replacement.
+            words = [rng.choice(self.dictionary) for _ in range(want)]
+        nonsense = generate_nonsense_words(
+            self.config.nonsense_queries, seed=rng.randrange(2**31)
+        )
+        terms = words + nonsense
+        rng.shuffle(terms)
+        return terms
+
+    def probe(self, source: DeepWebSource) -> ProbeResult:
+        """Run a full probe of ``source``.
+
+        Raises :class:`ProbeError` if *every* probe fails — there is
+        nothing for the later stages to work with.
+        """
+        pages: list[Page] = []
+        ok_terms: list[str] = []
+        failures: list[tuple[str, str]] = []
+        for term in self.select_terms():
+            try:
+                page = source.query(term)
+            except Exception as exc:  # noqa: BLE001 - sources are untrusted
+                failures.append((term, str(exc)))
+                continue
+            if page.query == "":
+                page.query = term
+            pages.append(page)
+            ok_terms.append(term)
+        if not pages:
+            raise ProbeError(
+                f"all {len(failures)} probes failed; first error: "
+                f"{failures[0][1] if failures else 'n/a'}"
+            )
+        return ProbeResult(tuple(pages), tuple(ok_terms), tuple(failures))

@@ -1,0 +1,95 @@
+"""Phase 2, step 1a: single-page candidate-subtree filtering.
+
+For each page of a top-ranked cluster, prune the subtrees that cannot
+correspond to QA-Pagelets (Section 3.2.1):
+
+1. drop subtrees that contain no content at all;
+2. drop subtrees that contain *equivalent content but are not minimal*
+   — a node whose entire content comes from exactly one child subtree
+   duplicates that child and only the (smaller) child is kept;
+3. (optional) require the subtree to contain a branching node. The
+   paper's phrasing of this rule is ambiguous ("for any descendant w of
+   u, the fanout(w) is greater than one" cannot hold literally for
+   leaves); we expose it as ``require_branching`` and leave it off by
+   default, since QA-Pagelets of single-match pages need not branch.
+
+The page root itself is never a candidate: the paper's selection step
+explicitly discourages "the subtree corresponding to the entire page".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.page import Page
+from repro.html.tree import ContentNode, TagNode
+
+
+def _content_profile(root: TagNode) -> dict[int, tuple[int, int]]:
+    """For every tag node (by id): (direct content children,
+    content-bearing tag children). Computed in one postorder pass."""
+    profile: dict[int, tuple[int, int]] = {}
+    has_content: dict[int, bool] = {}
+    stack: list[tuple[TagNode, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if not expanded:
+            stack.append((node, True))
+            for child in node.children:
+                if isinstance(child, TagNode):
+                    stack.append((child, False))
+            continue
+        direct = 0
+        bearing = 0
+        for child in node.children:
+            if isinstance(child, ContentNode):
+                if child.text.strip():
+                    direct += 1
+            elif has_content.get(id(child), False):
+                bearing += 1
+        profile[id(node)] = (direct, bearing)
+        has_content[id(node)] = (direct + bearing) > 0
+    return profile
+
+
+def _contains_branching(node: TagNode) -> bool:
+    """True when some tag node in the subtree has fanout > 1."""
+    return any(n.fanout > 1 for n in node.iter_tags())
+
+
+def candidate_subtrees(
+    page: Page, require_branching: bool = False
+) -> list[TagNode]:
+    """The page's candidate subtrees after single-page filtering.
+
+    Results are in document (pre-order) order.
+
+    >>> page = Page("<html><body><div><p>hello</p></div><div></div></body></html>")
+    >>> [n.tag for n in candidate_subtrees(page)]
+    ['p']
+
+    (``body`` and the first ``div`` duplicate ``p``'s content and are
+    non-minimal; the second ``div`` is empty.)
+    """
+    root = page.tree.root
+    profile = _content_profile(root)
+    candidates: list[TagNode] = []
+    for node in root.iter_tags():
+        if node is root:
+            continue
+        direct, bearing = profile[id(node)]
+        if direct + bearing == 0:
+            continue  # rule 1: no content
+        if direct == 0 and bearing == 1:
+            continue  # rule 2: equivalent to its single content child
+        if require_branching and not _contains_branching(node):
+            continue  # rule 3 (optional)
+        candidates.append(node)
+    return candidates
+
+
+def candidate_subtrees_for_cluster(
+    pages: Sequence[Page], require_branching: bool = False
+) -> list[list[TagNode]]:
+    """Single-page analysis over a whole page cluster."""
+    return [candidate_subtrees(p, require_branching) for p in pages]

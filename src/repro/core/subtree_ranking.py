@@ -1,0 +1,125 @@
+"""Phase 2, step 2: ranking common subtree sets by content variability.
+
+The QA-Pagelet varies from page to page (every page answers a
+different probe query); navigation bars, ads with fixed copy, and
+boilerplate do not. Each set member's content is turned into a
+Porter-stemmed term vector weighted with the paper's TFIDF (document
+frequencies computed *within the set*), and the set's intra-similarity
+is the mean pairwise cosine of its members. Sets above the static
+threshold (0.5) are pruned; the rest are ranked ascending — lowest
+similarity (most dynamic) first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.subtree_sets import CommonSubtreeSet
+from repro.text.terms import TermExtractor, DEFAULT_EXTRACTOR
+from repro.vsm.vector import SparseVector
+from repro.vsm.weighting import CorpusWeighter, raw_tf_vector
+
+
+@dataclass(frozen=True)
+class RankedSubtreeSet:
+    """A common subtree set with its intra-set content similarity."""
+
+    subtree_set: CommonSubtreeSet
+    #: Mean pairwise cosine similarity of member content vectors
+    #: (1.0 for singleton sets — nothing varies).
+    similarity: float
+    #: True when the similarity exceeds the static threshold.
+    is_static: bool
+
+
+def set_content_vectors(
+    subtree_set: CommonSubtreeSet,
+    extractor: TermExtractor = DEFAULT_EXTRACTOR,
+    use_tfidf: bool = True,
+) -> list[SparseVector]:
+    """Vectorize the content of each member of a set.
+
+    With ``use_tfidf=False`` raw (normalized) term frequencies are
+    used — the ablation shown in Figure 9's left histogram.
+    """
+    counts = [
+        extractor.extract_counts(c.node.text()) for c in subtree_set.candidates()
+    ]
+    if not use_tfidf:
+        return [raw_tf_vector(c) for c in counts]
+    weighter = CorpusWeighter.fit(counts)
+    return weighter.transform_all(counts)
+
+
+def intra_set_similarity(
+    subtree_set: CommonSubtreeSet,
+    extractor: TermExtractor = DEFAULT_EXTRACTOR,
+    use_tfidf: bool = True,
+) -> float:
+    """Mean pairwise cosine similarity of the set's member contents.
+
+    Singleton sets score 1.0 (no variation is observable, so they are
+    indistinguishable from static content). Members whose content is
+    empty yield zero vectors, which cosine treats as orthogonal.
+    """
+    vectors = set_content_vectors(subtree_set, extractor, use_tfidf)
+    n = len(vectors)
+    if n <= 1:
+        return 1.0
+    # The member vectors are unit length (or zero), so the mean
+    # pairwise cosine has a closed form: Σ_{i<j} v_i·v_j =
+    # (‖Σv‖² − #non-zero) / 2, making this O(n·dims) instead of the
+    # naive O(n²·dims).
+    from repro.vsm.centroid import vector_sum
+
+    composite = vector_sum(vectors)
+    non_zero = sum(1 for v in vectors if not v.is_zero())
+    pair_sum = (composite.norm**2 - non_zero) / 2.0
+    pairs = n * (n - 1) / 2.0
+    value = pair_sum / pairs
+    # Floating-point drift guard.
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value
+
+
+def rank_subtree_sets(
+    sets: Sequence[CommonSubtreeSet],
+    n_pages: int,
+    static_similarity_threshold: float = 0.5,
+    min_support: float = 0.5,
+    extractor: TermExtractor = DEFAULT_EXTRACTOR,
+    use_tfidf: bool = True,
+) -> list[RankedSubtreeSet]:
+    """Score, filter, and rank common subtree sets.
+
+    Sets supported by fewer than ``min_support · n_pages`` pages are
+    dropped before ranking (an accidental one-page grouping carries no
+    cross-page evidence). The returned list is sorted ascending by
+    similarity, so the most dynamic sets — QA-Pagelet candidates —
+    come first; static sets are retained (flagged) for diagnostics but
+    sorted after dynamic ones.
+    """
+    min_pages = max(1, int(min_support * n_pages))
+    ranked = []
+    for subtree_set in sets:
+        if subtree_set.support < min_pages:
+            continue
+        similarity = intra_set_similarity(subtree_set, extractor, use_tfidf)
+        ranked.append(
+            RankedSubtreeSet(
+                subtree_set=subtree_set,
+                similarity=similarity,
+                is_static=similarity > static_similarity_threshold,
+            )
+        )
+    ranked.sort(key=lambda r: r.similarity)
+    return ranked
+
+
+def dynamic_sets(ranked: Sequence[RankedSubtreeSet]) -> list[RankedSubtreeSet]:
+    """The non-static (query-dependent) sets, best first."""
+    return [r for r in ranked if not r.is_static]

@@ -1,0 +1,189 @@
+"""Phase 2, step 1b: finding common subtree sets (cross-page analysis).
+
+Candidate subtrees from the pages of one cluster are grouped into
+*common subtree sets*, each holding at most one subtree per page and
+representing one type of content region (navigation bar, ad block,
+QA-Pagelet, …). Grouping uses the paper's content-neutral,
+structure-sensitive distance over the quadruple ⟨P, F, D, N⟩::
+
+    distance(i, j) = w1 · EditDist(P_i, P_j) / max(len(P_i), len(P_j))
+                   + w2 · |F_i − F_j| / max(F_i, F_j)
+                   + w3 · |D_i − D_j| / max(D_i, D_j)
+                   + w4 · |N_i − N_j| / max(N_i, N_j)
+
+with paths simplified to q-letter tag codes before the edit distance.
+The algorithm picks a random *prototype page*; each of its candidates
+seeds one set, and every other page contributes its closest candidate
+to each set (greedy one-to-one matching, bounded by
+``max_assign_distance``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Sequence
+
+from repro.cluster.editdist import normalized_levenshtein
+
+
+@lru_cache(maxsize=65536)
+def _cached_path_distance(a: str, b: str) -> float:
+    """Memoized normalized edit distance between simplified paths.
+
+    Candidate code paths are heavily repeated (every result row shares
+    one), so caching turns the distance matrix construction from the
+    dominant cost of cross-page analysis into a dictionary lookup.
+    """
+    if a > b:  # normalize argument order: the distance is symmetric
+        a, b = b, a
+    return normalized_levenshtein(a, b)
+from repro.errors import ExtractionError
+from repro.html.metrics import SubtreeShape, subtree_shape
+from repro.html.paths import TagCodec, node_tag_sequence
+from repro.html.tree import TagNode
+
+
+@dataclass(frozen=True)
+class SubtreeCandidate:
+    """One candidate subtree with its precomputed shape features."""
+
+    page_index: int
+    node: TagNode
+    shape: SubtreeShape
+    #: The root→node tag sequence simplified to q-letter codes.
+    code_path: str
+
+
+def make_candidate(
+    page_index: int, node: TagNode, codec: TagCodec
+) -> SubtreeCandidate:
+    """Wrap a tag node with its shape quadruple and simplified path."""
+    return SubtreeCandidate(
+        page_index=page_index,
+        node=node,
+        shape=subtree_shape(node),
+        code_path=codec.simplify(node_tag_sequence(node)),
+    )
+
+
+def _ratio_term(a: int, b: int) -> float:
+    """|a − b| / max(a, b), with 0/0 defined as 0."""
+    largest = max(a, b)
+    if largest == 0:
+        return 0.0
+    return abs(a - b) / largest
+
+
+def shape_distance(
+    a: SubtreeCandidate,
+    b: SubtreeCandidate,
+    weights: tuple[float, float, float, float] = (0.25, 0.25, 0.25, 0.25),
+) -> float:
+    """The paper's four-term subtree distance, in [0, 1] when the
+    weights sum to 1."""
+    w1, w2, w3, w4 = weights
+    total = 0.0
+    if w1:
+        total += w1 * _cached_path_distance(a.code_path, b.code_path)
+    if w2:
+        total += w2 * _ratio_term(a.shape.fanout, b.shape.fanout)
+    if w3:
+        total += w3 * _ratio_term(a.shape.depth, b.shape.depth)
+    if w4:
+        total += w4 * _ratio_term(a.shape.nodes, b.shape.nodes)
+    return total
+
+
+@dataclass
+class CommonSubtreeSet:
+    """One cross-page group of structurally similar subtrees."""
+
+    #: The prototype-page candidate that seeded this set.
+    prototype: SubtreeCandidate
+    #: page_index → that page's member (at most one per page).
+    members: dict[int, SubtreeCandidate]
+
+    def candidates(self) -> list[SubtreeCandidate]:
+        """Members in page order."""
+        return [self.members[i] for i in sorted(self.members)]
+
+    @property
+    def support(self) -> int:
+        """Number of pages contributing a member."""
+        return len(self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def find_common_subtree_sets(
+    candidates_per_page: Sequence[Sequence[TagNode]],
+    weights: tuple[float, float, float, float] = (0.25, 0.25, 0.25, 0.25),
+    max_assign_distance: float = 0.5,
+    path_code_length: int = 1,
+    prototype_index: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> list[CommonSubtreeSet]:
+    """Group candidate subtrees across the cluster's pages.
+
+    ``candidates_per_page[i]`` holds page i's candidates from
+    single-page analysis. The prototype page is chosen at random
+    (seeded) unless ``prototype_index`` pins it. Pages other than the
+    prototype are matched greedily: all (set, candidate) pairs are
+    sorted by distance and accepted when both the set's slot for that
+    page and the candidate are still free and the distance is within
+    ``max_assign_distance``.
+
+    Raises :class:`ExtractionError` when there are no pages or the
+    chosen prototype page has no candidates.
+    """
+    if not candidates_per_page:
+        raise ExtractionError("no pages given to cross-page analysis")
+    rng = random.Random(seed)
+    codec = TagCodec(path_code_length)
+
+    if prototype_index is None:
+        # The paper chooses the prototype page at random. We restrict
+        # the draw to candidate-rich pages (≥ 80% of the maximum
+        # candidate count): a junk page swept into the cluster — an
+        # error page merged in by a tight k — has only a handful of
+        # subtrees, and seeding the common sets from it would leave the
+        # real content regions of every other page unmatched.
+        counts = [len(c) for c in candidates_per_page]
+        best = max(counts)
+        if best == 0:
+            raise ExtractionError("no candidate subtrees in any page")
+        rich = [i for i, c in enumerate(counts) if c >= 0.8 * best]
+        prototype_index = rng.choice(rich)
+    prototype_nodes = candidates_per_page[prototype_index]
+    if not prototype_nodes:
+        raise ExtractionError(f"prototype page {prototype_index} has no candidates")
+
+    sets = []
+    for node in prototype_nodes:
+        candidate = make_candidate(prototype_index, node, codec)
+        sets.append(CommonSubtreeSet(candidate, {prototype_index: candidate}))
+
+    for page_index, nodes in enumerate(candidates_per_page):
+        if page_index == prototype_index or not nodes:
+            continue
+        page_candidates = [make_candidate(page_index, n, codec) for n in nodes]
+        pairs: list[tuple[float, int, int]] = []
+        for set_index, subtree_set in enumerate(sets):
+            proto = subtree_set.prototype
+            for cand_index, candidate in enumerate(page_candidates):
+                distance = shape_distance(proto, candidate, weights)
+                if distance <= max_assign_distance:
+                    pairs.append((distance, set_index, cand_index))
+        pairs.sort(key=lambda t: t[0])
+        used_sets: set[int] = set()
+        used_candidates: set[int] = set()
+        for distance, set_index, cand_index in pairs:
+            if set_index in used_sets or cand_index in used_candidates:
+                continue
+            sets[set_index].members[page_index] = page_candidates[cand_index]
+            used_sets.add(set_index)
+            used_candidates.add(cand_index)
+    return sets

@@ -1,0 +1,107 @@
+"""The end-to-end THOR pipeline (Figure 2).
+
+``Thor`` wires the three stages together:
+
+1. :meth:`Thor.probe` — sample a deep-web source with probe queries;
+2. :meth:`Thor.extract` — Phase 1 (page clustering + ranking) and
+   Phase 2 (QA-Pagelet identification) over the top-m clusters;
+3. :meth:`Thor.partition` — Stage 3 QA-Object partitioning.
+
+:meth:`Thor.run` does all three. Each stage is also usable standalone,
+which is how the evaluation isolates Phase 2 (Figure 8) from Phase 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.config import DEFAULT_CONFIG, ThorConfig
+from repro.core.identification import IdentificationResult, PageletIdentifier
+from repro.core.page import Page
+from repro.core.page_clustering import PageClusterer, PageClusteringResult
+from repro.core.pagelet import PartitionedPagelet, QAPagelet
+from repro.core.partitioning import ObjectPartitioner
+from repro.core.probing import DeepWebSource, ProbeResult, QueryProber
+
+
+@dataclass(frozen=True)
+class ThorResult:
+    """The full pipeline output for one site."""
+
+    pages: tuple[Page, ...]
+    clustering: PageClusteringResult
+    #: Phase-2 results, one per forwarded cluster (ranking order).
+    identifications: tuple[IdentificationResult, ...] = field(repr=False)
+    #: All extracted QA-Pagelets across the forwarded clusters.
+    pagelets: tuple[QAPagelet, ...] = ()
+    #: Stage-3 output, parallel to ``pagelets``.
+    partitioned: tuple[PartitionedPagelet, ...] = field(default=(), repr=False)
+
+    def pagelet_for_page(self, page: Page) -> Optional[QAPagelet]:
+        """The pagelet extracted from ``page``, if any."""
+        for pagelet in self.pagelets:
+            if pagelet.page is page:
+                return pagelet
+        return None
+
+
+class Thor:
+    """The THOR extraction system."""
+
+    def __init__(self, config: ThorConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+        self._prober = QueryProber(config.probing, seed=config.seed)
+        self._clusterer = PageClusterer(config.clustering, seed=config.seed)
+        self._identifier = PageletIdentifier(config.subtrees, seed=config.seed)
+        self._partitioner = ObjectPartitioner(config.subtrees)
+
+    # -- stage 1 ---------------------------------------------------------
+
+    def probe(self, source: DeepWebSource) -> ProbeResult:
+        """Stage 1: collect sample pages from ``source``."""
+        return self._prober.probe(source)
+
+    # -- stage 2 ---------------------------------------------------------
+
+    def extract(self, pages: Sequence[Page]) -> ThorResult:
+        """Stage 2: two-phase QA-Pagelet extraction over sampled pages."""
+        clustering = self._clusterer.fit(pages)
+        identifications: list[IdentificationResult] = []
+        pagelets: list[QAPagelet] = []
+        for cluster_pages in clustering.top_clusters(
+            self.config.clustering.top_m,
+            min_pages=self.config.clustering.min_cluster_pages,
+        ):
+            if not cluster_pages:
+                continue
+            result = self._identifier.identify(cluster_pages)
+            identifications.append(result)
+            pagelets.extend(result.pagelets)
+        return ThorResult(
+            pages=tuple(pages),
+            clustering=clustering,
+            identifications=tuple(identifications),
+            pagelets=tuple(pagelets),
+        )
+
+    # -- stage 3 ---------------------------------------------------------
+
+    def partition(self, result: ThorResult) -> ThorResult:
+        """Stage 3: partition every extracted pagelet into QA-Objects."""
+        partitioned = tuple(self._partitioner.partition(p) for p in result.pagelets)
+        return ThorResult(
+            pages=result.pages,
+            clustering=result.clustering,
+            identifications=result.identifications,
+            pagelets=result.pagelets,
+            partitioned=partitioned,
+        )
+
+    # -- all together ------------------------------------------------------
+
+    def run(self, source: DeepWebSource) -> ThorResult:
+        """Probe, extract, and partition in one call."""
+        probe_result = self.probe(source)
+        result = self.extract(list(probe_result.pages))
+        return self.partition(result)

@@ -1,0 +1,105 @@
+"""Probe word lists.
+
+Stage 1 probes a site with "random words from a dictionary and a set of
+nonsense words unlikely to be indexed in any deep web database". The
+paper drew 100 words from the standard Unix dictionary; we ship a
+compact general-English word list for the same purpose (callers can
+always supply their own, e.g. a domain-specific list).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+#: General-English probe vocabulary (a stand-in for /usr/share/dict/words).
+DICTIONARY_WORDS: tuple[str, ...] = tuple(
+    """
+    able account acid across action address advance advice afternoon age
+    agent agreement air amount angle animal answer apple area arm army
+    art attack attempt authority autumn baby back bag balance ball band
+    bank base basin basket bath bear beauty bed bee beer bell berry bird
+    birth bit bite blade blood blow board boat body bone book boot bottle
+    box boy brain branch brass bread breath brick bridge brother brush
+    bucket building bulb burn business butter button cake camera canvas
+    card care carriage cart cat cause chain chalk chance change cheese
+    chest chief child chin church circle class clock cloud club coal coat
+    cold collar color comfort committee company competition condition
+    connection control cook copper copy cord cork cotton cough country
+    cover cow crack credit crime crush cry cup current curtain curve
+    cushion damage danger daughter day death debt decision degree design
+    desire destruction detail development digestion direction discovery
+    discussion disease disgust distance division dog door doubt drain
+    drawer dress drink driving drop dust ear earth east edge education
+    effect egg end engine error event example exchange existence expert
+    eye face fact fall family farm father fear feather feeling field
+    fight finger fire fish flag flame flight floor flower fly fold food
+    foot force fork form fowl frame friend front fruit garden girl glass
+    glove gold government grain grass grip group growth guide gun hair
+    hammer hand harbor harmony hat head hearing heart heat help history
+    hole hook hope horn horse hospital hour house humor ice idea impulse
+    increase industry insect instrument insurance interest invention
+    iron island jelly jewel join journey judge jump kettle key kick kiss
+    knee knife knot knowledge land language laugh law lead leaf learning
+    leather leg letter level library lift light limit line linen lip
+    liquid list lock look loss love machine man manager map mark market
+    mass match meal measure meat meeting memory metal middle milk mind
+    mine minute mist money monkey month moon morning mother motion
+    mountain mouth move muscle music nail name nation neck need needle
+    nerve net news night noise nose note number nut observation offer
+    office oil operation opinion orange order organization ornament oven
+    owner page pain paint paper part paste payment peace pen pencil
+    person picture pig pin pipe place plane plant plate play pleasure
+    plow pocket point poison polish porter position potato powder power
+    price print prison process produce profit property prose protest
+    pull pump punishment purpose push quality question rail rain range
+    rat rate ray reaction reading reason receipt record regret relation
+    religion representative request respect rest reward rhythm rice
+    ring river road rod roof room root rub rule run salt sand scale
+    school science scissors screw sea seat secretary seed selection
+    self sense servant shade shake shame sheep shelf ship shirt shock
+    shoe side sign silk silver sister size skin skirt sky sleep slip
+    slope smash smell smile smoke snake sneeze snow soap society sock
+    son song sort sound soup space spade sponge spoon spring square
+    stage stamp star start statement station steam steel stem step
+    stick stitch stocking stomach stone stop store story street stretch
+    structure substance sugar suggestion summer sun support surprise
+    swim system table tail talk taste tax teaching tendency test theory
+    thing thought thread throat thumb thunder ticket time tin toe tongue
+    tooth top touch town trade train transport tray tree trick trouble
+    trousers turn twist umbrella unit use value verse vessel view voice
+    walk wall war wash waste watch water wave wax way weather week
+    weight wheel whip whistle wind window wine wing winter wire woman
+    wood wool word work worm wound writing year
+    """.split()
+)
+
+#: Consonant pool for nonsense-word generation (no vowels → words that
+#: cannot accidentally be real dictionary entries).
+_NONSENSE_CHARS = "bcdfghjklmnpqrstvwxz"
+
+
+def generate_nonsense_words(
+    count: int, length: int = 7, seed: Optional[int] = None
+) -> list[str]:
+    """Generate ``count`` distinct nonsense words.
+
+    Vowel-free strings like ``xfghqwz`` are essentially guaranteed to
+    miss every index, so each probe yields a "no matches" page — the
+    paper's trick for guaranteeing that page class appears in the
+    sample.
+
+    >>> generate_nonsense_words(2, seed=0)
+    ['qrclvtq', 'mtpxjvg']
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = random.Random(seed)
+    words: list[str] = []
+    seen: set[str] = set()
+    while len(words) < count:
+        word = "".join(rng.choice(_NONSENSE_CHARS) for _ in range(length))
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words

@@ -1,0 +1,217 @@
+"""Wrapper induction from THOR results, with drift detection.
+
+THOR is unsupervised but not free: the two-phase analysis costs a full
+page-cluster pass. A production deployment extracts THOR's findings
+into a cheap per-site *wrapper* — the pagelet locations it discovered —
+and applies it to new pages in microseconds, re-running THOR only when
+the wrapper stops fitting (a site redesign).
+
+This inverts the paper's comparison with wrapper-induction systems
+(RoadRunner, ExAlg): those need all pages to share one template and
+cannot find the *query-relevant* region; THOR finds the region without
+supervision, after which a frozen wrapper is safe — because drift is
+detected and triggers re-discovery, the brittleness the paper warns
+about is contained.
+
+The wrapper stores, per discovered page shape, the pagelet's simplified
+path code plus shape quadruple; application locates the best-matching
+subtree on a fresh page and refuses (reports drift) when nothing fits
+within tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.page import Page
+from repro.core.pagelet import QAPagelet
+from repro.core.partitioning import ObjectPartitioner
+from repro.core.single_page import candidate_subtrees
+from repro.core.subtree_sets import make_candidate, shape_distance
+from repro.core.thor import ThorResult
+from repro.errors import ExtractionError
+from repro.html.paths import TagCodec
+from repro.html.tree import TagNode
+
+
+@dataclass(frozen=True)
+class WrapperRule:
+    """One learned pagelet location (per page shape)."""
+
+    #: Simplified root→pagelet tag-code path.
+    code_path: str
+    #: Typical shape of the pagelet subtree.
+    fanout: int
+    depth: int
+    nodes: int
+    #: How many training pages produced this rule.
+    support: int
+
+
+@dataclass(frozen=True)
+class WrapperMatch:
+    """Result of applying a wrapper to one page."""
+
+    pagelet: Optional[QAPagelet]
+    #: Shape distance of the best candidate to the matched rule
+    #: (``inf`` when the page had no candidates at all).
+    distance: float
+    drifted: bool
+
+
+@dataclass(frozen=True)
+class SiteWrapper:
+    """A frozen, fast extractor for one site."""
+
+    rules: tuple[WrapperRule, ...]
+    #: Maximum shape distance for a match; beyond it the page has
+    #: drifted from the learned layout.
+    tolerance: float = 0.2
+    _codec: TagCodec = field(default_factory=TagCodec, repr=False, compare=False)
+
+    @classmethod
+    def induce(
+        cls, result: ThorResult, tolerance: float = 0.2
+    ) -> "SiteWrapper":
+        """Learn a wrapper from a THOR run.
+
+        Rules are aggregated per simplified pagelet path; shapes are
+        averaged over the supporting pages. Raises
+        :class:`ExtractionError` when the run extracted nothing.
+        """
+        if not result.pagelets:
+            raise ExtractionError("cannot induce a wrapper from zero pagelets")
+        codec = TagCodec()
+        grouped: dict[str, list[QAPagelet]] = {}
+        for pagelet in result.pagelets:
+            candidate = make_candidate(0, pagelet.node, codec)
+            grouped.setdefault(candidate.code_path, []).append(pagelet)
+        rules = []
+        for code_path, pagelets in grouped.items():
+            count = len(pagelets)
+            rules.append(
+                WrapperRule(
+                    code_path=code_path,
+                    fanout=round(
+                        sum(p.node.fanout for p in pagelets) / count
+                    ),
+                    depth=round(
+                        sum(p.node.depth() for p in pagelets) / count
+                    ),
+                    nodes=round(
+                        sum(p.node.size() for p in pagelets) / count
+                    ),
+                    support=count,
+                )
+            )
+        rules.sort(key=lambda r: -r.support)
+        return cls(rules=tuple(rules), tolerance=tolerance, _codec=codec)
+
+    def apply(self, page: Page) -> WrapperMatch:
+        """Locate the pagelet on a fresh page, or report drift.
+
+        Matching reuses THOR's shape distance between each candidate
+        subtree and each rule; the best (rule, candidate) pair wins if
+        within ``tolerance``.
+        """
+        candidates = candidate_subtrees(page)
+        if not candidates:
+            return WrapperMatch(pagelet=None, distance=float("inf"), drifted=True)
+        best_distance = float("inf")
+        best_node: Optional[TagNode] = None
+        for node in candidates:
+            candidate = make_candidate(0, node, self._codec)
+            for rule in self.rules:
+                rule_candidate = _rule_as_candidate(rule, self._codec)
+                distance = shape_distance(candidate, rule_candidate)
+                if distance < best_distance:
+                    best_distance = distance
+                    best_node = node
+        if best_node is None or best_distance > self.tolerance:
+            return WrapperMatch(
+                pagelet=None, distance=best_distance, drifted=True
+            )
+        from repro.html.paths import node_path
+
+        return WrapperMatch(
+            pagelet=QAPagelet(
+                page=page,
+                path=node_path(best_node),
+                node=best_node,
+                score=1.0 - best_distance,
+            ),
+            distance=best_distance,
+            drifted=False,
+        )
+
+    def apply_all(
+        self, pages: Sequence[Page]
+    ) -> tuple[list[QAPagelet], bool]:
+        """Apply to many pages; signal site-level drift.
+
+        Returns the extracted pagelets and the drift flag. A page with
+        no matching region is *not* individual evidence of drift — a
+        "no matches" answer page legitimately contains no pagelet and
+        the wrapper cannot tell it from a redesigned results page.
+        Site-level drift is therefore declared only when the wrapper
+        matches nothing across the whole (non-empty) batch: after a
+        redesign every page misses, while a normal batch always
+        contains some answer pages that fit.
+        """
+        pagelets: list[QAPagelet] = []
+        for page in pages:
+            match = self.apply(page)
+            if match.pagelet is not None:
+                pagelets.append(match.pagelet)
+        if not pages:
+            return [], False
+        return pagelets, not pagelets
+
+
+def _rule_as_candidate(rule: WrapperRule, codec: TagCodec):
+    """View a rule as a shape candidate for the distance function."""
+    from repro.html.metrics import SubtreeShape
+    from repro.core.subtree_sets import SubtreeCandidate
+
+    return SubtreeCandidate(
+        page_index=-1,
+        node=None,  # distance only reads shape + code_path
+        shape=SubtreeShape(
+            path="", fanout=rule.fanout, depth=rule.depth, nodes=rule.nodes
+        ),
+        code_path=rule.code_path,
+    )
+
+
+class AdaptiveExtractor:
+    """Wrapper-first extraction with automatic THOR fallback.
+
+    ``extract`` uses the induced wrapper when one exists and still
+    fits; on detected drift it re-runs full THOR discovery and
+    re-induces the wrapper. This is the deployment loop the paper's
+    robustness claim enables.
+    """
+
+    def __init__(self, thor, partitioner: Optional[ObjectPartitioner] = None):
+        self._thor = thor
+        self._partitioner = partitioner or ObjectPartitioner()
+        self._wrapper: Optional[SiteWrapper] = None
+        #: Number of full THOR discovery runs performed.
+        self.discoveries = 0
+
+    @property
+    def wrapper(self) -> Optional[SiteWrapper]:
+        return self._wrapper
+
+    def extract(self, pages: Sequence[Page]) -> list[QAPagelet]:
+        """Extract pagelets from a batch of pages."""
+        if self._wrapper is not None:
+            pagelets, drifted = self._wrapper.apply_all(pages)
+            if not drifted:
+                return pagelets
+        result = self._thor.extract(list(pages))
+        self.discoveries += 1
+        if result.pagelets:
+            self._wrapper = SiteWrapper.induce(result)
+        return list(result.pagelets)

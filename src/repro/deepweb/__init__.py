@@ -1,0 +1,29 @@
+"""Deep-web simulation substrate.
+
+The paper's evaluation probed 50 live search forms crawled in 2003;
+those sites are long gone, so this package substitutes a faithful
+simulation (see DESIGN.md §4): every simulated site owns a genuine
+searchable record database, a query interface, and distinct HTML
+templates per answer class (multi-match, single-match, no-match,
+error), decorated with the same static/dynamic chrome real result pages
+carry — navigation bars, ads, boilerplate. Ground truth (page class,
+gold QA-Pagelet path, gold QA-Object paths) rides along on every
+generated page, standing in for the paper's hand labeling.
+"""
+
+from repro.deepweb.database import SearchableDatabase
+from repro.deepweb.records import Record
+from repro.deepweb.site import LabeledPage, SimulatedDeepWebSite
+from repro.deepweb.corpus import SiteSample, generate_corpus, make_site
+from repro.deepweb.synthetic import SyntheticPageGenerator
+
+__all__ = [
+    "SearchableDatabase",
+    "Record",
+    "LabeledPage",
+    "SimulatedDeepWebSite",
+    "SiteSample",
+    "generate_corpus",
+    "make_site",
+    "SyntheticPageGenerator",
+]

@@ -1,0 +1,111 @@
+"""Corpus construction: sites, probes, and labeled page samples.
+
+Reproduces the paper's data collection at simulation scale: 50 sites ×
+110 probes (100 dictionary + 10 nonsense) = 5,500 labeled pages.
+:func:`make_site` builds one seeded site; :func:`generate_corpus`
+builds the whole collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.config import ProbeConfig
+from repro.core.probing import QueryProber
+from repro.deepweb.database import SearchableDatabase
+from repro.deepweb.domains import DOMAINS, get_domain
+from repro.deepweb.site import LabeledPage, SimulatedDeepWebSite
+from repro.deepweb.templates import SiteTheme
+
+
+def make_site(
+    domain: str = "ecommerce",
+    seed: int = 0,
+    records: int = 150,
+    error_rate: float = 0.02,
+    noise_level: float = 0.25,
+) -> SimulatedDeepWebSite:
+    """Build one simulated deep-web site.
+
+    ``records`` controls the database size, which in turn controls how
+    often dictionary probes hit (the bundled vocabularies are tuned so
+    a 150-record site answers a mix of multi-, single- and no-match
+    pages to 110 random probes, like the paper's live sites did).
+
+    >>> site = make_site("music", seed=3)
+    >>> page = site.query("xqzzqx")
+    >>> page.class_label
+    'nomatch'
+    """
+    spec = get_domain(domain)
+    record_list = spec.generate_records(records, seed=seed)
+    database = SearchableDatabase(record_list)
+    theme = SiteTheme.generate(
+        domain, seed, error_rate=error_rate, noise_level=noise_level
+    )
+    return SimulatedDeepWebSite(database, spec, theme)
+
+
+@dataclass(frozen=True)
+class SiteSample:
+    """One site with its probed page sample."""
+
+    site: SimulatedDeepWebSite
+    pages: tuple[LabeledPage, ...]
+
+    @property
+    def classes(self) -> list[str]:
+        """Ground-truth class labels, parallel to ``pages``."""
+        return [p.class_label for p in self.pages]
+
+    def pagelet_pages(self) -> list[LabeledPage]:
+        """The pages that truly contain a QA-Pagelet."""
+        return [p for p in self.pages if p.has_pagelet]
+
+
+def probe_site(
+    site: SimulatedDeepWebSite,
+    probe_config: ProbeConfig = ProbeConfig(),
+    seed: Optional[int] = None,
+) -> SiteSample:
+    """Probe one site and return its labeled sample."""
+    prober = QueryProber(probe_config, seed=seed)
+    result = prober.probe(site)
+    pages = tuple(p for p in result.pages if isinstance(p, LabeledPage))
+    return SiteSample(site, pages)
+
+
+def generate_corpus(
+    n_sites: int = 50,
+    probe_config: ProbeConfig = ProbeConfig(),
+    seed: int = 0,
+    records_per_site: int = 150,
+    domains: Optional[Sequence[str]] = None,
+) -> list[SiteSample]:
+    """Build the evaluation corpus: ``n_sites`` sites, each probed.
+
+    Sites cycle through the available domains with per-site seeds, so
+    every site has a distinct theme and database.
+    """
+    domain_names = list(domains) if domains else sorted(DOMAINS)
+    samples = []
+    for index in range(n_sites):
+        domain = domain_names[index % len(domain_names)]
+        site = make_site(domain, seed=seed * 1000 + index, records=records_per_site)
+        samples.append(probe_site(site, probe_config, seed=seed * 1000 + index))
+    return samples
+
+
+def class_distribution(samples: Sequence[SiteSample]) -> dict[str, float]:
+    """Fraction of pages per class over a corpus (the distribution the
+    paper's synthetic datasets preserve)."""
+    counts: dict[str, int] = {}
+    total = 0
+    for sample in samples:
+        for page in sample.pages:
+            counts[page.class_label] = counts.get(page.class_label, 0) + 1
+            total += 1
+    if total == 0:
+        return {}
+    return {label: count / total for label, count in sorted(counts.items())}

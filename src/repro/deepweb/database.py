@@ -1,0 +1,80 @@
+"""In-memory searchable database behind a simulated site.
+
+Implements the query semantics of a circa-2003 site search: exact
+single-keyword lookup over an inverted index of the records' text,
+case-insensitive, no stemming (sites of that era rarely stemmed; THOR
+itself must not rely on the site's search behaviour anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.deepweb.records import Record
+from repro.errors import SiteGenerationError
+from repro.text.tokenize import tokenize_words
+
+
+class SearchableDatabase:
+    """An inverted index over a set of records."""
+
+    def __init__(self, records: Sequence[Record]) -> None:
+        if not records:
+            raise SiteGenerationError("a searchable database needs records")
+        self.records = tuple(records)
+        self._index: dict[str, list[int]] = {}
+        for position, record in enumerate(self.records):
+            seen: set[str] = set()
+            for word in tokenize_words(record.searchable_text()):
+                if word not in seen:
+                    seen.add(word)
+                    self._index.setdefault(word, []).append(position)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def query(self, term: str) -> list[Record]:
+        """All records containing ``term`` (case-insensitive word
+        match), in insertion order.
+
+        Multi-word input matches records containing *all* the words.
+        """
+        words = tokenize_words(term)
+        if not words:
+            return []
+        result: set[int] | None = None
+        for word in words:
+            positions = set(self._index.get(word, ()))
+            result = positions if result is None else (result & positions)
+            if not result:
+                return []
+        assert result is not None
+        return [self.records[i] for i in sorted(result)]
+
+    def match_count(self, term: str) -> int:
+        """Number of records matching ``term``."""
+        return len(self.query(term))
+
+    def vocabulary(self) -> set[str]:
+        """All indexed words."""
+        return set(self._index)
+
+    def selectivity_histogram(self) -> dict[int, int]:
+        """Map match-count → number of words with that count; useful
+        for checking that a database yields both multi- and
+        single-match probes."""
+        histogram: dict[int, int] = {}
+        for positions in self._index.values():
+            count = len(positions)
+            histogram[count] = histogram.get(count, 0) + 1
+        return histogram
+
+    @staticmethod
+    def words_with_selectivity(
+        db: "SearchableDatabase", low: int, high: int
+    ) -> Iterable[str]:
+        """Words whose match count lies in [low, high] — handy for
+        constructing probes with known outcomes in tests."""
+        for word, positions in db._index.items():
+            if low <= len(positions) <= high:
+                yield word

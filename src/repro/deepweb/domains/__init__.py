@@ -1,0 +1,34 @@
+"""Domain specifications for simulated deep-web sites.
+
+Each domain module defines a :class:`~repro.deepweb.domains.base.DomainSpec`
+with the vocabulary and record-generation logic of one site genre:
+e-commerce catalogs, music databases, library catalogs, job boards, and
+real-estate listings. Diversity across domains stands in for the
+diversity of the paper's 50 real sites.
+"""
+
+from repro.deepweb.domains.base import DomainSpec
+from repro.deepweb.domains.ecommerce import ECOMMERCE
+from repro.deepweb.domains.music import MUSIC
+from repro.deepweb.domains.library import LIBRARY
+from repro.deepweb.domains.jobs import JOBS
+from repro.deepweb.domains.realestate import REALESTATE
+from repro.deepweb.domains.travel import TRAVEL
+from repro.deepweb.domains.movies import MOVIES
+
+DOMAINS: dict[str, DomainSpec] = {
+    spec.name: spec
+    for spec in (ECOMMERCE, MUSIC, LIBRARY, JOBS, REALESTATE, TRAVEL, MOVIES)
+}
+
+
+def get_domain(name: str) -> DomainSpec:
+    """Look up a domain spec by name."""
+    try:
+        return DOMAINS[name]
+    except KeyError:
+        valid = ", ".join(sorted(DOMAINS))
+        raise KeyError(f"unknown domain {name!r}; valid: {valid}")
+
+
+__all__ = ["DomainSpec", "DOMAINS", "get_domain"]

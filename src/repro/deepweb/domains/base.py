@@ -1,0 +1,89 @@
+"""Base machinery shared by all domain specifications.
+
+A :class:`DomainSpec` knows how to generate a seeded batch of records
+whose searchable text deliberately overlaps the probe dictionary:
+
+- each record embeds a few *common* dictionary words (so dictionary
+  probes produce multi-match pages),
+- each record also receives one *rare* word used by no other record
+  (so some probes produce single-match pages),
+- nonsense probes never match anything (guaranteed no-match pages).
+
+This mirrors the class mix of the paper's live probing, where random
+Unix-dictionary words hit real inventories with varying selectivity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.wordlists import DICTIONARY_WORDS
+from repro.deepweb.records import Record
+from repro.errors import SiteGenerationError
+from repro.seeding import namespaced_rng
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One site genre: field layout plus record generator."""
+
+    name: str
+    #: Field names in display order (first field is the record title).
+    fields: tuple[str, ...]
+    #: Builds the field values for one record.
+    make_fields: Callable[[random.Random, int], dict[str, str]]
+    #: Human-readable site tagline used in page chrome.
+    tagline: str = ""
+
+    def generate_records(
+        self,
+        count: int,
+        seed: int | None = None,
+        dictionary: Sequence[str] = DICTIONARY_WORDS,
+        common_words: int = 50,
+        common_words_per_record: int = 3,
+    ) -> list[Record]:
+        """Generate ``count`` records with controlled probe overlap.
+
+        ``common_words`` dictionary words are designated high-frequency
+        (each record samples ``common_words_per_record`` of them);
+        every record additionally gets a unique rare dictionary word.
+        Raises :class:`SiteGenerationError` when the dictionary is too
+        small to give each record a distinct rare word.
+        """
+        if count < 0:
+            raise SiteGenerationError("record count must be non-negative")
+        rng = namespaced_rng(f"records:{self.name}", seed)
+        pool = list(dictionary)
+        rng.shuffle(pool)
+        if len(pool) < common_words + count:
+            raise SiteGenerationError(
+                f"dictionary of {len(pool)} words cannot supply "
+                f"{common_words} common + {count} rare words"
+            )
+        common = pool[:common_words]
+        rare = pool[common_words : common_words + count]
+
+        records: list[Record] = []
+        for record_id in range(count):
+            fields = self.make_fields(rng, record_id)
+            extra = rng.sample(common, min(common_words_per_record, len(common)))
+            blurb_words = extra + [rare[record_id]]
+            rng.shuffle(blurb_words)
+            fields["blurb"] = " ".join(blurb_words)
+            records.append(Record(record_id, fields))
+        return records
+
+
+def pick(rng: random.Random, options: Sequence[str]) -> str:
+    """Seeded choice helper for domain vocabularies."""
+    return rng.choice(list(options))
+
+
+def money(rng: random.Random, low: int, high: int) -> str:
+    """A price string like ``$123.45``."""
+    dollars = rng.randint(low, high)
+    cents = rng.randint(0, 99)
+    return f"${dollars}.{cents:02d}"

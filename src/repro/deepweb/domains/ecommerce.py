@@ -1,0 +1,52 @@
+"""E-commerce catalog domain (digital cameras, electronics, …).
+
+The paper's motivating retrieval example — "list seller and price
+information of all digital cameras from Sony" — is an e-commerce query,
+so this domain leads the simulated site mix.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.deepweb.domains.base import DomainSpec, money, pick
+
+_BRANDS = (
+    "Sony", "Canon", "Nikon", "Kodak", "Olympus", "Panasonic", "Samsung",
+    "Toshiba", "Philips", "Sharp", "Aiwa", "Sanyo", "Casio", "Fuji",
+)
+_CATEGORIES = (
+    "digital camera", "camcorder", "mp3 player", "dvd player", "monitor",
+    "printer", "scanner", "keyboard", "speaker", "headphone", "router",
+    "hard drive", "memory card", "television",
+)
+_ADJECTIVES = (
+    "compact", "professional", "wireless", "portable", "refurbished",
+    "ultra-slim", "high-resolution", "rugged", "lightweight", "premium",
+)
+_SELLERS = (
+    "MegaMart", "ValueHut", "TechBarn", "GadgetWorld", "PriceWave",
+    "CircuitShed", "ShopRapid", "BuyNest",
+)
+_CONDITIONS = ("new", "used", "refurbished", "open box")
+
+
+def _make_fields(rng: random.Random, record_id: int) -> dict[str, str]:
+    brand = pick(rng, _BRANDS)
+    category = pick(rng, _CATEGORIES)
+    model = f"{brand[:2].upper()}-{rng.randint(100, 9999)}"
+    return {
+        "title": f"{brand} {model} {pick(rng, _ADJECTIVES)} {category}",
+        "seller": pick(rng, _SELLERS),
+        "price": money(rng, 19, 2499),
+        "condition": pick(rng, _CONDITIONS),
+        "rating": f"{rng.randint(1, 5)} stars",
+    }
+
+
+ECOMMERCE = DomainSpec(
+    name="ecommerce",
+    fields=("title", "seller", "price", "condition", "rating", "blurb"),
+    make_fields=_make_fields,
+    tagline="Everything electronic, shipped overnight",
+)

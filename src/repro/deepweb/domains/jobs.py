@@ -1,0 +1,42 @@
+"""Job board domain (postings search)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.deepweb.domains.base import DomainSpec, pick
+
+_LEVELS = ("Junior", "Senior", "Lead", "Staff", "Principal", "Associate")
+_ROLES = (
+    "Accountant", "Engineer", "Analyst", "Technician", "Designer",
+    "Administrator", "Librarian", "Chemist", "Surveyor", "Translator",
+    "Machinist", "Dispatcher",
+)
+_COMPANIES = (
+    "Ironbridge Ltd", "Cascadia Corp", "Bluepeak Systems", "Norfield Group",
+    "Atlas Freight", "Summit Labs", "Redwood Partners", "Keystone Works",
+)
+_CITIES = (
+    "Atlanta", "Denver", "Portland", "Chicago", "Austin", "Boston",
+    "Seattle", "Raleigh", "Tucson", "Omaha",
+)
+_TYPES = ("full-time", "part-time", "contract", "temporary")
+
+
+def _make_fields(rng: random.Random, record_id: int) -> dict[str, str]:
+    return {
+        "position": f"{pick(rng, _LEVELS)} {pick(rng, _ROLES)}",
+        "company": pick(rng, _COMPANIES),
+        "location": pick(rng, _CITIES),
+        "type": pick(rng, _TYPES),
+        "salary": f"${rng.randint(28, 160)}k",
+        "posted": f"2003-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+    }
+
+
+JOBS = DomainSpec(
+    name="jobs",
+    fields=("position", "company", "location", "type", "salary", "posted", "blurb"),
+    make_fields=_make_fields,
+    tagline="Ten thousand openings, updated daily",
+)

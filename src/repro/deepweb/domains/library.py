@@ -1,0 +1,50 @@
+"""Library catalog domain (book search)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.deepweb.domains.base import DomainSpec, pick
+
+_TITLE_A = (
+    "History", "Principles", "Foundations", "Elements", "Handbook",
+    "Chronicles", "Atlas", "Anatomy", "Grammar", "Theory",
+)
+_TITLE_B = (
+    "Astronomy", "Chemistry", "Navigation", "Agriculture", "Medicine",
+    "Architecture", "Geology", "Rhetoric", "Botany", "Economics",
+)
+_AUTHOR_FIRST = (
+    "Margaret", "Edward", "Harriet", "Samuel", "Clara", "Thomas",
+    "Eleanor", "Walter", "Beatrice", "Henry",
+)
+_AUTHOR_LAST = (
+    "Whitfield", "Okafor", "Lindqvist", "Moreau", "Takahashi",
+    "Delgado", "Novak", "Brennan", "Osei", "Kaplan",
+)
+_PUBLISHERS = (
+    "Harborview Press", "Meridian Books", "Lantern House",
+    "Northgate Academic", "Quarto & Sons",
+)
+_FORMATS = ("hardcover", "paperback", "folio", "quarto")
+
+
+def _make_fields(rng: random.Random, record_id: int) -> dict[str, str]:
+    title = f"The {pick(rng, _TITLE_A)} of {pick(rng, _TITLE_B)}"
+    author = f"{pick(rng, _AUTHOR_FIRST)} {pick(rng, _AUTHOR_LAST)}"
+    return {
+        "title": title,
+        "author": author,
+        "publisher": pick(rng, _PUBLISHERS),
+        "year": str(rng.randint(1890, 2003)),
+        "isbn": f"{rng.randint(0, 9)}-{rng.randint(1000, 9999)}-{rng.randint(1000, 9999)}-{rng.randint(0, 9)}",
+        "format": pick(rng, _FORMATS),
+    }
+
+
+LIBRARY = DomainSpec(
+    name="library",
+    fields=("title", "author", "publisher", "year", "isbn", "format", "blurb"),
+    make_fields=_make_fields,
+    tagline="Search three centuries of holdings",
+)

@@ -1,0 +1,53 @@
+"""Movie database domain (film catalog search)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.deepweb.domains.base import DomainSpec, pick
+
+_TITLE_A = (
+    "Midnight", "Crimson", "Silent", "Electric", "Forgotten", "Golden",
+    "Savage", "Hidden", "Winter", "Last",
+)
+_TITLE_B = (
+    "Harvest", "Frontier", "Witness", "Carnival", "Passage", "Empire",
+    "Lagoon", "Signal", "Covenant", "Mirage",
+)
+_DIRECTOR_FIRST = (
+    "Akira", "Ingrid", "Carlos", "Maya", "Henrik", "Leila", "Dmitri",
+    "Rosa", "Tomas", "Amara",
+)
+_DIRECTOR_LAST = (
+    "Valdez", "Okonkwo", "Sorensen", "Marchetti", "Ivanova", "Duval",
+    "Nakamura", "Lindgren", "Castellanos", "Reyes",
+)
+_GENRES = (
+    "thriller", "western", "musical", "noir", "documentary", "comedy",
+    "adventure", "melodrama",
+)
+_STUDIOS = (
+    "Silverlake Pictures", "Meteor Films", "Paragon Studios",
+    "Bluebird Productions", "Cathedral Features",
+)
+
+
+def _make_fields(rng: random.Random, record_id: int) -> dict[str, str]:
+    title = f"The {pick(rng, _TITLE_A)} {pick(rng, _TITLE_B)}"
+    director = f"{pick(rng, _DIRECTOR_FIRST)} {pick(rng, _DIRECTOR_LAST)}"
+    return {
+        "title": title,
+        "director": director,
+        "genre": pick(rng, _GENRES),
+        "year": str(rng.randint(1935, 2003)),
+        "studio": pick(rng, _STUDIOS),
+        "runtime": f"{rng.randint(78, 195)} min",
+    }
+
+
+MOVIES = DomainSpec(
+    name="movies",
+    fields=("title", "director", "genre", "year", "studio", "runtime", "blurb"),
+    make_fields=_make_fields,
+    tagline="Seven decades of cinema, searchable",
+)

@@ -1,0 +1,47 @@
+"""Music database domain (the paper's AllMusic.com example)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.deepweb.domains.base import DomainSpec, pick
+
+_FIRST = (
+    "Elvis", "Aretha", "Miles", "Ella", "John", "Janis", "Otis", "Nina",
+    "Marvin", "Patsy", "Chuck", "Billie", "Duke", "Sam", "Etta", "Ray",
+)
+_LAST = (
+    "Presley", "Franklin", "Davis", "Fitzgerald", "Coltrane", "Joplin",
+    "Redding", "Simone", "Gaye", "Cline", "Berry", "Holiday", "Ellington",
+    "Cooke", "James", "Charles",
+)
+_GENRES = (
+    "rock", "jazz", "blues", "soul", "country", "folk", "gospel",
+    "swing", "bluegrass", "ragtime",
+)
+_ALBUM_WORDS = (
+    "Midnight", "Golden", "Electric", "Blue", "Sunrise", "Velvet",
+    "Crossroads", "Harvest", "River", "Thunder", "Echo", "Lonesome",
+)
+_LABELS = ("Sun Records", "Motown", "Stax", "Chess", "Atlantic", "Verve")
+
+
+def _make_fields(rng: random.Random, record_id: int) -> dict[str, str]:
+    artist = f"{pick(rng, _FIRST)} {pick(rng, _LAST)}"
+    album = f"{pick(rng, _ALBUM_WORDS)} {pick(rng, _ALBUM_WORDS)}"
+    return {
+        "artist": artist,
+        "album": album,
+        "genre": pick(rng, _GENRES),
+        "year": str(rng.randint(1948, 1979)),
+        "label": pick(rng, _LABELS),
+        "tracks": str(rng.randint(8, 16)),
+    }
+
+
+MUSIC = DomainSpec(
+    name="music",
+    fields=("artist", "album", "genre", "year", "label", "tracks", "blurb"),
+    make_fields=_make_fields,
+    tagline="The encyclopedia of recorded music",
+)

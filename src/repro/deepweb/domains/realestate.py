@@ -1,0 +1,52 @@
+"""Real-estate listings domain (property search)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.deepweb.domains.base import DomainSpec, pick
+
+_STREETS = (
+    "Maple", "Oak", "Cedar", "Willow", "Juniper", "Birch", "Magnolia",
+    "Sycamore", "Chestnut", "Alder",
+)
+_SUFFIXES = ("St", "Ave", "Blvd", "Ln", "Ct", "Dr")
+_TYPES = (
+    "bungalow", "townhouse", "condo", "ranch house", "duplex",
+    "colonial", "cottage", "loft",
+)
+_FEATURES = (
+    "renovated kitchen", "hardwood floors", "large backyard",
+    "two-car garage", "mountain view", "corner lot", "finished basement",
+    "wraparound porch",
+)
+_AGENTS = (
+    "Hearthstone Realty", "Crestview Homes", "Lakeshore Properties",
+    "Fairfield Estates", "Stonegate Brokers",
+)
+
+
+def _make_fields(rng: random.Random, record_id: int) -> dict[str, str]:
+    address = (
+        f"{rng.randint(100, 9999)} {pick(rng, _STREETS)} {pick(rng, _SUFFIXES)}"
+    )
+    return {
+        "address": address,
+        "type": pick(rng, _TYPES),
+        "bedrooms": f"{rng.randint(1, 6)} bed",
+        "bathrooms": f"{rng.randint(1, 4)} bath",
+        "price": f"${rng.randint(60, 900)},{rng.randint(0, 999):03d}",
+        "feature": pick(rng, _FEATURES),
+        "agent": pick(rng, _AGENTS),
+    }
+
+
+REALESTATE = DomainSpec(
+    name="realestate",
+    fields=(
+        "address", "type", "bedrooms", "bathrooms", "price", "feature",
+        "agent", "blurb",
+    ),
+    make_fields=_make_fields,
+    tagline="Find your next home",
+)

@@ -1,0 +1,42 @@
+"""Travel booking domain (flight/hotel style listings)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.deepweb.domains.base import DomainSpec, money, pick
+
+_CITIES = (
+    "Lisbon", "Prague", "Kyoto", "Cusco", "Marrakesh", "Reykjavik",
+    "Auckland", "Vancouver", "Istanbul", "Cartagena", "Hanoi", "Tallinn",
+)
+_HOTELS = (
+    "Grand Meridian", "Harbor Lights Inn", "The Old Mill", "Casa Azul",
+    "Northwind Lodge", "Hotel Aurora", "The Pemberton", "Villa Sole",
+)
+_AMENITIES = (
+    "free breakfast", "rooftop pool", "airport shuttle", "sea view",
+    "historic quarter", "spa access", "pet friendly", "bicycle rental",
+)
+_CLASSES = ("economy", "standard", "deluxe", "suite")
+
+
+def _make_fields(rng: random.Random, record_id: int) -> dict[str, str]:
+    origin = pick(rng, _CITIES)
+    destination = pick(rng, [c for c in _CITIES if c != origin])
+    return {
+        "package": f"{origin} to {destination} getaway",
+        "hotel": pick(rng, _HOTELS),
+        "nights": f"{rng.randint(2, 14)} nights",
+        "class": pick(rng, _CLASSES),
+        "price": money(rng, 199, 4999),
+        "amenity": pick(rng, _AMENITIES),
+    }
+
+
+TRAVEL = DomainSpec(
+    name="travel",
+    fields=("package", "hotel", "nights", "class", "price", "amenity", "blurb"),
+    make_fields=_make_fields,
+    tagline="Escape routes for every budget",
+)

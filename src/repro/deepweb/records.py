@@ -1,0 +1,34 @@
+"""Record model for simulated deep-web databases.
+
+A :class:`Record` is a flat mapping of field names to string values —
+one product, album, book, job posting, or property listing. The
+``searchable_text`` concatenates the fields a site's search box would
+index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class Record:
+    """One database row of a simulated deep-web source."""
+
+    record_id: int
+    fields: Mapping[str, str] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> str:
+        return self.fields[key]
+
+    def get(self, key: str, default: str = "") -> str:
+        return self.fields.get(key, default)
+
+    def searchable_text(self) -> str:
+        """All field values joined — what the site's search indexes."""
+        return " ".join(self.fields.values())
+
+    def __repr__(self) -> str:
+        title = next(iter(self.fields.values()), "")
+        return f"Record({self.record_id}, {title!r})"

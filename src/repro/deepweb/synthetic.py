@@ -1,0 +1,180 @@
+"""Signature-driven synthetic page generation (scalability datasets).
+
+The paper scales its evaluation by generating synthetic datasets from
+the 5,500 sampled pages: "If x% of the pages in the set of 5,500
+sampled pages belong to class c, approximately x% of the synthetic
+pages will also belong to class c. To create a new synthetic page of a
+particular class, we randomly generated a tag and content signature
+based on the overall distribution of the tag and content signatures for
+the entire class."
+
+:class:`SyntheticPageGenerator` does exactly that: it is fit on labeled
+pages, records the per-class empirical distribution of every tag's and
+term's frequency, and generates new signatures by sampling each feature
+independently from its class-conditional distribution. Output is the
+signature bundle clustering consumes (tag counts, term counts, size,
+URL) — no HTML is rendered at scale, mirroring the paper's setup where
+the synthetic data exists only to exercise the clustering phase.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.wordlists import DICTIONARY_WORDS
+from repro.deepweb.site import LabeledPage
+from repro.errors import SiteGenerationError
+
+
+@dataclass(frozen=True)
+class SyntheticPage:
+    """One generated page signature (no HTML)."""
+
+    tag_counts: dict[str, int]
+    term_counts: dict[str, int]
+    size: int
+    url: str
+    class_label: str
+
+
+class _ClassModel:
+    """Per-class empirical feature distributions as count matrices."""
+
+    def __init__(
+        self,
+        tag_features: list[str],
+        tag_matrix: np.ndarray,
+        term_features: list[str],
+        term_matrix: np.ndarray,
+        sizes: np.ndarray,
+    ) -> None:
+        self.tag_features = tag_features
+        self.tag_matrix = tag_matrix  # pages × tag features
+        self.term_features = term_features
+        self.term_matrix = term_matrix  # pages × term features
+        self.sizes = sizes
+
+
+def _count_matrix(
+    documents: Sequence[dict[str, int]], max_features: Optional[int]
+) -> tuple[list[str], np.ndarray]:
+    """Stack count maps into a dense pages × features matrix.
+
+    When ``max_features`` is set, only the most document-frequent
+    features are kept (content vocabularies run into the thousands;
+    the frequent ones carry the class signal).
+    """
+    doc_freq: dict[str, int] = {}
+    for counts in documents:
+        for feature in counts:
+            doc_freq[feature] = doc_freq.get(feature, 0) + 1
+    features = sorted(doc_freq, key=lambda f: (-doc_freq[f], f))
+    if max_features is not None:
+        features = features[:max_features]
+    index = {f: i for i, f in enumerate(features)}
+    matrix = np.zeros((len(documents), len(features)), dtype=np.int32)
+    for row, counts in enumerate(documents):
+        for feature, count in counts.items():
+            col = index.get(feature)
+            if col is not None:
+                matrix[row, col] = count
+    return features, matrix
+
+
+class SyntheticPageGenerator:
+    """Fit on labeled pages, then generate class-faithful signatures."""
+
+    def __init__(
+        self,
+        class_models: dict[str, _ClassModel],
+        class_distribution: dict[str, float],
+    ) -> None:
+        if not class_models:
+            raise SiteGenerationError("generator fit on zero pages")
+        self.class_models = class_models
+        self.class_distribution = class_distribution
+
+    @classmethod
+    def fit(
+        cls,
+        pages: Sequence[LabeledPage],
+        max_content_features: Optional[int] = 300,
+    ) -> "SyntheticPageGenerator":
+        """Estimate per-class signature distributions from a sample."""
+        if not pages:
+            raise SiteGenerationError("cannot fit a generator on zero pages")
+        by_class: dict[str, list[LabeledPage]] = {}
+        for page in pages:
+            by_class.setdefault(page.class_label, []).append(page)
+        models: dict[str, _ClassModel] = {}
+        for label, members in by_class.items():
+            tag_docs = [p.tag_counts() for p in members]
+            term_docs = [p.term_counts() for p in members]
+            tag_features, tag_matrix = _count_matrix(tag_docs, None)
+            term_features, term_matrix = _count_matrix(
+                term_docs, max_content_features
+            )
+            sizes = np.array([p.size for p in members], dtype=np.int64)
+            models[label] = _ClassModel(
+                tag_features, tag_matrix, term_features, term_matrix, sizes
+            )
+        total = len(pages)
+        distribution = {
+            label: len(members) / total for label, members in by_class.items()
+        }
+        return cls(models, distribution)
+
+    def generate(self, n: int, seed: Optional[int] = None) -> list[SyntheticPage]:
+        """Generate ``n`` synthetic page signatures.
+
+        Class labels follow the fitted distribution; every feature of a
+        page is drawn independently from its class-conditional
+        empirical distribution (the paper's scheme).
+        """
+        if n < 0:
+            raise SiteGenerationError("n must be non-negative")
+        rng = np.random.default_rng(seed)
+        word_rng = random.Random(seed)
+        labels = list(self.class_distribution)
+        probs = np.array([self.class_distribution[c] for c in labels])
+        chosen = rng.choice(len(labels), size=n, p=probs / probs.sum())
+        pages: list[SyntheticPage] = []
+        for i in range(n):
+            label = labels[int(chosen[i])]
+            model = self.class_models[label]
+            tag_counts = self._sample_counts(
+                rng, model.tag_features, model.tag_matrix
+            )
+            term_counts = self._sample_counts(
+                rng, model.term_features, model.term_matrix
+            )
+            size = int(model.sizes[int(rng.integers(len(model.sizes)))])
+            query = word_rng.choice(DICTIONARY_WORDS)
+            pages.append(
+                SyntheticPage(
+                    tag_counts=tag_counts,
+                    term_counts=term_counts,
+                    size=size,
+                    url=f"http://synthetic.example.com/search?q={query}",
+                    class_label=label,
+                )
+            )
+        return pages
+
+    @staticmethod
+    def _sample_counts(
+        rng: np.random.Generator, features: list[str], matrix: np.ndarray
+    ) -> dict[str, int]:
+        if matrix.size == 0:
+            return {}
+        rows = rng.integers(matrix.shape[0], size=matrix.shape[1])
+        sampled = matrix[rows, np.arange(matrix.shape[1])]
+        return {
+            features[col]: int(count)
+            for col, count in enumerate(sampled)
+            if count > 0
+        }

@@ -1,0 +1,354 @@
+"""Seeded HTML templates for simulated deep-web sites.
+
+Each site gets a :class:`SiteTheme` — a seeded bundle of layout choices
+(table vs list vs div results, sidebar or not, ad blocks, wrapper
+depth, navigation links) — and a :class:`PageTemplates` renderer that
+produces the four answer-page classes THOR must tell apart:
+
+- ``multi``: a results list with one entry per matching record,
+- ``single``: a detail page for the lone match,
+- ``nomatch``: a "no matches" page,
+- ``error``: a server-error page (minimal, distinct template).
+
+All classes share the site's chrome (masthead, navigation bar,
+boilerplate footer, optional static ad). The optional *dynamic ad*
+varies with the query — the paper reports exactly this kind of region
+occasionally confusing THOR, so the simulator must reproduce it.
+
+The QA-Pagelet container always carries ``id="<theme.results_id>"`` and
+each itemized match carries ``class="item"``; THOR never inspects
+attributes, so these markers leak nothing to the extractor while giving
+the evaluation exact ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.wordlists import DICTIONARY_WORDS
+from repro.deepweb.domains.base import DomainSpec
+from repro.deepweb.records import Record
+
+_NAV_WORDS = (
+    "home", "browse", "categories", "bestsellers", "new", "deals",
+    "help", "contact", "about", "account", "wishlist", "stores",
+)
+_AD_PRODUCTS = (
+    "book club", "credit card", "travel deal", "magazine", "insurance",
+    "music box set", "gift certificate", "club membership",
+)
+_RESULT_STYLES = ("table", "ul", "divs")
+_DETAIL_STYLES = ("table", "dl")
+
+
+@dataclass(frozen=True)
+class SiteTheme:
+    """The seeded layout personality of one simulated site."""
+
+    site_name: str
+    host: str
+    result_style: str
+    detail_style: str
+    nav_links: tuple[str, ...]
+    has_sidebar: bool
+    has_static_ad: bool
+    has_dynamic_ad: bool
+    wrapper_depth: int
+    max_results: int
+    results_id: str
+    footer_text: str
+    #: Fraction of query terms answered with a server-error page.
+    error_rate: float
+    #: Per-page structural jitter probability: real dynamic pages vary
+    #: slightly page-to-page (an extra promo block, one more wrapper),
+    #: which is exactly what stresses single-feature subtree matching.
+    noise_level: float = 0.25
+    #: Result pages on some sites carry a "recommended" block built
+    #: from the *same markup* as the results list but holding unrelated
+    #: query-seeded content — the "dynamic non-query-related data" the
+    #: paper reports as THOR's main confusion source. Identical paths,
+    #: different shape: only a shape-aware subtree distance separates
+    #: the two regions.
+    has_recommendations: bool = False
+
+    @classmethod
+    def generate(
+        cls,
+        domain: str,
+        seed: int,
+        error_rate: float = 0.02,
+        noise_level: float = 0.25,
+    ) -> "SiteTheme":
+        """Derive a theme deterministically from (domain, seed)."""
+        # String seeds are deterministic across processes (tuple seeds
+        # would go through salted hash()).
+        rng = random.Random(f"theme:{domain}:{seed}")
+        nav_count = rng.randint(4, 8)
+        return cls(
+            site_name=f"{domain.capitalize()}Hub {seed % 100}",
+            host=f"www.{domain}{seed % 1000}.example.com",
+            result_style=rng.choice(_RESULT_STYLES),
+            detail_style=rng.choice(_DETAIL_STYLES),
+            nav_links=tuple(rng.sample(_NAV_WORDS, nav_count)),
+            has_sidebar=rng.random() < 0.5,
+            has_static_ad=rng.random() < 0.8,
+            has_dynamic_ad=rng.random() < 0.5,
+            wrapper_depth=rng.randint(0, 2),
+            max_results=rng.randint(8, 15),
+            results_id="results",
+            footer_text=(
+                f"Copyright 2003 {domain.capitalize()}Hub Inc. "
+                "All rights reserved. Terms of service apply."
+            ),
+            error_rate=error_rate,
+            noise_level=noise_level,
+            has_recommendations=rng.random() < 0.4,
+        )
+
+
+class PageTemplates:
+    """Renders the four page classes for one theme/domain pair."""
+
+    def __init__(self, theme: SiteTheme, domain: DomainSpec) -> None:
+        self.theme = theme
+        self.domain = domain
+
+    # -- chrome ----------------------------------------------------------
+
+    def _navbar(self) -> str:
+        links = "".join(
+            f'<td><a href="/{w}">{w.capitalize()}</a></td>'
+            for w in self.theme.nav_links
+        )
+        return f'<table class="nav"><tr>{links}</tr></table>'
+
+    def _masthead(self) -> str:
+        return (
+            f'<table class="masthead"><tr>'
+            f'<td><img src="/logo.gif"></td>'
+            f"<td><h1>{self.theme.site_name}</h1>"
+            f"<p>{self.domain.tagline}</p></td>"
+            f"</tr></table>"
+        )
+
+    def _sidebar(self) -> str:
+        items = "".join(
+            f'<li><a href="/browse/{i}">Section {i}</a></li>' for i in range(1, 6)
+        )
+        return f'<div class="sidebar"><h3>Browse</h3><ul>{items}</ul></div>'
+
+    def _static_ad(self) -> str:
+        return (
+            '<div class="ad"><b>Advertisement</b>'
+            "<p>Join our rewards program today and save on every order. "
+            "Members receive free shipping and exclusive discounts.</p></div>"
+        )
+
+    def _dynamic_ad(self, query: str) -> str:
+        # Seeded by the query so the ad varies page-to-page — the
+        # "personalized advertisement" confounder of Section 1.
+        rng = random.Random(f"ad:{query}")
+        product = rng.choice(_AD_PRODUCTS)
+        extra = rng.choice(DICTIONARY_WORDS)
+        percent = rng.randint(5, 60)
+        return (
+            f'<div class="promo"><b>Special offer</b>'
+            f"<p>Shoppers searching for {query} love our {product}. "
+            f"Save {percent} percent this {extra} season!</p></div>"
+        )
+
+    def _footer(self) -> str:
+        return (
+            f'<div class="footer"><hr><p>{self.theme.footer_text}</p>'
+            f'<p><a href="/privacy">Privacy</a> <a href="/terms">Terms</a></p></div>'
+        )
+
+    def _related_searches(self, query: str, rng: random.Random) -> str:
+        words = rng.sample(list(DICTIONARY_WORDS), 4)
+        links = "".join(f'<a href="/search?q={w}">{w}</a> ' for w in words)
+        # Built from tags that occur elsewhere in the chrome (div/b/p/a)
+        # so the jitter perturbs structure without introducing a rare
+        # tag that would dominate any IDF-weighted signature.
+        return (
+            f'<div class="related"><b>Searches related to {query}</b>'
+            f"<p>{links}</p></div>"
+        )
+
+    def _page(self, query: str, main: str, with_chrome: bool = True) -> str:
+        theme = self.theme
+        if not with_chrome:
+            body = main
+        else:
+            noise_rng = random.Random(f"noise:{theme.host}:{query}")
+            parts = [self._masthead(), self._navbar()]
+            middle = main
+            if theme.has_dynamic_ad:
+                middle = self._dynamic_ad(query) + middle
+            if noise_rng.random() < theme.noise_level:
+                middle = middle + self._related_searches(query, noise_rng)
+            for _depth in range(theme.wrapper_depth):
+                middle = f'<div class="wrap">{middle}</div>'
+            if noise_rng.random() < theme.noise_level / 2:
+                middle = f'<div class="inner">{middle}</div>'
+            if theme.has_sidebar:
+                middle = (
+                    f'<table class="layout"><tr><td>{self._sidebar()}</td>'
+                    f"<td>{middle}</td></tr></table>"
+                )
+            parts.append(middle)
+            if theme.has_static_ad:
+                parts.append(self._static_ad())
+            parts.append(self._footer())
+            body = "".join(parts)
+        return (
+            "<html><head>"
+            f"<title>{theme.site_name}: search results</title>"
+            "</head><body>"
+            f"{body}"
+            "</body></html>"
+        )
+
+    # -- result regions ----------------------------------------------------
+
+    def _record_cells(self, record: Record) -> list[str]:
+        return [record.get(f) for f in self.domain.fields if record.get(f)]
+
+    def _multi_results(self, records: Sequence[Record], query: str) -> str:
+        theme = self.theme
+        shown = records[: theme.max_results]
+        if theme.result_style == "table":
+            rows = []
+            for record in shown:
+                cells = "".join(f"<td>{v}</td>" for v in self._record_cells(record))
+                rows.append(f'<tr class="item">{cells}</tr>')
+            inner = "".join(rows)
+            region = f'<table id="{theme.results_id}">{inner}</table>'
+        elif theme.result_style == "ul":
+            items = []
+            for record in shown:
+                cells = " - ".join(self._record_cells(record))
+                items.append(f'<li class="item"><b>{cells}</b></li>')
+            region = f'<ul id="{theme.results_id}">{"".join(items)}</ul>'
+        else:  # divs
+            blocks = []
+            for record in shown:
+                values = self._record_cells(record)
+                head, rest = values[0], values[1:]
+                spans = "".join(f"<span>{v}</span>" for v in rest)
+                blocks.append(
+                    f'<div class="item"><a href="/item/{record.record_id}">'
+                    f"{head}</a>{spans}</div>"
+                )
+            region = f'<div id="{theme.results_id}">{"".join(blocks)}</div>'
+        header = (
+            f"<h2>Search results for {query}</h2>"
+            f"<p>Found {len(records)} matching entries"
+            + (f", showing first {len(shown)}" if len(shown) < len(records) else "")
+            + "</p>"
+        )
+        trailer = ""
+        if theme.has_recommendations:
+            trailer = self._recommendations(query)
+        return header + region + trailer
+
+    def _recommendations(self, query: str) -> str:
+        """A "customers also viewed" block in the *results markup*.
+
+        Three query-seeded pseudo-entries; same container/row tags as
+        the results region (so path-only matching cannot tell them
+        apart) but a fixed small shape.
+        """
+        theme = self.theme
+        rng = random.Random(f"recs:{theme.host}:{query}")
+        entries = [
+            " ".join(rng.sample(list(DICTIONARY_WORDS), 3)).title()
+            for _ in range(3)
+        ]
+        if theme.result_style == "table":
+            rows = "".join(
+                f'<tr class="rec"><td>{e}</td><td>More info</td></tr>'
+                for e in entries
+            )
+            block = f'<table class="recs">{rows}</table>'
+        elif theme.result_style == "ul":
+            items = "".join(
+                f'<li class="rec"><b>{e}</b></li>' for e in entries
+            )
+            block = f'<ul class="recs">{items}</ul>'
+        else:
+            blocks = "".join(
+                f'<div class="rec"><a href="/rec/{i}">{e}</a></div>'
+                for i, e in enumerate(entries)
+            )
+            block = f'<div class="recs">{blocks}</div>'
+        return f"<h3>Customers also viewed</h3>{block}"
+
+    def _single_result(self, record: Record, query: str) -> str:
+        theme = self.theme
+        pairs = [
+            (f.capitalize(), record.get(f))
+            for f in self.domain.fields
+            if record.get(f)
+        ]
+        if theme.detail_style == "table":
+            rows = "".join(
+                f'<tr class="item"><td><b>{k}</b></td><td>{v}</td></tr>'
+                for k, v in pairs
+            )
+            region = f'<table id="{theme.results_id}">{rows}</table>'
+        else:
+            rows = "".join(
+                f'<dt class="item">{k}</dt><dd>{v}</dd>' for k, v in pairs
+            )
+            region = f'<dl id="{theme.results_id}">{rows}</dl>'
+        header = f"<h2>Exact match for {query}</h2>"
+        # Detail pages on real sites are visually distinct from result
+        # lists: an item photo, an action form, related-info sections.
+        photo = (
+            f'<div class="photo"><img src="/images/item{record.record_id}.jpg">'
+            f"<p>Item #{record.record_id}</p></div>"
+        )
+        action = (
+            '<form action="/order" method="post">'
+            f'<input type="hidden" name="id" value="{record.record_id}">'
+            '<input type="text" name="qty" value="1">'
+            '<input type="submit" value="Order now">'
+            "</form>"
+        )
+        related = (
+            "<h3>More details</h3>"
+            f"<p>{record.get('blurb')}</p>"
+        )
+        return header + photo + region + action + related
+
+    # -- page classes ------------------------------------------------------
+
+    def render_multi(self, records: Sequence[Record], query: str) -> str:
+        """A normal results page listing the matches."""
+        return self._page(query, self._multi_results(records, query))
+
+    def render_single(self, record: Record, query: str) -> str:
+        """A detail page for the single match."""
+        return self._page(query, self._single_result(record, query))
+
+    def render_nomatch(self, query: str) -> str:
+        """A "no matches" page (static apart from echoing the query)."""
+        main = (
+            "<h2>No matches</h2>"
+            f"<p>Your search for <b>{query}</b> returned no results.</p>"
+            "<p>Suggestions: check the spelling, use fewer keywords, or "
+            "browse the categories above.</p>"
+        )
+        return self._page(query, main)
+
+    def render_error(self, query: str) -> str:
+        """A server-error page — minimal, chrome-free template."""
+        main = (
+            "<h2>Internal server error</h2>"
+            "<p>The search service is temporarily unavailable. "
+            "Please try again in a few minutes.</p>"
+            f'<p><a href="http://{self.theme.host}/">Return to front page</a></p>'
+        )
+        return self._page(query, main, with_chrome=False)

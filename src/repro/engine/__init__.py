@@ -1,0 +1,29 @@
+"""A deep-web search engine built on THOR (the paper's motivation).
+
+Section 1 envisions a search engine over the Deep Web with "(1) an
+efficient means of discovering and categorizing deep web data sources,
+(2) an effective method for indexing dynamic web pages in terms of ...
+the data returned by a query, and (3) a retrieval engine that supports
+searching by sites ... and searching by fine-grained content". THOR is
+the building block; this package assembles the block into that engine:
+
+- :mod:`repro.engine.documents` — the indexed unit: one QA-Object with
+  its provenance (site, probe query, path).
+- :mod:`repro.engine.index` — an inverted index with the same TFIDF /
+  cosine machinery THOR itself uses.
+- :mod:`repro.engine.engine` — :class:`DeepWebSearchEngine`: register
+  sources (probe → extract → partition → index), then search by
+  content or by site.
+"""
+
+from repro.engine.documents import ObjectDocument
+from repro.engine.index import InvertedIndex, SearchHit
+from repro.engine.engine import DeepWebSearchEngine, SiteSummary
+
+__all__ = [
+    "ObjectDocument",
+    "InvertedIndex",
+    "SearchHit",
+    "DeepWebSearchEngine",
+    "SiteSummary",
+]

@@ -1,0 +1,110 @@
+"""The indexed unit of the deep-web search engine: one QA-Object.
+
+A deep-web search engine does not index whole pages — most of a page is
+chrome. It indexes the itemized query answers THOR extracts, each with
+enough provenance to route the user back to the source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.text.terms import TermExtractor, DEFAULT_EXTRACTOR
+
+
+@dataclass(frozen=True)
+class ObjectDocument:
+    """One QA-Object, ready for indexing."""
+
+    #: Stable document id assigned by the engine.
+    doc_id: int
+    #: Host of the deep-web source the object came from.
+    site: str
+    #: The probe query that surfaced this object.
+    probe_query: str
+    #: Path expression of the object's subtree in its page.
+    path: str
+    #: URL of the page the object was extracted from.
+    page_url: str
+    #: The object's visible text.
+    text: str
+    #: Stemmed term frequencies (computed once at construction).
+    term_counts: Mapping[str, int] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def build(
+        cls,
+        doc_id: int,
+        site: str,
+        probe_query: str,
+        path: str,
+        page_url: str,
+        text: str,
+        extractor: TermExtractor = DEFAULT_EXTRACTOR,
+    ) -> "ObjectDocument":
+        """Construct a document, extracting its terms."""
+        return cls(
+            doc_id=doc_id,
+            site=site,
+            probe_query=probe_query,
+            path=path,
+            page_url=page_url,
+            text=text,
+            term_counts=extractor.extract_counts(text),
+        )
+
+    def snippet(self, limit: int = 80) -> str:
+        """A display-ready excerpt of the object text."""
+        text = " ".join(self.text.split())
+        if len(text) <= limit:
+            return text
+        return text[: limit - 3] + "..."
+
+    def highlighted_snippet(
+        self,
+        query: str,
+        limit: int = 80,
+        marker: str = "**",
+        extractor: TermExtractor = DEFAULT_EXTRACTOR,
+    ) -> str:
+        """A snippet with query-term matches wrapped in ``marker``.
+
+        Matching is stem-based (the same pipeline the index uses), so
+        a query for "cameras" highlights "camera". The snippet window
+        is centred on the first match when one exists.
+
+        >>> doc = ObjectDocument.build(0, "s", "q", "p", "u",
+        ...                            "a compact digital camera bundle")
+        >>> doc.highlighted_snippet("cameras", limit=60)
+        'a compact digital **camera** bundle'
+        """
+        from repro.text.tokenize import tokenize_words
+
+        query_stems = set(extractor.extract(query))
+        words = " ".join(self.text.split()).split(" ")
+        marked: list[str] = []
+        first_hit: Optional[int] = None
+        for index, word in enumerate(words):
+            tokens = tokenize_words(word)
+            stems = set(extractor.extract_many(tokens))
+            if stems & query_stems:
+                marked.append(f"{marker}{word}{marker}")
+                if first_hit is None:
+                    first_hit = index
+            else:
+                marked.append(word)
+        if first_hit is None:
+            return self.snippet(limit)
+        # Centre the window on the first match.
+        text = " ".join(marked)
+        if len(text) <= limit:
+            return text
+        prefix_length = len(" ".join(marked[:first_hit]))
+        start = max(0, prefix_length - limit // 3)
+        window = text[start : start + limit]
+        if start > 0:
+            window = "..." + window[3:]
+        if start + limit < len(text):
+            window = window[:-3] + "..."
+        return window

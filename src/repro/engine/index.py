@@ -1,0 +1,159 @@
+"""Inverted index with TFIDF/cosine ranking over QA-Object documents.
+
+Reuses the paper's own weighting (``log(tf+1)·log((n+1)/n_k)``) and
+cosine ranking so the retrieval layer and the extraction layer share
+one vector-space model. The index is incremental: documents can be
+added source-by-source; weights are derived at query time from the
+current document frequencies (queries are short, so scoring touches
+only the postings of the query terms).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.engine.documents import ObjectDocument
+from repro.text.terms import TermExtractor, DEFAULT_EXTRACTOR
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked retrieval result."""
+
+    document: ObjectDocument
+    score: float
+
+    def __repr__(self) -> str:
+        return f"SearchHit({self.score:.3f}, {self.document.snippet(40)!r})"
+
+
+class InvertedIndex:
+    """Term → postings index over :class:`ObjectDocument`."""
+
+    def __init__(self, extractor: TermExtractor = DEFAULT_EXTRACTOR) -> None:
+        self._extractor = extractor
+        self._documents: dict[int, ObjectDocument] = {}
+        #: term → {doc_id: tf}
+        self._postings: dict[str, dict[int, int]] = {}
+        #: doc_id → number of term occurrences (for norm estimation).
+        self._doc_norms: dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._documents
+
+    def add(self, document: ObjectDocument) -> None:
+        """Index one document (re-adding a doc_id replaces it)."""
+        if document.doc_id in self._documents:
+            self.remove(document.doc_id)
+        self._documents[document.doc_id] = document
+        for term, tf in document.term_counts.items():
+            self._postings.setdefault(term, {})[document.doc_id] = tf
+        self._doc_norms.pop(document.doc_id, None)
+
+    def add_all(self, documents: Iterable[ObjectDocument]) -> None:
+        for document in documents:
+            self.add(document)
+
+    def remove(self, doc_id: int) -> None:
+        """Drop a document from the index (no-op if absent)."""
+        document = self._documents.pop(doc_id, None)
+        if document is None:
+            return
+        for term in document.term_counts:
+            postings = self._postings.get(term)
+            if postings is not None:
+                postings.pop(doc_id, None)
+                if not postings:
+                    del self._postings[term]
+        self._doc_norms.pop(doc_id, None)
+
+    def document(self, doc_id: int) -> ObjectDocument:
+        return self._documents[doc_id]
+
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    # -- scoring -----------------------------------------------------------
+
+    def _idf(self, term: str) -> float:
+        df = len(self._postings.get(term, ()))
+        if df == 0:
+            return 0.0
+        return math.log((len(self._documents) + 1) / df)
+
+    def _doc_norm(self, doc_id: int) -> float:
+        """Euclidean norm of the document's full TFIDF vector.
+
+        Cached per document; invalidated lazily when the collection
+        grows by more than 10% (document frequencies drift slowly, and
+        ranking only needs approximate norms).
+        """
+        cached = self._doc_norms.get(doc_id)
+        if cached is not None:
+            return cached
+        document = self._documents[doc_id]
+        total = 0.0
+        for term, tf in document.term_counts.items():
+            weight = math.log(tf + 1) * self._idf(term)
+            total += weight * weight
+        norm = math.sqrt(total) or 1.0
+        self._doc_norms[doc_id] = norm
+        return norm
+
+    def invalidate_norms(self) -> None:
+        """Drop cached document norms (call after bulk additions)."""
+        self._doc_norms.clear()
+
+    def search(self, query: str, top_k: int = 10) -> list[SearchHit]:
+        """Rank documents by cosine similarity to the query.
+
+        >>> index = InvertedIndex()
+        >>> index.add(ObjectDocument.build(0, "s", "q", "p", "u", "sony camera"))
+        >>> index.add(ObjectDocument.build(1, "s", "q", "p", "u", "blue shoes"))
+        >>> [h.document.doc_id for h in index.search("camera")]
+        [0]
+        """
+        query_counts = self._extractor.extract_counts(query)
+        if not query_counts or not self._documents:
+            return []
+        query_weights = {
+            term: math.log(tf + 1) * self._idf(term)
+            for term, tf in query_counts.items()
+        }
+        query_norm = math.sqrt(sum(w * w for w in query_weights.values()))
+        if query_norm == 0.0:
+            return []
+
+        scores: dict[int, float] = {}
+        for term, q_weight in query_weights.items():
+            if q_weight == 0.0:
+                continue
+            idf = self._idf(term)
+            for doc_id, tf in self._postings.get(term, {}).items():
+                d_weight = math.log(tf + 1) * idf
+                scores[doc_id] = scores.get(doc_id, 0.0) + q_weight * d_weight
+
+        hits = [
+            SearchHit(
+                document=self._documents[doc_id],
+                score=dot / (query_norm * self._doc_norm(doc_id)),
+            )
+            for doc_id, dot in scores.items()
+        ]
+        hits.sort(key=lambda h: (-h.score, h.document.doc_id))
+        return hits[:top_k]
+
+    def documents(self) -> list[ObjectDocument]:
+        """All indexed documents, by ascending doc_id."""
+        return [self._documents[i] for i in sorted(self._documents)]
+
+    def postings(self, term: Optional[str] = None):
+        """Expose postings for diagnostics (term → {doc_id: tf})."""
+        if term is None:
+            return dict(self._postings)
+        return dict(self._postings.get(term, {}))

@@ -1,0 +1,73 @@
+"""Save/load the search-engine index.
+
+A deep-web engine re-probes sources on a schedule, not on every query;
+between crawls the index lives on disk. The format is a single JSON
+document holding the object documents — postings are rebuilt on load
+(they are derived data, and rebuilding keeps the format stable across
+index-internals changes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from repro.engine.documents import ObjectDocument
+from repro.engine.index import InvertedIndex
+from repro.errors import ThorError
+
+FORMAT_VERSION = 1
+
+
+def save_index(index: InvertedIndex, path: Union[str, os.PathLike]) -> int:
+    """Write the index's documents to ``path``; returns the count."""
+    records = [
+        {
+            "doc_id": document.doc_id,
+            "site": document.site,
+            "probe_query": document.probe_query,
+            "path": document.path,
+            "page_url": document.page_url,
+            "text": document.text,
+        }
+        for document in index.documents()
+    ]
+    payload = {"version": FORMAT_VERSION, "documents": records}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, ensure_ascii=False)
+        handle.write("\n")
+    return len(records)
+
+
+def load_index(path: Union[str, os.PathLike]) -> InvertedIndex:
+    """Rebuild an index from a file written by :func:`save_index`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ThorError(f"corrupt index file {path}: {exc}") from exc
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ThorError(
+            f"index file {path} has version {version!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    index = InvertedIndex()
+    for record in payload.get("documents", []):
+        try:
+            index.add(
+                ObjectDocument.build(
+                    doc_id=int(record["doc_id"]),
+                    site=record["site"],
+                    probe_query=record.get("probe_query", ""),
+                    path=record.get("path", ""),
+                    page_url=record.get("page_url", ""),
+                    text=record["text"],
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ThorError(
+                f"malformed document record in {path}: {exc}"
+            ) from exc
+    return index

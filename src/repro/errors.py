@@ -1,0 +1,57 @@
+"""Exception hierarchy for the THOR reproduction.
+
+Every error raised by the library derives from :class:`ThorError`, so
+callers can catch a single type at the pipeline boundary while the
+individual subsystems raise precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ThorError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class HtmlParseError(ThorError):
+    """Raised when the HTML tokenizer or parser meets input it cannot
+    recover from (the parser is lenient, so this is rare and indicates a
+    bug or truly pathological input such as an unterminated quoted
+    attribute at end-of-document when strict mode is requested)."""
+
+
+class PathSyntaxError(ThorError):
+    """Raised for malformed XPath-style path expressions."""
+
+
+class PathResolutionError(ThorError):
+    """Raised when a syntactically valid path does not resolve to a node
+    in the given tree and the caller asked for strict resolution."""
+
+
+class VectorError(ThorError):
+    """Raised for invalid vector-space operations (e.g. centroid of an
+    empty collection)."""
+
+
+class ClusteringError(ThorError):
+    """Raised for invalid clustering requests (e.g. k < 1, or k greater
+    than the number of items when the algorithm cannot degrade)."""
+
+
+class ProbeError(ThorError):
+    """Raised when Stage 1 probing cannot obtain any pages from a
+    source (e.g. the source raises for every probe term)."""
+
+
+class ExtractionError(ThorError):
+    """Raised when the two-phase extraction is invoked with inputs that
+    make extraction impossible (e.g. an empty page cluster)."""
+
+
+class SiteGenerationError(ThorError):
+    """Raised by the deep-web simulator when a site specification is
+    inconsistent (e.g. a domain with no records)."""
+
+
+class EvaluationError(ThorError):
+    """Raised by evaluation helpers on malformed ground truth."""

@@ -1,0 +1,18 @@
+"""Evaluation: metrics, experiment harnesses, and reporting.
+
+One harness per figure of the paper's Section 4 (see DESIGN.md §3 for
+the full experiment index) plus the precision/recall scoring used by
+Figures 8, 10, and 11.
+"""
+
+from repro.eval.metrics import PageletScore, score_pagelets, score_objects
+from repro.eval.reporting import format_table, format_series, format_histogram
+
+__all__ = [
+    "PageletScore",
+    "score_pagelets",
+    "score_objects",
+    "format_table",
+    "format_series",
+    "format_histogram",
+]

@@ -1,0 +1,143 @@
+"""Precision / recall scoring for QA-Pagelet and QA-Object extraction.
+
+The paper's definitions (Section 4.2)::
+
+    Precision = # QA-Pagelets correctly identified
+              / # subtrees identified as QA-Pagelets
+    Recall    = # QA-Pagelets correctly identified
+              / total # QA-Pagelets in the set of pages
+
+"Correctly identified" is exact-path agreement with the hand label
+(here: the simulator's gold path). :func:`score_pagelets` also reports
+a relaxed *overlap* count (extracted subtree contains or is contained
+by the gold one) as a diagnostic, since near-misses of one wrapper
+level are qualitatively different from extracting an ad.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.pagelet import PartitionedPagelet, QAPagelet
+from repro.deepweb.site import LabeledPage
+from repro.errors import EvaluationError
+from repro.html.paths import parse_path
+
+
+@dataclass(frozen=True)
+class PageletScore:
+    """Counts and derived precision/recall."""
+
+    true_positives: int
+    identified: int
+    total_gold: int
+    #: Extractions that at least overlap the gold subtree (superset of
+    #: true positives).
+    overlapping: int = 0
+
+    @property
+    def precision(self) -> float:
+        if self.identified == 0:
+            return 1.0 if self.total_gold == 0 else 0.0
+        return self.true_positives / self.identified
+
+    @property
+    def recall(self) -> float:
+        if self.total_gold == 0:
+            return 1.0
+        return self.true_positives / self.total_gold
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    def merge(self, other: "PageletScore") -> "PageletScore":
+        """Pool counts with another score (micro-averaging)."""
+        return PageletScore(
+            true_positives=self.true_positives + other.true_positives,
+            identified=self.identified + other.identified,
+            total_gold=self.total_gold + other.total_gold,
+            overlapping=self.overlapping + other.overlapping,
+        )
+
+
+def _paths_overlap(a: str, b: str) -> bool:
+    """True when one path is an ancestor of (or equals) the other.
+
+    A missing sibling index means "the first", so ``table`` and
+    ``table[1]`` denote the same step.
+    """
+    steps_a = [(tag, index or 1) for tag, index in parse_path(a)]
+    steps_b = [(tag, index or 1) for tag, index in parse_path(b)]
+    shorter, longer = sorted((steps_a, steps_b), key=len)
+    return longer[: len(shorter)] == shorter
+
+
+def score_pagelets(
+    pagelets: Sequence[QAPagelet],
+    pages: Sequence[LabeledPage],
+) -> PageletScore:
+    """Score extracted pagelets against the pages' gold labels.
+
+    ``pages`` is the full page set under evaluation (the denominator of
+    recall); ``pagelets`` may cover any subset of it. A page outside
+    ``pages`` in ``pagelets`` is an error.
+    """
+    page_ids = {id(p) for p in pages}
+    gold_total = sum(1 for p in pages if p.gold_pagelet_path is not None)
+    true_positives = 0
+    overlapping = 0
+    for pagelet in pagelets:
+        page = pagelet.page
+        if id(page) not in page_ids:
+            raise EvaluationError(
+                f"pagelet from unknown page {page.url!r}; pass the full page set"
+            )
+        gold = getattr(page, "gold_pagelet_path", None)
+        if gold is None:
+            continue
+        if pagelet.path == gold:
+            true_positives += 1
+            overlapping += 1
+        elif _paths_overlap(pagelet.path, gold):
+            overlapping += 1
+    return PageletScore(
+        true_positives=true_positives,
+        identified=len(pagelets),
+        total_gold=gold_total,
+        overlapping=overlapping,
+    )
+
+
+def score_objects(
+    partitioned: Sequence[PartitionedPagelet],
+) -> PageletScore:
+    """Score QA-Object partitioning on the pages that got a pagelet.
+
+    A partition is a true positive when its object path set equals the
+    gold object path set exactly; precision/recall are computed over
+    individual objects (micro level).
+    """
+    true_positives = 0
+    identified = 0
+    total_gold = 0
+    overlapping = 0
+    for part in partitioned:
+        page = part.pagelet.page
+        gold_paths = set(getattr(page, "gold_object_paths", ()) or ())
+        got_paths = {o.path for o in part.objects}
+        identified += len(got_paths)
+        total_gold += len(gold_paths)
+        correct = len(gold_paths & got_paths)
+        true_positives += correct
+        overlapping += correct
+    return PageletScore(
+        true_positives=true_positives,
+        identified=identified,
+        total_gold=total_gold,
+        overlapping=overlapping,
+    )

@@ -1,0 +1,84 @@
+"""Plain-text rendering of experiment results.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep that output aligned and readable in a terminal or a CI
+log.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]], title="T"))
+    T
+    a  b
+    -  ---
+    1  2.5
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}".rstrip("0").rstrip(".") if value else "0"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render several y-series against shared x-values (one row per x)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        row: list[object] = [x]
+        for name in series:
+            value = series[name][index]
+            row.append(f"{value:.{precision}f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_histogram(
+    buckets: Sequence[tuple[str, int]],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render labelled counts as a horizontal bar chart.
+
+    >>> print(format_histogram([("0.0-0.2", 4), ("0.8-1.0", 2)]))
+    0.0-0.2 | ######################################## 4
+    0.8-1.0 | #################### 2
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    peak = max((count for _, count in buckets), default=0) or 1
+    label_width = max((len(label) for label, _ in buckets), default=0)
+    for label, count in buckets:
+        bar = "#" * max(0, round(width * count / peak))
+        lines.append(f"{label.ljust(label_width)} | {bar} {count}")
+    return "\n".join(lines)

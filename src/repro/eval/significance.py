@@ -1,0 +1,123 @@
+"""Bootstrap confidence intervals and paired comparisons.
+
+The paper reports point estimates over 50 sites; a reproduction at
+smaller scale should say how much its numbers wobble. Site-level
+scores are resampled with replacement (the site is the independent
+sampling unit — pages within a site share a template and are not
+independent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.errors import EvaluationError
+from repro.seeding import namespaced_rng
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A bootstrap percentile interval around a point estimate."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.3f} "
+            f"[{self.low:.3f}, {self.high:.3f}] "
+            f"@{self.confidence:.0%}"
+        )
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[Sequence[float]], float] = _mean,
+    n_boot: int = 2000,
+    confidence: float = 0.95,
+    seed: Optional[int] = 0,
+) -> ConfidenceInterval:
+    """Percentile bootstrap CI for ``statistic`` over ``values``.
+
+    >>> ci = bootstrap_ci([0.9, 0.95, 1.0, 0.85], seed=1)
+    >>> ci.contains(0.925)
+    True
+    """
+    if not values:
+        raise EvaluationError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise EvaluationError(f"confidence must be in (0,1), got {confidence}")
+    rng = namespaced_rng("bootstrap", seed)
+    n = len(values)
+    stats = sorted(
+        statistic([values[rng.randrange(n)] for _ in range(n)])
+        for _ in range(n_boot)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    low_index = int(alpha * n_boot)
+    high_index = min(n_boot - 1, int((1.0 - alpha) * n_boot))
+    return ConfidenceInterval(
+        estimate=statistic(values),
+        low=stats[low_index],
+        high=stats[high_index],
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Paired bootstrap comparison of two per-unit score sequences."""
+
+    mean_difference: float
+    #: Fraction of bootstrap resamples where A's mean exceeded B's.
+    probability_a_better: float
+
+    @property
+    def significant_at_95(self) -> bool:
+        return (
+            self.probability_a_better >= 0.975
+            or self.probability_a_better <= 0.025
+        )
+
+
+def paired_bootstrap(
+    a: Sequence[float],
+    b: Sequence[float],
+    n_boot: int = 2000,
+    seed: Optional[int] = 0,
+) -> PairedComparison:
+    """Paired bootstrap over per-unit differences (same units, e.g.
+    per-site F1 under two configurations).
+
+    >>> cmp = paired_bootstrap([0.9, 0.95, 0.92], [0.5, 0.6, 0.55], seed=1)
+    >>> cmp.probability_a_better > 0.97
+    True
+    """
+    if len(a) != len(b):
+        raise EvaluationError(
+            f"paired samples must align: {len(a)} vs {len(b)}"
+        )
+    if not a:
+        raise EvaluationError("cannot compare empty samples")
+    differences = [x - y for x, y in zip(a, b)]
+    rng = namespaced_rng("paired-bootstrap", seed)
+    n = len(differences)
+    a_better = 0
+    for _ in range(n_boot):
+        resample = [differences[rng.randrange(n)] for _ in range(n)]
+        if sum(resample) / n > 0:
+            a_better += 1
+    return PairedComparison(
+        mean_difference=sum(differences) / n,
+        probability_a_better=a_better / n_boot,
+    )

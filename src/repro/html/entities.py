@@ -1,0 +1,144 @@
+"""Decoding of HTML character references.
+
+Implements numeric references (``&#65;``, ``&#x41;``) and the named
+entities that occur in practice on result pages (the full HTML5 table is
+enormous; deep-web pages of the paper's era used the HTML 4 core set).
+Unknown references are left verbatim, matching lenient browser
+behaviour.
+"""
+
+from __future__ import annotations
+
+#: Named character references (HTML 4 core set plus a few common extras).
+NAMED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+    "nbsp": " ",
+    "copy": "©",
+    "reg": "®",
+    "trade": "™",
+    "deg": "°",
+    "plusmn": "±",
+    "frac12": "½",
+    "frac14": "¼",
+    "times": "×",
+    "divide": "÷",
+    "cent": "¢",
+    "pound": "£",
+    "yen": "¥",
+    "euro": "€",
+    "sect": "§",
+    "para": "¶",
+    "middot": "·",
+    "laquo": "«",
+    "raquo": "»",
+    "ldquo": "“",
+    "rdquo": "”",
+    "lsquo": "‘",
+    "rsquo": "’",
+    "ndash": "–",
+    "mdash": "—",
+    "hellip": "…",
+    "bull": "•",
+    "dagger": "†",
+    "Dagger": "‡",
+    "permil": "‰",
+    "prime": "′",
+    "Prime": "″",
+    "larr": "←",
+    "uarr": "↑",
+    "rarr": "→",
+    "darr": "↓",
+    "aacute": "á",
+    "eacute": "é",
+    "iacute": "í",
+    "oacute": "ó",
+    "uacute": "ú",
+    "ntilde": "ñ",
+    "uuml": "ü",
+    "ouml": "ö",
+    "auml": "ä",
+    "szlig": "ß",
+    "ccedil": "ç",
+    "agrave": "à",
+    "egrave": "è",
+}
+
+
+def _decode_numeric(body: str) -> str | None:
+    """Decode the body of a numeric reference (without ``&#`` / ``;``).
+
+    Returns ``None`` when the body is not a valid code point.
+    """
+    try:
+        if body[:1] in ("x", "X"):
+            codepoint = int(body[1:], 16)
+        else:
+            codepoint = int(body, 10)
+    except ValueError:
+        return None
+    if 0 < codepoint <= 0x10FFFF and not 0xD800 <= codepoint <= 0xDFFF:
+        return chr(codepoint)
+    return None
+
+
+def decode_entities(text: str) -> str:
+    """Replace character references in ``text`` with their characters.
+
+    Handles named (``&amp;``), decimal (``&#38;``) and hexadecimal
+    (``&#x26;``) references. Malformed or unknown references are left
+    untouched, e.g. ``"R&D"`` stays ``"R&D"``.
+
+    >>> decode_entities("Tom &amp; Jerry &#169; &#x2122;")
+    'Tom & Jerry © ™'
+    """
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1, i + 32)
+        if end == -1:
+            out.append(ch)
+            i += 1
+            continue
+        body = text[i + 1 : end]
+        if body.startswith("#"):
+            decoded = _decode_numeric(body[1:])
+        else:
+            decoded = NAMED_ENTITIES.get(body)
+        if decoded is None:
+            out.append(ch)
+            i += 1
+        else:
+            out.append(decoded)
+            i = end + 1
+    return "".join(out)
+
+
+def encode_entities(text: str) -> str:
+    """Escape the characters that are unsafe inside HTML text content.
+
+    Only ``&``, ``<`` and ``>`` are escaped; quotes are left alone since
+    this encoder targets text nodes, not attribute values.
+    """
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def encode_attribute(value: str) -> str:
+    """Escape an attribute value for serialization in double quotes."""
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )

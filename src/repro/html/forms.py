@@ -1,0 +1,148 @@
+"""Search-form detection in tag trees.
+
+The paper's corpus construction begins by crawling for search forms
+("we identified over 3,000 unique search forms"). This module finds
+and models the forms on a page so a crawler can recognize deep-web
+entry points: a *search form* is a ``<form>`` with at least one free-
+text input (``<input type=text>``, typeless ``<input>``, or
+``<textarea>``) — the signature of a query interface, as opposed to a
+login or checkout form, which we heuristically exclude by input-name
+keywords.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.html.tree import TagNode, TagTree
+
+#: Input names that indicate a non-search form.
+_NON_SEARCH_NAMES = frozenset(
+    {
+        "password",
+        "passwd",
+        "pwd",
+        "email",
+        "login",
+        "username",
+        "user",
+        "card",
+        "cardnumber",
+        "cvv",
+        "phone",
+        "address",
+    }
+)
+
+#: Input names that strongly indicate a search box.
+_SEARCH_NAMES = frozenset(
+    {"q", "query", "search", "keyword", "keywords", "term", "terms", "s"}
+)
+
+
+@dataclass(frozen=True)
+class FormField:
+    """One input of a form."""
+
+    name: str
+    input_type: str
+    value: str = ""
+
+    @property
+    def is_text(self) -> bool:
+        return self.input_type in ("text", "", "search", "textarea")
+
+
+@dataclass(frozen=True)
+class SearchForm:
+    """A form that looks like a deep-web query interface."""
+
+    action: str
+    method: str
+    fields: tuple[FormField, ...] = field(default_factory=tuple)
+
+    @property
+    def text_fields(self) -> list[FormField]:
+        return [f for f in self.fields if f.is_text]
+
+    @property
+    def query_field(self) -> FormField:
+        """The field a prober should fill: a known search name if one
+        exists, else the first text field."""
+        for form_field in self.text_fields:
+            if form_field.name.lower() in _SEARCH_NAMES:
+                return form_field
+        return self.text_fields[0]
+
+    def submit_url(self, term: str) -> str:
+        """The GET URL a single-keyword submission would produce."""
+        name = self.query_field.name or "q"
+        separator = "&" if "?" in self.action else "?"
+        return f"{self.action}{separator}{name}={term}"
+
+
+def _form_fields(form_node: TagNode) -> tuple[FormField, ...]:
+    fields: list[FormField] = []
+    for node in form_node.iter_tags():
+        if node.tag == "input":
+            fields.append(
+                FormField(
+                    name=node.get("name", "") or "",
+                    input_type=(node.get("type", "") or "").lower(),
+                    value=node.get("value", "") or "",
+                )
+            )
+        elif node.tag == "textarea":
+            fields.append(
+                FormField(
+                    name=node.get("name", "") or "",
+                    input_type="textarea",
+                )
+            )
+        elif node.tag == "select":
+            fields.append(
+                FormField(
+                    name=node.get("name", "") or "",
+                    input_type="select",
+                )
+            )
+    return tuple(fields)
+
+
+def _looks_like_search(fields: tuple[FormField, ...]) -> bool:
+    text_fields = [f for f in fields if f.is_text]
+    if not text_fields:
+        return False
+    lowered = {f.name.lower() for f in fields if f.name}
+    if lowered & _NON_SEARCH_NAMES:
+        return False
+    # Too many text boxes is a registration/checkout form.
+    return len(text_fields) <= 2
+
+
+def find_search_forms(tree: Union[TagTree, TagNode]) -> list[SearchForm]:
+    """All search-like forms on a page, in document order.
+
+    >>> from repro.html import parse
+    >>> page = parse('<form action="/search" method="get">'
+    ...              '<input type="text" name="q"><input type="submit">'
+    ...              "</form>")
+    >>> [f.action for f in find_search_forms(page)]
+    ['/search']
+    """
+    root = tree.root if isinstance(tree, TagTree) else tree
+    forms: list[SearchForm] = []
+    for node in root.iter_tags():
+        if node.tag != "form":
+            continue
+        fields = _form_fields(node)
+        if _looks_like_search(fields):
+            forms.append(
+                SearchForm(
+                    action=node.get("action", "") or "",
+                    method=(node.get("method", "get") or "get").lower(),
+                    fields=fields,
+                )
+            )
+    return forms

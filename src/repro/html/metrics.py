@@ -1,0 +1,67 @@
+"""Structural measures over tag trees.
+
+These feed two parts of THOR: the cluster-ranking criteria of Phase 1
+(average max fanout, page size, distinct terms) and the subtree shape
+quadruple ⟨P, F, D, N⟩ of Phase 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.html.paths import node_path
+from repro.html.tree import TagNode, TagTree
+
+
+def max_fanout(tree: Union[TagTree, TagNode]) -> int:
+    """The largest fanout of any node in the tree.
+
+    This is the per-page quantity averaged by the paper's
+    "Average Fanout" cluster-ranking criterion.
+    """
+    root = tree.root if isinstance(tree, TagTree) else tree
+    best = 0
+    for node in root.iter_tags():
+        if node.fanout > best:
+            best = node.fanout
+    return best
+
+
+def distinct_tags(tree: Union[TagTree, TagNode]) -> int:
+    """Number of distinct tag names in the tree."""
+    root = tree.root if isinstance(tree, TagTree) else tree
+    return len({node.tag for node in root.iter_tags()})
+
+
+@dataclass(frozen=True)
+class SubtreeShape:
+    """The paper's shape quadruple for a subtree: ⟨P, F, D, N⟩.
+
+    - ``path``: path expression from the page root to the subtree root,
+    - ``fanout``: fanout of the subtree's root node,
+    - ``depth``: depth of the subtree's root in the page tree,
+    - ``nodes``: total number of nodes in the subtree.
+    """
+
+    path: str
+    fanout: int
+    depth: int
+    nodes: int
+
+
+def subtree_shape(node: TagNode) -> SubtreeShape:
+    """Compute the shape quadruple for the subtree rooted at ``node``.
+
+    >>> from repro.html import parse
+    >>> tree = parse("<html><body><table><tr><td>x</td></tr></table></body></html>")
+    >>> shape = subtree_shape(tree.root.find("table"))
+    >>> (shape.fanout, shape.depth, shape.nodes)
+    (1, 2, 4)
+    """
+    return SubtreeShape(
+        path=node_path(node),
+        fanout=node.fanout,
+        depth=node.depth(),
+        nodes=node.size(),
+    )

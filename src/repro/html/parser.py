@@ -1,0 +1,193 @@
+"""Token stream → tag tree, with HTML error recovery.
+
+The parser implements the recovery rules that matter for building
+sensible trees from the wild HTML the paper's crawl met (and that HTML
+Tidy applied before THOR saw the pages):
+
+- *Void elements* (``<br>``, ``<img>``, …) never take children.
+- *Implicit closes*: ``<li>`` closes an open ``<li>``, ``<td>`` closes
+  ``<td>``/``<th>``, ``<tr>`` closes ``<tr>`` (and any open cell),
+  ``<p>`` closes ``<p>``, ``<option>`` closes ``<option>``, table
+  sections close each other.
+- An end tag with no matching open element is dropped; an end tag for a
+  non-innermost element closes everything inside it (browser behaviour).
+- Documents without a single ``<html>`` root get one synthesized so
+  every tree is rooted at ``html`` (the paper's path expressions assume
+  this).
+
+Whitespace-only text between tags is dropped by default — it carries no
+content and would create noise content-leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.html.tokenizer import (
+    Comment,
+    Doctype,
+    EndTag,
+    StartTag,
+    Text,
+    Token,
+    tokenize,
+)
+from repro.html.tree import ContentNode, Node, TagNode, TagTree
+
+#: Elements that cannot have children.
+VOID_ELEMENTS = frozenset(
+    {
+        "area",
+        "base",
+        "basefont",
+        "br",
+        "col",
+        "embed",
+        "frame",
+        "hr",
+        "img",
+        "input",
+        "isindex",
+        "link",
+        "meta",
+        "param",
+        "source",
+        "spacer",
+        "track",
+        "wbr",
+    }
+)
+
+#: When a key tag opens, close any open element from the value set
+#: first (repeatedly, innermost-out).
+IMPLICIT_CLOSERS: dict[str, frozenset[str]] = {
+    "li": frozenset({"li"}),
+    "dt": frozenset({"dt", "dd"}),
+    "dd": frozenset({"dt", "dd"}),
+    "p": frozenset({"p"}),
+    "option": frozenset({"option"}),
+    "optgroup": frozenset({"option", "optgroup"}),
+    "td": frozenset({"td", "th"}),
+    "th": frozenset({"td", "th"}),
+    "tr": frozenset({"td", "th", "tr"}),
+    "thead": frozenset({"td", "th", "tr", "tbody", "thead", "tfoot"}),
+    "tbody": frozenset({"td", "th", "tr", "tbody", "thead", "tfoot"}),
+    "tfoot": frozenset({"td", "th", "tr", "tbody", "thead", "tfoot"}),
+    "colgroup": frozenset({"colgroup"}),
+}
+
+#: Block-level elements also implicitly close an open <p>.
+_P_CLOSING_BLOCKS = (
+    "address blockquote center dir div dl fieldset form h1 h2 h3 h4 h5 h6 "
+    "hr ol pre table ul"
+).split()
+for _block in _P_CLOSING_BLOCKS:
+    IMPLICIT_CLOSERS[_block] = IMPLICIT_CLOSERS.get(_block, frozenset()) | {"p"}
+del _block
+
+#: Opening one of these stops the implicit-close search (scoping
+#: boundary): a new <tr> inside a nested <table> must not close the
+#: outer table's <tr>.
+_SCOPE_BOUNDARIES = frozenset({"table", "html", "body", "select", "ul", "ol", "dl"})
+
+
+class _TreeBuilder:
+    """Incremental tree construction with an open-element stack."""
+
+    def __init__(self, keep_whitespace: bool) -> None:
+        self.keep_whitespace = keep_whitespace
+        self.top_level: list[Node] = []
+        self.stack: list[TagNode] = []
+
+    def _attach(self, node: Node) -> None:
+        if self.stack:
+            self.stack[-1].append(node)
+        else:
+            self.top_level.append(node)
+
+    def _close_implicit(self, incoming: str) -> None:
+        closers = IMPLICIT_CLOSERS.get(incoming)
+        if not closers:
+            return
+        # Close the *outermost* open element named in `closers` within
+        # the current scope (e.g. an incoming <tr> closes the open <tr>
+        # together with the <td> inside it), but never cross a scope
+        # boundary — a <tr> inside a nested <table> must not close the
+        # outer table's <tr>.
+        outermost = -1
+        for index in range(len(self.stack) - 1, -1, -1):
+            tag = self.stack[index].tag
+            if tag in closers:
+                outermost = index
+                continue
+            if tag in _SCOPE_BOUNDARIES:
+                break
+        if outermost >= 0:
+            del self.stack[outermost:]
+
+    def handle(self, token: Token) -> None:
+        if isinstance(token, StartTag):
+            self._close_implicit(token.name)
+            node = TagNode(token.name, token.attrs)
+            self._attach(node)
+            if not token.self_closing and token.name not in VOID_ELEMENTS:
+                self.stack.append(node)
+        elif isinstance(token, EndTag):
+            if token.name in VOID_ELEMENTS:
+                return
+            for index in range(len(self.stack) - 1, -1, -1):
+                if self.stack[index].tag == token.name:
+                    del self.stack[index:]
+                    return
+            # No matching open element: drop the end tag.
+        elif isinstance(token, Text):
+            data = token.data
+            if not self.keep_whitespace:
+                if not data.strip():
+                    return
+            self._attach(ContentNode(data))
+        # Comments and doctypes carry no structure or content: dropped.
+
+    def finish(self) -> TagNode:
+        """Close all open elements and return a single ``html`` root."""
+        self.stack.clear()
+        roots = self.top_level
+        if len(roots) == 1 and isinstance(roots[0], TagNode) and roots[0].tag == "html":
+            return roots[0]
+        root = TagNode("html")
+        for node in roots:
+            root.append(node)
+        return root
+
+
+def parse_tokens(
+    tokens: Iterable[Token], keep_whitespace: bool = False
+) -> TagNode:
+    """Build a tag tree from an iterable of tokens."""
+    builder = _TreeBuilder(keep_whitespace)
+    for token in tokens:
+        builder.handle(token)
+    return builder.finish()
+
+
+def parse(
+    html: str,
+    url: str = "",
+    keep_whitespace: bool = False,
+    source_size: Optional[int] = None,
+) -> TagTree:
+    """Parse HTML text into a :class:`TagTree`.
+
+    ``source_size`` defaults to ``len(html)`` and is retained on the
+    tree for the size-based baselines; pass the original byte length
+    when the text was decoded from bytes.
+
+    >>> tree = parse("<html><body><p>hi</p></body></html>")
+    >>> tree.root.tag
+    'html'
+    >>> tree.root.find("p").text()
+    'hi'
+    """
+    root = parse_tokens(tokenize(html), keep_whitespace=keep_whitespace)
+    size = len(html) if source_size is None else source_size
+    return TagTree(root, source_size=size, url=url)

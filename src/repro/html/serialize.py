@@ -1,0 +1,58 @@
+"""Serialize tag trees back to HTML text."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.html.entities import encode_attribute, encode_entities
+from repro.html.parser import VOID_ELEMENTS
+from repro.html.tree import ContentNode, Node, TagNode, TagTree
+
+
+def _open_tag(node: TagNode) -> str:
+    if not node.attrs:
+        return f"<{node.tag}>"
+    parts = [node.tag]
+    for key, value in node.attrs:
+        if value:
+            parts.append(f'{key}="{encode_attribute(value)}"')
+        else:
+            parts.append(key)
+    return "<" + " ".join(parts) + ">"
+
+
+def _write(node: Node, out: list[str], indent: int, pretty: bool) -> None:
+    pad = "  " * indent if pretty else ""
+    newline = "\n" if pretty else ""
+    if isinstance(node, ContentNode):
+        out.append(f"{pad}{encode_entities(node.text)}{newline}")
+        return
+    assert isinstance(node, TagNode)
+    if node.tag in VOID_ELEMENTS:
+        out.append(f"{pad}{_open_tag(node)}{newline}")
+        return
+    if not node.children:
+        out.append(f"{pad}{_open_tag(node)}</{node.tag}>{newline}")
+        return
+    out.append(f"{pad}{_open_tag(node)}{newline}")
+    for child in node.children:
+        _write(child, out, indent + 1, pretty)
+    out.append(f"{pad}</{node.tag}>{newline}")
+
+
+def to_html(node: Union[Node, TagTree], pretty: bool = False) -> str:
+    """Render a node or tree as HTML text.
+
+    ``pretty=True`` indents one level per tree depth, which is useful
+    for debugging extracted pagelets; the compact form round-trips
+    through :func:`repro.html.parser.parse` to an identical tree (up to
+    whitespace-only leaves).
+
+    >>> from repro.html import parse
+    >>> to_html(parse("<p>a&amp;b</p>").root)
+    '<html><p>a&amp;b</p></html>'
+    """
+    root = node.root if isinstance(node, TagTree) else node
+    out: list[str] = []
+    _write(root, out, 0, pretty)
+    return "".join(out)

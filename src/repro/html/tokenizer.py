@@ -1,0 +1,303 @@
+"""A lenient HTML tokenizer.
+
+Produces a flat stream of tokens (start tags, end tags, text, comments,
+doctypes) from raw HTML text. It is deliberately forgiving — real
+deep-web pages of the paper's era were full of unclosed tags, stray
+``<`` characters, and unquoted attributes — and never raises on
+malformed markup; recovery follows what browsers of that period did:
+
+- A ``<`` that does not begin a plausible tag is treated as text.
+- Attribute values may be double-quoted, single-quoted, or bare.
+- ``<script>`` and ``<style>`` switch to raw-text mode until the
+  matching close tag.
+- ``<!-- ... -->`` comments, ``<!DOCTYPE ...>`` and ``<![CDATA[ ... ]]>``
+  are recognized; bogus declarations (``<!foo>``) become comments.
+
+Tag and attribute names are lower-cased at tokenization time, which is
+half of what HTML Tidy did for the paper's preprocessing (the other
+half — implicit closing — lives in the parser and :mod:`repro.html.tidy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+#: Elements whose content is raw text (no nested markup).
+RAWTEXT_ELEMENTS = frozenset({"script", "style", "textarea", "title"})
+
+_NAME_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
+_NAME_CHARS = _NAME_START | frozenset("0123456789-_:.")
+_SPACE = frozenset(" \t\n\r\f")
+
+
+@dataclass(frozen=True)
+class StartTag:
+    """A start tag, e.g. ``<td colspan="2">``."""
+
+    name: str
+    attrs: tuple[tuple[str, str], ...] = ()
+    self_closing: bool = False
+
+    def get(self, attr: str, default: str | None = None) -> str | None:
+        """Return the first value for ``attr`` (case-insensitive)."""
+        wanted = attr.lower()
+        for key, value in self.attrs:
+            if key == wanted:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class EndTag:
+    """An end tag, e.g. ``</td>``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Text:
+    """A run of character data between tags (entity-decoded)."""
+
+    data: str
+
+
+@dataclass(frozen=True)
+class Comment:
+    """An HTML comment or a bogus declaration downgraded to a comment."""
+
+    data: str
+
+
+@dataclass(frozen=True)
+class Doctype:
+    """A ``<!DOCTYPE ...>`` declaration (content kept verbatim)."""
+
+    data: str
+
+
+Token = Union[StartTag, EndTag, Text, Comment, Doctype]
+
+
+@dataclass
+class _Cursor:
+    """Mutable scan position over the source text."""
+
+    text: str
+    pos: int = 0
+    length: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.length = len(self.text)
+
+    def eof(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < self.length:
+            return self.text[index]
+        return ""
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def skip_space(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in _SPACE:
+            self.pos += 1
+
+
+def _scan_name(cur: _Cursor) -> str:
+    start = cur.pos
+    while not cur.eof() and cur.peek() in _NAME_CHARS:
+        cur.advance()
+    return cur.text[start : cur.pos].lower()
+
+
+def _scan_attribute_value(cur: _Cursor) -> str:
+    from repro.html.entities import decode_entities
+
+    quote = cur.peek()
+    if quote in ('"', "'"):
+        cur.advance()
+        start = cur.pos
+        end = cur.text.find(quote, start)
+        if end == -1:
+            # Unterminated quote: take everything to end of document.
+            end = cur.length
+            cur.pos = end
+        else:
+            cur.pos = end + 1
+        return decode_entities(cur.text[start:end])
+    start = cur.pos
+    while not cur.eof() and cur.peek() not in _SPACE and cur.peek() not in (">", "/"):
+        cur.advance()
+    return decode_entities(cur.text[start : cur.pos])
+
+
+def _scan_attributes(cur: _Cursor) -> tuple[tuple[tuple[str, str], ...], bool]:
+    """Scan attributes up to (and past) the closing ``>``.
+
+    Returns the attribute pairs and whether the tag was self-closing.
+    """
+    attrs: list[tuple[str, str]] = []
+    self_closing = False
+    while True:
+        cur.skip_space()
+        if cur.eof():
+            break
+        ch = cur.peek()
+        if ch == ">":
+            cur.advance()
+            break
+        if ch == "/":
+            cur.advance()
+            cur.skip_space()
+            if cur.peek() == ">":
+                cur.advance()
+                self_closing = True
+                break
+            continue
+        if ch not in _NAME_START:
+            # Junk between attributes: skip one character and retry.
+            cur.advance()
+            continue
+        name = _scan_name(cur)
+        cur.skip_space()
+        value = ""
+        if cur.peek() == "=":
+            cur.advance()
+            cur.skip_space()
+            value = _scan_attribute_value(cur)
+        attrs.append((name, value))
+    return tuple(attrs), self_closing
+
+
+def _scan_comment(cur: _Cursor) -> Comment:
+    # cur is positioned just after "<!--".
+    end = cur.text.find("-->", cur.pos)
+    if end == -1:
+        data = cur.text[cur.pos :]
+        cur.pos = cur.length
+    else:
+        data = cur.text[cur.pos : end]
+        cur.pos = end + 3
+    return Comment(data)
+
+
+def _scan_declaration(cur: _Cursor) -> Token:
+    # cur is positioned just after "<!".
+    rest = cur.text[cur.pos : cur.pos + 7].lower()
+    if rest.startswith("doctype"):
+        end = cur.text.find(">", cur.pos)
+        if end == -1:
+            end = cur.length
+        data = cur.text[cur.pos + 7 : end].strip()
+        cur.pos = min(end + 1, cur.length)
+        return Doctype(data)
+    if cur.text.startswith("[CDATA[", cur.pos):
+        end = cur.text.find("]]>", cur.pos + 7)
+        if end == -1:
+            data = cur.text[cur.pos + 7 :]
+            cur.pos = cur.length
+        else:
+            data = cur.text[cur.pos + 7 : end]
+            cur.pos = end + 3
+        return Text(data)
+    # Bogus declaration: consume to ">" and emit as comment.
+    end = cur.text.find(">", cur.pos)
+    if end == -1:
+        end = cur.length
+    data = cur.text[cur.pos : end]
+    cur.pos = min(end + 1, cur.length)
+    return Comment(data)
+
+
+def _scan_rawtext(cur: _Cursor, element: str) -> str:
+    """Consume raw text until ``</element``, leaving the cursor on it."""
+    needle = "</" + element
+    lower = cur.text.lower()
+    end = lower.find(needle, cur.pos)
+    if end == -1:
+        data = cur.text[cur.pos :]
+        cur.pos = cur.length
+    else:
+        data = cur.text[cur.pos : end]
+        cur.pos = end
+    return data
+
+
+def tokenize(html: str) -> Iterator[Token]:
+    """Yield tokens for ``html``.
+
+    Never raises on malformed markup. Text tokens are entity-decoded;
+    adjacent text is coalesced into a single token.
+
+    >>> [t for t in tokenize('<b>hi</b>')]
+    [StartTag(name='b', attrs=(), self_closing=False), Text(data='hi'), EndTag(name='b')]
+    """
+    from repro.html.entities import decode_entities
+
+    cur = _Cursor(html)
+    text_start = 0
+
+    def flush_text(upto: int) -> Iterator[Text]:
+        if upto > text_start:
+            data = cur.text[text_start:upto]
+            if data:
+                yield Text(decode_entities(data))
+
+    while not cur.eof():
+        lt = cur.text.find("<", cur.pos)
+        if lt == -1:
+            cur.pos = cur.length
+            yield from flush_text(cur.length)
+            return
+        nxt = cur.text[lt + 1] if lt + 1 < cur.length else ""
+        if nxt in _NAME_START:
+            yield from flush_text(lt)
+            cur.pos = lt + 1
+            name = _scan_name(cur)
+            attrs, self_closing = _scan_attributes(cur)
+            yield StartTag(name, attrs, self_closing)
+            if name in RAWTEXT_ELEMENTS and not self_closing:
+                raw = _scan_rawtext(cur, name)
+                if raw:
+                    yield Text(raw)
+                # Consume the close tag if present.
+                if cur.text.lower().startswith("</" + name, cur.pos):
+                    cur.pos += 2 + len(name)
+                    end = cur.text.find(">", cur.pos)
+                    cur.pos = cur.length if end == -1 else end + 1
+                    yield EndTag(name)
+            text_start = cur.pos
+        elif nxt == "/":
+            yield from flush_text(lt)
+            cur.pos = lt + 2
+            name = _scan_name(cur)
+            end = cur.text.find(">", cur.pos)
+            cur.pos = cur.length if end == -1 else end + 1
+            if name:
+                yield EndTag(name)
+            text_start = cur.pos
+        elif nxt == "!":
+            yield from flush_text(lt)
+            cur.pos = lt + 2
+            if cur.text.startswith("--", cur.pos):
+                cur.pos += 2
+                yield _scan_comment(cur)
+            else:
+                yield _scan_declaration(cur)
+            text_start = cur.pos
+        elif nxt == "?":
+            # Processing instruction (e.g. <?xml ...?>): skip as comment.
+            yield from flush_text(lt)
+            end = cur.text.find(">", lt + 2)
+            data_end = cur.length if end == -1 else end
+            yield Comment(cur.text[lt + 2 : data_end])
+            cur.pos = cur.length if end == -1 else end + 1
+            text_start = cur.pos
+        else:
+            # Stray "<": treat as text and keep scanning.
+            cur.pos = lt + 1
+    yield from flush_text(cur.length)

@@ -1,0 +1,29 @@
+"""Persistence: JSON export of extraction results, page-sample caches.
+
+The paper's pipeline caches probed pages locally ("a set of 5,500
+pages in a local cache for analysis and testing") and forwards
+extracted QA-Pagelets/Objects to downstream indexing. This package
+provides both halves for this implementation:
+
+- :mod:`repro.io.cache` — save/load probed page samples as JSON Lines,
+  preserving ground-truth labels when present.
+- :mod:`repro.io.export` — serialize THOR results (pagelets, objects,
+  cluster structure) to plain dicts / JSON.
+"""
+
+from repro.io.cache import load_pages, save_pages
+from repro.io.export import (
+    export_result,
+    pagelet_to_dict,
+    partitioned_to_dict,
+    result_to_dict,
+)
+
+__all__ = [
+    "load_pages",
+    "save_pages",
+    "export_result",
+    "pagelet_to_dict",
+    "partitioned_to_dict",
+    "result_to_dict",
+]

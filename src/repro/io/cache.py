@@ -1,0 +1,82 @@
+"""Page-sample cache: probed pages ⇄ JSON Lines files.
+
+One JSON object per line, one line per page. Labeled pages (from the
+simulator, or hand labeling) round-trip with their class and gold
+paths; plain pages round-trip as plain pages. The HTML is stored
+verbatim — the tag tree is re-parsed on load, which keeps cache files
+stable across parser versions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Sequence, Union
+
+from repro.core.page import Page
+from repro.deepweb.site import LabeledPage
+from repro.errors import ThorError
+
+
+def _page_to_record(page: Page) -> dict:
+    record: dict = {
+        "url": page.url,
+        "query": page.query,
+        "html": page.html,
+    }
+    if isinstance(page, LabeledPage):
+        record["class_label"] = page.class_label
+        record["gold_pagelet_path"] = page.gold_pagelet_path
+        record["gold_object_paths"] = list(page.gold_object_paths)
+    return record
+
+
+def _record_to_page(record: dict) -> Page:
+    if "class_label" in record:
+        return LabeledPage(
+            record["html"],
+            url=record.get("url", ""),
+            query=record.get("query", ""),
+            class_label=record["class_label"],
+            gold_pagelet_path=record.get("gold_pagelet_path"),
+            gold_object_paths=tuple(record.get("gold_object_paths", ())),
+        )
+    page = Page(
+        record["html"],
+        url=record.get("url", ""),
+        query=record.get("query", ""),
+    )
+    return page
+
+
+def save_pages(pages: Sequence[Page], path: Union[str, os.PathLike]) -> int:
+    """Write pages to a JSONL file; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for page in pages:
+            handle.write(json.dumps(_page_to_record(page), ensure_ascii=False))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_pages(path: Union[str, os.PathLike]) -> list[Page]:
+    """Read pages back from a JSONL file.
+
+    Raises :class:`ThorError` with the offending line number on
+    malformed input.
+    """
+    pages: list[Page] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                pages.append(_record_to_page(record))
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise ThorError(
+                    f"malformed page record at {path}:{line_number}: {exc}"
+                ) from exc
+    return pages

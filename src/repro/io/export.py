@@ -1,0 +1,79 @@
+"""Serialize THOR results to plain dicts / JSON.
+
+The exported structure is the hand-off format to a downstream indexer
+or integration system: per page, the pagelet region (path + HTML +
+text) and its itemized QA-Objects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from repro.core.pagelet import PartitionedPagelet, QAPagelet
+from repro.core.thor import ThorResult
+from repro.html.serialize import to_html
+
+
+def pagelet_to_dict(pagelet: QAPagelet, include_html: bool = True) -> dict:
+    """One QA-Pagelet as a JSON-ready dict."""
+    record = {
+        "page_url": pagelet.page.url,
+        "probe_query": pagelet.page.query,
+        "path": pagelet.path,
+        "rank": pagelet.rank,
+        "score": pagelet.score,
+        "text": pagelet.text(),
+        "contained_dynamic_paths": list(pagelet.contained_dynamic_paths),
+    }
+    if include_html:
+        record["html"] = to_html(pagelet.node)
+    return record
+
+
+def partitioned_to_dict(part: PartitionedPagelet, include_html: bool = True) -> dict:
+    """A pagelet with its QA-Objects as a JSON-ready dict."""
+    record = pagelet_to_dict(part.pagelet, include_html=include_html)
+    record["separator_parent"] = part.separator_parent
+    record["objects"] = [
+        {"path": obj.path, "text": obj.text()} for obj in part.objects
+    ]
+    return record
+
+
+def result_to_dict(result: ThorResult, include_html: bool = False) -> dict:
+    """A full pipeline result as a JSON-ready dict."""
+    clustering = result.clustering
+    return {
+        "pages": len(result.pages),
+        "clusters": [
+            {
+                "cluster": score.cluster,
+                "size": score.size,
+                "combined_score": score.combined,
+                "avg_distinct_terms": score.avg_distinct_terms,
+                "avg_fanout": score.avg_fanout,
+                "avg_page_size": score.avg_page_size,
+            }
+            for score in clustering.scores
+        ],
+        "pagelets": [
+            pagelet_to_dict(p, include_html=include_html) for p in result.pagelets
+        ],
+        "partitioned": [
+            partitioned_to_dict(p, include_html=include_html)
+            for p in result.partitioned
+        ],
+    }
+
+
+def export_result(
+    result: ThorResult,
+    path: Union[str, os.PathLike],
+    include_html: bool = False,
+) -> None:
+    """Write a pipeline result to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result, include_html), handle, indent=2)
+        handle.write("\n")

@@ -1,0 +1,29 @@
+"""Page representations for clustering.
+
+One module per representation, plus a registry of the seven clustering
+configurations the evaluation compares (Section 4.1 / Figure 10):
+TFIDF tags (TTag — THOR's choice), raw tags (RTag), TFIDF content
+(TCon), raw content (RCon), size, URLs, and random.
+"""
+
+from repro.signatures.tag import tag_signature, tag_vectors
+from repro.signatures.content import content_signature, content_vectors
+from repro.signatures.url import url_distance
+from repro.signatures.size import size_signature
+from repro.signatures.registry import (
+    CONFIGURATIONS,
+    ClusteringConfig,
+    get_configuration,
+)
+
+__all__ = [
+    "tag_signature",
+    "tag_vectors",
+    "content_signature",
+    "content_vectors",
+    "url_distance",
+    "size_signature",
+    "CONFIGURATIONS",
+    "ClusteringConfig",
+    "get_configuration",
+]

@@ -1,0 +1,34 @@
+"""Content signatures (Section 3.1.2, comparison approaches).
+
+"The content signature uses content terms in place of tags. Porter's
+stemming algorithm is applied to generate content terms." Raw and
+TFIDF-weighted variants are the RCon / TCon configurations of the
+evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.page import Page
+from repro.vsm.vector import SparseVector
+from repro.vsm.weighting import CorpusWeighter, raw_tf_vector
+
+
+def content_signature(page: Page) -> dict[str, int]:
+    """Raw stemmed-term frequency map of a page."""
+    return page.term_counts()
+
+
+def content_vectors(
+    pages: Sequence[Page], weighting: str = "tfidf"
+) -> list[SparseVector]:
+    """Vectorize a page collection's content signatures (see
+    :func:`repro.signatures.tag.tag_vectors` for the weighting modes)."""
+    signatures = [content_signature(p) for p in pages]
+    if weighting == "raw":
+        return [raw_tf_vector(s) for s in signatures]
+    if weighting == "tfidf":
+        weighter = CorpusWeighter.fit(signatures)
+        return weighter.transform_all(signatures)
+    raise ValueError(f"unknown weighting {weighting!r} (use 'raw' or 'tfidf')")

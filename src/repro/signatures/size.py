@@ -1,0 +1,14 @@
+"""Size-based page representation (comparison approach).
+
+Section 4.1: "we described each page by its size in bytes and measured
+the distance between two pages by the difference in bytes."
+"""
+
+from __future__ import annotations
+
+from repro.core.page import Page
+
+
+def size_signature(page: Page) -> float:
+    """Page size in bytes, as a scalar feature."""
+    return float(page.size)

@@ -1,0 +1,24 @@
+"""URL-based page representation (comparison approach).
+
+Section 4.1: "we described each page by its URL and used a string edit
+distance metric to measure the similarity of two pages." As the paper's
+eBay example shows, this cannot separate a results page from a
+no-matches page — their URLs differ only in the query keyword — which
+is exactly why the baseline performs poorly.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.editdist import levenshtein, normalized_levenshtein
+from repro.core.page import Page
+
+
+def url_distance(a: Page, b: Page, normalized: bool = True) -> float:
+    """Edit distance between two pages' URLs.
+
+    >>> url_distance(Page("", url="a?q=cat"), Page("", url="a?q=dog"), normalized=False)
+    3.0
+    """
+    if normalized:
+        return normalized_levenshtein(a.url, b.url)
+    return float(levenshtein(a.url, b.url))

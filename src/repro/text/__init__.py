@@ -1,0 +1,13 @@
+"""Text substrate: tokenization, Porter stemming, term extraction.
+
+THOR's content signatures and subtree-content vectors are built from
+*content terms*: words tokenized from the text leaves, lower-cased,
+stop-filtered, and stemmed with Porter's algorithm (the paper cites
+Porter 1980 explicitly).
+"""
+
+from repro.text.porter import porter_stem
+from repro.text.terms import TermExtractor, extract_terms
+from repro.text.tokenize import tokenize_words
+
+__all__ = ["porter_stem", "TermExtractor", "extract_terms", "tokenize_words"]

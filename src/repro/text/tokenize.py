@@ -1,0 +1,25 @@
+"""Word tokenization for content text.
+
+A term is a maximal run of letters/digits, with internal apostrophes
+and hyphens allowed (``o'brien``, ``blu-ray``). Pure numbers are kept —
+prices and years are exactly the kind of query-dependent content that
+distinguishes QA-Pagelets from boilerplate.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+(?:['\-][A-Za-z0-9]+)*")
+
+
+def tokenize_words(text: str, lowercase: bool = True) -> list[str]:
+    """Split ``text`` into word tokens.
+
+    >>> tokenize_words("The Blu-Ray, $19.99 -- O'Brien's pick!")
+    ['the', 'blu-ray', '19', '99', "o'brien's", 'pick']
+    """
+    words = _WORD_RE.findall(text)
+    if lowercase:
+        return [w.lower() for w in words]
+    return words

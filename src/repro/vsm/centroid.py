@@ -1,0 +1,54 @@
+"""Cluster centroids.
+
+The paper defines the centroid of a cluster as the componentwise
+average of its member vectors; internal cluster similarity is then the
+sum of member-to-centroid cosine similarities, which (as the paper
+notes, citing Steinbach et al.) equals the length of the *summed*
+member vectors squared over |C| — we expose both the centroid and the
+cheap length-based similarity.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import VectorError
+from repro.vsm.vector import SparseVector
+
+
+def vector_sum(vectors: Sequence[SparseVector]) -> SparseVector:
+    """Componentwise sum (the zero vector for an empty sequence)."""
+    data: dict[str, float] = {}
+    for vector in vectors:
+        for feature, weight in vector.items():
+            data[feature] = data.get(feature, 0.0) + weight
+    return SparseVector(data)
+
+
+def centroid(vectors: Sequence[SparseVector]) -> SparseVector:
+    """Componentwise mean of ``vectors``.
+
+    Raises :class:`VectorError` for an empty collection — a cluster
+    with no members has no centroid.
+    """
+    if not vectors:
+        raise VectorError("centroid of an empty collection is undefined")
+    return vector_sum(vectors).scale(1.0 / len(vectors))
+
+
+def internal_similarity(vectors: Sequence[SparseVector]) -> float:
+    """Sum over members of cosine(member, centroid).
+
+    For unit-length members this equals ``‖Σ d‖`` (the length of the
+    composite vector; Steinbach/Karypis/Kumar 2000), but we compute the
+    definition directly so it is also correct for unnormalized input.
+    An empty collection has similarity 0.
+    """
+    if not vectors:
+        return 0.0
+    center = centroid(vectors)
+    if center.is_zero():
+        return 0.0
+    from repro.vsm.similarity import cosine_similarity
+
+    return sum(cosine_similarity(v, center) for v in vectors)

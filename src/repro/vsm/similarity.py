@@ -1,0 +1,55 @@
+"""Similarity and distance functions over sparse vectors.
+
+The paper considers "the simple vector product, the cosine similarity,
+or the Minkowski distance" and chooses cosine; all three are provided.
+"""
+
+from __future__ import annotations
+
+from repro.vsm.vector import SparseVector
+
+
+def dot_product(a: SparseVector, b: SparseVector) -> float:
+    """The simple vector product ⟨a, b⟩."""
+    return a.dot(b)
+
+
+def cosine_similarity(a: SparseVector, b: SparseVector) -> float:
+    """Cosine of the angle between ``a`` and ``b`` in [0, 1] for
+    non-negative weights. Zero vectors are orthogonal to everything
+    (similarity 0), which keeps empty pages from crashing clustering.
+
+    >>> cosine_similarity(SparseVector({"x": 1}), SparseVector({"x": 2}))
+    1.0
+    """
+    denom = a.norm * b.norm
+    if denom == 0.0:
+        return 0.0
+    value = a.dot(b) / denom
+    # Guard against floating-point drift above 1.0.
+    if value > 1.0:
+        return 1.0
+    if value < -1.0:
+        return -1.0
+    return value
+
+
+def cosine_distance(a: SparseVector, b: SparseVector) -> float:
+    """``1 - cosine_similarity`` — a dissimilarity in [0, 2]."""
+    return 1.0 - cosine_similarity(a, b)
+
+
+def minkowski_distance(a: SparseVector, b: SparseVector, p: float = 2.0) -> float:
+    """Minkowski distance of order ``p`` (p=2 is Euclidean, p=1 is
+    Manhattan) over the union of the two vectors' features."""
+    if p <= 0:
+        raise ValueError("Minkowski order p must be positive")
+    total = 0.0
+    for feature in a.features() | b.features():
+        total += abs(a[feature] - b[feature]) ** p
+    return total ** (1.0 / p)
+
+
+def euclidean_distance(a: SparseVector, b: SparseVector) -> float:
+    """Minkowski distance with p=2."""
+    return minkowski_distance(a, b, 2.0)

@@ -1,0 +1,124 @@
+"""Sparse feature vectors.
+
+A :class:`SparseVector` maps feature names (tag names, stemmed terms)
+to float weights. Only non-zero entries are stored; all operations are
+O(number of non-zeros). The vector is immutable in spirit — operations
+return new vectors — which keeps clustering code free of aliasing bugs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import VectorError
+
+
+class SparseVector:
+    """An immutable sparse vector over string-named dimensions."""
+
+    __slots__ = ("_data", "_norm")
+
+    def __init__(self, data: Mapping[str, float] | Iterable[tuple[str, float]] = ()):
+        entries = dict(data)
+        self._data: dict[str, float] = {k: float(v) for k, v in entries.items() if v}
+        self._norm: float | None = None
+
+    # -- inspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __contains__(self, feature: str) -> bool:
+        return feature in self._data
+
+    def __getitem__(self, feature: str) -> float:
+        return self._data.get(feature, 0.0)
+
+    def get(self, feature: str, default: float = 0.0) -> float:
+        return self._data.get(feature, default)
+
+    def items(self):
+        return self._data.items()
+
+    def features(self) -> set[str]:
+        return set(self._data)
+
+    def to_dict(self) -> dict[str, float]:
+        return dict(self._data)
+
+    def __repr__(self) -> str:
+        head = sorted(self._data.items(), key=lambda kv: -abs(kv[1]))[:4]
+        preview = ", ".join(f"{k}={v:.3g}" for k, v in head)
+        suffix = ", ..." if len(self._data) > 4 else ""
+        return f"SparseVector({{{preview}{suffix}}}, dims={len(self._data)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseVector):
+            return NotImplemented
+        return self._data == other._data
+
+    def __hash__(self):  # pragma: no cover - explicit unhashability
+        raise TypeError("SparseVector is not hashable")
+
+    # -- algebra -------------------------------------------------------
+
+    @property
+    def norm(self) -> float:
+        """Euclidean (L2) norm; cached after first computation."""
+        if self._norm is None:
+            self._norm = math.sqrt(sum(w * w for w in self._data.values()))
+        return self._norm
+
+    def is_zero(self) -> bool:
+        return not self._data
+
+    def dot(self, other: "SparseVector") -> float:
+        """Inner product; iterates over the smaller vector."""
+        a, b = self._data, other._data
+        if len(b) < len(a):
+            a, b = b, a
+        return sum(w * b[f] for f, w in a.items() if f in b)
+
+    def normalized(self) -> "SparseVector":
+        """Return a unit-length copy.
+
+        Raises :class:`VectorError` for the zero vector — a page with no
+        features cannot be placed on the unit sphere.
+        """
+        n = self.norm
+        if n == 0.0:
+            raise VectorError("cannot normalize the zero vector")
+        return SparseVector({f: w / n for f, w in self._data.items()})
+
+    def scale(self, factor: float) -> "SparseVector":
+        return SparseVector({f: w * factor for f, w in self._data.items()})
+
+    def add(self, other: "SparseVector") -> "SparseVector":
+        data = dict(self._data)
+        for f, w in other._data.items():
+            data[f] = data.get(f, 0.0) + w
+        return SparseVector(data)
+
+    def subtract(self, other: "SparseVector") -> "SparseVector":
+        data = dict(self._data)
+        for f, w in other._data.items():
+            data[f] = data.get(f, 0.0) - w
+        return SparseVector(data)
+
+    def __add__(self, other: "SparseVector") -> "SparseVector":
+        return self.add(other)
+
+    def __sub__(self, other: "SparseVector") -> "SparseVector":
+        return self.subtract(other)
+
+    def __mul__(self, factor: float) -> "SparseVector":
+        return self.scale(factor)
+
+    __rmul__ = __mul__
+
+
+EMPTY_VECTOR = SparseVector()

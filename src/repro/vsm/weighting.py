@@ -1,0 +1,108 @@
+"""Term weighting: raw TF and the paper's TFIDF variant.
+
+The paper weights feature ``k`` in document ``i`` as::
+
+    w_ik = log(tf_ik + 1) * log((n + 1) / n_k)
+
+where ``tf_ik`` is the raw frequency, ``n`` the number of documents and
+``n_k`` the number of documents containing feature ``k``. Because of
+the ``n + 1`` numerator, a feature occurring in *every* document keeps
+a small non-zero weight — the paper argues this matters for tags like
+``<table>`` that occur everywhere but in varying degrees. Vectors are
+normalized to unit length after weighting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.vsm.vector import SparseVector
+
+
+def raw_tf_vector(counts: Mapping[str, int], normalize: bool = True) -> SparseVector:
+    """Vector of raw frequencies (optionally unit-normalized).
+
+    A document with no features yields the zero vector (normalization
+    is skipped for it rather than raising — empty pages do occur).
+    """
+    vector = SparseVector({k: float(v) for k, v in counts.items()})
+    if normalize and not vector.is_zero():
+        return vector.normalized()
+    return vector
+
+
+def paper_tfidf_weight(tf: int, n_docs: int, doc_freq: int) -> float:
+    """The paper's per-feature weight ``log(tf+1) · log((n+1)/n_k)``.
+
+    >>> round(paper_tfidf_weight(3, 10, 2), 4)
+    2.3633
+    """
+    if tf <= 0 or doc_freq <= 0:
+        return 0.0
+    return math.log(tf + 1) * math.log((n_docs + 1) / doc_freq)
+
+
+class CorpusWeighter:
+    """TFIDF weighting fit on a corpus of frequency maps.
+
+    Usage::
+
+        weighter = CorpusWeighter.fit(count_maps)
+        vectors = [weighter.transform(c) for c in count_maps]
+
+    ``transform`` accepts documents outside the fitted corpus too
+    (features never seen get document frequency 0 → weight 0, i.e.
+    unseen features are ignored, the standard IR convention).
+    """
+
+    def __init__(self, n_docs: int, doc_freq: Mapping[str, int]) -> None:
+        if n_docs < 0:
+            raise ValueError("n_docs must be non-negative")
+        self.n_docs = n_docs
+        self.doc_freq = dict(doc_freq)
+
+    @classmethod
+    def fit(cls, documents: Sequence[Mapping[str, int]]) -> "CorpusWeighter":
+        """Compute document frequencies over ``documents``."""
+        doc_freq: dict[str, int] = {}
+        for counts in documents:
+            for feature, count in counts.items():
+                if count > 0:
+                    doc_freq[feature] = doc_freq.get(feature, 0) + 1
+        return cls(len(documents), doc_freq)
+
+    def idf(self, feature: str) -> float:
+        """``log((n+1)/n_k)`` for a feature; 0 for unseen features."""
+        df = self.doc_freq.get(feature, 0)
+        if df == 0:
+            return 0.0
+        return math.log((self.n_docs + 1) / df)
+
+    def transform(self, counts: Mapping[str, int], normalize: bool = True) -> SparseVector:
+        """Weight one document's frequency map into a vector."""
+        weights = {}
+        for feature, tf in counts.items():
+            if tf <= 0:
+                continue
+            df = self.doc_freq.get(feature, 0)
+            if df == 0:
+                continue
+            weights[feature] = math.log(tf + 1) * math.log((self.n_docs + 1) / df)
+        vector = SparseVector(weights)
+        if normalize and not vector.is_zero():
+            return vector.normalized()
+        return vector
+
+    def transform_all(
+        self, documents: Iterable[Mapping[str, int]], normalize: bool = True
+    ) -> list[SparseVector]:
+        return [self.transform(counts, normalize) for counts in documents]
+
+
+def tfidf_vectors(
+    documents: Sequence[Mapping[str, int]], normalize: bool = True
+) -> list[SparseVector]:
+    """One-shot fit+transform over a corpus of frequency maps."""
+    weighter = CorpusWeighter.fit(documents)
+    return weighter.transform_all(documents, normalize)

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_probe_defaults(self):
+        args = build_parser().parse_args(["probe"])
+        assert args.domain == "ecommerce"
+        assert args.seed == 0
+        assert args.out == "pages.jsonl"
+
+    def test_extract_requires_pages(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["extract"])
+
+    def test_search_requires_query(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search"])
+
+    def test_common_knobs(self):
+        args = build_parser().parse_args(
+            ["demo", "--seed", "9", "--k", "3", "--top-m", "1"]
+        )
+        assert args.seed == 9
+        assert args.k == 3
+        assert args.top_m == 1
+
+
+class TestCommands:
+    def test_probe_then_extract(self, tmp_path, capsys):
+        pages = tmp_path / "pages.jsonl"
+        out = tmp_path / "result.json"
+        assert main(
+            ["probe", "--domain", "music", "--seed", "3",
+             "--out", str(pages)]
+        ) == 0
+        assert pages.exists()
+        assert main(
+            ["extract", "--pages", str(pages), "--seed", "3",
+             "--out", str(out)]
+        ) == 0
+        record = json.loads(out.read_text())
+        assert record["pages"] == 110
+        assert record["pagelets"]
+        output = capsys.readouterr().out
+        assert "QA-Pagelets" in output
+
+    def test_extract_empty_cache_fails(self, tmp_path, capsys):
+        pages = tmp_path / "empty.jsonl"
+        pages.write_text("")
+        assert main(["extract", "--pages", str(pages)]) == 1
+
+    def test_demo_prints_objects(self, capsys):
+        assert main(["demo", "--domain", "jobs", "--seed", "5",
+                     "--show", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "pagelet=" in output
+
+    def test_search_command(self, capsys):
+        assert main(
+            ["search", "--domains", "library", "--query", "history",
+             "--seed", "6"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "registered" in output

@@ -1,0 +1,84 @@
+"""Tests for the Phase-1 cluster-ranking criteria."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.assignments import Clustering
+from repro.core.cluster_ranking import rank_clusters, score_clusters
+from repro.core.page import Page
+
+
+def rich_page():
+    rows = "".join(
+        f"<tr><td>alpha{i} beta{i} gamma{i}</td><td>delta{i}</td></tr>"
+        for i in range(8)
+    )
+    return Page(f"<html><body><table>{rows}</table></body></html>")
+
+
+def poor_page():
+    return Page("<html><body><p>no matches found</p></body></html>")
+
+
+class TestScoreClusters:
+    def test_rich_cluster_outranks_poor(self):
+        pages = [rich_page(), rich_page(), poor_page(), poor_page()]
+        clustering = Clustering((0, 0, 1, 1), 2)
+        scores = score_clusters(pages, clustering)
+        assert scores[0].cluster == 0
+        assert scores[0].combined > scores[1].combined
+
+    def test_criteria_computed(self):
+        pages = [rich_page(), poor_page()]
+        clustering = Clustering((0, 1), 2)
+        scores = {s.cluster: s for s in score_clusters(pages, clustering)}
+        assert scores[0].avg_distinct_terms > scores[1].avg_distinct_terms
+        assert scores[0].avg_fanout > scores[1].avg_fanout
+        assert scores[0].avg_page_size > scores[1].avg_page_size
+
+    def test_empty_clusters_skipped(self):
+        pages = [rich_page()]
+        clustering = Clustering((0,), 3)
+        scores = score_clusters(pages, clustering)
+        assert len(scores) == 1
+
+    def test_combined_bounded_by_one(self):
+        pages = [rich_page(), poor_page(), poor_page()]
+        clustering = Clustering((0, 1, 1), 2)
+        for score in score_clusters(pages, clustering):
+            assert 0.0 <= score.combined <= 1.0 + 1e-9
+
+    def test_best_cluster_scores_one_with_equal_weights(self):
+        # The cluster that is max on all three criteria gets exactly 1.
+        pages = [rich_page(), poor_page()]
+        clustering = Clustering((0, 1), 2)
+        top = score_clusters(pages, clustering)[0]
+        assert top.combined == pytest.approx(1.0)
+
+    def test_custom_weights_change_order(self):
+        # A page with a huge fanout but few terms...
+        wide = Page(
+            "<html><body><ul>"
+            + "<li>x</li>" * 30
+            + "</ul></body></html>"
+        )
+        # ...versus a page with many terms but low fanout.
+        wordy_text = " ".join(f"word{i}" for i in range(120))
+        wordy = Page(f"<html><body><p>{wordy_text}</p></body></html>")
+        clustering = Clustering((0, 1), 2)
+        by_fanout = rank_clusters(
+            [wide, wordy], clustering, weights=(0.0, 1.0, 0.0)
+        )
+        by_terms = rank_clusters(
+            [wide, wordy], clustering, weights=(1.0, 0.0, 0.0)
+        )
+        assert by_fanout[0] == 0
+        assert by_terms[0] == 1
+
+    def test_sizes_recorded(self):
+        pages = [rich_page(), rich_page(), poor_page()]
+        clustering = Clustering((0, 0, 1), 2)
+        scores = {s.cluster: s for s in score_clusters(pages, clustering)}
+        assert scores[0].size == 2
+        assert scores[1].size == 1

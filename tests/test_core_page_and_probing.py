@@ -1,0 +1,142 @@
+"""Tests for the Page abstraction and Stage-1 probing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ProbeConfig
+from repro.core.page import Page
+from repro.core.probing import DeepWebSource, ProbeResult, QueryProber
+from repro.core.wordlists import DICTIONARY_WORDS, generate_nonsense_words
+from repro.errors import ProbeError
+
+
+class TestPage:
+    def test_lazy_parse(self):
+        page = Page("<html><body><p>x</p></body></html>")
+        assert page.tree.root.tag == "html"
+
+    def test_size_is_html_length(self):
+        page = Page("<p>x</p>")
+        assert page.size == len("<p>x</p>")
+
+    def test_tag_counts_cached(self):
+        page = Page("<html><body><p>x</p></body></html>")
+        assert page.tag_counts() is page.tag_counts()
+
+    def test_term_counts_stemmed(self):
+        page = Page("<html><body>running runs</body></html>")
+        assert page.term_counts() == {"run": 2}
+
+    def test_distinct_terms_count(self):
+        page = Page("<html><body>apple banana apple</body></html>")
+        assert page.distinct_terms_count() == 2
+
+    def test_max_fanout(self):
+        page = Page("<html><ul><li>a</li><li>b</li><li>c</li></ul></html>")
+        assert page.max_fanout() == 3
+
+    def test_query_attribute(self):
+        page = Page("<p>x</p>", query="cat")
+        assert page.query == "cat"
+
+
+class TestWordlists:
+    def test_dictionary_substantial(self):
+        assert len(DICTIONARY_WORDS) > 400
+        assert len(set(DICTIONARY_WORDS)) == len(DICTIONARY_WORDS)
+
+    def test_dictionary_lowercase_alpha(self):
+        assert all(w.isalpha() and w == w.lower() for w in DICTIONARY_WORDS)
+
+    def test_nonsense_words_distinct(self):
+        words = generate_nonsense_words(20, seed=1)
+        assert len(set(words)) == 20
+
+    def test_nonsense_words_have_no_vowels(self):
+        for word in generate_nonsense_words(50, seed=2):
+            assert not set(word) & set("aeiou")
+
+    def test_nonsense_never_in_dictionary(self):
+        words = generate_nonsense_words(100, seed=3)
+        assert not set(words) & set(DICTIONARY_WORDS)
+
+    def test_nonsense_deterministic(self):
+        assert generate_nonsense_words(5, seed=9) == generate_nonsense_words(5, seed=9)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            generate_nonsense_words(-1)
+
+
+class _EchoSource:
+    """Minimal DeepWebSource returning a tiny page per query."""
+
+    def __init__(self, fail_terms=()):
+        self.fail_terms = set(fail_terms)
+        self.seen = []
+
+    def query(self, term: str) -> Page:
+        self.seen.append(term)
+        if term in self.fail_terms:
+            raise RuntimeError(f"boom on {term}")
+        return Page(f"<html><body>{term}</body></html>",
+                    url=f"http://e.com/?q={term}")
+
+
+class _AlwaysFails:
+    def query(self, term: str) -> Page:
+        raise RuntimeError("down")
+
+
+class TestQueryProber:
+    def test_default_probe_counts(self):
+        prober = QueryProber(seed=0)
+        terms = prober.select_terms()
+        assert len(terms) == 110  # 100 dictionary + 10 nonsense
+
+    def test_term_mix(self):
+        prober = QueryProber(seed=0)
+        terms = prober.select_terms()
+        dictionary_hits = sum(1 for t in terms if t in DICTIONARY_WORDS)
+        assert dictionary_hits == 100
+
+    def test_probe_collects_pages(self):
+        source = _EchoSource()
+        result = QueryProber(ProbeConfig(5, 2), seed=1).probe(source)
+        assert len(result) == 7
+        assert len(result.failures) == 0
+        assert all(p.query for p in result.pages)
+
+    def test_protocol_satisfied(self):
+        assert isinstance(_EchoSource(), DeepWebSource)
+
+    def test_failures_recorded_and_skipped(self):
+        prober = QueryProber(ProbeConfig(5, 1), seed=2)
+        bad = prober.select_terms()[0]
+        source = _EchoSource(fail_terms=[bad])
+        result = prober.probe(source)
+        assert len(result) == 5
+        assert result.failures[0][0] == bad
+
+    def test_all_failures_raise(self):
+        with pytest.raises(ProbeError):
+            QueryProber(ProbeConfig(3, 1), seed=0).probe(_AlwaysFails())
+
+    def test_small_dictionary_sampled_with_replacement(self):
+        prober = QueryProber(ProbeConfig(10, 0), dictionary=["only", "two"], seed=0)
+        terms = prober.select_terms()
+        assert len(terms) == 10
+        assert set(terms) <= {"only", "two"}
+
+    def test_empty_dictionary_raises(self):
+        with pytest.raises(ProbeError):
+            QueryProber(dictionary=[])
+
+    def test_deterministic_terms(self):
+        a = QueryProber(seed=11).select_terms()
+        b = QueryProber(seed=11).select_terms()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert QueryProber(seed=1).select_terms() != QueryProber(seed=2).select_terms()

@@ -1,0 +1,163 @@
+"""Tests for Stage-3 QA-Object partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SubtreeConfig, ThorConfig
+from repro.core import Thor
+from repro.core.page import Page
+from repro.core.pagelet import QAPagelet
+from repro.core.partitioning import ObjectPartitioner
+from repro.deepweb import make_site
+from repro.html.paths import node_path
+
+
+def pagelet_from(html, container_tag):
+    page = Page(html)
+    node = page.tree.root.find(container_tag)
+    return QAPagelet(page=page, path=node_path(node), node=node)
+
+
+class TestStructuralSearch:
+    def test_table_rows_become_objects(self):
+        rows = "".join(
+            f"<tr><td>item {i}</td><td>price {i}</td></tr>" for i in range(5)
+        )
+        pagelet = pagelet_from(
+            f"<html><body><table>{rows}</table></body></html>", "table"
+        )
+        part = ObjectPartitioner().partition(pagelet)
+        assert len(part.objects) == 5
+        assert all(o.node.tag == "tr" for o in part.objects)
+        assert part.separator_parent.endswith("table")
+
+    def test_list_items_become_objects(self):
+        items = "".join(f"<li><b>entry {i}</b></li>" for i in range(7))
+        pagelet = pagelet_from(f"<html><body><ul>{items}</ul></body></html>", "ul")
+        part = ObjectPartitioner().partition(pagelet)
+        assert len(part.objects) == 7
+
+    def test_div_blocks_become_objects(self):
+        blocks = "".join(
+            f'<div class="item"><a href="/{i}">t{i}</a><span>d{i}</span></div>'
+            for i in range(4)
+        )
+        pagelet = pagelet_from(
+            f"<html><body><div id='r'>{blocks}</div></body></html>", "div"
+        )
+        part = ObjectPartitioner().partition(pagelet)
+        assert len(part.objects) == 4
+
+    def test_rows_preferred_over_their_cells(self):
+        # Rows with many uniform cells: the shallower row group must
+        # win over any single row's cell group.
+        rows = "".join(
+            "<tr>" + "".join(f"<td>c{i}{j}</td>" for j in range(8)) + "</tr>"
+            for i in range(3)
+        )
+        pagelet = pagelet_from(
+            f"<html><body><table>{rows}</table></body></html>", "table"
+        )
+        part = ObjectPartitioner().partition(pagelet)
+        assert all(o.node.tag == "tr" for o in part.objects)
+
+    def test_spacer_rows_skipped(self):
+        rows = (
+            "<tr><td>real one</td></tr>"
+            "<tr><td></td></tr>"  # no content
+            "<tr><td>real two</td></tr>"
+        )
+        pagelet = pagelet_from(
+            f"<html><body><table>{rows}</table></body></html>", "table"
+        )
+        part = ObjectPartitioner().partition(pagelet)
+        texts = [o.text() for o in part.objects]
+        assert texts == ["real one", "real two"]
+
+
+class TestSingleObjectFallback:
+    def test_no_repetition_yields_single_object(self):
+        pagelet = pagelet_from(
+            "<html><body><div><h2>One</h2><p>thing</p></div></body></html>", "div"
+        )
+        part = ObjectPartitioner().partition(pagelet)
+        assert len(part.objects) == 1
+        assert part.objects[0].path == pagelet.path
+        assert part.separator_parent is None
+
+    def test_property_list_detected_via_static_paths(self):
+        html = (
+            "<html><body><dl>"
+            "<dt>Name</dt><dd>Elvis</dd>"
+            "<dt>Genre</dt><dd>Rock</dd>"
+            "<dt>Year</dt><dd>1956</dd>"
+            "</dl></body></html>"
+        )
+        page = Page(html)
+        node = page.tree.root.find("dl")
+        dts = [node_path(n) for n in node.find_all("dt")]
+        dds = [node_path(n) for n in node.find_all("dd")]
+        pagelet = QAPagelet(
+            page=page,
+            path=node_path(node),
+            node=node,
+            contained_dynamic_paths=tuple(dds),
+            contained_static_paths=tuple(dts),
+        )
+        part = ObjectPartitioner().partition(pagelet)
+        assert len(part.objects) == 1
+        assert part.objects[0].path == pagelet.path
+
+
+class TestRecommendations:
+    def test_recommendations_guide_partitioning(self):
+        rows = "".join(f"<tr><td>r{i}</td></tr>" for i in range(6))
+        page = Page(f"<html><body><table>{rows}</table></body></html>")
+        table = page.tree.root.find("table")
+        recommended = [node_path(n) for n in table.find_all("tr")[:3]]
+        pagelet = QAPagelet(
+            page=page,
+            path=node_path(table),
+            node=table,
+            contained_dynamic_paths=tuple(recommended),
+        )
+        part = ObjectPartitioner().partition(pagelet)
+        # Recommendations covered 3 rows; expansion finds all 6.
+        assert len(part.objects) == 6
+
+    def test_stale_recommendation_paths_fall_back(self):
+        rows = "".join(f"<tr><td>r{i}</td></tr>" for i in range(4))
+        page = Page(f"<html><body><table>{rows}</table></body></html>")
+        table = page.tree.root.find("table")
+        pagelet = QAPagelet(
+            page=page,
+            path=node_path(table),
+            node=table,
+            contained_dynamic_paths=("html/body/video[9]", "html/td[77]"),
+        )
+        part = ObjectPartitioner().partition(pagelet)
+        assert len(part.objects) == 4
+
+
+class TestEndToEndObjects:
+    def test_objects_match_gold_on_simulated_site(self):
+        site = make_site("ecommerce", seed=17, error_rate=0.0)
+        thor = Thor(ThorConfig(seed=17))
+        result = thor.run(site)
+        assert result.partitioned
+        perfect = sum(
+            1
+            for part in result.partitioned
+            if set(o.path for o in part.objects)
+            == set(part.pagelet.page.gold_object_paths)
+        )
+        assert perfect / len(result.partitioned) >= 0.85
+
+    def test_partition_all(self):
+        rows = "".join(f"<tr><td>r{i}</td></tr>" for i in range(3))
+        pagelet = pagelet_from(
+            f"<html><body><table>{rows}</table></body></html>", "table"
+        )
+        parts = ObjectPartitioner().partition_all([pagelet, pagelet])
+        assert len(parts) == 2

@@ -1,0 +1,98 @@
+"""Tests for Phase-2 single-page candidate filtering."""
+
+from __future__ import annotations
+
+from repro.core.page import Page
+from repro.core.single_page import candidate_subtrees, candidate_subtrees_for_cluster
+from repro.html.paths import node_path
+
+
+def tags_of(page, **kwargs):
+    return [n.tag for n in candidate_subtrees(page, **kwargs)]
+
+
+class TestRuleOne_NoContent:
+    def test_empty_subtrees_pruned(self):
+        page = Page("<html><body><div></div><p>keep</p></body></html>")
+        assert "div" not in tags_of(page)
+
+    def test_img_only_subtree_pruned(self):
+        page = Page("<html><body><div><img src='x'></div><p>k</p></body></html>")
+        assert "div" not in tags_of(page)
+
+    def test_whitespace_only_content_not_counted(self):
+        page = Page("<html><body><div> \n </div><p>k</p></body></html>")
+        assert "div" not in tags_of(page)
+
+
+class TestRuleTwo_Minimality:
+    def test_wrapper_with_single_content_child_pruned(self):
+        page = Page("<html><body><div><p>hello</p></div></body></html>")
+        assert tags_of(page) == ["p"]
+
+    def test_chain_of_wrappers_all_pruned(self):
+        page = Page(
+            "<html><body><div><div><div><p>deep</p></div></div></div></body></html>"
+        )
+        assert tags_of(page) == ["p"]
+
+    def test_node_with_direct_text_kept(self):
+        page = Page("<html><body><div>own text<p>child</p></div></body></html>")
+        assert "div" in tags_of(page)
+
+    def test_node_with_two_content_children_kept(self):
+        page = Page("<html><body><div><p>a</p><p>b</p></div></body></html>")
+        tags = tags_of(page)
+        assert tags.count("p") == 2
+        assert "div" in tags
+
+
+class TestRootExclusion:
+    def test_root_never_candidate(self):
+        page = Page("<html><body><p>a</p><p>b</p></body></html>")
+        paths = [node_path(n) for n in candidate_subtrees(page)]
+        assert "html" not in paths
+
+    def test_body_can_be_candidate(self):
+        page = Page("<html><body>text<p>a</p><p>b</p></body></html>")
+        assert "body" in tags_of(page)
+
+
+class TestRuleThree_Branching:
+    def test_branching_required_mode(self):
+        page = Page(
+            "<html><body>"
+            "<table><tr><td>a</td><td>b</td></tr></table>"
+            "<span>flat</span><i>x</i>"
+            "</body></html>"
+        )
+        default = tags_of(page)
+        strict = tags_of(page, require_branching=True)
+        assert "span" in default
+        assert "span" not in strict
+        # The one-row table is pruned by minimality (rule 2), but its
+        # row branches (two cells) and survives strict mode.
+        assert "tr" in strict
+
+
+class TestDocumentOrderAndCluster:
+    def test_document_order(self):
+        page = Page(
+            "<html><body><p>one</p><table><tr><td>x</td><td>y</td></tr></table>"
+            "</body></html>"
+        )
+        tags = tags_of(page)
+        assert tags.index("p") < tags.index("tr")
+
+    def test_cluster_helper_shapes(self):
+        pages = [
+            Page("<html><body><p>a</p></body></html>"),
+            Page("<html><body><p>b</p><p>c</p></body></html>"),
+        ]
+        per_page = candidate_subtrees_for_cluster(pages)
+        assert len(per_page) == 2
+        assert [len(c) for c in per_page] == [1, 3]  # p | body + 2 p
+
+    def test_page_with_no_content(self):
+        page = Page("<html><body></body></html>")
+        assert candidate_subtrees(page) == []

@@ -1,0 +1,136 @@
+"""End-to-end tests for the full THOR pipeline."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro import Thor, ThorConfig
+from repro.config import ClusteringConfig, ProbeConfig, SubtreeConfig
+from repro.core.cluster_ranking import rank_clusters, score_clusters
+from repro.core.page_clustering import PageClusterer
+from repro.deepweb import make_site
+from repro.errors import ExtractionError
+
+
+@pytest.fixture(scope="module")
+def site():
+    return make_site("ecommerce", seed=23, error_rate=0.0)
+
+
+@pytest.fixture(scope="module")
+def result(site):
+    return Thor(ThorConfig(seed=23)).run(site)
+
+
+class TestPipeline:
+    def test_probe_collects_full_sample(self, site):
+        thor = Thor(ThorConfig(seed=23))
+        probe = thor.probe(site)
+        assert len(probe) == 110
+
+    def test_extraction_quality(self, result):
+        assert result.pagelets
+        correct = sum(
+            1
+            for p in result.pagelets
+            if p.path == getattr(p.page, "gold_pagelet_path", None)
+        )
+        assert correct / len(result.pagelets) >= 0.9
+
+    def test_no_pagelets_from_error_pages(self, result):
+        labels = {p.page.class_label for p in result.pagelets}
+        assert "error" not in labels
+
+    def test_partitioned_parallel_to_pagelets(self, result):
+        assert len(result.partitioned) == len(result.pagelets)
+        for part, pagelet in zip(result.partitioned, result.pagelets):
+            assert part.pagelet is pagelet
+
+    def test_pagelet_for_page(self, result):
+        pagelet = result.pagelets[0]
+        assert result.pagelet_for_page(pagelet.page) is pagelet
+        missing = [p for p in result.pages if result.pagelet_for_page(p) is None]
+        assert len(missing) == len(result.pages) - len(result.pagelets)
+
+    def test_identifications_cover_top_m(self, result):
+        assert 1 <= len(result.identifications) <= 2
+
+    def test_pagelet_html_roundtrip(self, result):
+        pagelet = result.pagelets[0]
+        assert pagelet.html().startswith("<")
+        assert pagelet.text()
+
+    def test_extract_empty_raises(self):
+        with pytest.raises(ExtractionError):
+            Thor(ThorConfig(seed=0)).extract([])
+
+    def test_deterministic_given_seed(self, site):
+        a = Thor(ThorConfig(seed=5)).run(site)
+        b = Thor(ThorConfig(seed=5)).run(site)
+        assert [p.path for p in a.pagelets] == [p.path for p in b.pagelets]
+
+    def test_custom_probe_config(self, site):
+        config = ThorConfig(probing=ProbeConfig(20, 5), seed=1)
+        probe = Thor(config).probe(site)
+        assert len(probe) == 25
+
+
+class TestPageClustererAndRanking:
+    @pytest.fixture(scope="class")
+    def pages(self, site):
+        return list(Thor(ThorConfig(seed=23)).probe(site).pages)
+
+    def test_clusters_are_pure(self, pages):
+        clusterer = PageClusterer(ClusteringConfig(), seed=23)
+        fitted = clusterer.fit(pages)
+        for cluster in fitted.clustering.non_empty_clusters():
+            labels = Counter(
+                p.class_label for p in fitted.cluster_pages(cluster)
+            )
+            dominant = labels.most_common(1)[0][1]
+            assert dominant / sum(labels.values()) >= 0.9
+
+    def test_ranking_prefers_pagelet_clusters(self, pages):
+        fitted = PageClusterer(ClusteringConfig(), seed=23).fit(pages)
+        top = fitted.cluster_pages(fitted.ranked_clusters[0])
+        labels = Counter(p.class_label for p in top)
+        assert labels.most_common(1)[0][0] in ("multi", "single")
+
+    def test_scores_sorted_descending(self, pages):
+        fitted = PageClusterer(ClusteringConfig(), seed=23).fit(pages)
+        combined = [s.combined for s in fitted.scores]
+        assert combined == sorted(combined, reverse=True)
+
+    def test_rank_clusters_helper(self, pages):
+        fitted = PageClusterer(ClusteringConfig(), seed=23).fit(pages)
+        assert rank_clusters(pages, fitted.clustering) == [
+            s.cluster for s in score_clusters(pages, fitted.clustering)
+        ]
+
+    def test_top_clusters_limits(self, pages):
+        fitted = PageClusterer(ClusteringConfig(), seed=23).fit(pages)
+        assert len(fitted.top_clusters(1)) == 1
+        assert len(fitted.top_clusters(99)) == len(
+            fitted.clustering.non_empty_clusters()
+        )
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ExtractionError):
+            PageClusterer(ClusteringConfig()).fit([])
+
+
+class TestConfigSurface:
+    def test_defaults_match_paper(self):
+        config = ThorConfig()
+        assert config.probing.dictionary_queries == 100
+        assert config.probing.nonsense_queries == 10
+        assert config.clustering.restarts == 10
+        assert config.subtrees.distance_weights == (0.25, 0.25, 0.25, 0.25)
+        assert config.subtrees.static_similarity_threshold == 0.5
+        assert config.subtrees.path_code_length == 1
+
+    def test_subtree_config_immutable(self):
+        with pytest.raises(Exception):
+            SubtreeConfig().max_assign_distance = 0.9

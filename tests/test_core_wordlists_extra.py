@@ -1,0 +1,62 @@
+"""Extra coverage: wordlists, seeding interplay, and probe realism."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.probing import QueryProber
+from repro.core.wordlists import DICTIONARY_WORDS, generate_nonsense_words
+from repro.config import ProbeConfig
+from repro.deepweb import make_site
+
+
+class TestProbeRealism:
+    def test_probe_order_is_shuffled(self):
+        """Nonsense words must not cluster at the end of the probe
+        sequence — a site rate-limiting odd queries would otherwise see
+        them as one burst."""
+        terms = QueryProber(ProbeConfig(100, 10), seed=5).select_terms()
+        nonsense_positions = [
+            i for i, t in enumerate(terms) if t not in DICTIONARY_WORDS
+        ]
+        assert nonsense_positions
+        # Not all in the final 10 slots.
+        assert min(nonsense_positions) < 90
+
+    def test_probe_terms_unique(self):
+        terms = QueryProber(seed=9).select_terms()
+        assert len(terms) == len(set(terms))
+
+    def test_class_mix_varies_with_database_size(self):
+        """Bigger inventories answer more probes — the knob the
+        probing ablation turns."""
+        small = make_site("library", seed=3, records=60, error_rate=0.0)
+        large = make_site("library", seed=3, records=400, error_rate=0.0)
+
+        def hit_rate(site):
+            result = QueryProber(seed=3).probe(site)
+            counts = Counter(p.class_label for p in result.pages)
+            return 1.0 - counts["nomatch"] / len(result.pages)
+
+        assert hit_rate(large) > hit_rate(small)
+
+    def test_single_rate_tracks_rare_words(self):
+        site = make_site("jobs", seed=6, records=200, error_rate=0.0)
+        result = QueryProber(seed=6).probe(site)
+        counts = Counter(p.class_label for p in result.pages)
+        # With 200 unique rare words in a 591-word dictionary, a
+        # 100-word probe should find a fair number of single matches.
+        assert counts["single"] >= 10
+
+
+class TestNonsenseWords:
+    def test_length_parameter(self):
+        words = generate_nonsense_words(5, length=10, seed=0)
+        assert all(len(w) == 10 for w in words)
+
+    def test_zero_count(self):
+        assert generate_nonsense_words(0, seed=0) == []
+
+    def test_large_batch_all_unique(self):
+        words = generate_nonsense_words(500, seed=0)
+        assert len(set(words)) == 500

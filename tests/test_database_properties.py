@@ -1,0 +1,66 @@
+"""Property-based tests for the searchable database substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.deepweb.database import SearchableDatabase
+from repro.deepweb.records import Record
+from repro.text.tokenize import tokenize_words
+
+words = st.text(alphabet="abcdefg", min_size=1, max_size=5)
+field_values = st.lists(words, min_size=1, max_size=6).map(" ".join)
+record_lists = st.lists(
+    st.fixed_dictionaries({"title": field_values, "blurb": field_values}),
+    min_size=1,
+    max_size=10,
+)
+
+
+def build_db(field_maps):
+    return SearchableDatabase(
+        [Record(i, fields) for i, fields in enumerate(field_maps)]
+    )
+
+
+class TestDatabaseProperties:
+    @given(record_lists, words)
+    def test_results_actually_contain_the_word(self, field_maps, word):
+        db = build_db(field_maps)
+        for record in db.query(word):
+            assert word in tokenize_words(record.searchable_text())
+
+    @given(record_lists)
+    def test_every_indexed_word_retrieves_its_record(self, field_maps):
+        db = build_db(field_maps)
+        for record in db.records:
+            for word in tokenize_words(record.searchable_text()):
+                hits = db.query(word)
+                assert record in hits
+
+    @given(record_lists, words, words)
+    def test_conjunctive_query_narrows(self, field_maps, w1, w2):
+        db = build_db(field_maps)
+        both = {r.record_id for r in db.query(f"{w1} {w2}")}
+        only_first = {r.record_id for r in db.query(w1)}
+        only_second = {r.record_id for r in db.query(w2)}
+        assert both == only_first & only_second
+
+    @given(record_lists, words)
+    def test_match_count_consistent(self, field_maps, word):
+        db = build_db(field_maps)
+        assert db.match_count(word) == len(db.query(word))
+
+    @given(record_lists)
+    def test_results_in_insertion_order(self, field_maps):
+        db = build_db(field_maps)
+        for word in list(db.vocabulary())[:10]:
+            ids = [r.record_id for r in db.query(word)]
+            assert ids == sorted(ids)
+
+    @given(record_lists)
+    def test_histogram_counts_vocabulary(self, field_maps):
+        db = build_db(field_maps)
+        histogram = db.selectivity_histogram()
+        assert sum(histogram.values()) == len(db.vocabulary())
+        assert all(1 <= count <= len(db.records) for count in histogram)

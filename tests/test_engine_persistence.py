@@ -1,0 +1,86 @@
+"""Tests for index save/load."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import InvertedIndex, ObjectDocument
+from repro.engine.persistence import FORMAT_VERSION, load_index, save_index
+from repro.errors import ThorError
+
+
+def doc(doc_id, text):
+    return ObjectDocument.build(
+        doc_id=doc_id,
+        site="s.example.com",
+        probe_query="q",
+        path="html/body/table/tr",
+        page_url="http://s.example.com/?q=q",
+        text=text,
+    )
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_search(self, tmp_path):
+        index = InvertedIndex()
+        index.add(doc(0, "sony camera"))
+        index.add(doc(1, "red bicycle"))
+        path = tmp_path / "index.json"
+        assert save_index(index, path) == 2
+
+        loaded = load_index(path)
+        assert len(loaded) == 2
+        original = [h.document.doc_id for h in index.search("camera")]
+        restored = [h.document.doc_id for h in loaded.search("camera")]
+        assert original == restored
+
+    def test_roundtrip_preserves_metadata(self, tmp_path):
+        index = InvertedIndex()
+        index.add(doc(7, "alpha"))
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        restored = load_index(path).document(7)
+        assert restored.site == "s.example.com"
+        assert restored.page_url.startswith("http://")
+
+    def test_empty_index(self, tmp_path):
+        path = tmp_path / "empty.json"
+        assert save_index(InvertedIndex(), path) == 0
+        assert len(load_index(path)) == 0
+
+    def test_unicode(self, tmp_path):
+        index = InvertedIndex()
+        index.add(doc(0, "café tokyo 東京"))
+        path = tmp_path / "u.json"
+        save_index(index, path)
+        assert "café" in load_index(path).document(0).text
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ThorError, match="corrupt"):
+            load_index(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "vold.json"
+        path.write_text(json.dumps({"version": FORMAT_VERSION + 1, "documents": []}))
+        with pytest.raises(ThorError, match="version"):
+            load_index(path)
+
+    def test_malformed_document_raises(self, tmp_path):
+        path = tmp_path / "malformed.json"
+        path.write_text(
+            json.dumps(
+                {"version": FORMAT_VERSION, "documents": [{"doc_id": "x"}]}
+            )
+        )
+        with pytest.raises(ThorError, match="malformed"):
+            load_index(path)
+
+    def test_documents_listing_sorted(self):
+        index = InvertedIndex()
+        index.add(doc(5, "five"))
+        index.add(doc(1, "one"))
+        assert [d.doc_id for d in index.documents()] == [1, 5]

@@ -1,0 +1,163 @@
+"""Tests for precision/recall scoring of pagelets and objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.page import Page
+from repro.core.pagelet import PartitionedPagelet, QAObject, QAPagelet
+from repro.deepweb.site import LabeledPage
+from repro.errors import EvaluationError
+from repro.eval.metrics import (
+    PageletScore,
+    _paths_overlap,
+    score_objects,
+    score_pagelets,
+)
+from repro.html.paths import node_path
+
+
+def labeled(html, gold_path=None, gold_objects=(), query="q"):
+    return LabeledPage(
+        html,
+        url="http://s/?q=" + query,
+        query=query,
+        class_label="multi" if gold_path else "nomatch",
+        gold_pagelet_path=gold_path,
+        gold_object_paths=tuple(gold_objects),
+    )
+
+
+def pagelet_at(page, path):
+    from repro.html.paths import resolve_path
+
+    node = resolve_path(page.tree, path)
+    return QAPagelet(page=page, path=path, node=node)
+
+
+HTML = "<html><body><table><tr><td>x</td></tr></table><p>f</p></body></html>"
+
+
+class TestPageletScore:
+    def test_perfect(self):
+        score = PageletScore(5, 5, 5)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_zero_identified_with_gold(self):
+        score = PageletScore(0, 0, 3)
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+
+    def test_zero_identified_zero_gold(self):
+        score = PageletScore(0, 0, 0)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    def test_merge_pools_counts(self):
+        merged = PageletScore(1, 2, 3, 1).merge(PageletScore(2, 2, 3, 2))
+        assert merged.true_positives == 3
+        assert merged.identified == 4
+        assert merged.total_gold == 6
+        assert merged.overlapping == 3
+
+    def test_f1_harmonic(self):
+        score = PageletScore(1, 2, 1)  # P=0.5, R=1.0
+        assert abs(score.f1 - 2 * 0.5 / 1.5) < 1e-12
+
+
+class TestPathsOverlap:
+    def test_equal(self):
+        assert _paths_overlap("html/body/table", "html/body/table")
+
+    def test_ancestor(self):
+        assert _paths_overlap("html/body", "html/body/table/tr")
+        assert _paths_overlap("html/body/table/tr", "html/body")
+
+    def test_disjoint(self):
+        assert not _paths_overlap("html/body/table[1]", "html/body/table[2]")
+
+    def test_index_normalization(self):
+        # table (implicit [1]) is an ancestor of table[1]/tr but not
+        # of table[2]/tr.
+        assert _paths_overlap("html/body/table", "html/body/table[1]/tr")
+
+
+class TestScorePagelets:
+    def test_exact_match_counts(self):
+        page = labeled(HTML, "html/body/table")
+        score = score_pagelets([pagelet_at(page, "html/body/table")], [page])
+        assert score.true_positives == 1
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    def test_wrong_path_is_fp(self):
+        page = labeled(HTML, "html/body/table")
+        score = score_pagelets([pagelet_at(page, "html/body/p")], [page])
+        assert score.true_positives == 0
+        assert score.precision == 0.0
+
+    def test_overlap_tracked_separately(self):
+        page = labeled(HTML, "html/body/table/tr")
+        score = score_pagelets([pagelet_at(page, "html/body/table")], [page])
+        assert score.true_positives == 0
+        assert score.overlapping == 1
+
+    def test_pagelet_on_goldless_page_is_fp(self):
+        page = labeled(HTML, None)
+        score = score_pagelets([pagelet_at(page, "html/body/table")], [page])
+        assert score.precision == 0.0
+        assert score.recall == 1.0  # no gold to recall
+
+    def test_missed_gold_page_hurts_recall(self):
+        covered = labeled(HTML, "html/body/table")
+        missed = labeled(HTML, "html/body/table")
+        score = score_pagelets(
+            [pagelet_at(covered, "html/body/table")], [covered, missed]
+        )
+        assert score.recall == 0.5
+        assert score.precision == 1.0
+
+    def test_unknown_page_raises(self):
+        inside = labeled(HTML, "html/body/table")
+        outside = labeled(HTML, "html/body/table")
+        with pytest.raises(EvaluationError):
+            score_pagelets([pagelet_at(outside, "html/body/table")], [inside])
+
+    def test_empty_inputs(self):
+        score = score_pagelets([], [])
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+
+class TestScoreObjects:
+    def make_part(self, object_paths, gold_paths):
+        page = labeled(HTML, "html/body/table", gold_paths)
+        pagelet = pagelet_at(page, "html/body/table")
+        objects = tuple(
+            QAObject(path, pagelet.node) for path in object_paths
+        )
+        return PartitionedPagelet(pagelet, objects)
+
+    def test_exact_objects(self):
+        part = self.make_part(
+            ["html/body/table/tr"], ["html/body/table/tr"]
+        )
+        score = score_objects([part])
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    def test_partial_objects(self):
+        part = self.make_part(
+            ["html/body/table/tr", "html/body/p"],
+            ["html/body/table/tr", "html/body/table"],
+        )
+        score = score_objects([part])
+        assert score.true_positives == 1
+        assert score.identified == 2
+        assert score.total_gold == 2
+
+    def test_empty(self):
+        assert score_objects([]).precision == 1.0

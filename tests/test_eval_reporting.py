@@ -1,0 +1,85 @@
+"""Tests for the ASCII reporting helpers."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.eval.reporting import format_histogram, format_series, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        text = format_table(["name", "v"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        # Separator row uses dashes matching column widths.
+        assert set(lines[1].replace("  ", "")) == {"-"}
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.5]])
+        assert "0.5" in text
+
+    def test_zero_float(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 999), min_size=2, max_size=2),
+            max_size=6,
+        )
+    )
+    def test_all_rows_present(self, rows):
+        text = format_table(["a", "b"], rows)
+        assert len(text.splitlines()) == 2 + len(rows)
+
+
+class TestFormatSeries:
+    def test_one_row_per_x(self):
+        text = format_series(
+            "n", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]}
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "0.1000" in lines[2]
+        assert "0.4000" in lines[3]
+
+    def test_precision_knob(self):
+        text = format_series("n", [1], {"s": [0.123456]}, precision=2)
+        assert "0.12" in text
+        assert "0.1235" not in text
+
+
+class TestFormatHistogram:
+    def test_bars_scale_to_peak(self):
+        text = format_histogram([("lo", 10), ("hi", 5)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_counts_shown(self):
+        text = format_histogram([("a", 3)])
+        assert text.endswith("3")
+
+    def test_zero_counts(self):
+        text = format_histogram([("a", 0), ("b", 0)])
+        assert "#" not in text
+
+    def test_empty(self):
+        assert format_histogram([]) == ""
+
+    def test_title(self):
+        assert format_histogram([("a", 1)], title="T").startswith("T\n")
+
+    def test_labels_padded(self):
+        text = format_histogram([("x", 1), ("longer", 1)])
+        positions = [line.index("|") for line in text.splitlines()]
+        assert len(set(positions)) == 1

@@ -1,0 +1,67 @@
+"""Smoke tests: the example scripts must run clean end-to-end.
+
+Each example is executed in-process (imported as a module and its
+``main`` called) to keep the suite fast while still exercising the
+exact code a user would run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main(seed=7)
+        output = capsys.readouterr().out
+        assert "QA-Pagelets" in output
+        assert "QA-Objects" in output
+
+    def test_ecommerce_extraction(self, capsys):
+        load_example("ecommerce_extraction").main(seed=11)
+        output = capsys.readouterr().out
+        assert "product records" in output
+        assert "Ground truth" in output
+
+    def test_scalability_demo_small(self, capsys):
+        load_example("scalability_demo").main(max_pages=550)
+        output = capsys.readouterr().out
+        assert "Entropy vs collection size" in output
+
+    def test_deepweb_search_engine(self, capsys):
+        load_example("deepweb_search_engine").main("camera")
+        output = capsys.readouterr().out
+        assert "Fine-grained content search" in output
+        assert "Search by site" in output
+
+    def test_discover_and_index(self, capsys):
+        load_example("discover_and_index").main("camera")
+        output = capsys.readouterr().out
+        assert "unique search forms" in output
+
+    @pytest.mark.slow
+    def test_robustness_demo(self, capsys):
+        load_example("robustness_demo").main()
+        output = capsys.readouterr().out
+        assert "redesign" in output.lower()
+
+    @pytest.mark.slow
+    def test_multisite_survey(self, capsys):
+        load_example("multisite_survey").main(n_sites=2)
+        output = capsys.readouterr().out
+        assert "extraction quality per site" in output

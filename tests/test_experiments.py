@@ -1,0 +1,135 @@
+"""Tests for the experiment harnesses (small-scale smoke + semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ProbeConfig
+from repro.deepweb import SyntheticPageGenerator
+from repro.deepweb.corpus import generate_corpus
+from repro.eval.experiments import (
+    DISTANCE_VARIANTS,
+    EntropyPoint,
+    cluster_synthetic,
+    clustering_quality_experiment,
+    corpus_statistics,
+    overall_experiment,
+    phase2_distance_experiment,
+    sensitivity_experiment,
+    similarity_histogram_experiment,
+    synthetic_scale_experiment,
+    tradeoff_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    # 2 sites × 33 probes keeps every harness fast.
+    return generate_corpus(
+        n_sites=2, probe_config=ProbeConfig(30, 3), seed=4
+    )
+
+
+@pytest.fixture(scope="module")
+def synthetic(tiny_corpus):
+    pages = [p for s in tiny_corpus for p in s.pages]
+    return SyntheticPageGenerator.fit(pages).generate(120, seed=4)
+
+
+class TestClusteringQuality:
+    def test_structure_of_results(self, tiny_corpus):
+        results = clustering_quality_experiment(
+            tiny_corpus, ["ttag", "rand"], [5, 10], repeats=1, seed=4
+        )
+        assert set(results) == {"ttag", "rand"}
+        for key in results:
+            assert set(results[key]) == {5, 10}
+            for point in results[key].values():
+                assert isinstance(point, EntropyPoint)
+                assert 0.0 <= point.entropy <= 1.0
+                assert point.seconds >= 0.0
+                assert point.runs == 2  # 2 sites × 1 repeat
+
+    def test_ttag_beats_random(self, tiny_corpus):
+        results = clustering_quality_experiment(
+            tiny_corpus, ["ttag", "rand"], [20], repeats=2, seed=4
+        )
+        assert results["ttag"][20].entropy < results["rand"][20].entropy
+
+
+class TestSyntheticScale:
+    @pytest.mark.parametrize(
+        "rep", ["ttag", "rtag", "tcon", "rcon", "size", "url", "rand"]
+    )
+    def test_every_representation_clusters(self, synthetic, rep):
+        clustering = cluster_synthetic(
+            synthetic[:40], rep, k=3, restarts=1, seed=4
+        )
+        assert clustering.n == 40
+
+    def test_unknown_representation_raises(self, synthetic):
+        with pytest.raises(ValueError):
+            cluster_synthetic(synthetic[:10], "bogus")
+
+    def test_scale_experiment_shape(self, synthetic):
+        results = synthetic_scale_experiment(
+            synthetic, ["ttag"], [40, 120], seed=4, entropy_restarts=2
+        )
+        assert set(results["ttag"]) == {40, 120}
+
+
+class TestPhase2Harness:
+    def test_all_variants_scored(self, tiny_corpus):
+        scores = phase2_distance_experiment(tiny_corpus, seed=4)
+        assert set(scores) == set(DISTANCE_VARIANTS)
+        for score in scores.values():
+            assert 0.0 <= score.precision <= 1.0
+            assert 0.0 <= score.recall <= 1.0
+
+    def test_histogram_bucket_count(self, tiny_corpus):
+        hist = similarity_histogram_experiment(
+            tiny_corpus, use_tfidf=True, buckets=4, seed=4
+        )
+        assert len(hist) == 4
+        assert all(count >= 0 for _, count in hist)
+
+    def test_histogram_mass_constant_across_weighting(self, tiny_corpus):
+        with_t = similarity_histogram_experiment(
+            tiny_corpus, use_tfidf=True, seed=4
+        )
+        without = similarity_histogram_experiment(
+            tiny_corpus, use_tfidf=False, seed=4
+        )
+        assert sum(c for _, c in with_t) == sum(c for _, c in without)
+
+
+class TestPipelineHarnesses:
+    def test_overall_experiment_keys(self, tiny_corpus):
+        scores = overall_experiment(tiny_corpus, ["ttag", "rand"], seed=4)
+        assert set(scores) == {"ttag", "rand"}
+        assert scores["ttag"].f1 >= scores["rand"].f1
+
+    def test_tradeoff_monotone_recall(self, tiny_corpus):
+        scores = tradeoff_experiment(
+            tiny_corpus, m_values=(1, 2), k=3, seed=4
+        )
+        assert scores[1].recall <= scores[2].recall + 1e-9
+
+    def test_sensitivity_grid(self, tiny_corpus):
+        grid = sensitivity_experiment(
+            tiny_corpus, k_values=(2, 3), restart_values=(2,), seed=4
+        )
+        assert set(grid) == {(2, 2), (3, 2)}
+
+
+class TestCorpusStatistics:
+    def test_stats_fields(self, tiny_corpus):
+        stats = corpus_statistics(tiny_corpus)
+        assert stats.pages == sum(len(s.pages) for s in tiny_corpus)
+        assert stats.avg_distinct_tags > 0
+        assert stats.avg_distinct_terms > stats.avg_distinct_tags
+        assert stats.avg_parse_seconds > 0
+
+    def test_empty(self):
+        stats = corpus_statistics([])
+        assert stats.pages == 0

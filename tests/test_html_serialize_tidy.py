@@ -1,0 +1,116 @@
+"""Tests for serialization, tidy, and entity handling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.html import parse, tidy, to_html
+from repro.html.entities import decode_entities, encode_attribute, encode_entities
+from repro.html.tree import TagNode
+
+
+class TestEntities:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("a &amp; b", "a & b"),
+            ("&lt;tag&gt;", "<tag>"),
+            ("&quot;q&quot;", '"q"'),
+            ("&#65;&#66;", "AB"),
+            ("&#x41;", "A"),
+            ("&copy; 2003", "© 2003"),
+            ("&nbsp;", "\xa0"),
+        ],
+    )
+    def test_decode(self, raw, expected):
+        assert decode_entities(raw) == expected
+
+    def test_unknown_entity_left_alone(self):
+        assert decode_entities("&bogus;") == "&bogus;"
+
+    def test_unterminated_reference_left_alone(self):
+        assert decode_entities("R&D department") == "R&D department"
+
+    def test_bad_numeric_left_alone(self):
+        assert decode_entities("&#xFFFFFFFF;") == "&#xFFFFFFFF;"
+        assert decode_entities("&#;") == "&#;"
+
+    def test_no_ampersand_fast_path(self):
+        text = "plain text"
+        assert decode_entities(text) is text
+
+    def test_encode_text(self):
+        assert encode_entities("a<b&c>d") == "a&lt;b&amp;c&gt;d"
+
+    def test_encode_attribute_quotes(self):
+        assert encode_attribute('say "hi"') == "say &quot;hi&quot;"
+
+    @given(st.text(max_size=200))
+    def test_encode_decode_roundtrip(self, text):
+        assert decode_entities(encode_entities(text)) == text
+
+    @given(st.text(max_size=200))
+    def test_decode_never_raises(self, text):
+        decode_entities(text)
+
+
+class TestSerialize:
+    def test_simple(self):
+        assert to_html(parse("<p>x</p>").root) == "<html><p>x</p></html>"
+
+    def test_attributes_serialized(self):
+        html = to_html(parse('<a href="x.html" rel="next">l</a>').root)
+        assert 'href="x.html"' in html
+        assert 'rel="next"' in html
+
+    def test_bare_attribute(self):
+        html = to_html(parse("<input disabled>").root)
+        assert "<input disabled>" in html
+
+    def test_void_element_no_close_tag(self):
+        html = to_html(parse("<p>a<br>b</p>").root)
+        assert "<br>" in html
+        assert "</br>" not in html
+
+    def test_text_re_escaped(self):
+        html = to_html(parse("<p>a &amp; b</p>").root)
+        assert "a &amp; b" in html
+
+    def test_pretty_indents(self):
+        pretty = to_html(parse("<div><p>x</p></div>"), pretty=True)
+        lines = pretty.splitlines()
+        assert any(line.startswith("  ") for line in lines)
+
+    def test_accepts_tree_or_node(self):
+        tree = parse("<p>x</p>")
+        assert to_html(tree) == to_html(tree.root)
+
+    def test_empty_element_compact(self):
+        assert "<div></div>" in to_html(parse("<div></div>").root)
+
+
+class TestTidy:
+    def test_implicit_closes_made_explicit(self):
+        assert tidy("<BODY><P>one<P>two") == (
+            "<html><body><p>one</p><p>two</p></body></html>"
+        )
+
+    def test_case_folding(self):
+        assert "<table>" in tidy("<TABLE></TABLE>")
+
+    def test_comments_removed(self):
+        assert "hidden" not in tidy("<p><!-- hidden -->x</p>")
+
+    def test_doctype_removed(self):
+        assert "DOCTYPE" not in tidy("<!DOCTYPE html><html><body></body></html>")
+
+    def test_idempotent_on_messy_input(self):
+        messy = "<TABLE><TR><TD>a<TD>b<TR><TD>c"
+        once = tidy(messy)
+        assert tidy(once) == once
+
+    @given(st.text(alphabet="<>/abtdr il", max_size=150))
+    def test_idempotent_property(self, html):
+        once = tidy(html)
+        assert tidy(once) == once

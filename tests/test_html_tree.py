@@ -1,0 +1,158 @@
+"""Tests for the tag-tree model and its metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.html import parse
+from repro.html.metrics import distinct_tags, max_fanout, subtree_shape
+from repro.html.tree import ContentNode, TagNode, TagTree
+
+SAMPLE = (
+    "<html><head><title>T</title></head>"
+    "<body><table><tr><td>a</td><td>b</td></tr>"
+    "<tr><td>c</td></tr></table><p>text</p></body></html>"
+)
+
+
+@pytest.fixture
+def tree():
+    return parse(SAMPLE)
+
+
+class TestNodeBasics:
+    def test_depth_of_root(self, tree):
+        assert tree.root.depth() == 0
+
+    def test_depth_of_nested(self, tree):
+        td = tree.root.find("td")
+        assert td.depth() == 4  # html(0)/body(1)/table(2)/tr(3)/td(4)
+
+    def test_ancestors_order(self, tree):
+        td = tree.root.find("td")
+        tags = [a.tag for a in td.ancestors()]
+        assert tags == ["tr", "table", "body", "html"]
+
+    def test_root_method(self, tree):
+        td = tree.root.find("td")
+        assert td.root() is tree.root
+
+    def test_is_tag_is_content(self, tree):
+        td = tree.root.find("td")
+        assert td.is_tag and not td.is_content
+        leaf = td.children[0]
+        assert leaf.is_content and not leaf.is_tag
+
+    def test_content_node_repr_truncates(self):
+        node = ContentNode("x" * 100)
+        assert len(repr(node)) < 60
+
+
+class TestTagNodeAccessors:
+    def test_append_sets_parent(self):
+        parent = TagNode("div")
+        child = TagNode("span")
+        parent.append(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_get_attribute(self):
+        node = TagNode("a", (("href", "x"),))
+        assert node.get("href") == "x"
+        assert node.get("HREF") == "x"
+        assert node.get("missing") is None
+
+    def test_tag_children_vs_content_children(self, tree):
+        tr = tree.root.find("tr")
+        assert [c.tag for c in tr.tag_children()] == ["td", "td"]
+        td = tree.root.find("td")
+        assert [c.text for c in td.content_children()] == ["a"]
+
+    def test_fanout(self, tree):
+        table = tree.root.find("table")
+        assert table.fanout == 2  # two rows
+        assert tree.root.find("td").fanout == 1  # one text leaf
+
+    def test_find_returns_first(self, tree):
+        assert tree.root.find("td").text() == "a"
+
+    def test_find_all_in_document_order(self, tree):
+        texts = [td.text() for td in tree.root.find_all("td")]
+        assert texts == ["a", "b", "c"]
+
+    def test_find_missing(self, tree):
+        assert tree.root.find("video") is None
+        assert tree.root.find_all("video") == []
+
+
+class TestTraversal:
+    def test_iter_preorder(self, tree):
+        tags = [n.tag for n in tree.root.iter_tags()]
+        assert tags[0] == "html"
+        assert tags.index("head") < tags.index("body")
+        assert tags.index("table") < tags.index("p")
+
+    def test_iter_content(self, tree):
+        texts = [c.text for c in tree.root.iter_content()]
+        assert texts == ["T", "a", "b", "c", "text"]
+
+    def test_text_concatenation(self, tree):
+        assert tree.root.find("table").text(" ") == "a b c"
+
+    def test_text_custom_separator(self, tree):
+        assert tree.root.find("tr").text("|") == "a|b"
+
+    def test_size_counts_all_nodes(self):
+        t = parse("<html><body><p>x</p></body></html>")
+        # html, body, p, text
+        assert t.root.size() == 4
+
+    def test_subtree_depth(self, tree):
+        table = tree.root.find("table")
+        assert table.subtree_depth() == 3  # table > tr > td > text
+
+
+class TestTagTree:
+    def test_tag_counts(self, tree):
+        counts = tree.tag_counts()
+        assert counts["td"] == 3
+        assert counts["tr"] == 2
+        assert counts["html"] == 1
+        assert "#text" not in counts
+
+    def test_tree_size_delegates(self, tree):
+        assert tree.size() == tree.root.size()
+
+    def test_tree_text_delegates(self, tree):
+        assert "text" in tree.text()
+
+    def test_repr(self, tree):
+        assert "TagTree" in repr(tree)
+
+
+class TestMetrics:
+    def test_max_fanout(self, tree):
+        # body has 2 children; tr[1] has 2 tds; table has 2 rows;
+        # html has 2. Max fanout in this doc is 2.
+        assert max_fanout(tree) == 2
+
+    def test_max_fanout_wide(self):
+        t = parse("<ul>" + "<li>x</li>" * 9 + "</ul>")
+        assert max_fanout(t) == 9
+
+    def test_distinct_tags(self, tree):
+        assert distinct_tags(tree) == len(tree.tag_counts())
+
+    def test_subtree_shape(self, tree):
+        table = tree.root.find("table")
+        shape = subtree_shape(table)
+        assert shape.path == "html/body/table"
+        assert shape.fanout == 2
+        assert shape.depth == 2
+        assert shape.nodes == table.size()
+
+    def test_subtree_shape_leaf_tag(self, tree):
+        td = tree.root.find("td")
+        shape = subtree_shape(td)
+        assert shape.fanout == 1
+        assert shape.nodes == 2  # td + its text leaf

@@ -1,0 +1,60 @@
+"""Fast integration checks of the paper's headline shapes.
+
+These are miniature versions of the benches — small enough for the
+test suite, strong enough to catch a regression that would invalidate
+the reproduction (e.g. TFIDF tags losing to random clustering, or the
+combined subtree distance losing to a single feature).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ProbeConfig
+from repro.deepweb.corpus import generate_corpus
+from repro.eval.experiments import (
+    clustering_quality_experiment,
+    overall_experiment,
+    phase2_distance_experiment,
+    similarity_histogram_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(
+        n_sites=3, probe_config=ProbeConfig(40, 4), seed=8
+    )
+
+
+class TestPaperShapes:
+    def test_fig4_shape_ttag_beats_naive_baselines(self, corpus):
+        results = clustering_quality_experiment(
+            corpus, ["ttag", "url", "rand"], [30], repeats=2, seed=8
+        )
+        ttag = results["ttag"][30].entropy
+        assert ttag < 0.25
+        assert ttag < results["url"][30].entropy
+        assert ttag < results["rand"][30].entropy
+
+    def test_fig8_shape_combined_metric_strong(self, corpus):
+        scores = phase2_distance_experiment(corpus, seed=8)
+        combined = scores["All"]
+        assert combined.precision >= 0.85
+        # Combined at least matches the weakest single features.
+        assert combined.precision >= scores["D"].precision
+        assert combined.precision >= scores["F"].precision
+
+    def test_fig9_shape_tfidf_bimodal(self, corpus):
+        hist = similarity_histogram_experiment(
+            corpus, use_tfidf=True, seed=8
+        )
+        counts = [c for _, c in hist]
+        extremes = counts[0] + counts[-1]
+        middle = sum(counts[1:-1])
+        assert extremes > middle
+
+    def test_fig10_shape_ttag_ahead_of_random(self, corpus):
+        scores = overall_experiment(corpus, ["ttag", "rand"], seed=8)
+        assert scores["ttag"].precision >= 0.8
+        assert scores["ttag"].f1 > 3 * scores["rand"].f1

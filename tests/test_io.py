@@ -1,0 +1,130 @@
+"""Tests for page caching and result export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Thor, ThorConfig
+from repro.core.page import Page
+from repro.deepweb import make_site
+from repro.deepweb.site import LabeledPage
+from repro.errors import ThorError
+from repro.io import (
+    export_result,
+    load_pages,
+    pagelet_to_dict,
+    partitioned_to_dict,
+    result_to_dict,
+    save_pages,
+)
+
+
+class TestPageCache:
+    def test_roundtrip_plain_pages(self, tmp_path):
+        pages = [
+            Page("<html><body><p>a</p></body></html>", url="http://x/?q=a", query="a"),
+            Page("<html><body><p>b</p></body></html>", url="http://x/?q=b", query="b"),
+        ]
+        path = tmp_path / "pages.jsonl"
+        assert save_pages(pages, path) == 2
+        loaded = load_pages(path)
+        assert [p.html for p in loaded] == [p.html for p in pages]
+        assert [p.url for p in loaded] == [p.url for p in pages]
+        assert [p.query for p in loaded] == ["a", "b"]
+        assert all(type(p) is Page for p in loaded)
+
+    def test_roundtrip_labeled_pages(self, tmp_path):
+        site = make_site("music", seed=2)
+        pages = [site.query(w) for w in ("blue", "zzzqqq")]
+        path = tmp_path / "labeled.jsonl"
+        save_pages(pages, path)
+        loaded = load_pages(path)
+        assert all(isinstance(p, LabeledPage) for p in loaded)
+        assert [p.class_label for p in loaded] == [p.class_label for p in pages]
+        assert [p.gold_pagelet_path for p in loaded] == [
+            p.gold_pagelet_path for p in pages
+        ]
+        assert [p.gold_object_paths for p in loaded] == [
+            p.gold_object_paths for p in pages
+        ]
+
+    def test_unicode_survives(self, tmp_path):
+        pages = [Page("<html><body>café — 東京</body></html>")]
+        path = tmp_path / "u.jsonl"
+        save_pages(pages, path)
+        assert "café" in load_pages(path)[0].html
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_pages(path) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        record = json.dumps({"html": "<p>x</p>", "url": "", "query": ""})
+        path.write_text(f"{record}\n\n{record}\n")
+        assert len(load_pages(path)) == 2
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"html": "<p>x</p>"}\nnot json\n')
+        with pytest.raises(ThorError, match=":2"):
+            load_pages(path)
+
+    def test_missing_html_field_raises(self, tmp_path):
+        path = tmp_path / "nohtml.jsonl"
+        path.write_text('{"url": "x"}\n')
+        with pytest.raises(ThorError):
+            load_pages(path)
+
+    def test_extraction_works_from_cache(self, tmp_path):
+        site = make_site("ecommerce", seed=19)
+        thor = Thor(ThorConfig(seed=19))
+        probe = thor.probe(site)
+        path = tmp_path / "cache.jsonl"
+        save_pages(list(probe.pages), path)
+        result = thor.extract(load_pages(path))
+        assert result.pagelets
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        site = make_site("ecommerce", seed=29, error_rate=0.0)
+        return Thor(ThorConfig(seed=29)).run(site)
+
+    def test_pagelet_dict_fields(self, result):
+        record = pagelet_to_dict(result.pagelets[0])
+        assert set(record) >= {
+            "page_url", "probe_query", "path", "rank", "score", "text", "html"
+        }
+        assert record["html"].startswith("<")
+
+    def test_html_optional(self, result):
+        record = pagelet_to_dict(result.pagelets[0], include_html=False)
+        assert "html" not in record
+
+    def test_partitioned_dict(self, result):
+        record = partitioned_to_dict(result.partitioned[0])
+        assert record["objects"]
+        assert all({"path", "text"} <= set(o) for o in record["objects"])
+
+    def test_result_dict_summary(self, result):
+        record = result_to_dict(result)
+        assert record["pages"] == len(result.pages)
+        assert len(record["clusters"]) >= 2
+        assert len(record["pagelets"]) == len(result.pagelets)
+
+    def test_export_file_is_valid_json(self, result, tmp_path):
+        path = tmp_path / "out.json"
+        export_result(result, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["pages"] == len(result.pages)
+
+    def test_export_json_serializable_with_html(self, result, tmp_path):
+        path = tmp_path / "out_html.json"
+        export_result(result, path, include_html=True)
+        loaded = json.loads(path.read_text())
+        assert loaded["pagelets"][0]["html"].startswith("<")

@@ -1,0 +1,107 @@
+"""Property-style invariants of the full pipeline across seeds/domains.
+
+These are the contracts a downstream consumer relies on, checked over
+a spread of simulated sites rather than a single handpicked one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Thor, ThorConfig
+from repro.deepweb import make_site
+from repro.html.paths import resolve_path
+from repro.html.tree import TagNode
+
+CASES = [
+    ("ecommerce", 101),
+    ("music", 102),
+    ("library", 103),
+    ("jobs", 104),
+    ("realestate", 105),
+]
+
+
+@pytest.fixture(scope="module", params=CASES, ids=[f"{d}-{s}" for d, s in CASES])
+def run(request):
+    domain, seed = request.param
+    site = make_site(domain, seed=seed)
+    return Thor(ThorConfig(seed=seed)).run(site)
+
+
+class TestPipelineInvariants:
+    def test_pagelet_nodes_belong_to_their_pages(self, run):
+        for pagelet in run.pagelets:
+            root = pagelet.page.tree.root
+            assert pagelet.node.root() is root
+
+    def test_pagelet_paths_resolve_to_their_nodes(self, run):
+        for pagelet in run.pagelets:
+            assert resolve_path(pagelet.page.tree, pagelet.path) is pagelet.node
+
+    def test_at_most_one_pagelet_per_page(self, run):
+        ids = [id(p.page) for p in run.pagelets]
+        assert len(ids) == len(set(ids))
+
+    def test_objects_inside_their_pagelet(self, run):
+        for part in run.partitioned:
+            inside = {id(n) for n in part.pagelet.node.iter_tags()}
+            for obj in part.objects:
+                assert id(obj.node) in inside
+
+    def test_object_paths_resolve(self, run):
+        for part in run.partitioned:
+            tree = part.pagelet.page.tree
+            for obj in part.objects:
+                assert resolve_path(tree, obj.path) is obj.node
+
+    def test_objects_have_content(self, run):
+        for part in run.partitioned:
+            for obj in part.objects:
+                assert obj.text().strip()
+
+    def test_objects_are_disjoint(self, run):
+        for part in run.partitioned:
+            seen: set[int] = set()
+            for obj in part.objects:
+                subtree = {id(n) for n in obj.node.iter_tags()}
+                assert not (subtree & seen)
+                seen |= subtree
+
+    def test_contained_paths_resolve_inside_pagelet(self, run):
+        for pagelet in run.pagelets:
+            tree = pagelet.page.tree
+            inside = {id(n) for n in pagelet.node.iter_tags()}
+            for path in pagelet.contained_dynamic_paths:
+                node = resolve_path(tree, path)
+                assert isinstance(node, TagNode)
+                assert id(node) in inside
+
+    def test_clusters_partition_pages(self, run):
+        clustering = run.clustering.clustering
+        assert clustering.n == len(run.pages)
+        covered = sorted(
+            i
+            for cluster in range(clustering.k)
+            for i in clustering.members(cluster)
+        )
+        assert covered == list(range(len(run.pages)))
+
+    def test_forwarded_clusters_ranked_first(self, run):
+        forwarded = len(run.identifications)
+        assert 1 <= forwarded <= 2
+
+    def test_quality_floor(self, run):
+        """Every simulated site must extract most labeled regions —
+        precision ≥ 0.9 against ground truth; recall bounded only by
+        the top-m trade-off, so check ≥ 0.5."""
+        gold_pages = [
+            p for p in run.pages if getattr(p, "gold_pagelet_path", None)
+        ]
+        exact = sum(
+            1
+            for p in run.pagelets
+            if p.path == getattr(p.page, "gold_pagelet_path", None)
+        )
+        assert exact / max(1, len(run.pagelets)) >= 0.9
+        assert exact / max(1, len(gold_pages)) >= 0.5

@@ -1,0 +1,106 @@
+"""Tests for page signatures and the clustering-configuration registry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.page import Page
+from repro.signatures import (
+    CONFIGURATIONS,
+    content_signature,
+    content_vectors,
+    get_configuration,
+    size_signature,
+    tag_signature,
+    tag_vectors,
+    url_distance,
+)
+
+PAGES = [
+    Page("<html><body><table><tr><td>alpha beta</td></tr></table></body></html>",
+         url="http://s.com/search?q=alpha"),
+    Page("<html><body><p>no matches found</p></body></html>",
+         url="http://s.com/search?q=zzz"),
+    Page("<html><body><table><tr><td>alpha gamma</td><td>x</td></tr></table></body></html>",
+         url="http://s.com/search?q=gamma"),
+]
+
+
+class TestTagSignature:
+    def test_counts(self):
+        sig = tag_signature(PAGES[0])
+        assert sig["td"] == 1
+        assert sig["html"] == 1
+
+    def test_raw_vectors_normalized(self):
+        vectors = tag_vectors(PAGES, "raw")
+        assert all(math.isclose(v.norm, 1.0) for v in vectors)
+
+    def test_tfidf_vectors_weight_discriminative_tags(self):
+        vectors = tag_vectors(PAGES, "tfidf")
+        # <p> occurs only in the no-match page: it should carry more
+        # weight there than ubiquitous <html>.
+        v = vectors[1]
+        assert v["p"] > v["html"]
+
+    def test_unknown_weighting_raises(self):
+        with pytest.raises(ValueError):
+            tag_vectors(PAGES, "bogus")
+
+
+class TestContentSignature:
+    def test_terms_stemmed(self):
+        page = Page("<html><body>connected connections</body></html>")
+        sig = content_signature(page)
+        assert sig == {"connect": 2}
+
+    def test_vectors(self):
+        vectors = content_vectors(PAGES, "tfidf")
+        assert len(vectors) == 3
+        assert "alpha" in vectors[0]
+
+    def test_unknown_weighting_raises(self):
+        with pytest.raises(ValueError):
+            content_vectors(PAGES, "x")
+
+
+class TestUrlAndSize:
+    def test_url_distance_normalized(self):
+        d = url_distance(PAGES[0], PAGES[1])
+        assert 0.0 < d < 1.0
+
+    def test_url_distance_raw(self):
+        d = url_distance(PAGES[0], PAGES[1], normalized=False)
+        assert d >= 3.0
+
+    def test_url_distance_identical(self):
+        assert url_distance(PAGES[0], PAGES[0]) == 0.0
+
+    def test_size_signature(self):
+        assert size_signature(PAGES[0]) == float(len(PAGES[0].html))
+
+
+class TestRegistry:
+    def test_seven_configurations(self):
+        assert set(CONFIGURATIONS) == {
+            "ttag", "rtag", "tcon", "rcon", "size", "url", "rand"
+        }
+
+    @pytest.mark.parametrize("key", sorted(CONFIGURATIONS))
+    def test_each_config_clusters(self, key):
+        config = get_configuration(key)
+        clustering = config(PAGES, 2, restarts=2, seed=0)
+        assert clustering.n == 3
+        assert clustering.k == 2
+
+    def test_unknown_key_raises_with_hint(self):
+        with pytest.raises(KeyError, match="ttag"):
+            get_configuration("nope")
+
+    def test_deterministic_given_seed(self):
+        config = get_configuration("ttag")
+        a = config(PAGES, 2, restarts=2, seed=5)
+        b = config(PAGES, 2, restarts=2, seed=5)
+        assert a.labels == b.labels

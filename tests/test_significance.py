@@ -1,0 +1,92 @@
+"""Tests for bootstrap confidence intervals and paired comparisons."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EvaluationError
+from repro.eval.significance import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    paired_bootstrap,
+)
+
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=2,
+    max_size=15,
+)
+
+
+class TestBootstrapCi:
+    def test_interval_contains_estimate(self):
+        ci = bootstrap_ci([0.8, 0.9, 1.0, 0.85, 0.95], seed=0)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_constant_sample_zero_width(self):
+        ci = bootstrap_ci([0.5] * 6, seed=0)
+        assert ci.low == ci.high == ci.estimate == 0.5
+
+    def test_deterministic_with_seed(self):
+        a = bootstrap_ci([0.1, 0.9, 0.4], seed=7)
+        b = bootstrap_ci([0.1, 0.9, 0.4], seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_wider_at_higher_confidence(self):
+        values = [0.2, 0.9, 0.5, 0.7, 0.3, 0.8]
+        narrow = bootstrap_ci(values, confidence=0.5, seed=1)
+        wide = bootstrap_ci(values, confidence=0.99, seed=1)
+        assert (wide.high - wide.low) >= (narrow.high - narrow.low)
+
+    def test_custom_statistic(self):
+        ci = bootstrap_ci([1.0, 2.0, 3.0], statistic=max, seed=0)
+        assert ci.estimate == 3.0
+        assert ci.high == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            bootstrap_ci([])
+
+    def test_bad_confidence_raises(self):
+        with pytest.raises(EvaluationError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_str_format(self):
+        ci = ConfidenceInterval(0.9, 0.85, 0.95, 0.95)
+        assert "[0.850, 0.950]" in str(ci)
+
+    @given(samples)
+    def test_bounds_within_sample_range(self, values):
+        ci = bootstrap_ci(values, n_boot=200, seed=3)
+        assert min(values) - 1e-12 <= ci.low
+        assert ci.high <= max(values) + 1e-12
+
+
+class TestPairedBootstrap:
+    def test_clear_winner(self):
+        cmp = paired_bootstrap(
+            [0.9, 0.95, 0.92, 0.97], [0.4, 0.5, 0.45, 0.55], seed=0
+        )
+        assert cmp.mean_difference > 0.4
+        assert cmp.probability_a_better > 0.97
+        assert cmp.significant_at_95
+
+    def test_clear_loser(self):
+        cmp = paired_bootstrap([0.1, 0.2], [0.8, 0.9], seed=0)
+        assert cmp.probability_a_better < 0.03
+        assert cmp.significant_at_95
+
+    def test_tie_not_significant(self):
+        cmp = paired_bootstrap(
+            [0.5, 0.7, 0.6, 0.4], [0.6, 0.5, 0.4, 0.7], seed=0
+        )
+        assert not cmp.significant_at_95
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(EvaluationError):
+            paired_bootstrap([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            paired_bootstrap([], [])

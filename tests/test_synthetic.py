@@ -1,0 +1,98 @@
+"""Tests for the signature-driven synthetic page generator."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.deepweb import SyntheticPageGenerator, make_site
+from repro.deepweb.corpus import probe_site
+from repro.errors import SiteGenerationError
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    sample = probe_site(make_site("ecommerce", seed=6), seed=6)
+    return SyntheticPageGenerator.fit(sample.pages), sample
+
+
+class TestFit:
+    def test_class_distribution_matches_sample(self, fitted):
+        generator, sample = fitted
+        observed = Counter(p.class_label for p in sample.pages)
+        total = sum(observed.values())
+        for label, fraction in generator.class_distribution.items():
+            assert abs(fraction - observed[label] / total) < 1e-9
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(SiteGenerationError):
+            SyntheticPageGenerator.fit([])
+
+    def test_content_features_capped(self, fitted):
+        sample = fitted[1]
+        generator = SyntheticPageGenerator.fit(sample.pages, max_content_features=10)
+        for model in generator.class_models.values():
+            assert len(model.term_features) <= 10
+
+
+class TestGenerate:
+    def test_count_and_labels(self, fitted):
+        generator, _ = fitted
+        pages = generator.generate(200, seed=1)
+        assert len(pages) == 200
+        labels = {p.class_label for p in pages}
+        assert labels <= set(generator.class_distribution)
+
+    def test_distribution_approximately_preserved(self, fitted):
+        generator, _ = fitted
+        pages = generator.generate(1000, seed=2)
+        observed = Counter(p.class_label for p in pages)
+        for label, fraction in generator.class_distribution.items():
+            assert abs(observed[label] / 1000 - fraction) < 0.08
+
+    def test_signatures_resemble_class(self, fitted):
+        generator, sample = fitted
+        pages = generator.generate(300, seed=3)
+        # Synthetic multi pages should have more of the row tag than
+        # synthetic nomatch pages, mirroring the real classes.
+        real_multi = [p for p in sample.pages if p.class_label == "multi"]
+        if not real_multi:
+            pytest.skip("sample has no multi pages")
+        row_tag = max(
+            real_multi[0].tag_counts(),
+            key=lambda t: real_multi[0].tag_counts()[t],
+        )
+        multi = [p for p in pages if p.class_label == "multi"]
+        nomatch = [p for p in pages if p.class_label == "nomatch"]
+        if multi and nomatch:
+            avg = lambda group: sum(  # noqa: E731
+                p.tag_counts.get(row_tag, 0) for p in group
+            ) / len(group)
+            assert avg(multi) >= avg(nomatch)
+
+    def test_deterministic(self, fitted):
+        generator, _ = fitted
+        a = generator.generate(50, seed=5)
+        b = generator.generate(50, seed=5)
+        assert [p.tag_counts for p in a] == [p.tag_counts for p in b]
+
+    def test_zero_pages(self, fitted):
+        generator, _ = fitted
+        assert generator.generate(0, seed=0) == []
+
+    def test_negative_raises(self, fitted):
+        generator, _ = fitted
+        with pytest.raises(SiteGenerationError):
+            generator.generate(-5)
+
+    def test_sizes_drawn_from_class(self, fitted):
+        generator, sample = fitted
+        pages = generator.generate(100, seed=7)
+        real_sizes = {p.size for p in sample.pages}
+        assert all(p.size in real_sizes for p in pages)
+
+    def test_urls_look_like_queries(self, fitted):
+        generator, _ = fitted
+        pages = generator.generate(10, seed=8)
+        assert all("search?q=" in p.url for p in pages)

@@ -1,0 +1,214 @@
+"""Tests for the simulated-site template engine internals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deepweb.domains import get_domain
+from repro.deepweb.templates import PageTemplates, SiteTheme
+from repro.html import parse
+
+
+@pytest.fixture(scope="module")
+def theme():
+    return SiteTheme.generate("ecommerce", seed=42)
+
+
+@pytest.fixture(scope="module")
+def templates(theme):
+    return PageTemplates(theme, get_domain("ecommerce"))
+
+
+@pytest.fixture(scope="module")
+def records():
+    return get_domain("ecommerce").generate_records(20, seed=42)
+
+
+class TestSiteTheme:
+    def test_deterministic(self):
+        a = SiteTheme.generate("music", seed=1)
+        b = SiteTheme.generate("music", seed=1)
+        assert a == b
+
+    def test_seed_changes_theme(self):
+        themes = [SiteTheme.generate("music", seed=s) for s in range(10)]
+        assert len({t.result_style for t in themes}) > 1
+
+    def test_domain_changes_theme(self):
+        a = SiteTheme.generate("music", seed=1)
+        b = SiteTheme.generate("jobs", seed=1)
+        assert a.host != b.host
+
+    def test_fields_in_valid_ranges(self, theme):
+        assert theme.result_style in ("table", "ul", "divs")
+        assert theme.detail_style in ("table", "dl")
+        assert 4 <= len(theme.nav_links) <= 8
+        assert 0 <= theme.wrapper_depth <= 2
+        assert 8 <= theme.max_results <= 15
+
+
+class TestRenderedPages:
+    def test_multi_page_parses_with_marked_results(self, templates, records):
+        html = templates.render_multi(records, "camera")
+        tree = parse(html)
+        containers = [
+            n for n in tree.iter_tags() if n.get("id") == "results"
+        ]
+        assert len(containers) == 1
+        items = [
+            n for n in containers[0].iter_tags() if n.get("class") == "item"
+        ]
+        assert 1 <= len(items) <= templates.theme.max_results
+
+    def test_multi_page_caps_results(self, templates, records):
+        html = templates.render_multi(records, "camera")
+        tree = parse(html)
+        container = next(
+            n for n in tree.iter_tags() if n.get("id") == "results"
+        )
+        items = [
+            n for n in container.iter_tags() if n.get("class") == "item"
+        ]
+        assert len(items) == min(len(records), templates.theme.max_results)
+
+    def test_multi_page_reports_total(self, templates, records):
+        html = templates.render_multi(records, "camera")
+        assert f"Found {len(records)} matching entries" in html
+
+    def test_single_page_distinct_structure(self, templates, records):
+        html = templates.render_single(records[0], "camera")
+        tree = parse(html)
+        # Detail chrome: photo, order form, details section.
+        assert tree.root.find("form") is not None
+        assert any(
+            n.get("class") == "photo" for n in tree.iter_tags()
+        )
+
+    def test_nomatch_page_echoes_query(self, templates):
+        html = templates.render_nomatch("xqzzy")
+        assert "xqzzy" in html
+        assert "results" not in [
+            n.get("id") for n in parse(html).iter_tags()
+        ]
+
+    def test_error_page_chrome_free(self, templates):
+        html = templates.render_error("anything")
+        tree = parse(html)
+        classes = {n.get("class") for n in tree.iter_tags()}
+        assert "masthead" not in classes
+        assert "nav" not in classes
+
+    def test_chrome_shared_across_classes(self, templates, records):
+        multi = parse(templates.render_multi(records, "q1"))
+        nomatch = parse(templates.render_nomatch("q2"))
+        for tree in (multi, nomatch):
+            classes = {n.get("class") for n in tree.iter_tags()}
+            assert "masthead" in classes
+            assert "footer" in classes
+
+    def test_dynamic_ad_varies_with_query(self):
+        theme = SiteTheme.generate("ecommerce", seed=3)
+        assert theme.has_dynamic_ad  # seed 3's theme has one
+        templates = PageTemplates(theme, get_domain("ecommerce"))
+        a = templates.render_nomatch("alpha")
+        b = templates.render_nomatch("beta")
+        ad_a = a.split('class="promo"')[1][:200]
+        ad_b = b.split('class="promo"')[1][:200]
+        assert ad_a != ad_b
+
+    def test_rendering_deterministic_per_query(self, templates, records):
+        assert templates.render_multi(records, "q") == templates.render_multi(
+            records, "q"
+        )
+
+    def test_noise_varies_across_queries(self, templates, records):
+        pages = [
+            templates.render_multi(records, f"query{i}") for i in range(30)
+        ]
+        with_related = sum(1 for p in pages if 'class="related"' in p)
+        # noise_level=0.25: some but not all pages carry the jitter.
+        assert 0 < with_related < 30
+
+    def test_all_result_styles_render(self, records):
+        domain = get_domain("ecommerce")
+        seen = set()
+        for seed in range(30):
+            theme = SiteTheme.generate("ecommerce", seed=seed)
+            templates = PageTemplates(theme, domain)
+            html = templates.render_multi(records, "q")
+            assert parse(html).root.find("body") is not None
+            seen.add(theme.result_style)
+        assert seen == {"table", "ul", "divs"}
+
+
+class TestRecommendationsBlock:
+    def _themed(self, want: bool):
+        for seed in range(40):
+            theme = SiteTheme.generate("ecommerce", seed=seed)
+            if theme.has_recommendations == want:
+                return theme
+        raise AssertionError("no theme with has_recommendations=%s" % want)
+
+    def test_some_sites_have_recommendations(self):
+        flags = {
+            SiteTheme.generate("ecommerce", seed=s).has_recommendations
+            for s in range(40)
+        }
+        assert flags == {True, False}
+
+    def test_recs_share_result_markup(self):
+        theme = self._themed(True)
+        domain = get_domain("ecommerce")
+        templates = PageTemplates(theme, domain)
+        records = domain.generate_records(10, seed=1)
+        tree = parse(templates.render_multi(records, "camera"))
+        recs = [n for n in tree.iter_tags() if n.get("class") == "recs"]
+        assert len(recs) == 1
+        results = next(
+            n for n in tree.iter_tags() if n.get("id") == "results"
+        )
+        # Same container tag as the results region: identical paths.
+        assert recs[0].tag == results.tag
+
+    def test_recs_vary_with_query(self):
+        theme = self._themed(True)
+        domain = get_domain("ecommerce")
+        templates = PageTemplates(theme, domain)
+        records = domain.generate_records(10, seed=1)
+        a = templates.render_multi(records, "alpha")
+        b = templates.render_multi(records, "beta")
+        assert a.split('class="recs"')[1][:150] != b.split('class="recs"')[1][:150]
+
+    def test_recs_not_in_gold_objects(self):
+        from repro.deepweb import make_site
+
+        for seed in range(40):
+            site = make_site("ecommerce", seed=seed, error_rate=0.0)
+            if not site.theme.has_recommendations:
+                continue
+            word = next(
+                w for w in site.database.vocabulary()
+                if site.database.match_count(w) >= 3
+            )
+            page = site.query(word)
+            # Gold objects all live under the results container, never
+            # in the recommendations block.
+            for path in page.gold_object_paths:
+                assert path.startswith(page.gold_pagelet_path)
+            return
+        raise AssertionError("no recommendation-bearing site found")
+
+    def test_extraction_still_exact_with_recommendations(self):
+        from repro import Thor, ThorConfig
+        from repro.deepweb import make_site
+
+        for seed in range(40):
+            site = make_site("ecommerce", seed=seed, error_rate=0.0)
+            if site.theme.has_recommendations:
+                break
+        result = Thor(ThorConfig(seed=seed)).run(site)
+        exact = sum(
+            1 for p in result.pagelets
+            if p.path == p.page.gold_pagelet_path
+        )
+        assert exact / max(1, len(result.pagelets)) >= 0.85

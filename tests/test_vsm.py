@@ -1,0 +1,230 @@
+"""Tests for the vector-space substrate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import VectorError
+from repro.vsm import (
+    CorpusWeighter,
+    SparseVector,
+    centroid,
+    cosine_similarity,
+    dot_product,
+    minkowski_distance,
+    paper_tfidf_weight,
+    raw_tf_vector,
+)
+from repro.vsm.centroid import internal_similarity, vector_sum
+from repro.vsm.similarity import cosine_distance, euclidean_distance
+from repro.vsm.weighting import tfidf_vectors
+
+finite_weights = st.dictionaries(
+    st.sampled_from("abcdefgh"),
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    max_size=6,
+)
+
+
+class TestSparseVector:
+    def test_zero_entries_dropped(self):
+        v = SparseVector({"a": 1.0, "b": 0.0})
+        assert "b" not in v
+        assert len(v) == 1
+
+    def test_getitem_default_zero(self):
+        v = SparseVector({"a": 2.0})
+        assert v["a"] == 2.0
+        assert v["zzz"] == 0.0
+
+    def test_norm(self):
+        v = SparseVector({"a": 3.0, "b": 4.0})
+        assert v.norm == 5.0
+
+    def test_dot(self):
+        a = SparseVector({"x": 1.0, "y": 2.0})
+        b = SparseVector({"y": 3.0, "z": 4.0})
+        assert a.dot(b) == 6.0
+
+    def test_dot_disjoint_is_zero(self):
+        assert SparseVector({"a": 1}).dot(SparseVector({"b": 1})) == 0.0
+
+    def test_normalized(self):
+        v = SparseVector({"a": 3.0, "b": 4.0}).normalized()
+        assert math.isclose(v.norm, 1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(VectorError):
+            SparseVector().normalized()
+
+    def test_add_subtract(self):
+        a = SparseVector({"x": 1.0})
+        b = SparseVector({"x": 2.0, "y": 1.0})
+        assert (a + b).to_dict() == {"x": 3.0, "y": 1.0}
+        assert (b - a).to_dict() == {"x": 1.0, "y": 1.0}
+
+    def test_subtract_to_zero_drops_entry(self):
+        a = SparseVector({"x": 1.0})
+        assert (a - a).is_zero()
+
+    def test_scale(self):
+        assert (SparseVector({"a": 2.0}) * 0.5).to_dict() == {"a": 1.0}
+
+    def test_equality(self):
+        assert SparseVector({"a": 1.0}) == SparseVector({"a": 1.0})
+        assert SparseVector({"a": 1.0}) != SparseVector({"a": 2.0})
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(SparseVector())
+
+    def test_immutability_of_operations(self):
+        a = SparseVector({"x": 1.0})
+        _ = a + SparseVector({"x": 5.0})
+        assert a["x"] == 1.0
+
+    @given(finite_weights, finite_weights)
+    def test_dot_commutative(self, da, db):
+        a, b = SparseVector(da), SparseVector(db)
+        assert math.isclose(a.dot(b), b.dot(a), abs_tol=1e-9)
+
+    @given(finite_weights)
+    def test_norm_matches_definition(self, data):
+        v = SparseVector(data)
+        expected = math.sqrt(sum(x * x for x in v.to_dict().values()))
+        assert math.isclose(v.norm, expected, rel_tol=1e-12)
+
+
+class TestSimilarity:
+    def test_cosine_identical(self):
+        v = SparseVector({"a": 1.0, "b": 2.0})
+        assert math.isclose(cosine_similarity(v, v), 1.0, rel_tol=1e-12)
+
+    def test_cosine_orthogonal(self):
+        assert cosine_similarity(SparseVector({"a": 1}), SparseVector({"b": 1})) == 0.0
+
+    def test_cosine_scale_invariant(self):
+        a = SparseVector({"a": 1.0, "b": 1.0})
+        assert math.isclose(cosine_similarity(a, a * 7.3), 1.0)
+
+    def test_cosine_zero_vector(self):
+        assert cosine_similarity(SparseVector(), SparseVector({"a": 1})) == 0.0
+
+    def test_cosine_distance_complement(self):
+        a = SparseVector({"a": 1.0})
+        b = SparseVector({"a": 1.0, "b": 1.0})
+        assert math.isclose(
+            cosine_distance(a, b), 1.0 - cosine_similarity(a, b)
+        )
+
+    def test_dot_product(self):
+        assert dot_product(SparseVector({"a": 2}), SparseVector({"a": 3})) == 6.0
+
+    def test_minkowski_p1(self):
+        a = SparseVector({"x": 1.0})
+        b = SparseVector({"x": 4.0, "y": 2.0})
+        assert minkowski_distance(a, b, 1.0) == 5.0
+
+    def test_minkowski_p2_is_euclidean(self):
+        a = SparseVector({"x": 0.0})
+        b = SparseVector({"x": 3.0, "y": 4.0})
+        assert euclidean_distance(a, b) == 5.0
+
+    def test_minkowski_invalid_p(self):
+        with pytest.raises(ValueError):
+            minkowski_distance(SparseVector(), SparseVector(), 0.0)
+
+    @given(finite_weights, finite_weights)
+    def test_cosine_bounded(self, da, db):
+        value = cosine_similarity(SparseVector(da), SparseVector(db))
+        assert -1.0 <= value <= 1.0
+
+    @given(finite_weights, finite_weights)
+    def test_cosine_symmetric(self, da, db):
+        a, b = SparseVector(da), SparseVector(db)
+        assert math.isclose(
+            cosine_similarity(a, b), cosine_similarity(b, a), abs_tol=1e-9
+        )
+
+
+class TestWeighting:
+    def test_paper_weight_formula(self):
+        # w = log(tf+1) * log((n+1)/nk)
+        assert math.isclose(
+            paper_tfidf_weight(3, 10, 2), math.log(4) * math.log(11 / 2)
+        )
+
+    def test_zero_tf_gives_zero(self):
+        assert paper_tfidf_weight(0, 10, 5) == 0.0
+
+    def test_ubiquitous_feature_nonzero(self):
+        # A tag in every page keeps a small non-zero idf: log((n+1)/n).
+        weight = paper_tfidf_weight(5, 100, 100)
+        assert 0 < weight < 0.2
+
+    def test_raw_tf_normalized(self):
+        v = raw_tf_vector({"a": 2, "b": 1})
+        assert math.isclose(v.norm, 1.0)
+
+    def test_raw_tf_empty_ok(self):
+        assert raw_tf_vector({}).is_zero()
+
+    def test_fit_document_frequencies(self):
+        weighter = CorpusWeighter.fit([{"a": 1}, {"a": 2, "b": 1}])
+        assert weighter.doc_freq == {"a": 2, "b": 1}
+        assert weighter.n_docs == 2
+
+    def test_idf_unseen_feature_zero(self):
+        weighter = CorpusWeighter.fit([{"a": 1}])
+        assert weighter.idf("zzz") == 0.0
+
+    def test_transform_drops_unseen(self):
+        weighter = CorpusWeighter.fit([{"a": 1}])
+        v = weighter.transform({"a": 1, "new": 5})
+        assert "new" not in v
+
+    def test_rare_feature_outweighs_common(self):
+        docs = [{"common": 1, "rare": 1}] + [{"common": 1}] * 9
+        weighter = CorpusWeighter.fit(docs)
+        v = weighter.transform(docs[0])
+        assert v["rare"] > v["common"]
+
+    def test_tfidf_vectors_one_shot(self):
+        vectors = tfidf_vectors([{"a": 1}, {"b": 1}])
+        assert len(vectors) == 2
+        assert all(math.isclose(v.norm, 1.0) for v in vectors)
+
+    def test_negative_n_docs_raises(self):
+        with pytest.raises(ValueError):
+            CorpusWeighter(-1, {})
+
+
+class TestCentroid:
+    def test_mean(self):
+        c = centroid([SparseVector({"a": 2.0}), SparseVector({"a": 4.0, "b": 2.0})])
+        assert c.to_dict() == {"a": 3.0, "b": 1.0}
+
+    def test_empty_raises(self):
+        with pytest.raises(VectorError):
+            centroid([])
+
+    def test_vector_sum_empty(self):
+        assert vector_sum([]).is_zero()
+
+    def test_internal_similarity_identical_vectors(self):
+        vectors = [SparseVector({"a": 1.0})] * 5
+        assert math.isclose(internal_similarity(vectors), 5.0)
+
+    def test_internal_similarity_empty(self):
+        assert internal_similarity([]) == 0.0
+
+    def test_internal_similarity_bounded_by_n(self):
+        vectors = [
+            SparseVector({"a": 1.0}),
+            SparseVector({"b": 1.0}),
+            SparseVector({"a": 1.0, "b": 1.0}).normalized(),
+        ]
+        assert internal_similarity(vectors) <= 3.0

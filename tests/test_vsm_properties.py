@@ -1,0 +1,91 @@
+"""Property-based tests on the vector-space model's IR semantics."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.vsm.centroid import centroid, vector_sum
+from repro.vsm.similarity import cosine_similarity
+from repro.vsm.vector import SparseVector
+from repro.vsm.weighting import CorpusWeighter, paper_tfidf_weight
+
+count_maps = st.dictionaries(
+    st.sampled_from("abcdefgh"), st.integers(1, 20), min_size=1, max_size=5
+)
+corpora = st.lists(count_maps, min_size=1, max_size=8)
+
+
+class TestTfidfProperties:
+    @given(st.integers(1, 100), st.integers(1, 100), st.integers(1, 100))
+    def test_weight_nonnegative(self, tf, n, df):
+        assert paper_tfidf_weight(tf, max(n, df), min(n, df)) >= 0.0
+
+    @given(st.integers(1, 50), st.integers(2, 100))
+    def test_idf_monotone_in_document_frequency(self, tf, n):
+        # Rarer features weigh more, all else equal.
+        rare = paper_tfidf_weight(tf, n, 1)
+        common = paper_tfidf_weight(tf, n, n)
+        assert rare >= common
+
+    @given(st.integers(2, 50), st.integers(2, 100), st.integers(1, 50))
+    def test_weight_monotone_in_tf(self, tf, n, df):
+        df = min(df, n)
+        assert paper_tfidf_weight(tf, n, df) >= paper_tfidf_weight(
+            tf - 1, n, df
+        )
+
+    @given(corpora)
+    def test_transform_produces_unit_or_zero_vectors(self, docs):
+        weighter = CorpusWeighter.fit(docs)
+        for doc in docs:
+            vector = weighter.transform(doc)
+            assert vector.is_zero() or math.isclose(
+                vector.norm, 1.0, rel_tol=1e-9
+            )
+
+    @given(corpora)
+    def test_document_frequency_bounds(self, docs):
+        weighter = CorpusWeighter.fit(docs)
+        for feature, df in weighter.doc_freq.items():
+            assert 1 <= df <= len(docs)
+
+    @given(corpora)
+    def test_idf_nonnegative(self, docs):
+        weighter = CorpusWeighter.fit(docs)
+        for feature in weighter.doc_freq:
+            assert weighter.idf(feature) >= 0.0
+
+
+class TestCentroidProperties:
+    vectors = st.lists(
+        count_maps.map(lambda d: SparseVector({k: float(v) for k, v in d.items()})),
+        min_size=1,
+        max_size=6,
+    )
+
+    @given(vectors)
+    def test_centroid_within_convex_hull_coordinatewise(self, vs):
+        center = centroid(vs)
+        for feature in center.features():
+            values = [v[feature] for v in vs]
+            assert min(values) - 1e-9 <= center[feature] <= max(values) + 1e-9
+
+    @given(vectors)
+    def test_sum_equals_n_times_centroid(self, vs):
+        total = vector_sum(vs)
+        center = centroid(vs)
+        for feature in total.features():
+            assert math.isclose(
+                total[feature], center[feature] * len(vs), rel_tol=1e-9
+            )
+
+    @given(vectors)
+    def test_members_similar_to_centroid(self, vs):
+        # Non-negative vectors: each member has non-negative cosine to
+        # the centroid, and at least one is strictly positive.
+        center = centroid(vs)
+        sims = [cosine_similarity(v, center) for v in vs]
+        assert all(s >= -1e-12 for s in sims)
+        assert any(s > 0 for s in sims)

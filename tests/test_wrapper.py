@@ -1,0 +1,125 @@
+"""Tests for wrapper induction and adaptive extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Thor, ThorConfig
+from repro.core.wrapper import AdaptiveExtractor, SiteWrapper
+from repro.deepweb import make_site
+from repro.deepweb.database import SearchableDatabase
+from repro.deepweb.site import SimulatedDeepWebSite
+from repro.deepweb.templates import SiteTheme
+from repro.errors import ExtractionError
+
+
+@pytest.fixture(scope="module")
+def site():
+    return make_site("ecommerce", seed=51, error_rate=0.0)
+
+
+@pytest.fixture(scope="module")
+def thor():
+    return Thor(ThorConfig(seed=51))
+
+
+@pytest.fixture(scope="module")
+def result(site, thor):
+    return thor.extract(list(thor.probe(site).pages))
+
+
+class TestInduce:
+    def test_rules_learned(self, result):
+        wrapper = SiteWrapper.induce(result)
+        assert wrapper.rules
+        assert wrapper.rules[0].support >= wrapper.rules[-1].support
+
+    def test_empty_result_raises(self, result):
+        from dataclasses import replace
+
+        empty = replace(result, pagelets=())
+        with pytest.raises(ExtractionError):
+            SiteWrapper.induce(empty)
+
+
+class TestApply:
+    def test_matches_fresh_pages_from_same_site(self, site, thor, result):
+        wrapper = SiteWrapper.induce(result)
+        # Fresh queries the wrapper never saw.
+        fresh = [site.query(w) for w in ("river", "mountain", "bread")]
+        content = [p for p in fresh if p.gold_pagelet_path]
+        if not content:
+            pytest.skip("no content pages among the fresh probes")
+        for page in content:
+            match = wrapper.apply(page)
+            assert not match.drifted
+            assert match.pagelet is not None
+            assert match.pagelet.path == page.gold_pagelet_path
+
+    def test_empty_page_reports_drift(self, result):
+        from repro.core.page import Page
+
+        wrapper = SiteWrapper.induce(result)
+        match = wrapper.apply(Page("<html><body></body></html>"))
+        assert match.drifted
+        assert match.pagelet is None
+
+    def test_redesign_detected_as_drift(self, site, result):
+        wrapper = SiteWrapper.induce(result)
+        # Different theme: divs/dl instead of the learned markup.
+        redesign = SimulatedDeepWebSite(
+            SearchableDatabase(site.database.records),
+            site.domain,
+            SiteTheme.generate("ecommerce", seed=5151),
+        )
+        fresh = [redesign.query(w) for w in ("river", "mountain", "bread",
+                                             "cheese", "window")]
+        _pagelets, drifted = wrapper.apply_all(fresh)
+        # Either the site drifted wholesale, or (if the redesigned
+        # theme happens to share the result markup) matches are fine —
+        # but matches must then be the correct regions.
+        if not drifted:
+            for page in fresh:
+                if page.gold_pagelet_path:
+                    match = wrapper.apply(page)
+                    if match.pagelet is not None:
+                        assert match.pagelet.path == page.gold_pagelet_path
+
+
+class TestAdaptiveExtractor:
+    def test_first_batch_runs_discovery(self, site, thor):
+        adaptive = AdaptiveExtractor(thor)
+        pages = list(thor.probe(site).pages)
+        pagelets = adaptive.extract(pages)
+        assert pagelets
+        assert adaptive.discoveries == 1
+        assert adaptive.wrapper is not None
+
+    def test_second_batch_uses_wrapper(self, site, thor):
+        adaptive = AdaptiveExtractor(thor)
+        pages = list(thor.probe(site).pages)
+        adaptive.extract(pages)
+        fresh = [site.query(w) for w in ("river", "mountain", "bread")]
+        adaptive.extract(fresh)
+        assert adaptive.discoveries == 1  # no re-discovery needed
+
+    def test_redesign_triggers_rediscovery(self, site, thor):
+        adaptive = AdaptiveExtractor(thor)
+        adaptive.extract(list(thor.probe(site).pages))
+        redesign = SimulatedDeepWebSite(
+            SearchableDatabase(site.database.records),
+            site.domain,
+            SiteTheme.generate("ecommerce", seed=5252),
+        )
+        fresh_probe = Thor(ThorConfig(seed=52)).probe(redesign)
+        pagelets = adaptive.extract(list(fresh_probe.pages))
+        # Whether or not drift fired (the redesign may share markup),
+        # extraction must still produce the labeled regions.
+        gold = {
+            p.gold_pagelet_path
+            for p in fresh_probe.pages
+            if p.gold_pagelet_path
+        }
+        assert pagelets
+        hit = sum(1 for p in pagelets if p.path in gold)
+        assert hit / len(pagelets) >= 0.8
