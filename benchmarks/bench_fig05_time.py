@@ -8,9 +8,12 @@ slower still.
 
 from __future__ import annotations
 
-from conftest import BENCH_SEED, emit
+import os
+
+from conftest import BENCH_SEED, emit, emit_json
 from repro.eval.reporting import format_series
 from repro.signatures.registry import get_configuration
+from repro.vsm.matrix import HAVE_NUMPY
 
 
 def test_fig05_time(corpus, quality_results, benchmark, capsys):
@@ -45,3 +48,94 @@ def test_fig05_time(corpus, quality_results, benchmark, capsys):
         rounds=3,
         iterations=1,
     )
+
+
+#: Wall-clock floor asserted for the TFIDF-tag numpy/python speedup at
+#: n=110. Measured ~5.6× on the reference machine; the CI smoke run
+#: (tiny corpus, shared runners) overrides this downward.
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_BENCH_SPEEDUP_FLOOR", "5.0"))
+
+
+def test_fig05_backend_speedup(corpus, capsys):
+    """Compare the compute backends per configuration at n=110.
+
+    Writes machine-readable per-config wall clock and speedups to
+    ``results/BENCH_clustering.json`` and asserts the headline claim:
+    TFIDF-tag K-Means (THOR's configuration) runs at least
+    ``SPEEDUP_FLOOR``× faster under the numpy backend. Times are the
+    minimum over several calls — the estimator least sensitive to
+    scheduler noise — so the asserted ratio is the kernels', not the
+    machine's.
+    """
+    import time
+
+    configs = ("ttag", "rtag", "tcon", "rcon", "url")
+    calls_per_site = 3
+    sites = corpus[:3]  # url/python is O(n²) scalar calls — keep it bounded
+    backends = ("python", "numpy") if HAVE_NUMPY else ("python",)
+    page_sets = [list(sample.pages) for sample in sites]
+    for pages in page_sets:  # pre-parse outside every timed region
+        for page in pages:
+            page.tag_counts()
+            page.term_counts()
+
+    times: dict[str, dict[str, float]] = {}
+    for backend in backends:
+        times[backend] = {}
+        for key in configs:
+            config = get_configuration(key)
+            calls = 1 if key == "url" and backend == "python" else calls_per_site
+            best = float("inf")
+            for pages in page_sets:
+                for call in range(calls):
+                    started = time.perf_counter()
+                    config(
+                        pages, 4, restarts=1, seed=BENCH_SEED + call,
+                        backend=backend,
+                    )
+                    best = min(best, time.perf_counter() - started)
+            times[backend][key] = best
+
+    payload = {
+        "n_pages": 110,
+        "k": 4,
+        "restarts": 1,
+        "sites": len(sites),
+        "calls_per_site": calls_per_site,
+        "estimator": "min",
+        "numpy_available": HAVE_NUMPY,
+        "notes": (
+            "url/numpy wall clock depends heavily on interned-pair "
+            "Levenshtein memo warmth: the first run over a URL "
+            "collection pays the kernel cost, repeats mostly hit the "
+            "memo, so the url speedup varies with what ran earlier."
+        ),
+        "configs": {
+            key: {
+                "python_seconds": times["python"][key],
+                "numpy_seconds": times.get("numpy", {}).get(key),
+                "speedup": (
+                    times["python"][key] / times["numpy"][key]
+                    if "numpy" in times and times["numpy"][key] > 0
+                    else None
+                ),
+            }
+            for key in configs
+        },
+    }
+    emit_json("BENCH_clustering", payload)
+
+    lines = [f"{'config':<8}{'python s':>12}{'numpy s':>12}{'speedup':>10}"]
+    for key in configs:
+        entry = payload["configs"][key]
+        numpy_s = entry["numpy_seconds"]
+        speedup = entry["speedup"]
+        lines.append(
+            f"{key:<8}{entry['python_seconds']:>12.5f}"
+            f"{(f'{numpy_s:.5f}' if numpy_s is not None else '-'):>12}"
+            f"{(f'{speedup:.2f}x' if speedup is not None else '-'):>10}"
+        )
+    emit(capsys, "fig05_backend_speedup", "\n".join(lines))
+
+    if "numpy" in times:
+        assert payload["configs"]["ttag"]["speedup"] >= SPEEDUP_FLOOR

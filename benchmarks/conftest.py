@@ -65,6 +65,16 @@ def emit(capsys, name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def emit_json(name: str, payload) -> None:
+    """Archive a machine-readable result next to the text tables."""
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
 @pytest.fixture(scope="session")
 def quality_results(corpus):
     """Shared Figure 4/5 experiment: entropy and time per config/size."""

@@ -39,6 +39,12 @@ def _thor_config(args: argparse.Namespace) -> ThorConfig:
         config = replace(
             config, clustering=replace(config.clustering, top_m=args.top_m)
         )
+    if getattr(args, "backend", None):
+        config = replace(
+            config,
+            clustering=replace(config.clustering, backend=args.backend),
+            subtrees=replace(config.subtrees, backend=args.backend),
+        )
     return config
 
 
@@ -132,8 +138,15 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument("--out", default="pages.jsonl")
     probe.set_defaults(func=cmd_probe)
 
+    def backend_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend", choices=["python", "numpy"], default=None,
+            help="clustering compute backend (default: numpy when available)",
+        )
+
     extract = sub.add_parser("extract", help="extract from cached pages")
     common(extract)
+    backend_flag(extract)
     extract.add_argument("--pages", required=True)
     extract.add_argument("--out", default="result.json")
     extract.add_argument("--html", action="store_true",
@@ -142,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="probe + extract + print")
     common(demo)
+    backend_flag(demo)
     demo.add_argument("--domain", default="ecommerce")
     demo.add_argument("--show", type=int, default=3)
     demo.set_defaults(func=cmd_demo)

@@ -46,10 +46,23 @@ def normalized_levenshtein(a: str, b: str) -> float:
     This is the paper's path-distance term: ``EditDist(P_i, P_j) /
     max(len(P_i), len(P_j))``. Two empty strings have distance 0.
 
+    Two fast paths skip the DP entirely: equal strings are at distance
+    0, and when the length gap alone saturates the bound
+    (``abs(len(a) - len(b)) / max >= 1.0``, i.e. one string is empty)
+    the distance is already maximal.
+
     >>> normalized_levenshtein("he", "het")
     0.3333333333333333
+    >>> normalized_levenshtein("table", "table")
+    0.0
+    >>> normalized_levenshtein("", "tr")
+    1.0
     """
-    longest = max(len(a), len(b))
-    if longest == 0:
+    if a == b:  # covers the two-empty-strings case
         return 0.0
+    longest = max(len(a), len(b))
+    if abs(len(a) - len(b)) >= longest:
+        # Length-band early exit: edit distance >= the length gap, and
+        # here the gap equals the normalizer — distance is maximal.
+        return 1.0
     return levenshtein(a, b) / longest

@@ -13,16 +13,24 @@ vectors the mean pairwise similarity between clusters A and B is
 ``(S_A · S_B) / (|A|·|B|)`` where ``S_X`` is the sum of X's member
 vectors — so merges are O(1) vector additions and the whole run is
 O(n² log n) with a heap.
+
+Under the ``numpy`` backend the initial n²/2 linkage computations —
+the dominant cost — collapse into a single Gram matmul over the
+unit-normalized :class:`~repro.vsm.matrix.VectorSpace` matrix, and
+each merge updates the remaining linkages with one matrix-vector
+product.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.cluster.assignments import Clustering
+from repro.config import resolve_backend
 from repro.errors import ClusteringError
+from repro.vsm.matrix import VectorSpace
 from repro.vsm.vector import SparseVector
 
 
@@ -37,17 +45,24 @@ class AgglomerativeResult:
 class AverageLinkClusterer:
     """Average-link agglomerative clustering with a target k."""
 
-    def __init__(self, k: int) -> None:
+    def __init__(self, k: int, backend: Optional[str] = None) -> None:
         if k < 1:
             raise ClusteringError(f"k must be >= 1, got {k}")
         self.k = k
+        self.backend = backend
 
     def fit(self, vectors: Sequence[SparseVector]) -> AgglomerativeResult:
         n = len(vectors)
         if n == 0:
             raise ClusteringError("cannot cluster an empty collection")
         target_k = min(self.k, n)
+        if resolve_backend(self.backend) == "numpy":
+            return self._fit_numpy(vectors, n, target_k)
+        return self._fit_python(vectors, n, target_k)
 
+    def _fit_python(
+        self, vectors: Sequence[SparseVector], n: int, target_k: int
+    ) -> AgglomerativeResult:
         # Normalize defensively; zero vectors stay zero (similarity 0
         # to everything, merged last).
         unit: list[SparseVector] = [
@@ -92,6 +107,68 @@ class AverageLinkClusterer:
                 heapq.heappush(heap, (-linkage(merged, other), merged, other))
             active.add(merged)
 
+        return self._label(n, active, members, merge_similarities)
+
+    def _fit_numpy(
+        self, vectors: Sequence[SparseVector], n: int, target_k: int
+    ) -> AgglomerativeResult:
+        import numpy as np
+
+        space = VectorSpace.build(vectors)
+        unit = space.matrix.copy()
+        nonzero = space.norms > 0.0
+        unit[nonzero] /= space.norms[nonzero, None]
+
+        # Cluster-sum rows, indexed by cluster id (grown on merge).
+        sums: dict[int, "np.ndarray"] = {i: unit[i] for i in range(n)}
+        sizes: dict[int, int] = {i: 1 for i in range(n)}
+        members: dict[int, list[int]] = {i: [i] for i in range(n)}
+        next_id = n
+
+        # All-pairs initial linkage in one Gram matmul: for singleton
+        # clusters the average link is exactly the cosine.
+        gram = unit @ unit.T
+        heap = [
+            (-float(gram[a, b]), a, b) for a in range(n) for b in range(a + 1, n)
+        ]
+        heapq.heapify(heap)
+
+        active = set(range(n))
+        merge_similarities: list[float] = []
+        while len(active) > target_k and heap:
+            neg_sim, a, b = heapq.heappop(heap)
+            if a not in active or b not in active:
+                continue  # stale entry
+            merge_similarities.append(-neg_sim)
+            merged = next_id
+            next_id += 1
+            sums[merged] = sums[a] + sums[b]
+            sizes[merged] = sizes[a] + sizes[b]
+            members[merged] = members[a] + members[b]
+            for stale in (a, b):
+                active.discard(stale)
+                del sums[stale], sizes[stale], members[stale]
+            if active:
+                # One matvec updates the merged cluster's linkage to
+                # every surviving cluster.
+                others = sorted(active)
+                stacked = np.stack([sums[o] for o in others])
+                dots = stacked @ sums[merged]
+                merged_size = sizes[merged]
+                for other, dot in zip(others, dots):
+                    denom = merged_size * sizes[other]
+                    heapq.heappush(heap, (-float(dot) / denom, merged, other))
+            active.add(merged)
+
+        return self._label(n, active, members, merge_similarities)
+
+    @staticmethod
+    def _label(
+        n: int,
+        active: set[int],
+        members: dict[int, list[int]],
+        merge_similarities: list[float],
+    ) -> AgglomerativeResult:
         labels = [0] * n
         for label, cluster_id in enumerate(sorted(active)):
             for index in members[cluster_id]:

@@ -11,6 +11,15 @@ Because K-Means quality depends on the initial centers, the algorithm
 is run for ``restarts`` independent iterations and the clustering with
 the highest *internal similarity* (Section 3.1.4) is kept — internal
 similarity needs no external labels, so it can guide model selection.
+
+Two compute backends share this driver (see
+:func:`repro.config.resolve_backend`): the pure-python reference path
+works a ``cosine_similarity`` call per (page, center) pair, while the
+``numpy`` backend interns the collection into a
+:class:`~repro.vsm.matrix.VectorSpace` once per ``fit`` and performs
+assignment, centroid update, and cohesion in O(1) matmuls / scatters
+per iteration. Both backends consume the restart RNG identically, so a
+seeded run yields the same labels under either.
 """
 
 from __future__ import annotations
@@ -20,8 +29,10 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.cluster.assignments import Clustering
+from repro.config import resolve_backend
 from repro.errors import ClusteringError
 from repro.vsm.centroid import centroid
+from repro.vsm.matrix import VectorSpace, centroid_matrix, cosine_matrix
 from repro.vsm.similarity import cosine_similarity
 from repro.vsm.vector import SparseVector
 
@@ -54,10 +65,18 @@ def _assign(
 
 
 def _cohesion(
-    vectors: Sequence[SparseVector], labels: Sequence[int], k: int
+    vectors: Sequence[SparseVector],
+    labels: Sequence[int],
+    centers: Sequence[SparseVector],
 ) -> float:
-    """Σ_i Σ_{p∈C_i} cos(p, centroid_i) — the standard cohesion
+    """Σ_i Σ_{p∈C_i} cos(p, center_i) — the standard cohesion
     criterion (Steinbach/Karypis/Kumar 2000, which the paper cites).
+
+    ``centers`` are the final centers the main loop already computed;
+    reusing them instead of recomputing every centroid from the labels
+    saves one full centroid pass per restart. (On convergence the two
+    are identical — the loop exits when reassignment against these
+    exact centers leaves every label unchanged.)
 
     Note: the paper's Section 3.1.4 additionally weights each cluster
     by n_i/n, but that variant grows quadratically with cluster size
@@ -67,14 +86,10 @@ def _cohesion(
     criterion the paper cites for restart selection and keep the
     weighted formula in :mod:`repro.cluster.quality` for reporting.
     """
-    total = 0.0
-    for cluster in range(k):
-        members = [vectors[i] for i, lab in enumerate(labels) if lab == cluster]
-        if not members:
-            continue
-        center = centroid(members)
-        total += sum(cosine_similarity(v, center) for v in members)
-    return total
+    return sum(
+        cosine_similarity(vector, centers[label])
+        for vector, label in zip(vectors, labels)
+    )
 
 
 class KMeans:
@@ -88,6 +103,9 @@ class KMeans:
     ``max_iterations`` bounds the assign/recenter loop per restart;
     tag-signature clustering converges in a handful of iterations, but
     the bound protects against oscillation on degenerate inputs.
+
+    ``backend`` selects the compute layer ("python" or "numpy");
+    ``None`` defers to :func:`repro.config.resolve_backend`.
     """
 
     def __init__(
@@ -97,6 +115,7 @@ class KMeans:
         max_iterations: int = 100,
         seed: Optional[int] = None,
         init: str = "random",
+        backend: Optional[str] = None,
     ) -> None:
         if k < 1:
             raise ClusteringError(f"k must be >= 1, got {k}")
@@ -114,6 +133,7 @@ class KMeans:
         #: (distance-weighted seeding under cosine distance) needs
         #: fewer restarts to find small classes.
         self.init = init
+        self.backend = backend
 
     def fit(self, vectors: Sequence[SparseVector]) -> KMeansResult:
         """Cluster ``vectors`` into (at most) ``k`` clusters.
@@ -125,15 +145,41 @@ class KMeans:
         """
         if not vectors:
             raise ClusteringError("cannot cluster an empty collection")
-        rng = random.Random(self.seed)
         effective_k = min(self.k, len(vectors))
-
+        if resolve_backend(self.backend) == "numpy":
+            return self._fit_space(VectorSpace.build(vectors), effective_k)
+        rng = random.Random(self.seed)
         best: Optional[KMeansResult] = None
         for _restart in range(self.restarts):
             result = self._run_once(vectors, effective_k, rng)
             if best is None or result.internal_similarity > best.internal_similarity:
                 best = result
         assert best is not None
+        return self._with_restarts(best)
+
+    def fit_space(self, space: VectorSpace) -> KMeansResult:
+        """Cluster a prebuilt :class:`~repro.vsm.matrix.VectorSpace`.
+
+        Callers that already hold a dense space (e.g. the vectorized
+        TFIDF weighting of :func:`repro.vsm.matrix.weighted_space`) skip
+        the SparseVector round-trip entirely. Always runs the numpy
+        kernel — a space only exists when numpy does.
+        """
+        if space.n == 0:
+            raise ClusteringError("cannot cluster an empty collection")
+        return self._fit_space(space, min(self.k, space.n))
+
+    def _fit_space(self, space: VectorSpace, effective_k: int) -> KMeansResult:
+        rng = random.Random(self.seed)
+        best: Optional[KMeansResult] = None
+        for _restart in range(self.restarts):
+            result = self._run_once_numpy(space, effective_k, rng)
+            if best is None or result.internal_similarity > best.internal_similarity:
+                best = result
+        assert best is not None
+        return self._with_restarts(best)
+
+    def _with_restarts(self, best: KMeansResult) -> KMeansResult:
         return KMeansResult(
             clustering=best.clustering,
             centroids=best.centroids,
@@ -141,6 +187,8 @@ class KMeans:
             iterations=best.iterations,
             restarts_run=self.restarts,
         )
+
+    # -- python reference backend --------------------------------------
 
     def _seed_centers(
         self, vectors: Sequence[SparseVector], k: int, rng: random.Random
@@ -197,10 +245,83 @@ class KMeans:
                 labels = new_labels
                 break
             labels = new_labels
-        similarity = _cohesion(vectors, labels, k)
+        similarity = _cohesion(vectors, labels, centers)
         return KMeansResult(
             clustering=Clustering(tuple(labels), k),
             centroids=tuple(centers),
+            internal_similarity=similarity,
+            iterations=iterations,
+            restarts_run=1,
+        )
+
+    # -- numpy matrix backend ------------------------------------------
+
+    def _seed_rows_numpy(self, space: VectorSpace, k: int, rng: random.Random):
+        """Seed centers as matrix rows, mirroring the python backend's
+        RNG consumption call for call."""
+        import numpy as np
+
+        matrix, norms = space.matrix, space.norms
+        n = space.n
+        if self.init == "random":
+            indices = rng.sample(range(n), k)
+            return matrix[indices].copy(), norms[indices].copy()
+        first = rng.randrange(n)
+        centers = matrix[np.newaxis, first].copy()
+        # Running max of cosine to the nearest chosen center.
+        nearest = cosine_matrix(
+            matrix, centers, norms_a=norms
+        ).ravel()
+        while centers.shape[0] < k:
+            weights = np.maximum(0.0, 1.0 - nearest)
+            total = float(weights.sum())
+            if total == 0.0:
+                pick = rng.randrange(n)
+            else:
+                threshold = rng.random() * total
+                pick = min(
+                    int(np.searchsorted(np.cumsum(weights), threshold)), n - 1
+                )
+            centers = np.vstack([centers, matrix[np.newaxis, pick]])
+            nearest = np.maximum(
+                nearest,
+                cosine_matrix(matrix, matrix[np.newaxis, pick], norms_a=norms).ravel(),
+            )
+        return centers, np.linalg.norm(centers, axis=1)
+
+    def _run_once_numpy(
+        self, space: VectorSpace, k: int, rng: random.Random
+    ) -> KMeansResult:
+        import numpy as np
+
+        matrix, norms = space.matrix, space.norms
+        n = space.n
+        centers, center_norms = self._seed_rows_numpy(space, k, rng)
+        sims = cosine_matrix(matrix, centers, norms_a=norms, norms_b=center_norms)
+        labels = np.argmax(sims, axis=1)
+        iterations = 1
+        while iterations < self.max_iterations:
+            new_centers, counts = centroid_matrix(matrix, labels, k)
+            for cluster in range(k):
+                if counts[cluster] == 0:
+                    new_centers[cluster] = matrix[rng.randrange(n)]
+            center_norms = np.linalg.norm(new_centers, axis=1)
+            sims = cosine_matrix(
+                matrix, new_centers, norms_a=norms, norms_b=center_norms
+            )
+            new_labels = np.argmax(sims, axis=1)
+            centers = new_centers
+            iterations += 1
+            if np.array_equal(new_labels, labels):
+                labels = new_labels
+                break
+            labels = new_labels
+        # Cohesion from the similarities of the final assignment — the
+        # matmul above already holds every member-to-center cosine.
+        similarity = float(sims[np.arange(n), labels].sum())
+        return KMeansResult(
+            clustering=Clustering(tuple(labels.tolist()), k),
+            centroids=tuple(space.to_sparse(centers[c]) for c in range(k)),
             internal_similarity=similarity,
             iterations=iterations,
             restarts_run=1,

@@ -6,6 +6,22 @@ no vector space and no centroid, so the K-Means recipe is adapted with
 *medoids*: each cluster's center is the member minimizing the total
 distance to the other members (Voronoi-iteration k-medoids). Restarts
 with best total-distance selection mirror the K-Means driver.
+
+With the ``numpy`` backend the pairwise matrix is held as a dense
+array and both the Voronoi assignment and the medoid update become
+batched reductions; callers that can compute the whole matrix with a
+vectorized kernel (e.g.
+:func:`repro.vsm.matrix.pairwise_normalized_levenshtein` for URL
+batches) can hand it in via ``fit(..., precomputed=...)`` and skip the
+O(n²) scalar distance calls entirely.
+
+Cross-backend caveat: normalized edit distances are small rationals,
+so *exact* mathematical ties between candidate medoids are common;
+each backend breaks such a tie by the last ulp of its own summation
+order, so a seeded run may pick a different — equally central — medoid
+under the two backends. (K-Means does not share this caveat: cosine
+ties over continuous weights only arise from duplicate vectors, which
+both backends resolve identically.)
 """
 
 from __future__ import annotations
@@ -15,6 +31,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, TypeVar
 
 from repro.cluster.assignments import Clustering
+from repro.config import resolve_backend
 from repro.errors import ClusteringError
 
 T = TypeVar("T")
@@ -32,9 +49,9 @@ class KMedoids:
     """Voronoi-iteration k-medoids with restarts.
 
     ``distance`` must be a symmetric non-negative function. The full
-    pairwise distance matrix is computed once (O(n²) calls), which is
-    fine at the paper's collection sizes (≤ 110 pages per site for the
-    URL baseline).
+    pairwise distance matrix is computed once (O(n²) calls unless
+    ``precomputed`` short-circuits it), which is fine at the paper's
+    collection sizes (≤ 110 pages per site for the URL baseline).
     """
 
     def __init__(
@@ -44,6 +61,7 @@ class KMedoids:
         restarts: int = 10,
         max_iterations: int = 100,
         seed: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if k < 1:
             raise ClusteringError(f"k must be >= 1, got {k}")
@@ -52,26 +70,48 @@ class KMedoids:
         self.restarts = restarts
         self.max_iterations = max_iterations
         self.seed = seed
+        self.backend = backend
 
-    def fit(self, items: Sequence[T]) -> KMedoidsResult:
-        if not items:
+    def fit(self, items: Sequence[T], precomputed=None) -> KMedoidsResult:
+        """Cluster ``items``.
+
+        ``precomputed`` optionally supplies the full symmetric pairwise
+        distance matrix (nested lists or a numpy array); when given,
+        ``self.distance`` is never called.
+        """
+        if not len(items):
             raise ClusteringError("cannot cluster an empty collection")
         n = len(items)
         effective_k = min(self.k, n)
-        matrix = [[0.0] * n for _ in range(n)]
-        for i in range(n):
-            for j in range(i + 1, n):
-                d = self.distance(items[i], items[j])
-                matrix[i][j] = d
-                matrix[j][i] = d
+        backend = resolve_backend(self.backend)
+        if precomputed is not None:
+            matrix = precomputed
+        else:
+            matrix = [[0.0] * n for _ in range(n)]
+            for i in range(n):
+                for j in range(i + 1, n):
+                    d = self.distance(items[i], items[j])
+                    matrix[i][j] = d
+                    matrix[j][i] = d
         rng = random.Random(self.seed)
+        if backend == "numpy":
+            import numpy as np
+
+            dense = np.asarray(matrix, dtype=np.float64)
+            run = lambda: self._run_once_numpy(dense, n, effective_k, rng)
+        else:
+            if not isinstance(matrix, list):
+                matrix = [list(row) for row in matrix]
+            run = lambda: self._run_once(matrix, n, effective_k, rng)
         best: Optional[KMedoidsResult] = None
         for _restart in range(self.restarts):
-            result = self._run_once(matrix, n, effective_k, rng)
+            result = run()
             if best is None or result.total_distance < best.total_distance:
                 best = result
         assert best is not None
         return best
+
+    # -- python reference backend --------------------------------------
 
     def _run_once(
         self, matrix: list[list[float]], n: int, k: int, rng: random.Random
@@ -117,3 +157,34 @@ class KMedoids:
                     best_label = index
             labels.append(best_label)
         return labels
+
+    # -- numpy matrix backend ------------------------------------------
+
+    def _run_once_numpy(self, matrix, n: int, k: int, rng: random.Random):
+        import numpy as np
+
+        medoids = rng.sample(range(n), k)
+        labels = np.argmin(matrix[:, medoids], axis=1)
+        iterations = 1
+        while iterations < self.max_iterations:
+            new_medoids: list[int] = []
+            for cluster in range(k):
+                members = np.flatnonzero(labels == cluster)
+                if members.size == 0:
+                    new_medoids.append(rng.randrange(n))
+                    continue
+                totals = matrix[np.ix_(members, members)].sum(axis=1)
+                new_medoids.append(int(members[np.argmin(totals)]))
+            new_labels = np.argmin(matrix[:, new_medoids], axis=1)
+            iterations += 1
+            if np.array_equal(new_labels, labels) and new_medoids == medoids:
+                break
+            labels, medoids = new_labels, new_medoids
+        medoid_array = np.asarray(medoids)
+        total = float(matrix[np.arange(n), medoid_array[labels]].sum())
+        return KMedoidsResult(
+            clustering=Clustering(tuple(int(lab) for lab in labels), k),
+            medoid_indices=tuple(int(m) for m in medoids),
+            total_distance=total,
+            iterations=iterations,
+        )

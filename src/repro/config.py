@@ -13,7 +13,45 @@ value as the default:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+
+#: Valid compute backends: "numpy" is the vectorized matrix backend
+#: (:mod:`repro.vsm.matrix`), "python" the pure-python reference
+#: implementation kept as the correctness oracle.
+BACKENDS = ("python", "numpy")
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve a compute-backend selection to ``"python"`` or ``"numpy"``.
+
+    ``None`` means "use the default": the ``REPRO_BACKEND`` environment
+    variable if set, otherwise ``"numpy"`` when numpy is importable and
+    ``"python"`` on stripped environments. An explicit ``"numpy"``
+    request on a machine without numpy raises, so silent slowdowns
+    cannot masquerade as the vectorized backend.
+
+    >>> resolve_backend("python")
+    'python'
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND") or None
+    if backend is None:
+        from repro.vsm.matrix import HAVE_NUMPY
+
+        return "numpy" if HAVE_NUMPY else "python"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; valid: {', '.join(BACKENDS)}"
+        )
+    if backend == "numpy":
+        from repro.vsm.matrix import HAVE_NUMPY
+
+        if not HAVE_NUMPY:
+            raise ValueError(
+                "backend 'numpy' requested but numpy is not installed"
+            )
+    return backend
 
 
 @dataclass(frozen=True)
@@ -42,6 +80,10 @@ class ClusteringConfig:
     #: max fanout, page size); the paper uses "a simple linear
     #: combination".
     ranking_weights: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3)
+    #: Compute backend for the clustering kernels: "numpy" (vectorized,
+    #: the default) or "python" (reference oracle); ``None`` defers to
+    #: :func:`resolve_backend`.
+    backend: str | None = None
 
 
 @dataclass(frozen=True)
@@ -74,6 +116,10 @@ class SubtreeConfig:
     #: Require candidates to contain a branching node (fanout > 1).
     #: The paper's third single-page rule is ambiguous; off by default.
     require_branching: bool = False
+    #: Compute backend for the pairwise subtree distances: "numpy"
+    #: (batched matrix kernel) or "python"; ``None`` defers to
+    #: :func:`resolve_backend`.
+    backend: str | None = None
 
 
 @dataclass(frozen=True)

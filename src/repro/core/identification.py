@@ -79,6 +79,7 @@ class PageletIdentifier:
             max_assign_distance=cfg.max_assign_distance,
             path_code_length=cfg.path_code_length,
             seed=self.seed,
+            backend=cfg.backend,
         )
         ranked = rank_subtree_sets(
             sets,

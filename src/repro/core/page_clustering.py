@@ -74,7 +74,11 @@ class PageClusterer:
             raise ExtractionError("cannot cluster an empty page sample")
         configuration = get_configuration(self.config.configuration)
         clustering = configuration(
-            pages, self.config.k, restarts=self.config.restarts, seed=self.seed
+            pages,
+            self.config.k,
+            restarts=self.config.restarts,
+            seed=self.seed,
+            backend=self.config.backend,
         )
         scores = score_clusters(pages, clustering, self.config.ranking_weights)
         return PageClusteringResult(tuple(pages), clustering, tuple(scores))

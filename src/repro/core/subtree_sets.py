@@ -26,6 +26,11 @@ from functools import lru_cache
 from typing import Optional, Sequence
 
 from repro.cluster.editdist import normalized_levenshtein
+from repro.config import resolve_backend
+from repro.errors import ExtractionError
+from repro.html.metrics import SubtreeShape, subtree_shape
+from repro.html.paths import TagCodec, node_tag_sequence
+from repro.html.tree import TagNode
 
 
 @lru_cache(maxsize=65536)
@@ -39,10 +44,6 @@ def _cached_path_distance(a: str, b: str) -> float:
     if a > b:  # normalize argument order: the distance is symmetric
         a, b = b, a
     return normalized_levenshtein(a, b)
-from repro.errors import ExtractionError
-from repro.html.metrics import SubtreeShape, subtree_shape
-from repro.html.paths import TagCodec, node_tag_sequence
-from repro.html.tree import TagNode
 
 
 @dataclass(frozen=True)
@@ -96,6 +97,51 @@ def shape_distance(
     return total
 
 
+def shape_distance_matrix(
+    a_candidates: Sequence[SubtreeCandidate],
+    b_candidates: Sequence[SubtreeCandidate],
+    weights: tuple[float, float, float, float] = (0.25, 0.25, 0.25, 0.25),
+):
+    """All :func:`shape_distance` values between two candidate batches
+    as one numpy matrix.
+
+    The path term runs through the vectorized, memoized Levenshtein
+    kernel (:func:`repro.vsm.matrix.pairwise_normalized_levenshtein`);
+    the three scalar ratio terms are broadcast subtractions. Entries
+    equal the scalar :func:`shape_distance` bitwise — both backends
+    apply the identical sequence of float operations per pair.
+    """
+    import numpy as np
+
+    from repro.vsm.matrix import pairwise_normalized_levenshtein
+
+    w1, w2, w3, w4 = weights
+    total = np.zeros((len(a_candidates), len(b_candidates)), dtype=np.float64)
+    if w1:
+        total += w1 * pairwise_normalized_levenshtein(
+            [c.code_path for c in a_candidates],
+            [c.code_path for c in b_candidates],
+        )
+    for weight, attribute in ((w2, "fanout"), (w3, "depth"), (w4, "nodes")):
+        if not weight:
+            continue
+        a_values = np.array(
+            [getattr(c.shape, attribute) for c in a_candidates], dtype=np.float64
+        )
+        b_values = np.array(
+            [getattr(c.shape, attribute) for c in b_candidates], dtype=np.float64
+        )
+        largest = np.maximum(a_values[:, None], b_values[None, :])
+        difference = np.abs(a_values[:, None] - b_values[None, :])
+        total += weight * np.divide(
+            difference,
+            largest,
+            out=np.zeros_like(difference),
+            where=largest > 0.0,
+        )
+    return total
+
+
 @dataclass
 class CommonSubtreeSet:
     """One cross-page group of structurally similar subtrees."""
@@ -125,6 +171,7 @@ def find_common_subtree_sets(
     path_code_length: int = 1,
     prototype_index: Optional[int] = None,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> list[CommonSubtreeSet]:
     """Group candidate subtrees across the cluster's pages.
 
@@ -136,11 +183,18 @@ def find_common_subtree_sets(
     page and the candidate are still free and the distance is within
     ``max_assign_distance``.
 
+    ``backend`` selects the distance computation: under "numpy" the
+    full prototype × candidate distance matrix for each page is built
+    by :func:`shape_distance_matrix` in a handful of array operations;
+    "python" does one scalar :func:`shape_distance` per pair. Both
+    yield identical groupings.
+
     Raises :class:`ExtractionError` when there are no pages or the
     chosen prototype page has no candidates.
     """
     if not candidates_per_page:
         raise ExtractionError("no pages given to cross-page analysis")
+    backend = resolve_backend(backend)
     rng = random.Random(seed)
     codec = TagCodec(path_code_length)
 
@@ -166,17 +220,27 @@ def find_common_subtree_sets(
         candidate = make_candidate(prototype_index, node, codec)
         sets.append(CommonSubtreeSet(candidate, {prototype_index: candidate}))
 
+    prototypes = [subtree_set.prototype for subtree_set in sets]
     for page_index, nodes in enumerate(candidates_per_page):
         if page_index == prototype_index or not nodes:
             continue
         page_candidates = [make_candidate(page_index, n, codec) for n in nodes]
         pairs: list[tuple[float, int, int]] = []
-        for set_index, subtree_set in enumerate(sets):
-            proto = subtree_set.prototype
-            for cand_index, candidate in enumerate(page_candidates):
-                distance = shape_distance(proto, candidate, weights)
-                if distance <= max_assign_distance:
-                    pairs.append((distance, set_index, cand_index))
+        if backend == "numpy":
+            import numpy as np
+
+            distances = shape_distance_matrix(prototypes, page_candidates, weights)
+            set_rows, cand_cols = np.nonzero(distances <= max_assign_distance)
+            pairs = [
+                (float(distances[s, c]), int(s), int(c))
+                for s, c in zip(set_rows, cand_cols)
+            ]
+        else:
+            for set_index, proto in enumerate(prototypes):
+                for cand_index, candidate in enumerate(page_candidates):
+                    distance = shape_distance(proto, candidate, weights)
+                    if distance <= max_assign_distance:
+                        pairs.append((distance, set_index, cand_index))
         pairs.sort(key=lambda t: t[0])
         used_sets: set[int] = set()
         used_candidates: set[int] = set()

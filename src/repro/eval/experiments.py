@@ -18,7 +18,7 @@ from repro.cluster.quality import clustering_entropy
 from repro.cluster.random_baseline import random_clustering
 from repro.cluster.scalar import ScalarKMeans
 from repro.cluster.editdist import normalized_levenshtein
-from repro.config import SubtreeConfig, ThorConfig
+from repro.config import SubtreeConfig, ThorConfig, resolve_backend
 from repro.core.identification import PageletIdentifier
 from repro.core.single_page import candidate_subtrees_for_cluster
 from repro.core.subtree_ranking import intra_set_similarity
@@ -30,6 +30,7 @@ from repro.deepweb.synthetic import SyntheticPage
 from repro.eval.metrics import PageletScore, score_pagelets
 from repro.seeding import namespaced_rng
 from repro.signatures.registry import get_configuration
+from repro.vsm.matrix import pairwise_normalized_levenshtein
 from repro.vsm.weighting import CorpusWeighter, raw_tf_vector
 
 
@@ -55,12 +56,15 @@ def clustering_quality_experiment(
     restarts: int = 1,
     repeats: int = 3,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> dict[str, dict[int, EntropyPoint]]:
     """Average clustering entropy and time per configuration and size.
 
     Mirrors Section 4.1: for each site, draw ``n`` pages, cluster with
     each configuration, and measure entropy against the hand labels.
     ``restarts=1`` matches the paper's "time to run one iteration".
+    ``backend`` selects the compute layer for every configuration (see
+    :func:`repro.config.resolve_backend`).
     """
     results: dict[str, dict[int, EntropyPoint]] = {key: {} for key in config_keys}
     for key in config_keys:
@@ -89,7 +93,11 @@ def clustering_quality_experiment(
                         page.term_counts()
                     started = time.perf_counter()
                     clustering = config(
-                        chosen, k, restarts=restarts, seed=rng.randrange(2**31)
+                        chosen,
+                        k,
+                        restarts=restarts,
+                        seed=rng.randrange(2**31),
+                        backend=backend,
                     )
                     times.append(time.perf_counter() - started)
                     entropies.append(clustering_entropy(clustering, classes))
@@ -112,6 +120,7 @@ def cluster_synthetic(
     k: int = 4,
     restarts: int = 1,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Clustering:
     """Cluster synthetic page signatures under one representation.
 
@@ -129,9 +138,16 @@ def cluster_synthetic(
     elif representation == "url":
         urls = [p.url for p in pages]
         medoids = KMedoids(
-            k, distance=normalized_levenshtein, restarts=restarts, seed=seed
+            k,
+            distance=normalized_levenshtein,
+            restarts=restarts,
+            seed=seed,
+            backend=backend,
         )
-        return medoids.fit(urls).clustering
+        precomputed = None
+        if resolve_backend(backend) == "numpy":
+            precomputed = pairwise_normalized_levenshtein(urls)
+        return medoids.fit(urls, precomputed=precomputed).clustering
     elif representation == "rand":
         return random_clustering(len(pages), k, seed=seed)
     else:
@@ -142,7 +158,8 @@ def cluster_synthetic(
         vectors = weighter.transform_all(documents)
     else:
         vectors = [raw_tf_vector(d) for d in documents]
-    return KMeans(k, restarts=restarts, seed=seed).fit(vectors).clustering
+    kmeans = KMeans(k, restarts=restarts, seed=seed, backend=backend)
+    return kmeans.fit(vectors).clustering
 
 
 def synthetic_scale_experiment(
@@ -152,6 +169,7 @@ def synthetic_scale_experiment(
     k: int = 5,
     seed: int = 0,
     entropy_restarts: int = 5,
+    backend: Optional[str] = None,
 ) -> dict[str, dict[int, EntropyPoint]]:
     """Entropy and per-iteration time as the collection grows.
 
@@ -170,11 +188,18 @@ def synthetic_scale_experiment(
             subset = list(synthetic_pages[:n])
             classes = [p.class_label for p in subset]
             started = time.perf_counter()
-            clustering = cluster_synthetic(subset, rep, k=k, restarts=1, seed=seed)
+            clustering = cluster_synthetic(
+                subset, rep, k=k, restarts=1, seed=seed, backend=backend
+            )
             elapsed = time.perf_counter() - started
             if entropy_restarts > 1:
                 clustering = cluster_synthetic(
-                    subset, rep, k=k, restarts=entropy_restarts, seed=seed
+                    subset,
+                    rep,
+                    k=k,
+                    restarts=entropy_restarts,
+                    seed=seed,
+                    backend=backend,
                 )
             results[rep][n] = EntropyPoint(
                 entropy=clustering_entropy(clustering, classes),

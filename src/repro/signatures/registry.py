@@ -27,10 +27,13 @@ from repro.cluster.kmeans import KMeans
 from repro.cluster.kmedoids import KMedoids
 from repro.cluster.random_baseline import random_clustering
 from repro.cluster.scalar import ScalarKMeans
+from repro.config import resolve_backend
 from repro.core.page import Page
-from repro.signatures.content import content_vectors
+from repro.vsm.matrix import pairwise_normalized_levenshtein, weighted_space
+from repro.vsm.weighting import raw_tf_vector, tfidf_vectors
+from repro.signatures.content import content_signature
 from repro.signatures.size import size_signature
-from repro.signatures.tag import tag_vectors
+from repro.signatures.tag import tag_signature
 from repro.signatures.url import url_distance
 
 
@@ -38,14 +41,16 @@ from repro.signatures.url import url_distance
 class ClusteringConfig:
     """A named page-clustering approach.
 
-    ``cluster`` partitions ``pages`` into ``k`` clusters; ``restarts``
-    and ``seed`` are forwarded to the underlying algorithm (ignored by
-    the random baseline's single draw).
+    ``cluster`` partitions ``pages`` into ``k`` clusters; ``restarts``,
+    ``seed``, and ``backend`` are forwarded to the underlying algorithm
+    (ignored by the random baseline's single draw).
     """
 
     key: str
     label: str
-    cluster: Callable[[Sequence[Page], int, int, Optional[int]], Clustering]
+    cluster: Callable[
+        [Sequence[Page], int, int, Optional[int], Optional[str]], Clustering
+    ]
 
     def __call__(
         self,
@@ -53,52 +58,85 @@ class ClusteringConfig:
         k: int,
         restarts: int = 10,
         seed: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> Clustering:
-        return self.cluster(pages, k, restarts, seed)
+        return self.cluster(pages, k, restarts, seed, backend)
 
 
-def _vector_kmeans(vectorize: Callable[[Sequence[Page]], list]):
+def _vector_kmeans(signature: Callable[[Page], dict], weighting: str):
     def run(
-        pages: Sequence[Page], k: int, restarts: int, seed: Optional[int]
+        pages: Sequence[Page],
+        k: int,
+        restarts: int,
+        seed: Optional[int],
+        backend: Optional[str],
     ) -> Clustering:
-        vectors = vectorize(pages)
-        return KMeans(k, restarts=restarts, seed=seed).fit(vectors).clustering
+        signatures = [signature(p) for p in pages]
+        kmeans = KMeans(k, restarts=restarts, seed=seed, backend=backend)
+        if pages and resolve_backend(backend) == "numpy":
+            # Weight straight into the dense space — on this path no
+            # per-page SparseVector is ever materialized.
+            return kmeans.fit_space(weighted_space(signatures, weighting)).clustering
+        if weighting == "raw":
+            vectors = [raw_tf_vector(s) for s in signatures]
+        else:
+            vectors = tfidf_vectors(signatures)
+        return kmeans.fit(vectors).clustering
 
     return run
 
 
 def _size_kmeans(
-    pages: Sequence[Page], k: int, restarts: int, seed: Optional[int]
+    pages: Sequence[Page],
+    k: int,
+    restarts: int,
+    seed: Optional[int],
+    backend: Optional[str],
 ) -> Clustering:
     values = [size_signature(p) for p in pages]
     return ScalarKMeans(k, restarts=restarts, seed=seed).fit(values).clustering
 
 
 def _url_kmedoids(
-    pages: Sequence[Page], k: int, restarts: int, seed: Optional[int]
+    pages: Sequence[Page],
+    k: int,
+    restarts: int,
+    seed: Optional[int],
+    backend: Optional[str],
 ) -> Clustering:
-    medoids = KMedoids(k, distance=url_distance, restarts=restarts, seed=seed)
-    return medoids.fit(list(pages)).clustering
+    medoids = KMedoids(
+        k, distance=url_distance, restarts=restarts, seed=seed, backend=backend
+    )
+    precomputed = None
+    if resolve_backend(backend) == "numpy":
+        # One call to the vectorized, memoized Levenshtein kernel
+        # replaces the n²/2 scalar url_distance invocations.
+        precomputed = pairwise_normalized_levenshtein([p.url for p in pages])
+    return medoids.fit(list(pages), precomputed=precomputed).clustering
 
 
 def _random(
-    pages: Sequence[Page], k: int, restarts: int, seed: Optional[int]
+    pages: Sequence[Page],
+    k: int,
+    restarts: int,
+    seed: Optional[int],
+    backend: Optional[str],
 ) -> Clustering:
     return random_clustering(len(pages), k, seed=seed)
 
 
 CONFIGURATIONS: dict[str, ClusteringConfig] = {
     "ttag": ClusteringConfig(
-        "ttag", "TFIDF Tags", _vector_kmeans(lambda p: tag_vectors(p, "tfidf"))
+        "ttag", "TFIDF Tags", _vector_kmeans(tag_signature, "tfidf")
     ),
     "rtag": ClusteringConfig(
-        "rtag", "Raw Tags", _vector_kmeans(lambda p: tag_vectors(p, "raw"))
+        "rtag", "Raw Tags", _vector_kmeans(tag_signature, "raw")
     ),
     "tcon": ClusteringConfig(
-        "tcon", "TFIDF Content", _vector_kmeans(lambda p: content_vectors(p, "tfidf"))
+        "tcon", "TFIDF Content", _vector_kmeans(content_signature, "tfidf")
     ),
     "rcon": ClusteringConfig(
-        "rcon", "Raw Content", _vector_kmeans(lambda p: content_vectors(p, "raw"))
+        "rcon", "Raw Content", _vector_kmeans(content_signature, "raw")
     ),
     "size": ClusteringConfig("size", "Size", _size_kmeans),
     "url": ClusteringConfig("url", "URLs", _url_kmedoids),

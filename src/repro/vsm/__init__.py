@@ -4,6 +4,11 @@ Implements the vector model of Section 3.1.2: pages (and subtrees) are
 sparse vectors of (feature, weight) pairs, weighted with the paper's
 TFIDF variant ``w = log(tf+1) · log((n+1)/n_k)``, normalized, and
 compared with cosine similarity.
+
+:mod:`repro.vsm.matrix` adds the vectorized numpy compute backend
+(:class:`~repro.vsm.matrix.VectorSpace` and the batched kernels); it
+is intentionally *not* imported here — the clusterers import it
+directly, and the import is numpy-gated.
 """
 
 from repro.vsm.vector import SparseVector

@@ -1,0 +1,342 @@
+"""Cross-backend equivalence: numpy matrix kernels vs python reference.
+
+The python backend is the readable oracle; the numpy backend must
+reproduce it. Kernels (cosine, centroids, assignment, Levenshtein)
+must agree to 1e-9 or bit-for-bit; the seeded K-Means driver must
+produce *identical* labels under both backends. K-medoids is checked
+via invariants only: normalized edit distances are small rationals, so
+exact mathematical medoid ties are common and each backend breaks them
+by the last ulp of its own summation order (see
+``repro.cluster.kmedoids``).
+
+Random collections are generated from a seeded ``random.Random`` with
+continuous weights (hypothesis supplies only the seed): drawing raw
+floats would let hypothesis construct exact cosine ties, which neither
+backend promises to break the same way.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.cluster.editdist import normalized_levenshtein
+from repro.cluster.hierarchical import AverageLinkClusterer
+from repro.cluster.kmeans import KMeans
+from repro.cluster.kmedoids import KMedoids
+from repro.config import resolve_backend
+from repro.core.subtree_sets import (
+    SubtreeCandidate,
+    shape_distance,
+    shape_distance_matrix,
+)
+from repro.html.metrics import SubtreeShape
+from repro.vsm.centroid import centroid
+from repro.vsm.matrix import (
+    VectorSpace,
+    centroid_matrix,
+    cosine_matrix,
+    pairwise_normalized_levenshtein,
+    weighted_space,
+)
+from repro.vsm.similarity import cosine_similarity
+from repro.vsm.vector import SparseVector
+from repro.vsm.weighting import raw_tf_vector, tfidf_vectors
+
+FEATURES = [f"f{i}" for i in range(8)]
+
+seeds = st.integers(0, 10_000)
+
+
+def random_vectors(seed: int, n: int, allow_zero: bool = False) -> list[SparseVector]:
+    """A seeded collection with continuous weights (no adversarial ties)."""
+    rng = random.Random(seed)
+    vectors = []
+    for i in range(n):
+        if allow_zero and rng.random() < 0.1:
+            vectors.append(SparseVector())
+            continue
+        chosen = rng.sample(FEATURES, rng.randint(1, len(FEATURES)))
+        vectors.append(
+            SparseVector({f: rng.uniform(0.05, 5.0) for f in chosen})
+        )
+    return vectors
+
+
+class TestKernelAgreement:
+    @given(seeds, st.integers(2, 12))
+    def test_cosine_matrix_matches_scalar(self, seed, n):
+        vectors = random_vectors(seed, n, allow_zero=True)
+        space = VectorSpace.build(vectors)
+        sims = cosine_matrix(space.matrix, space.matrix, space.norms, space.norms)
+        for i, a in enumerate(vectors):
+            for j, b in enumerate(vectors):
+                assert math.isclose(
+                    float(sims[i, j]),
+                    cosine_similarity(a, b),
+                    rel_tol=0.0,
+                    abs_tol=1e-9,
+                )
+
+    @given(seeds, st.integers(2, 12), st.integers(1, 4))
+    def test_centroid_matrix_matches_scalar(self, seed, n, k):
+        vectors = random_vectors(seed, n)
+        rng = random.Random(seed + 1)
+        labels = [rng.randrange(k) for _ in range(n)]
+        space = VectorSpace.build(vectors)
+        centroids, counts = centroid_matrix(
+            space.matrix, np.asarray(labels), k
+        )
+        for cluster in range(k):
+            members = [v for v, lab in zip(vectors, labels) if lab == cluster]
+            assert counts[cluster] == len(members)
+            if not members:
+                assert not np.any(centroids[cluster])
+                continue
+            reference = centroid(members)
+            recovered = space.to_sparse(centroids[cluster])
+            for feature in reference.features() | recovered.features():
+                assert math.isclose(
+                    recovered.get(feature),
+                    reference.get(feature),
+                    rel_tol=0.0,
+                    abs_tol=1e-9,
+                )
+
+    @given(seeds, st.integers(3, 12), st.integers(1, 3))
+    def test_assignment_matches_scalar(self, seed, n, k):
+        vectors = random_vectors(seed, n)
+        # Centers are always centroids of *disjoint* member lists in the
+        # driver — and their features never fall outside the interned
+        # vocabulary. (Overlapping samples could produce two
+        # mathematically identical centers, whose tied cosines neither
+        # backend promises to break the same way.)
+        rng = random.Random(seed + 7)
+        indices = list(range(n))
+        rng.shuffle(indices)
+        chunk = max(1, n // k)
+        groups = [indices[start : start + chunk] for start in range(0, k * chunk, chunk)]
+        centers = [centroid([vectors[i] for i in group]) for group in groups if group]
+        space = VectorSpace.build(vectors)
+        sims = cosine_matrix(
+            space.matrix, space.encode(centers), space.norms, None
+        )
+        numpy_labels = np.argmax(sims, axis=1)
+        for i, vector in enumerate(vectors):
+            best, best_sim = 0, -math.inf
+            for j, center in enumerate(centers):
+                s = cosine_similarity(vector, center)
+                if s > best_sim:
+                    best, best_sim = j, s
+            assert int(numpy_labels[i]) == best
+
+    @given(st.lists(st.text(alphabet="abrtd", max_size=12), min_size=1, max_size=10))
+    def test_pairwise_levenshtein_matches_scalar(self, strings):
+        matrix = pairwise_normalized_levenshtein(strings)
+        for i, a in enumerate(strings):
+            for j, b in enumerate(strings):
+                # Exact same division of the same integer edit distance.
+                assert float(matrix[i][j]) == normalized_levenshtein(a, b)
+
+    @given(seeds, st.integers(1, 10), st.sampled_from(["tfidf", "raw"]))
+    def test_weighted_space_matches_scalar_weighting(self, seed, n, weighting):
+        rng = random.Random(seed)
+        maps = [
+            {
+                f: rng.randint(1, 30)
+                for f in rng.sample(FEATURES, rng.randint(0, len(FEATURES)))
+            }
+            for _ in range(n)
+        ]
+        space = weighted_space(maps, weighting)
+        reference = (
+            tfidf_vectors(maps)
+            if weighting == "tfidf"
+            else [raw_tf_vector(m) for m in maps]
+        )
+        assert space.n == n
+        for row, expected in enumerate(reference):
+            recovered = space.to_sparse(space.matrix[row])
+            for feature in expected.features() | recovered.features():
+                assert math.isclose(
+                    recovered.get(feature),
+                    expected.get(feature),
+                    rel_tol=0.0,
+                    abs_tol=1e-9,
+                )
+
+    def test_weighted_space_rejects_unknown_weighting(self):
+        with pytest.raises(ValueError):
+            weighted_space([{"a": 1}], "binary")
+
+    @given(
+        st.text(alphabet="abcxy", min_size=33, max_size=40),
+        st.text(alphabet="abcxy", min_size=33, max_size=40),
+    )
+    def test_rowwise_levenshtein_kernel(self, a, b):
+        # Long enough (33*33 > 1024) to force the vectorized DP path.
+        matrix = pairwise_normalized_levenshtein([a], [b])
+        assert float(matrix[0][0]) == normalized_levenshtein(a, b)
+
+
+def _partition(result):
+    members = result.clustering.members
+    return {
+        frozenset(members(c))
+        for c in range(result.clustering.k)
+        if members(c)
+    }
+
+
+class TestKMeansEquivalence:
+    @settings(deadline=None, max_examples=25)
+    @given(seeds, st.integers(4, 16), st.integers(1, 4), st.sampled_from(["random", "kmeans++"]))
+    def test_identical_labels_and_cohesion(self, seed, n, k, init):
+        # A single restart exercises one full seeded run of each kernel;
+        # those must agree label-for-label.
+        vectors = random_vectors(seed, n, allow_zero=True)
+        kwargs = dict(k=k, restarts=1, seed=seed, init=init)
+        py = KMeans(backend="python", **kwargs).fit(vectors)
+        npy = KMeans(backend="numpy", **kwargs).fit(vectors)
+        assert npy.clustering.labels == py.clustering.labels
+        assert math.isclose(
+            npy.internal_similarity,
+            py.internal_similarity,
+            rel_tol=0.0,
+            abs_tol=1e-9,
+        )
+        assert npy.iterations == py.iterations
+        for c_np, c_py in zip(npy.centroids, py.centroids):
+            for feature in c_np.features() | c_py.features():
+                assert math.isclose(
+                    c_np.get(feature), c_py.get(feature), rel_tol=0.0, abs_tol=1e-9
+                )
+
+    @settings(deadline=None, max_examples=25)
+    @given(seeds, st.integers(4, 16), st.integers(1, 4), st.sampled_from(["random", "kmeans++"]))
+    def test_restart_selection_same_partition(self, seed, n, k, init):
+        # With restarts, two starts can converge to equal-cohesion
+        # optima (equal up to summation order); each backend may then
+        # keep a different copy. The kept partitions can only differ in
+        # relabeling and in where zero vectors land (they contribute no
+        # cohesion anywhere) — quality always matches.
+        vectors = random_vectors(seed, n, allow_zero=True)
+        kwargs = dict(k=k, restarts=4, seed=seed, init=init)
+        py = KMeans(backend="python", **kwargs).fit(vectors)
+        npy = KMeans(backend="numpy", **kwargs).fit(vectors)
+        nonzero = {i for i, v in enumerate(vectors) if not v.is_zero()}
+        restrict = lambda partition: {
+            frozenset(cluster & nonzero)
+            for cluster in partition
+            if cluster & nonzero
+        }
+        assert restrict(_partition(npy)) == restrict(_partition(py))
+        assert math.isclose(
+            npy.internal_similarity,
+            py.internal_similarity,
+            rel_tol=0.0,
+            abs_tol=1e-9,
+        )
+
+
+class TestKMedoidsEquivalence:
+    @settings(deadline=None, max_examples=20)
+    @given(seeds, st.integers(4, 14), st.integers(1, 3))
+    def test_invariants_match(self, seed, n, k):
+        rng = random.Random(seed)
+        urls = [
+            "/list?p=" + "".join(rng.choices("abcd", k=rng.randint(1, 6)))
+            for _ in range(n)
+        ]
+        kwargs = dict(
+            k=k, distance=normalized_levenshtein, restarts=3, seed=seed
+        )
+        py = KMedoids(backend="python", **kwargs).fit(urls)
+        npy = KMedoids(backend="numpy", **kwargs).fit(urls)
+        for result in (py, npy):
+            assert len(result.clustering.labels) == n
+            assert len(result.medoid_indices) == min(k, n)
+            # Each medoid actually carries its own cluster's label.
+            for cluster, medoid in enumerate(result.medoid_indices):
+                if result.clustering.members(cluster):
+                    assert result.clustering.labels[medoid] == cluster
+            recomputed = sum(
+                normalized_levenshtein(
+                    url, urls[result.medoid_indices[label]]
+                )
+                for url, label in zip(urls, result.clustering.labels)
+            )
+            assert math.isclose(
+                result.total_distance, recomputed, rel_tol=0.0, abs_tol=1e-9
+            )
+
+    def test_precomputed_matrix_short_circuits_distance(self):
+        urls = ["/a", "/ab", "/abc", "/b", "/bc"]
+        matrix = pairwise_normalized_levenshtein(urls)
+
+        def forbidden(a, b):  # pragma: no cover - must never run
+            raise AssertionError("distance called despite precomputed matrix")
+
+        result = KMedoids(k=2, distance=forbidden, restarts=2, seed=0).fit(
+            urls, precomputed=matrix
+        )
+        assert len(result.clustering.labels) == len(urls)
+
+
+class TestHierarchicalEquivalence:
+    @settings(deadline=None, max_examples=20)
+    @given(seeds, st.integers(3, 12), st.integers(1, 3))
+    def test_same_partition(self, seed, n, k):
+        vectors = random_vectors(seed, n)
+        py = AverageLinkClusterer(k=k, backend="python").fit(vectors)
+        npy = AverageLinkClusterer(k=k, backend="numpy").fit(vectors)
+        as_partition = lambda result: {
+            frozenset(result.clustering.members(c))
+            for c in range(result.clustering.k)
+            if result.clustering.members(c)
+        }
+        assert as_partition(npy) == as_partition(py)
+
+
+class TestShapeDistanceEquivalence:
+    def _cand(self, rng):
+        code = "".join(rng.choices("hbtdr", k=rng.randint(1, 8)))
+        return SubtreeCandidate(
+            page_index=0,
+            node=None,
+            shape=SubtreeShape(
+                "html/body", rng.randint(0, 9), rng.randint(1, 6), rng.randint(1, 40)
+            ),
+            code_path=code,
+        )
+
+    @settings(deadline=None, max_examples=25)
+    @given(seeds, st.integers(1, 6), st.integers(1, 6))
+    def test_matrix_matches_scalar_bitwise(self, seed, na, nb):
+        rng = random.Random(seed)
+        a = [self._cand(rng) for _ in range(na)]
+        b = [self._cand(rng) for _ in range(nb)]
+        weights = (0.4, 0.2, 0.2, 0.2)
+        matrix = shape_distance_matrix(a, b, weights)
+        for i, ca in enumerate(a):
+            for j, cb in enumerate(b):
+                assert float(matrix[i][j]) == shape_distance(ca, cb, weights)
+
+
+class TestBackendResolution:
+    def test_explicit_backends(self):
+        assert resolve_backend("python") == "python"
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(Exception):
+            resolve_backend("fortran")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        assert resolve_backend(None) == "python"

@@ -36,6 +36,26 @@ class TestParser:
         assert args.k == 3
         assert args.top_m == 1
 
+    def test_backend_flag(self):
+        args = build_parser().parse_args(["demo", "--backend", "python"])
+        assert args.backend == "python"
+        assert build_parser().parse_args(["extract", "--pages", "p",
+                                          "--backend", "numpy"]).backend == "numpy"
+
+    def test_backend_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--backend", "fortran"])
+
+    def test_backend_threaded_into_config(self):
+        from repro.cli import _thor_config
+
+        args = build_parser().parse_args(["demo", "--backend", "python"])
+        config = _thor_config(args)
+        assert config.clustering.backend == "python"
+        assert config.subtrees.backend == "python"
+        default = _thor_config(build_parser().parse_args(["demo"]))
+        assert default.clustering.backend is None
+
 
 class TestCommands:
     def test_probe_then_extract(self, tmp_path, capsys):
@@ -66,6 +86,17 @@ class TestCommands:
                      "--show", "1"]) == 0
         output = capsys.readouterr().out
         assert "pagelet=" in output
+
+    def test_demo_backend_end_to_end(self, capsys):
+        # Both backends drive the full pipeline from the CLI.
+        assert main(["demo", "--domain", "jobs", "--seed", "5",
+                     "--show", "1", "--backend", "python"]) == 0
+        python_out = capsys.readouterr().out
+        assert main(["demo", "--domain", "jobs", "--seed", "5",
+                     "--show", "1", "--backend", "numpy"]) == 0
+        numpy_out = capsys.readouterr().out
+        assert "pagelet=" in python_out
+        assert "pagelet=" in numpy_out
 
     def test_search_command(self, capsys):
         assert main(
