@@ -75,6 +75,27 @@ def emit_json(name: str, payload) -> None:
     )
 
 
+def merge_json(name: str, fragment: dict) -> None:
+    """Merge top-level keys into an archived JSON result.
+
+    Lets several benches contribute sections to one file (e.g. the
+    backend speedups and the restart-parallelism entry both land in
+    ``BENCH_clustering.json``) without clobbering each other.
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            data = {}
+    data.update(fragment)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
 @pytest.fixture(scope="session")
 def quality_results(corpus):
     """Shared Figure 4/5 experiment: entropy and time per config/size."""

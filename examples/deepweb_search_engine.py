@@ -17,8 +17,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.config import ThorConfig
-from repro.deepweb import make_site
+from repro.api import ThorConfig, make_site
 from repro.engine import DeepWebSearchEngine
 
 DOMAINS = ("ecommerce", "music", "library", "jobs", "realestate")

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.config import ThorConfig
+from repro.api import ThorConfig
 from repro.discovery import BreadthFirstCrawler, SimulatedWeb
 from repro.engine import DeepWebSearchEngine
 

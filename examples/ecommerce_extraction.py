@@ -21,9 +21,8 @@ from __future__ import annotations
 import re
 import sys
 
-from repro import Thor, ThorConfig
+from repro import api
 from repro.core.alignment import align_objects
-from repro.deepweb import make_site
 
 PRICE_RE = re.compile(r"\$\d[\d,]*(?:\.\d{2})?")
 
@@ -55,9 +54,8 @@ def records_from_partition(part):
 
 
 def main(seed: int = 11) -> None:
-    site = make_site(domain="ecommerce", seed=seed, records=200)
-    thor = Thor(ThorConfig(seed=seed))
-    result = thor.run(site)
+    site = api.make_site(domain="ecommerce", seed=seed, records=200)
+    result = api.run(site, api.ThorConfig(seed=seed))
 
     multi_parts = [
         part

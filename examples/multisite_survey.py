@@ -16,9 +16,8 @@ from __future__ import annotations
 
 import sys
 
+from repro import api
 from repro.cluster.quality import clustering_entropy
-from repro.config import ThorConfig
-from repro.core.thor import Thor
 from repro.deepweb.corpus import generate_corpus
 from repro.eval.metrics import PageletScore, score_pagelets
 from repro.eval.reporting import format_table
@@ -30,11 +29,11 @@ def main(n_sites: int = 5) -> None:
     samples = generate_corpus(n_sites=n_sites, seed=42)
 
     # Per-site extraction quality with the full pipeline.
-    thor = Thor(ThorConfig(seed=42))
+    config = api.ThorConfig(seed=42)
     rows = []
     total = PageletScore(0, 0, 0, 0)
     for sample in samples:
-        result = thor.extract(list(sample.pages))
+        result = api.extract(list(sample.pages), config)
         score = score_pagelets(result.pagelets, sample.pages)
         total = total.merge(score)
         rows.append(

@@ -17,17 +17,15 @@ from __future__ import annotations
 import sys
 from collections import Counter
 
-from repro import Thor, ThorConfig
-from repro.deepweb import make_site
+from repro import api
 
 
 def main(seed: int = 7) -> None:
-    site = make_site(domain="ecommerce", seed=seed)
+    site = api.make_site(domain="ecommerce", seed=seed)
     print(f"Probing {site.theme.host} "
           f"({len(site.database)} records behind the search form)...")
 
-    thor = Thor(ThorConfig(seed=seed))
-    result = thor.run(site)
+    result = api.run(site, api.ThorConfig(seed=seed))
 
     classes = Counter(
         getattr(p, "class_label", "?") for p in result.pages

@@ -22,8 +22,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import replace
 
-from repro import Thor, ThorConfig
-from repro.deepweb import make_site
+from repro import api
 from repro.deepweb.database import SearchableDatabase
 from repro.deepweb.site import SimulatedDeepWebSite
 from repro.deepweb.templates import SiteTheme
@@ -67,13 +66,13 @@ def thor_hits(result) -> tuple[int, int]:
 
 
 def main() -> None:
-    site_v1 = make_site("ecommerce", seed=31)
+    site_v1 = api.make_site("ecommerce", seed=31)
     # Forward three clusters instead of two: recall over precision
     # (the paper's Figure 11 trade-off) so the demo covers every
     # answer-page variant.
-    config = ThorConfig(seed=31)
+    config = api.ThorConfig(seed=31)
     config = replace(config, clustering=replace(config.clustering, top_m=3))
-    thor = Thor(config)
+    thor = api.Thor(config)
 
     print("=== Version 1 of the site ===")
     result_v1 = thor.run(site_v1)

@@ -5,19 +5,19 @@ from dynamically generated deep-web pages, via the paper's two-phase
 algorithm: tag-tree-signature page clustering followed by cross-page
 subtree filtering.
 
-Quickstart::
+Quickstart (the stable facade lives in :mod:`repro.api`)::
 
-    from repro import Thor, ThorConfig
-    from repro.deepweb import make_site
+    from repro import api
 
-    site = make_site(domain="ecommerce", seed=7)
-    result = Thor(ThorConfig(seed=7)).run(site)
+    site = api.make_site(domain="ecommerce", seed=7)
+    result = api.run(site, api.ThorConfig(seed=7))
     for part in result.partitioned:
         print(part.pagelet.path, len(part.objects), "objects")
 """
 
 from repro.config import (
     ClusteringConfig,
+    ExecutionConfig,
     ProbeConfig,
     SubtreeConfig,
     ThorConfig,
@@ -43,6 +43,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ClusteringConfig",
+    "ExecutionConfig",
     "ProbeConfig",
     "SubtreeConfig",
     "ThorConfig",

@@ -1,0 +1,83 @@
+"""The stable entry point: ``repro.api``.
+
+One import gives the whole pipeline behind three verbs::
+
+    from repro import api
+
+    site = api.make_site(domain="ecommerce", seed=7)
+    result = api.run(site, api.ThorConfig(seed=7))
+    for pagelet in result.pagelets:
+        print(pagelet.path, pagelet.score)
+
+- :func:`probe` — Stage 1: sample a deep-web source with probe
+  queries, returning the page sample.
+- :func:`extract` — Stage 2: two-phase QA-Pagelet extraction over an
+  existing page collection (how the evaluation isolates Phase 2).
+- :func:`run` — all three stages (probe → extract → partition).
+
+Each takes an optional :class:`ThorConfig`; execution concerns —
+compute backend, restart worker processes, vector-space caching — ride
+on ``ThorConfig.execution`` (an :class:`ExecutionConfig`). Everything
+re-exported here (``Thor``, ``ThorConfig``, ``ThorResult``,
+``ExecutionConfig``, …) is covered by the facade's stability promise;
+deeper module paths (``repro.core.*``, ``repro.cluster.*``) remain
+importable but may reorganize between versions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import (
+    DEFAULT_CONFIG,
+    ClusteringConfig,
+    ExecutionConfig,
+    ProbeConfig,
+    SubtreeConfig,
+    ThorConfig,
+)
+from repro.core.page import Page
+from repro.core.probing import DeepWebSource, ProbeResult
+from repro.core.thor import Thor, ThorResult
+from repro.deepweb import make_site
+from repro.errors import ThorError
+
+
+def probe(source: DeepWebSource, config: Optional[ThorConfig] = None) -> ProbeResult:
+    """Stage 1: sample ``source`` with dictionary and nonsense probes.
+
+    >>> sample = probe(make_site(domain="ecommerce", seed=7))
+    >>> len(sample.pages) > 0
+    True
+    """
+    return Thor(config or DEFAULT_CONFIG).probe(source)
+
+
+def extract(pages: Sequence[Page], config: Optional[ThorConfig] = None) -> ThorResult:
+    """Stage 2: two-phase QA-Pagelet extraction over sampled pages."""
+    return Thor(config or DEFAULT_CONFIG).extract(pages)
+
+
+def run(source: DeepWebSource, config: Optional[ThorConfig] = None) -> ThorResult:
+    """The full pipeline: probe, extract, and partition ``source``."""
+    return Thor(config or DEFAULT_CONFIG).run(source)
+
+
+__all__ = [
+    "ClusteringConfig",
+    "DEFAULT_CONFIG",
+    "DeepWebSource",
+    "ExecutionConfig",
+    "Page",
+    "ProbeConfig",
+    "ProbeResult",
+    "SubtreeConfig",
+    "Thor",
+    "ThorConfig",
+    "ThorError",
+    "ThorResult",
+    "extract",
+    "make_site",
+    "probe",
+    "run",
+]

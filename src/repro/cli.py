@@ -21,7 +21,7 @@ from collections import Counter
 from dataclasses import replace
 from typing import Optional, Sequence
 
-from repro.config import ThorConfig
+from repro.config import BACKENDS, ExecutionConfig, ThorConfig
 from repro.core.thor import Thor
 from repro.deepweb.corpus import make_site
 from repro.engine.engine import DeepWebSearchEngine
@@ -39,11 +39,14 @@ def _thor_config(args: argparse.Namespace) -> ThorConfig:
         config = replace(
             config, clustering=replace(config.clustering, top_m=args.top_m)
         )
-    if getattr(args, "backend", None):
+    backend = getattr(args, "backend", None)
+    jobs = getattr(args, "jobs", None)
+    if backend is not None or jobs is not None:
         config = replace(
             config,
-            clustering=replace(config.clustering, backend=args.backend),
-            subtrees=replace(config.subtrees, backend=args.backend),
+            execution=ExecutionConfig(
+                backend=backend, n_jobs=1 if jobs is None else jobs
+            ),
         )
     return config
 
@@ -132,35 +135,46 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--top-m", type=int, default=None, dest="top_m",
                        help="clusters forwarded to phase 2")
 
+    # Execution flags shared by every subcommand that computes
+    # (extract/demo/search); they land on ThorConfig.execution.
+    execution = argparse.ArgumentParser(add_help=False)
+    execution.add_argument(
+        "--backend", choices=list(BACKENDS), default=None,
+        help="compute backend (default: numpy when available)",
+    )
+    execution.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for clustering restarts "
+             "(default 1 = serial, 0 = one per core)",
+    )
+
     probe = sub.add_parser("probe", help="probe a site, cache the pages")
     common(probe)
     probe.add_argument("--domain", default="ecommerce")
     probe.add_argument("--out", default="pages.jsonl")
     probe.set_defaults(func=cmd_probe)
 
-    def backend_flag(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--backend", choices=["python", "numpy"], default=None,
-            help="clustering compute backend (default: numpy when available)",
-        )
-
-    extract = sub.add_parser("extract", help="extract from cached pages")
+    extract = sub.add_parser(
+        "extract", help="extract from cached pages", parents=[execution]
+    )
     common(extract)
-    backend_flag(extract)
     extract.add_argument("--pages", required=True)
     extract.add_argument("--out", default="result.json")
     extract.add_argument("--html", action="store_true",
                          help="include pagelet HTML in the export")
     extract.set_defaults(func=cmd_extract)
 
-    demo = sub.add_parser("demo", help="probe + extract + print")
+    demo = sub.add_parser(
+        "demo", help="probe + extract + print", parents=[execution]
+    )
     common(demo)
-    backend_flag(demo)
     demo.add_argument("--domain", default="ecommerce")
     demo.add_argument("--show", type=int, default=3)
     demo.set_defaults(func=cmd_demo)
 
-    search = sub.add_parser("search", help="deep-web search engine demo")
+    search = sub.add_parser(
+        "search", help="deep-web search engine demo", parents=[execution]
+    )
     common(search)
     search.add_argument("--domains", default="ecommerce,music")
     search.add_argument("--query", required=True)

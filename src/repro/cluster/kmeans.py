@@ -20,6 +20,12 @@ works a ``cosine_similarity`` call per (page, center) pair, while the
 assignment, centroid update, and cohesion in O(1) matmuls / scatters
 per iteration. Both backends consume the restart RNG identically, so a
 seeded run yields the same labels under either.
+
+Restarts are embarrassingly parallel: each draws from its own
+namespaced seed stream (:func:`repro.runtime.restart_seed_streams`),
+so no restart's RNG depends on any other's and the ``n_jobs`` process
+fan-out (:func:`repro.runtime.run_restarts`) returns labels bitwise
+identical to the serial loop.
 """
 
 from __future__ import annotations
@@ -29,8 +35,9 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.cluster.assignments import Clustering
-from repro.config import resolve_backend
+from repro.config import BackendSelection, resolve_backend, resolve_n_jobs
 from repro.errors import ClusteringError
+from repro.runtime import restart_seed_streams, run_restarts, select_best
 from repro.vsm.centroid import centroid
 from repro.vsm.matrix import VectorSpace, centroid_matrix, cosine_matrix
 from repro.vsm.similarity import cosine_similarity
@@ -104,8 +111,12 @@ class KMeans:
     tag-signature clustering converges in a handful of iterations, but
     the bound protects against oscillation on degenerate inputs.
 
-    ``backend`` selects the compute layer ("python" or "numpy");
-    ``None`` defers to :func:`repro.config.resolve_backend`.
+    ``backend`` selects the compute layer ("python" or "numpy", or a
+    whole :class:`~repro.config.ExecutionConfig`); ``None`` defers to
+    :func:`repro.config.resolve_backend`. ``n_jobs`` fans restarts out
+    across worker processes (``None`` takes the count from an
+    ``ExecutionConfig`` backend, else 1); seeded results are identical
+    at any job count.
     """
 
     def __init__(
@@ -115,7 +126,8 @@ class KMeans:
         max_iterations: int = 100,
         seed: Optional[int] = None,
         init: str = "random",
-        backend: Optional[str] = None,
+        backend: BackendSelection = None,
+        n_jobs: Optional[int] = None,
     ) -> None:
         if k < 1:
             raise ClusteringError(f"k must be >= 1, got {k}")
@@ -134,6 +146,7 @@ class KMeans:
         #: fewer restarts to find small classes.
         self.init = init
         self.backend = backend
+        self.n_jobs = resolve_n_jobs(backend, n_jobs)
 
     def fit(self, vectors: Sequence[SparseVector]) -> KMeansResult:
         """Cluster ``vectors`` into (at most) ``k`` clusters.
@@ -148,14 +161,7 @@ class KMeans:
         effective_k = min(self.k, len(vectors))
         if resolve_backend(self.backend) == "numpy":
             return self._fit_space(VectorSpace.build(vectors), effective_k)
-        rng = random.Random(self.seed)
-        best: Optional[KMeansResult] = None
-        for _restart in range(self.restarts):
-            result = self._run_once(vectors, effective_k, rng)
-            if best is None or result.internal_similarity > best.internal_similarity:
-                best = result
-        assert best is not None
-        return self._with_restarts(best)
+        return self._fit_restarts(_python_restart_batch, list(vectors), effective_k)
 
     def fit_space(self, space: VectorSpace) -> KMeansResult:
         """Cluster a prebuilt :class:`~repro.vsm.matrix.VectorSpace`.
@@ -170,12 +176,21 @@ class KMeans:
         return self._fit_space(space, min(self.k, space.n))
 
     def _fit_space(self, space: VectorSpace, effective_k: int) -> KMeansResult:
-        rng = random.Random(self.seed)
-        best: Optional[KMeansResult] = None
-        for _restart in range(self.restarts):
-            result = self._run_once_numpy(space, effective_k, rng)
-            if best is None or result.internal_similarity > best.internal_similarity:
-                best = result
+        return self._fit_restarts(_numpy_restart_batch, space, effective_k)
+
+    def _fit_restarts(self, worker, data, effective_k: int) -> KMeansResult:
+        """Run every restart on its own seed stream — inline or fanned
+        out across processes — and keep the highest-cohesion result
+        (first restart wins ties, like the serial loop always did)."""
+        seeds = restart_seed_streams(self.seed, self.restarts, "kmeans")
+        results = run_restarts(
+            worker, (self, data, effective_k), seeds, self.n_jobs
+        )
+        best = select_best(
+            results,
+            lambda result, incumbent: result.internal_similarity
+            > incumbent.internal_similarity,
+        )
         assert best is not None
         return self._with_restarts(best)
 
@@ -326,3 +341,20 @@ class KMeans:
             iterations=iterations,
             restarts_run=1,
         )
+
+
+# -- restart batch workers (module-level so process pools can pickle them) --
+
+
+def _python_restart_batch(payload, seeds) -> list[KMeansResult]:
+    model, vectors, k = payload
+    return [
+        model._run_once(vectors, k, random.Random(seed)) for seed in seeds
+    ]
+
+
+def _numpy_restart_batch(payload, seeds) -> list[KMeansResult]:
+    model, space, k = payload
+    return [
+        model._run_once_numpy(space, k, random.Random(seed)) for seed in seeds
+    ]

@@ -31,8 +31,9 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, TypeVar
 
 from repro.cluster.assignments import Clustering
-from repro.config import resolve_backend
+from repro.config import BackendSelection, resolve_backend, resolve_n_jobs
 from repro.errors import ClusteringError
+from repro.runtime import restart_seed_streams, run_restarts, select_best
 
 T = TypeVar("T")
 
@@ -61,7 +62,8 @@ class KMedoids:
         restarts: int = 10,
         max_iterations: int = 100,
         seed: Optional[int] = None,
-        backend: Optional[str] = None,
+        backend: BackendSelection = None,
+        n_jobs: Optional[int] = None,
     ) -> None:
         if k < 1:
             raise ClusteringError(f"k must be >= 1, got {k}")
@@ -71,6 +73,7 @@ class KMedoids:
         self.max_iterations = max_iterations
         self.seed = seed
         self.backend = backend
+        self.n_jobs = resolve_n_jobs(backend, n_jobs)
 
     def fit(self, items: Sequence[T], precomputed=None) -> KMedoidsResult:
         """Cluster ``items``.
@@ -93,21 +96,27 @@ class KMedoids:
                     d = self.distance(items[i], items[j])
                     matrix[i][j] = d
                     matrix[j][i] = d
-        rng = random.Random(self.seed)
         if backend == "numpy":
             import numpy as np
 
-            dense = np.asarray(matrix, dtype=np.float64)
-            run = lambda: self._run_once_numpy(dense, n, effective_k, rng)
+            data = np.asarray(matrix, dtype=np.float64)
+            worker = _numpy_restart_batch
         else:
             if not isinstance(matrix, list):
                 matrix = [list(row) for row in matrix]
-            run = lambda: self._run_once(matrix, n, effective_k, rng)
-        best: Optional[KMedoidsResult] = None
-        for _restart in range(self.restarts):
-            result = run()
-            if best is None or result.total_distance < best.total_distance:
-                best = result
+            data = matrix
+            worker = _python_restart_batch
+        # One independent seed stream per restart (bitwise identical
+        # serial or fanned out across n_jobs worker processes).
+        seeds = restart_seed_streams(self.seed, self.restarts, "kmedoids")
+        results = run_restarts(
+            worker, (self, data, n, effective_k), seeds, self.n_jobs
+        )
+        best = select_best(
+            results,
+            lambda result, incumbent: result.total_distance
+            < incumbent.total_distance,
+        )
         assert best is not None
         return best
 
@@ -188,3 +197,24 @@ class KMedoids:
             total_distance=total,
             iterations=iterations,
         )
+
+
+# -- restart batch workers (module-level so process pools can pickle them) --
+# Note: with n_jobs > 1 the model (including its ``distance`` callable)
+# must pickle — module-level distance functions do; closures only work
+# in the serial n_jobs=1 path.
+
+
+def _python_restart_batch(payload, seeds) -> list[KMedoidsResult]:
+    model, matrix, n, k = payload
+    return [
+        model._run_once(matrix, n, k, random.Random(seed)) for seed in seeds
+    ]
+
+
+def _numpy_restart_batch(payload, seeds) -> list[KMedoidsResult]:
+    model, matrix, n, k = payload
+    return [
+        model._run_once_numpy(matrix, n, k, random.Random(seed))
+        for seed in seeds
+    ]

@@ -9,13 +9,32 @@ program so the cost comparison can be reproduced honestly.
 
 Complexity is O(|T1|·|T2|·min(depth,leaves)²) time, which is exactly
 why the paper rejects it as a page-clustering similarity.
+
+Two compute backends share the keyroot driver (see
+:func:`repro.config.resolve_backend`): the scalar reference DP, and a
+``numpy`` kernel that vectorizes each forest-DP row the way
+:func:`repro.vsm.matrix._levenshtein_rowwise` vectorizes Levenshtein —
+the deletion/substitution/subtree terms become array ops and the
+sequential insertion recurrence collapses into one
+``np.minimum.accumulate`` over cost-offset values. With the default
+unit costs every intermediate is a small integer, exact in float64, so
+the two backends agree bitwise.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional, Union
 
+from repro.config import BackendSelection, resolve_backend
 from repro.html.tree import Node, TagNode, TagTree
+
+#: Minimum forest width (columns) for a keyroot pair to run the
+#: vectorized row kernel under the numpy backend; narrower forests —
+#: the long tail of keyroot pairs — stay on the scalar DP, whose
+#: per-cell cost beats numpy's per-row dispatch overhead there. Same
+#: idea as ``repro.vsm.matrix._SCALAR_DP_AREA`` for Levenshtein.
+#: Equivalence tests pin this to 1 to force the kernel everywhere.
+_VECTOR_MIN_COLS = 32
 
 
 def _node_label(node: Node) -> str:
@@ -78,12 +97,18 @@ def tree_edit_distance(
     relabel_cost: Optional[Callable[[str, str], float]] = None,
     insert_cost: float = 1.0,
     delete_cost: float = 1.0,
+    backend: BackendSelection = None,
 ) -> float:
     """Minimum-cost edit script (insert/delete/relabel) between trees.
 
     Nodes are labeled by tag name (content leaves collapse to
     ``#text``), matching the structural focus of the comparison in the
     paper. ``relabel_cost`` defaults to 0/1 (same/different label).
+
+    ``backend`` selects the DP kernel: ``"python"`` (scalar oracle) or
+    ``"numpy"`` (hybrid: row-vectorized forest DP on wide keyroot
+    forests, scalar on the narrow tail); ``None`` auto-resolves via
+    :func:`repro.config.resolve_backend`.
 
     >>> from repro.html import parse
     >>> t1 = parse("<html><body><p>x</p></body></html>")
@@ -93,14 +118,17 @@ def tree_edit_distance(
     """
     root_a = a.root if isinstance(a, TagTree) else a
     root_b = b.root if isinstance(b, TagTree) else b
-    if relabel_cost is None:
-        relabel_cost = lambda x, y: 0.0 if x == y else 1.0  # noqa: E731
 
     ta = _AnnotatedTree(root_a)
     tb = _AnnotatedTree(root_b)
     size_a, size_b = len(ta), len(tb)
+    if resolve_backend(backend) == "numpy":
+        return _tree_edit_numpy(
+            ta, tb, relabel_cost, insert_cost, delete_cost
+        )
+    if relabel_cost is None:
+        relabel_cost = lambda x, y: 0.0 if x == y else 1.0  # noqa: E731
     treedist = [[0.0] * size_b for _ in range(size_a)]
-
     for i in ta.keyroots:
         for j in tb.keyroots:
             _compute_treedist(
@@ -151,8 +179,150 @@ def _compute_treedist(
                 )
 
 
+def _tree_edit_numpy(
+    ta: _AnnotatedTree,
+    tb: _AnnotatedTree,
+    relabel_cost: Optional[Callable[[str, str], float]],
+    insert_cost: float,
+    delete_cost: float,
+) -> float:
+    """Hybrid row-vectorized Zhang–Shasha.
+
+    The scalar forest DP fills one cell at a time. Keyroot forests wide
+    enough to amortize array dispatch (``cols >= _VECTOR_MIN_COLS``)
+    run :func:`_vector_pair` instead, which computes each DP row with
+    whole-array operations; the many narrow forests stay on the scalar
+    DP over the shared ``treedist`` table. Both fill identical float64
+    values (with the default unit costs every intermediate is a small
+    integer, exact in float64), so mixing them per pair is bitwise
+    equivalent to either pure kernel. Relabel costs are looked up in a
+    table built once over the (few, repeated) unique tag labels rather
+    than called per node pair.
+    """
+    import numpy as np
+
+    size_a, size_b = len(ta), len(tb)
+    unique = sorted(set(ta.labels) | set(tb.labels))
+    index = {label: position for position, label in enumerate(unique)}
+    codes_a = np.fromiter(
+        (index[label] for label in ta.labels), dtype=np.int64, count=size_a
+    )
+    codes_b = np.fromiter(
+        (index[label] for label in tb.labels), dtype=np.int64, count=size_b
+    )
+    if relabel_cost is None:
+        scalar_cost = lambda x, y: 0.0 if x == y else 1.0  # noqa: E731
+        cost_table = np.ones((len(unique), len(unique)), dtype=np.float64)
+        np.fill_diagonal(cost_table, 0.0)
+    else:
+        scalar_cost = relabel_cost
+        cost_table = np.array(
+            [[relabel_cost(x, y) for y in unique] for x in unique],
+            dtype=np.float64,
+        )
+    treedist = [[0.0] * size_b for _ in range(size_a)]
+
+    for i in ta.keyroots:
+        for j in tb.keyroots:
+            cols = j - tb.lmld[j] + 2
+            if cols < _VECTOR_MIN_COLS:
+                _compute_treedist(
+                    ta,
+                    tb,
+                    i,
+                    j,
+                    treedist,
+                    scalar_cost,
+                    insert_cost,
+                    delete_cost,
+                )
+            else:
+                _vector_pair(
+                    np,
+                    ta,
+                    tb,
+                    i,
+                    j,
+                    treedist,
+                    cost_table,
+                    codes_a,
+                    codes_b,
+                    insert_cost,
+                    delete_cost,
+                )
+    return treedist[size_a - 1][size_b - 1]
+
+
+def _vector_pair(
+    np,
+    ta: _AnnotatedTree,
+    tb: _AnnotatedTree,
+    i: int,
+    j: int,
+    treedist: list[list[float]],
+    cost_table,
+    codes_a,
+    codes_b,
+    insert_cost: float,
+    delete_cost: float,
+) -> None:
+    """One keyroot pair of the forest DP, one row per array pass.
+
+    Per row, the deletion term and the third term (substitution on
+    whole-tree cells, forest-link on the rest) are vector expressions;
+    the insertion term — ``forest[di][dj-1] + insert_cost``, a
+    left-to-right running minimum — is resolved exactly like the
+    Levenshtein kernel's, with ``np.minimum.accumulate`` over
+    index-offset values.
+
+    Like the scalar DP, within one keyroot-pair computation every
+    whole-tree cell writes ``treedist`` and every partial-forest cell
+    reads only ``treedist`` entries finished by *earlier* keyroot
+    pairs, so copying the needed ``treedist`` block up front
+    (``tree_slice``) preserves the dependency order.
+    """
+    li, lj = ta.lmld[i], tb.lmld[j]
+    rows = i - li + 2
+    cols = j - lj + 2
+    row_prefix = [ta.lmld[node] - li for node in range(li, i + 1)]
+    col_prefix = np.asarray(tb.lmld[lj : j + 1], dtype=np.int64) - lj
+    col_anchor = col_prefix == 0
+    anchored = np.flatnonzero(col_anchor)
+    write_cols = [lj + int(position) for position in anchored]
+    sub_costs = cost_table[np.ix_(codes_a[li : i + 1], codes_b[lj : j + 1])]
+    tree_slice = np.array(
+        [treedist[node][lj : j + 1] for node in range(li, i + 1)],
+        dtype=np.float64,
+    )
+    ins_offsets = np.arange(cols, dtype=np.float64) * insert_cost
+    forest = np.empty((rows, cols), dtype=np.float64)
+    forest[:, 0] = np.arange(rows, dtype=np.float64) * delete_cost
+    forest[0, :] = ins_offsets
+    for di in range(1, rows):
+        previous = forest[di - 1]
+        current = forest[di]
+        third = forest[row_prefix[di - 1], col_prefix]
+        third += tree_slice[di - 1]
+        if row_prefix[di - 1] == 0:
+            third[anchored] = previous[anchored] + sub_costs[di - 1][anchored]
+        np.minimum(previous[1:] + delete_cost, third, out=current[1:])
+        # Insertions: current[dj] = min_{p<=dj}(current[p] +
+        # (dj-p)·insert) — one running minimum over offsets.
+        np.subtract(current, ins_offsets, out=current)
+        np.minimum.accumulate(current, out=current)
+        np.add(current, ins_offsets, out=current)
+        if row_prefix[di - 1] == 0:
+            node_row = treedist[li + di - 1]
+            for column, value in zip(
+                write_cols, current[anchored + 1].tolist()
+            ):
+                node_row[column] = value
+
+
 def normalized_tree_edit_distance(
-    a: Union[TagTree, TagNode], b: Union[TagTree, TagNode]
+    a: Union[TagTree, TagNode],
+    b: Union[TagTree, TagNode],
+    backend: BackendSelection = None,
 ) -> float:
     """Tree edit distance scaled by the larger tree size into [0, 1]."""
     root_a = a.root if isinstance(a, TagTree) else a
@@ -160,4 +330,4 @@ def normalized_tree_edit_distance(
     largest = max(root_a.size(), root_b.size())
     if largest == 0:
         return 0.0
-    return tree_edit_distance(root_a, root_b) / largest
+    return tree_edit_distance(root_a, root_b, backend=backend) / largest

@@ -14,26 +14,78 @@ value as the default:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
 
 #: Valid compute backends: "numpy" is the vectorized matrix backend
 #: (:mod:`repro.vsm.matrix`), "python" the pure-python reference
 #: implementation kept as the correctness oracle.
 BACKENDS = ("python", "numpy")
 
+#: Valid :class:`ExecutionConfig` cache policies.
+CACHE_POLICIES = ("on", "off")
 
-def resolve_backend(backend: str | None = None) -> str:
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How the pipeline computes: backend, parallelism, caching.
+
+    One object answers the three *how* questions every stage used to
+    answer separately: which compute kernels run (``backend``), how
+    many worker processes fan the clustering restarts out (``n_jobs``),
+    and whether interned :class:`~repro.vsm.matrix.VectorSpace` builds
+    are reused across calls over the same collection (``cache``).
+    Every entry point that accepts a ``backend`` argument also accepts
+    a full ``ExecutionConfig`` in its place.
+    """
+
+    #: Compute backend: "python", "numpy", or ``None`` to defer to
+    #: :func:`resolve_backend` (explicit value > ``REPRO_BACKEND`` env
+    #: var > auto-detection — the env var is the lowest-precedence way
+    #: to *select* a backend and only fills in when nothing is set).
+    backend: Optional[str] = None
+    #: Worker processes for restart fan-out: 1 = serial (default),
+    #: N > 1 = that many processes, 0 = one per available core.
+    n_jobs: int = 1
+    #: "on" reuses interned vector spaces across calls over the same
+    #: collection (keyed by content, so never stale); "off" disables.
+    cache: str = "on"
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 0:
+            raise ValueError(f"n_jobs must be >= 0, got {self.n_jobs}")
+        if self.cache not in CACHE_POLICIES:
+            raise ValueError(
+                f"unknown cache policy {self.cache!r}; "
+                f"valid: {', '.join(CACHE_POLICIES)}"
+            )
+
+
+#: A backend selection: a plain backend name, a full execution config,
+#: or ``None`` for the default resolution chain.
+BackendSelection = Union[str, ExecutionConfig, None]
+
+
+def resolve_backend(backend: BackendSelection = None) -> str:
     """Resolve a compute-backend selection to ``"python"`` or ``"numpy"``.
 
-    ``None`` means "use the default": the ``REPRO_BACKEND`` environment
-    variable if set, otherwise ``"numpy"`` when numpy is importable and
-    ``"python"`` on stripped environments. An explicit ``"numpy"``
-    request on a machine without numpy raises, so silent slowdowns
-    cannot masquerade as the vectorized backend.
+    Accepts a backend name or a whole :class:`ExecutionConfig` (its
+    ``backend`` field is used). ``None`` means "use the default": the
+    ``REPRO_BACKEND`` environment variable if set, otherwise ``"numpy"``
+    when numpy is importable and ``"python"`` on stripped environments —
+    i.e. any explicit selection outranks the env var, which outranks
+    only auto-detection. An explicit ``"numpy"`` request on a machine
+    without numpy raises, so silent slowdowns cannot masquerade as the
+    vectorized backend.
 
     >>> resolve_backend("python")
     'python'
+    >>> resolve_backend(ExecutionConfig(backend="python"))
+    'python'
     """
+    if isinstance(backend, ExecutionConfig):
+        backend = backend.backend
     if backend is None:
         backend = os.environ.get("REPRO_BACKEND") or None
     if backend is None:
@@ -52,6 +104,60 @@ def resolve_backend(backend: str | None = None) -> str:
                 "backend 'numpy' requested but numpy is not installed"
             )
     return backend
+
+
+def resolve_n_jobs(
+    backend: BackendSelection = None, n_jobs: Optional[int] = None
+) -> int:
+    """Resolve a worker-process count to a concrete integer >= 1.
+
+    An explicit ``n_jobs`` wins; otherwise an :class:`ExecutionConfig`
+    supplies its own; otherwise 1 (serial). 0 means one worker per
+    available core.
+
+    >>> resolve_n_jobs(ExecutionConfig(n_jobs=4))
+    4
+    >>> resolve_n_jobs("numpy")
+    1
+    """
+    if n_jobs is None and isinstance(backend, ExecutionConfig):
+        n_jobs = backend.n_jobs
+    if n_jobs is None:
+        return 1
+    if n_jobs < 0:
+        raise ValueError(f"n_jobs must be >= 0, got {n_jobs}")
+    if n_jobs == 0:
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except AttributeError:  # pragma: no cover - non-POSIX only
+            return os.cpu_count() or 1
+    return n_jobs
+
+
+def execution_from_legacy(
+    execution: Optional[ExecutionConfig],
+    legacy_backend: Optional[str],
+    field_name: str,
+) -> ExecutionConfig:
+    """Fold a deprecated per-stage ``backend`` field into an execution
+    config.
+
+    An explicitly supplied ``execution`` always wins (the caller has
+    already decided); the legacy field is only consulted — with a
+    :class:`DeprecationWarning` — when no execution config was given.
+    """
+    if execution is not None:
+        return execution
+    if legacy_backend is None:
+        return ExecutionConfig()
+    warnings.warn(
+        f"{field_name} is deprecated; pass "
+        f"ThorConfig(execution=ExecutionConfig(backend=...)) "
+        f"(or an ExecutionConfig to the stage driver) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ExecutionConfig(backend=legacy_backend)
 
 
 @dataclass(frozen=True)
@@ -80,9 +186,10 @@ class ClusteringConfig:
     #: max fanout, page size); the paper uses "a simple linear
     #: combination".
     ranking_weights: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3)
-    #: Compute backend for the clustering kernels: "numpy" (vectorized,
-    #: the default) or "python" (reference oracle); ``None`` defers to
-    #: :func:`resolve_backend`.
+    #: Deprecated: compute backend for the clustering kernels. Set
+    #: ``ThorConfig.execution`` (an :class:`ExecutionConfig`) instead;
+    #: this field only fills in when no execution config is given, and
+    #: doing so emits a :class:`DeprecationWarning`.
     backend: str | None = None
 
 
@@ -116,9 +223,10 @@ class SubtreeConfig:
     #: Require candidates to contain a branching node (fanout > 1).
     #: The paper's third single-page rule is ambiguous; off by default.
     require_branching: bool = False
-    #: Compute backend for the pairwise subtree distances: "numpy"
-    #: (batched matrix kernel) or "python"; ``None`` defers to
-    #: :func:`resolve_backend`.
+    #: Deprecated: compute backend for the pairwise subtree distances.
+    #: Set ``ThorConfig.execution`` (an :class:`ExecutionConfig`)
+    #: instead; this field only fills in when no execution config is
+    #: given, and doing so emits a :class:`DeprecationWarning`.
     backend: str | None = None
 
 
@@ -142,6 +250,29 @@ class ThorConfig:
     #: Seed for every stochastic component (K-Means starts, probe word
     #: sampling, prototype page choice); None = nondeterministic.
     seed: int | None = None
+    #: How the pipeline computes (backend, worker processes, caching) —
+    #: one execution config shared by clustering, subtree matching,
+    #: content ranking, and the benchmarks.
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+
+    def resolved_execution(self) -> ExecutionConfig:
+        """The effective execution config, folding in the deprecated
+        per-stage ``clustering.backend`` / ``subtrees.backend`` fields
+        (with a :class:`DeprecationWarning` when they are set and the
+        execution config itself names no backend)."""
+        execution = self.execution
+        legacy = self.clustering.backend or self.subtrees.backend
+        if legacy is not None:
+            warnings.warn(
+                "ClusteringConfig.backend / SubtreeConfig.backend are "
+                "deprecated; set ThorConfig.execution="
+                "ExecutionConfig(backend=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if execution.backend is None:
+                execution = replace(execution, backend=legacy)
+        return execution
 
 
 DEFAULT_CONFIG = ThorConfig()

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.config import SubtreeConfig
+from repro.config import ExecutionConfig, SubtreeConfig, execution_from_legacy
 from repro.core.page import Page
 from repro.core.pagelet import QAPagelet
 from repro.core.selection import ScoredSet, score_sets
@@ -52,10 +52,18 @@ class PageletIdentifier:
     """Phase-2 driver for a single page cluster."""
 
     def __init__(
-        self, config: SubtreeConfig = SubtreeConfig(), seed: Optional[int] = None
+        self,
+        config: SubtreeConfig = SubtreeConfig(),
+        seed: Optional[int] = None,
+        execution: Optional[ExecutionConfig] = None,
     ) -> None:
         self.config = config
         self.seed = seed
+        # An explicit execution config wins; the deprecated per-stage
+        # ``config.backend`` field fills in (with a warning) otherwise.
+        self.execution = execution_from_legacy(
+            execution, config.backend, "SubtreeConfig.backend"
+        )
 
     def identify(self, pages: Sequence[Page]) -> IdentificationResult:
         """Run Phase 2 over one cluster of pages.
@@ -79,13 +87,14 @@ class PageletIdentifier:
             max_assign_distance=cfg.max_assign_distance,
             path_code_length=cfg.path_code_length,
             seed=self.seed,
-            backend=cfg.backend,
+            backend=self.execution,
         )
         ranked = rank_subtree_sets(
             sets,
             n_pages=len(pages),
             static_similarity_threshold=cfg.static_similarity_threshold,
             min_support=cfg.min_support,
+            backend=self.execution,
         )
         scored = score_sets(
             dynamic_sets(ranked),

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.cluster.assignments import Clustering
-from repro.config import ClusteringConfig
+from repro.config import ClusteringConfig, ExecutionConfig, execution_from_legacy
 from repro.core.cluster_ranking import ClusterScore, score_clusters
 from repro.core.page import Page
 from repro.errors import ExtractionError
@@ -59,10 +59,18 @@ class PageClusterer:
     """Phase-1 driver."""
 
     def __init__(
-        self, config: ClusteringConfig = ClusteringConfig(), seed: Optional[int] = None
+        self,
+        config: ClusteringConfig = ClusteringConfig(),
+        seed: Optional[int] = None,
+        execution: Optional[ExecutionConfig] = None,
     ) -> None:
         self.config = config
         self.seed = seed
+        # An explicit execution config wins; the deprecated per-stage
+        # ``config.backend`` field fills in (with a warning) otherwise.
+        self.execution = execution_from_legacy(
+            execution, config.backend, "ClusteringConfig.backend"
+        )
 
     def fit(self, pages: Sequence[Page]) -> PageClusteringResult:
         """Cluster and rank ``pages``.
@@ -78,7 +86,7 @@ class PageClusterer:
             self.config.k,
             restarts=self.config.restarts,
             seed=self.seed,
-            backend=self.config.backend,
+            backend=self.execution,
         )
         scores = score_clusters(pages, clustering, self.config.ranking_weights)
         return PageClusteringResult(tuple(pages), clustering, tuple(scores))

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.config import BackendSelection, resolve_backend
 from repro.core.subtree_sets import CommonSubtreeSet
 from repro.text.terms import TermExtractor, DEFAULT_EXTRACTOR
 from repro.vsm.vector import SparseVector
@@ -56,13 +57,35 @@ def intra_set_similarity(
     subtree_set: CommonSubtreeSet,
     extractor: TermExtractor = DEFAULT_EXTRACTOR,
     use_tfidf: bool = True,
+    backend: BackendSelection = None,
 ) -> float:
     """Mean pairwise cosine similarity of the set's member contents.
 
     Singleton sets score 1.0 (no variation is observable, so they are
     indistinguishable from static content). Members whose content is
     empty yield zero vectors, which cosine treats as orthogonal.
+
+    With the ``numpy`` backend the whole set is weighted in one
+    :func:`repro.vsm.matrix.weighted_space` batch instead of one
+    :class:`~repro.vsm.vector.SparseVector` per member.
     """
+    if resolve_backend(backend) == "numpy":
+        counts = [
+            extractor.extract_counts(c.node.text())
+            for c in subtree_set.candidates()
+        ]
+        n = len(counts)
+        if n <= 1:
+            return 1.0
+        from repro.vsm.matrix import weighted_space
+
+        space = weighted_space(counts, "tfidf" if use_tfidf else "raw")
+        # Rows are unit length (or zero): Σ_{i<j} v_i·v_j =
+        # (‖Σv‖² − #non-zero) / 2, one axis-sum and one dot product.
+        composite = space.matrix.sum(axis=0)
+        non_zero = int((space.norms > 0.0).sum())
+        pair_sum = (float(composite @ composite) - non_zero) / 2.0
+        return _clamp_unit(pair_sum / (n * (n - 1) / 2.0))
     vectors = set_content_vectors(subtree_set, extractor, use_tfidf)
     n = len(vectors)
     if n <= 1:
@@ -77,13 +100,25 @@ def intra_set_similarity(
     non_zero = sum(1 for v in vectors if not v.is_zero())
     pair_sum = (composite.norm**2 - non_zero) / 2.0
     pairs = n * (n - 1) / 2.0
-    value = pair_sum / pairs
-    # Floating-point drift guard.
+    return _clamp_unit(pair_sum / pairs)
+
+
+def _clamp_unit(value: float) -> float:
+    """Floating-point drift guard for mean cosines."""
     if value < 0.0:
         return 0.0
     if value > 1.0:
         return 1.0
     return value
+
+
+#: Decimal places the ranking sort sees. The two backends agree on
+#: similarities well past this precision but not bitwise; quantizing
+#: the sort key (and breaking the resulting ties by discovery order,
+#: which is backend-independent) keeps the ranked order — and
+#: everything downstream, e.g. exported pagelet annotations —
+#: identical whichever backend scored the sets.
+_SORT_PRECISION = 12
 
 
 def rank_subtree_sets(
@@ -93,6 +128,7 @@ def rank_subtree_sets(
     min_support: float = 0.5,
     extractor: TermExtractor = DEFAULT_EXTRACTOR,
     use_tfidf: bool = True,
+    backend: BackendSelection = None,
 ) -> list[RankedSubtreeSet]:
     """Score, filter, and rank common subtree sets.
 
@@ -103,12 +139,15 @@ def rank_subtree_sets(
     come first; static sets are retained (flagged) for diagnostics but
     sorted after dynamic ones.
     """
+    backend = resolve_backend(backend)
     min_pages = max(1, int(min_support * n_pages))
     ranked = []
     for subtree_set in sets:
         if subtree_set.support < min_pages:
             continue
-        similarity = intra_set_similarity(subtree_set, extractor, use_tfidf)
+        similarity = intra_set_similarity(
+            subtree_set, extractor, use_tfidf, backend=backend
+        )
         ranked.append(
             RankedSubtreeSet(
                 subtree_set=subtree_set,
@@ -116,7 +155,7 @@ def rank_subtree_sets(
                 is_static=similarity > static_similarity_threshold,
             )
         )
-    ranked.sort(key=lambda r: r.similarity)
+    ranked.sort(key=lambda r: round(r.similarity, _SORT_PRECISION))
     return ranked
 
 

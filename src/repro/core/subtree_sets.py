@@ -26,7 +26,7 @@ from functools import lru_cache
 from typing import Optional, Sequence
 
 from repro.cluster.editdist import normalized_levenshtein
-from repro.config import resolve_backend
+from repro.config import BackendSelection, resolve_backend
 from repro.errors import ExtractionError
 from repro.html.metrics import SubtreeShape, subtree_shape
 from repro.html.paths import TagCodec, node_tag_sequence
@@ -171,7 +171,7 @@ def find_common_subtree_sets(
     path_code_length: int = 1,
     prototype_index: Optional[int] = None,
     seed: Optional[int] = None,
-    backend: Optional[str] = None,
+    backend: BackendSelection = None,
 ) -> list[CommonSubtreeSet]:
     """Group candidate subtrees across the cluster's pages.
 

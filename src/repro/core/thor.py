@@ -51,9 +51,18 @@ class Thor:
 
     def __init__(self, config: ThorConfig = DEFAULT_CONFIG) -> None:
         self.config = config
+        # Resolve the execution plan (backend / n_jobs / cache) once —
+        # folding in the deprecated per-stage backend fields — and hand
+        # the same plan to every stage driver.
+        execution = config.resolved_execution()
+        self.execution = execution
         self._prober = QueryProber(config.probing, seed=config.seed)
-        self._clusterer = PageClusterer(config.clustering, seed=config.seed)
-        self._identifier = PageletIdentifier(config.subtrees, seed=config.seed)
+        self._clusterer = PageClusterer(
+            config.clustering, seed=config.seed, execution=execution
+        )
+        self._identifier = PageletIdentifier(
+            config.subtrees, seed=config.seed, execution=execution
+        )
         self._partitioner = ObjectPartitioner(config.subtrees)
 
     # -- stage 1 ---------------------------------------------------------

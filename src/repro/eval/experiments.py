@@ -18,7 +18,13 @@ from repro.cluster.quality import clustering_entropy
 from repro.cluster.random_baseline import random_clustering
 from repro.cluster.scalar import ScalarKMeans
 from repro.cluster.editdist import normalized_levenshtein
-from repro.config import SubtreeConfig, ThorConfig, resolve_backend
+from repro.config import (
+    BackendSelection,
+    ExecutionConfig,
+    SubtreeConfig,
+    ThorConfig,
+    resolve_backend,
+)
 from repro.core.identification import PageletIdentifier
 from repro.core.single_page import candidate_subtrees_for_cluster
 from repro.core.subtree_ranking import intra_set_similarity
@@ -56,7 +62,7 @@ def clustering_quality_experiment(
     restarts: int = 1,
     repeats: int = 3,
     seed: int = 0,
-    backend: Optional[str] = None,
+    backend: BackendSelection = None,
 ) -> dict[str, dict[int, EntropyPoint]]:
     """Average clustering entropy and time per configuration and size.
 
@@ -120,7 +126,7 @@ def cluster_synthetic(
     k: int = 4,
     restarts: int = 1,
     seed: Optional[int] = None,
-    backend: Optional[str] = None,
+    backend: BackendSelection = None,
 ) -> Clustering:
     """Cluster synthetic page signatures under one representation.
 
@@ -169,7 +175,7 @@ def synthetic_scale_experiment(
     k: int = 5,
     seed: int = 0,
     entropy_restarts: int = 5,
-    backend: Optional[str] = None,
+    backend: BackendSelection = None,
 ) -> dict[str, dict[int, EntropyPoint]]:
     """Entropy and per-iteration time as the collection grows.
 
@@ -432,10 +438,17 @@ def sensitivity_experiment(
     k_values: Sequence[int] = (2, 3, 4, 5),
     restart_values: Sequence[int] = (2, 5, 10, 20),
     seed: int = 0,
+    execution: Optional[ExecutionConfig] = None,
 ) -> dict[tuple[int, int], float]:
     """Average entropy for each (k, restarts) pair — the in-text
     sensitivity sweep ("ranging the number of clusters from 2 to 5 and
-    the internal cluster iterations from 2 to 20")."""
+    the internal cluster iterations from 2 to 20").
+
+    Every (k, restarts) point re-clusters the *same* collection, so on
+    the numpy backend the keyed :func:`repro.runtime.cached_weighted_space`
+    cache pays the vector-space interning cost once per site instead of
+    once per point; ``execution`` also carries ``n_jobs`` for restart
+    fan-out."""
     config = get_configuration("ttag")
     results: dict[tuple[int, int], float] = {}
     for k in k_values:
@@ -443,7 +456,9 @@ def sensitivity_experiment(
             entropies = []
             for sample in samples:
                 pages = list(sample.pages)
-                clustering = config(pages, k, restarts=restarts, seed=seed)
+                clustering = config(
+                    pages, k, restarts=restarts, seed=seed, backend=execution
+                )
                 entropies.append(
                     clustering_entropy(clustering, [p.class_label for p in pages])
                 )

@@ -1,0 +1,217 @@
+"""The execution layer: *how* the pipeline computes.
+
+Every stage used to answer three questions on its own — which compute
+kernels to run, whether to parallelize, what to reuse between calls.
+This module centralizes them behind one :class:`ExecutionConfig`
+(backend + worker processes + cache policy) and provides the shared
+machinery:
+
+- **Per-restart seed streams** (:func:`restart_seed_streams`): the
+  clustering drivers used to thread a single ``random.Random`` through
+  all restarts, which serializes them by construction. Deriving one
+  independent, namespaced stream per restart makes each restart a pure
+  function of ``(data, restart_seed)``, so a fan-out across processes
+  is *bitwise identical* to the serial loop.
+- **Chunked process fan-out** (:func:`run_restarts`): restarts are
+  split into ``n_jobs`` contiguous chunks, each chunk runs in one
+  worker of a :class:`~concurrent.futures.ProcessPoolExecutor` (the
+  collection is pickled once per worker, not once per restart), and
+  results come back in restart order so best-of selection reduces
+  exactly like the serial loop. Environments where process pools are
+  unavailable fall back to inline execution.
+- **Keyed vector-space cache** (:func:`cached_weighted_space`): the
+  k-sensitivity sweeps re-cluster the *same* collection dozens of
+  times with different k/restart settings; interning the collection
+  into a :class:`~repro.vsm.matrix.VectorSpace` each time was the
+  dominant cost. The cache keys on the collection *content* (count
+  maps + weighting scheme), so it can never serve a stale space.
+
+The user-facing knobs live on :class:`repro.config.ExecutionConfig`
+(re-exported here), threaded through ``ThorConfig.execution``, the
+stage drivers, and the CLI ``--backend`` / ``--jobs`` flags.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Any, Callable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.config import (
+    BACKENDS,
+    BackendSelection,
+    ExecutionConfig,
+    execution_from_legacy,
+    resolve_backend,
+    resolve_n_jobs,
+)
+
+#: Seed material for one restart: anything ``random.Random`` accepts
+#: deterministically (namespaced strings for seeded runs, fresh 64-bit
+#: integers for unseeded ones).
+SeedMaterial = Union[str, int]
+
+
+def restart_seed_streams(
+    seed: Optional[int], restarts: int, namespace: str
+) -> list[SeedMaterial]:
+    """One independent RNG seed per restart.
+
+    Seeded runs derive ``"namespace:seed:restart"`` strings (string
+    seeding is deterministic across processes, unlike salted tuple
+    hashes — see :mod:`repro.seeding`); unseeded runs draw fresh
+    entropy per restart. Either way restart ``r``'s stream never
+    depends on how many draws restart ``r-1`` consumed, which is what
+    makes process fan-out bitwise identical to the serial loop.
+
+    >>> restart_seed_streams(7, 2, "kmeans")
+    ['kmeans:7:0', 'kmeans:7:1']
+    """
+    if seed is None:
+        entropy = random.Random()
+        return [entropy.getrandbits(64) for _ in range(restarts)]
+    return [f"{namespace}:{seed}:{index}" for index in range(restarts)]
+
+
+def _chunks(seeds: Sequence[SeedMaterial], n_jobs: int) -> list[list[SeedMaterial]]:
+    """Split ``seeds`` into at most ``n_jobs`` contiguous chunks."""
+    n_jobs = min(n_jobs, len(seeds))
+    size, extra = divmod(len(seeds), n_jobs)
+    chunks = []
+    start = 0
+    for index in range(n_jobs):
+        stop = start + size + (1 if index < extra else 0)
+        chunks.append(list(seeds[start:stop]))
+        start = stop
+    return chunks
+
+
+def run_restarts(
+    worker: Callable[[Any, Sequence[SeedMaterial]], list],
+    payload: Any,
+    seeds: Sequence[SeedMaterial],
+    n_jobs: int = 1,
+) -> list:
+    """Run ``worker(payload, chunk)`` over all restart seeds, possibly
+    across processes, returning per-restart results in restart order.
+
+    ``worker`` must be a module-level (picklable) function that maps a
+    chunk of seed materials to one result per seed, in order. With
+    ``n_jobs <= 1`` (or a single restart) everything runs inline; a
+    pool that cannot start (sandboxes without process support) also
+    degrades to inline execution rather than failing the fit.
+    """
+    if n_jobs <= 1 or len(seeds) <= 1:
+        return worker(payload, list(seeds))
+    chunks = _chunks(seeds, n_jobs)
+    try:
+        import concurrent.futures
+
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=len(chunks)
+        ) as pool:
+            futures = [pool.submit(worker, payload, chunk) for chunk in chunks]
+            batches = [future.result() for future in futures]
+    except (OSError, PermissionError, ImportError):  # pragma: no cover
+        # Process pools need /dev/shm semaphores and fork/spawn rights;
+        # degrade to the (identical) serial computation without them.
+        return worker(payload, list(seeds))
+    results: list = []
+    for batch in batches:
+        results.extend(batch)
+    return results
+
+
+def select_best(results: Sequence, better: Callable[[Any, Any], bool]):
+    """First-wins best-of reduction in restart order.
+
+    ``better(candidate, incumbent)`` must implement a *strict* "is
+    better than" — exactly the comparison the serial loops used — so
+    ties keep the earliest restart under any execution plan.
+    """
+    best = None
+    for result in results:
+        if best is None or better(result, best):
+            best = result
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Keyed VectorSpace cache
+# ---------------------------------------------------------------------------
+
+_SpaceKey = Tuple[str, tuple]
+
+_SPACE_CACHE: "OrderedDict[_SpaceKey, Any]" = OrderedDict()
+_SPACE_CACHE_LIMIT = 16
+_SPACE_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def _space_key(count_maps: Sequence[Mapping[str, float]], weighting: str) -> _SpaceKey:
+    """A content key for a collection: never stale, cheap vs interning."""
+    return (
+        weighting,
+        tuple(tuple(sorted(counts.items())) for counts in count_maps),
+    )
+
+
+def cached_weighted_space(
+    count_maps: Sequence[Mapping[str, float]],
+    weighting: str = "tfidf",
+    execution: Optional[ExecutionConfig] = None,
+):
+    """:func:`repro.vsm.matrix.weighted_space` behind the keyed cache.
+
+    The cache key is the collection *content* (count maps in order,
+    plus the weighting scheme), so a hit is always the exact space a
+    fresh build would produce; the k-sensitivity sweeps re-cluster one
+    collection per (k, restarts) point and pay the interning cost once.
+    ``ExecutionConfig(cache="off")`` bypasses the cache entirely.
+    Spaces must be treated as immutable by callers (they already are:
+    every kernel copies before writing).
+    """
+    from repro.vsm.matrix import weighted_space
+
+    if execution is not None and execution.cache == "off":
+        return weighted_space(count_maps, weighting)
+    key = _space_key(count_maps, weighting)
+    space = _SPACE_CACHE.get(key)
+    if space is not None:
+        _SPACE_CACHE.move_to_end(key)
+        _SPACE_CACHE_STATS["hits"] += 1
+        return space
+    _SPACE_CACHE_STATS["misses"] += 1
+    space = weighted_space(count_maps, weighting)
+    _SPACE_CACHE[key] = space
+    while len(_SPACE_CACHE) > _SPACE_CACHE_LIMIT:
+        _SPACE_CACHE.popitem(last=False)
+    return space
+
+
+def space_cache_stats() -> dict[str, int]:
+    """Hit/miss counters plus current size (diagnostics and tests)."""
+    return {**_SPACE_CACHE_STATS, "size": len(_SPACE_CACHE)}
+
+
+def clear_space_cache() -> None:
+    """Drop every cached space and reset the counters."""
+    _SPACE_CACHE.clear()
+    _SPACE_CACHE_STATS["hits"] = 0
+    _SPACE_CACHE_STATS["misses"] = 0
+
+
+__all__ = [
+    "BACKENDS",
+    "BackendSelection",
+    "ExecutionConfig",
+    "SeedMaterial",
+    "cached_weighted_space",
+    "clear_space_cache",
+    "execution_from_legacy",
+    "resolve_backend",
+    "resolve_n_jobs",
+    "restart_seed_streams",
+    "run_restarts",
+    "select_best",
+    "space_cache_stats",
+]

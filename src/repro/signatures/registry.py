@@ -27,9 +27,10 @@ from repro.cluster.kmeans import KMeans
 from repro.cluster.kmedoids import KMedoids
 from repro.cluster.random_baseline import random_clustering
 from repro.cluster.scalar import ScalarKMeans
-from repro.config import resolve_backend
+from repro.config import BackendSelection, ExecutionConfig, resolve_backend
 from repro.core.page import Page
-from repro.vsm.matrix import pairwise_normalized_levenshtein, weighted_space
+from repro.runtime import cached_weighted_space
+from repro.vsm.matrix import pairwise_normalized_levenshtein
 from repro.vsm.weighting import raw_tf_vector, tfidf_vectors
 from repro.signatures.content import content_signature
 from repro.signatures.size import size_signature
@@ -43,13 +44,16 @@ class ClusteringConfig:
 
     ``cluster`` partitions ``pages`` into ``k`` clusters; ``restarts``,
     ``seed``, and ``backend`` are forwarded to the underlying algorithm
-    (ignored by the random baseline's single draw).
+    (ignored by the random baseline's single draw). ``backend`` is a
+    :data:`~repro.config.BackendSelection` — a backend name or a whole
+    :class:`~repro.config.ExecutionConfig`, whose ``n_jobs`` and
+    ``cache`` policy the vector configurations honor too.
     """
 
     key: str
     label: str
     cluster: Callable[
-        [Sequence[Page], int, int, Optional[int], Optional[str]], Clustering
+        [Sequence[Page], int, int, Optional[int], BackendSelection], Clustering
     ]
 
     def __call__(
@@ -58,7 +62,7 @@ class ClusteringConfig:
         k: int,
         restarts: int = 10,
         seed: Optional[int] = None,
-        backend: Optional[str] = None,
+        backend: BackendSelection = None,
     ) -> Clustering:
         return self.cluster(pages, k, restarts, seed, backend)
 
@@ -69,14 +73,17 @@ def _vector_kmeans(signature: Callable[[Page], dict], weighting: str):
         k: int,
         restarts: int,
         seed: Optional[int],
-        backend: Optional[str],
+        backend: BackendSelection,
     ) -> Clustering:
         signatures = [signature(p) for p in pages]
         kmeans = KMeans(k, restarts=restarts, seed=seed, backend=backend)
         if pages and resolve_backend(backend) == "numpy":
             # Weight straight into the dense space — on this path no
-            # per-page SparseVector is ever materialized.
-            return kmeans.fit_space(weighted_space(signatures, weighting)).clustering
+            # per-page SparseVector is ever materialized — and reuse it
+            # across calls over the same collection (k sweeps).
+            execution = backend if isinstance(backend, ExecutionConfig) else None
+            space = cached_weighted_space(signatures, weighting, execution)
+            return kmeans.fit_space(space).clustering
         if weighting == "raw":
             vectors = [raw_tf_vector(s) for s in signatures]
         else:
@@ -91,7 +98,7 @@ def _size_kmeans(
     k: int,
     restarts: int,
     seed: Optional[int],
-    backend: Optional[str],
+    backend: BackendSelection,
 ) -> Clustering:
     values = [size_signature(p) for p in pages]
     return ScalarKMeans(k, restarts=restarts, seed=seed).fit(values).clustering
@@ -102,7 +109,7 @@ def _url_kmedoids(
     k: int,
     restarts: int,
     seed: Optional[int],
-    backend: Optional[str],
+    backend: BackendSelection,
 ) -> Clustering:
     medoids = KMedoids(
         k, distance=url_distance, restarts=restarts, seed=seed, backend=backend
@@ -120,7 +127,7 @@ def _random(
     k: int,
     restarts: int,
     seed: Optional[int],
-    backend: Optional[str],
+    backend: BackendSelection,
 ) -> Clustering:
     return random_clustering(len(pages), k, seed=seed)
 

@@ -1,0 +1,69 @@
+"""Smoke tests for the stable ``repro.api`` facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+
+
+class TestFacadeSurface:
+    def test_exports(self):
+        for name in api.__all__:
+            assert hasattr(api, name), name
+
+    def test_reexports_are_canonical(self):
+        from repro.config import ExecutionConfig, ThorConfig
+        from repro.core.thor import Thor, ThorResult
+
+        assert api.ThorConfig is ThorConfig
+        assert api.ExecutionConfig is ExecutionConfig
+        assert api.Thor is Thor
+        assert api.ThorResult is ThorResult
+
+    def test_package_root_exports_execution_config(self):
+        import repro
+
+        assert repro.ExecutionConfig is api.ExecutionConfig
+
+
+class TestFacadeVerbs:
+    @pytest.fixture(scope="class")
+    def site(self):
+        return api.make_site(domain="ecommerce", seed=7, records=40)
+
+    def test_probe(self, site):
+        sample = api.probe(site, api.ThorConfig(seed=7))
+        assert len(sample.pages) > 0
+
+    def test_probe_defaults_config(self, site):
+        assert len(api.probe(site).pages) > 0
+
+    def test_extract(self, site):
+        sample = api.probe(site, api.ThorConfig(seed=7))
+        result = api.extract(list(sample.pages), api.ThorConfig(seed=7))
+        assert isinstance(result, api.ThorResult)
+        assert result.pagelets
+
+    def test_run_end_to_end(self, site):
+        config = api.ThorConfig(
+            seed=7, execution=api.ExecutionConfig(backend="python")
+        )
+        result = api.run(site, config)
+        assert result.pagelets
+        assert result.partitioned
+
+    def test_run_with_jobs(self, site):
+        # n_jobs > 1 must not change seeded results (restart fan-out is
+        # bitwise identical to the serial loop).
+        serial = api.run(site, api.ThorConfig(seed=7))
+        parallel = api.run(
+            site, api.ThorConfig(seed=7, execution=api.ExecutionConfig(n_jobs=2))
+        )
+        assert [p.path for p in parallel.pagelets] == [
+            p.path for p in serial.pagelets
+        ]
+        assert (
+            parallel.clustering.clustering.labels
+            == serial.clustering.clustering.labels
+        )

@@ -328,6 +328,145 @@ class TestShapeDistanceEquivalence:
                 assert float(matrix[i][j]) == shape_distance(ca, cb, weights)
 
 
+def _random_tag_tree(rng: random.Random, depth: int = 4, width: int = 3):
+    from repro.html.tree import ContentNode, TagNode
+
+    tags = ["div", "p", "span", "table", "tr", "td", "ul", "li"]
+
+    def build(d):
+        node = TagNode(rng.choice(tags))
+        if d > 0:
+            for _ in range(rng.randrange(width + 1)):
+                if rng.random() < 0.3:
+                    node.children.append(ContentNode("x"))
+                else:
+                    node.children.append(build(d - 1))
+        return node
+
+    root = TagNode("html")
+    for _ in range(rng.randrange(1, width + 1)):
+        root.children.append(build(depth))
+    return root
+
+
+class TestTreeEditEquivalence:
+    """The vectorized Zhang–Shasha kernel must agree with the scalar DP
+    bitwise (unit costs are small integers, exact in float64)."""
+
+    @settings(deadline=None, max_examples=25)
+    @given(seeds)
+    def test_hybrid_matches_scalar_bitwise(self, seed):
+        from repro.cluster.treeedit import tree_edit_distance
+
+        rng = random.Random(seed)
+        a, b = _random_tag_tree(rng), _random_tag_tree(rng)
+        py = tree_edit_distance(a, b, backend="python")
+        npy = tree_edit_distance(a, b, backend="numpy")
+        assert npy == py
+
+    def test_forced_vector_kernel_matches_scalar_bitwise(self, monkeypatch):
+        # Drop the width threshold so *every* keyroot pair runs the
+        # vectorized rows, not just the wide ones the hybrid picks.
+        from repro.cluster import treeedit
+
+        monkeypatch.setattr(treeedit, "_VECTOR_MIN_COLS", 1)
+        for seed in range(15):
+            rng = random.Random(seed)
+            a, b = _random_tag_tree(rng), _random_tag_tree(rng)
+            py = treeedit.tree_edit_distance(a, b, backend="python")
+            npy = treeedit.tree_edit_distance(a, b, backend="numpy")
+            assert npy == py
+
+    def test_custom_costs_match(self, monkeypatch):
+        from repro.cluster import treeedit
+
+        monkeypatch.setattr(treeedit, "_VECTOR_MIN_COLS", 1)
+        rng = random.Random(99)
+        a, b = _random_tag_tree(rng), _random_tag_tree(rng)
+        variants = [
+            dict(relabel_cost=lambda x, y: 0.0 if x == y else 0.5),
+            dict(insert_cost=2.0, delete_cost=1.5),
+        ]
+        for kwargs in variants:
+            py = treeedit.tree_edit_distance(a, b, backend="python", **kwargs)
+            npy = treeedit.tree_edit_distance(a, b, backend="numpy", **kwargs)
+            assert npy == py
+
+    def test_normalized_passes_backend_through(self):
+        from repro.cluster.treeedit import normalized_tree_edit_distance
+
+        rng = random.Random(3)
+        a, b = _random_tag_tree(rng), _random_tag_tree(rng)
+        py = normalized_tree_edit_distance(a, b, backend="python")
+        npy = normalized_tree_edit_distance(a, b, backend="numpy")
+        assert npy == py
+        assert 0.0 <= npy <= 1.0
+
+
+class TestParallelEquivalence:
+    """Seeded restart fan-out must be bitwise identical to the serial
+    loop: per-restart seed streams make each restart a pure function of
+    (data, restart seed), so the execution plan cannot change labels."""
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_kmeans_parallel_matches_serial(self, backend):
+        for seed in (0, 7):
+            vectors = random_vectors(seed, 14, allow_zero=True)
+            kwargs = dict(k=3, restarts=6, seed=seed, backend=backend)
+            serial = KMeans(n_jobs=1, **kwargs).fit(vectors)
+            parallel = KMeans(n_jobs=2, **kwargs).fit(vectors)
+            assert parallel.clustering.labels == serial.clustering.labels
+            assert parallel.internal_similarity == serial.internal_similarity
+            assert parallel.iterations == serial.iterations
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_kmedoids_parallel_matches_serial(self, backend):
+        rng = random.Random(5)
+        urls = [
+            "/list?p=" + "".join(rng.choices("abcd", k=rng.randint(1, 6)))
+            for _ in range(12)
+        ]
+        kwargs = dict(
+            k=3,
+            distance=normalized_levenshtein,
+            restarts=6,
+            seed=5,
+            backend=backend,
+        )
+        serial = KMedoids(n_jobs=1, **kwargs).fit(urls)
+        parallel = KMedoids(n_jobs=3, **kwargs).fit(urls)
+        assert parallel.clustering.labels == serial.clustering.labels
+        assert parallel.medoid_indices == serial.medoid_indices
+        assert parallel.total_distance == serial.total_distance
+
+    def test_restart_seed_streams_are_deterministic(self):
+        from repro.runtime import restart_seed_streams
+
+        assert restart_seed_streams(7, 3, "kmeans") == [
+            "kmeans:7:0",
+            "kmeans:7:1",
+            "kmeans:7:2",
+        ]
+        # Unseeded streams draw fresh entropy, one per restart.
+        unseeded = restart_seed_streams(None, 4, "kmeans")
+        assert len(unseeded) == 4
+        assert len(set(unseeded)) == 4
+
+    def test_run_restarts_orders_results(self):
+        from repro.runtime import run_restarts
+
+        # Inline path (n_jobs=1) keeps seed order.
+        results = run_restarts(_echo_worker, None, ["a", "b", "c"], n_jobs=1)
+        assert results == ["a", "b", "c"]
+        # Fanned-out path flattens chunk results back into seed order.
+        results = run_restarts(_echo_worker, None, list("abcde"), n_jobs=2)
+        assert results == list("abcde")
+
+
+def _echo_worker(payload, seeds):
+    return list(seeds)
+
+
 class TestBackendResolution:
     def test_explicit_backends(self):
         assert resolve_backend("python") == "python"

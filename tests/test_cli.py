@@ -51,10 +51,33 @@ class TestParser:
 
         args = build_parser().parse_args(["demo", "--backend", "python"])
         config = _thor_config(args)
-        assert config.clustering.backend == "python"
-        assert config.subtrees.backend == "python"
+        assert config.execution.backend == "python"
+        # The deprecated per-stage fields stay untouched.
+        assert config.clustering.backend is None
+        assert config.subtrees.backend is None
         default = _thor_config(build_parser().parse_args(["demo"]))
-        assert default.clustering.backend is None
+        assert default.execution.backend is None
+        assert default.execution.n_jobs == 1
+
+    def test_jobs_flag(self):
+        args = build_parser().parse_args(["demo", "--jobs", "2"])
+        assert args.jobs == 2
+        assert build_parser().parse_args(["search", "--query", "q",
+                                          "--jobs", "0"]).jobs == 0
+
+    def test_jobs_threaded_into_config(self):
+        from repro.cli import _thor_config
+
+        args = build_parser().parse_args(
+            ["extract", "--pages", "p", "--jobs", "2", "--backend", "numpy"]
+        )
+        config = _thor_config(args)
+        assert config.execution.n_jobs == 2
+        assert config.execution.backend == "numpy"
+
+    def test_probe_has_no_execution_flags(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["probe", "--jobs", "2"])
 
 
 class TestCommands:

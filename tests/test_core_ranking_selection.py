@@ -106,6 +106,21 @@ class TestRankSubtreeSets:
         sims = [r.similarity for r in ranked]
         assert sims == sorted(sims)
 
+    def test_order_identical_across_backends(self):
+        # Backends score similarities to ulp-level differences; the
+        # quantized sort key must keep the ranked order (and hence
+        # everything downstream) backend-independent.
+        pytest.importorskip("numpy")
+        sets = build_sets(PAGES)
+        by_backend = {
+            backend: [
+                id(r.subtree_set)
+                for r in rank_subtree_sets(sets, n_pages=3, backend=backend)
+            ]
+            for backend in ("python", "numpy")
+        }
+        assert by_backend["python"] == by_backend["numpy"]
+
     def test_static_flagging(self):
         ranked = rank_subtree_sets(
             build_sets(PAGES), n_pages=3, static_similarity_threshold=0.5

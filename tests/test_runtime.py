@@ -1,0 +1,83 @@
+"""Tests for the execution layer's keyed vector-space cache."""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.config import ExecutionConfig
+from repro.runtime import (
+    cached_weighted_space,
+    clear_space_cache,
+    space_cache_stats,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_space_cache()
+    yield
+    clear_space_cache()
+
+
+MAPS = [{"a": 2, "b": 1}, {"b": 3}, {"a": 1, "c": 4}]
+
+
+class TestSpaceCache:
+    def test_hit_on_identical_content(self):
+        first = cached_weighted_space(MAPS)
+        # A *different* list object with equal content still hits: the
+        # key is the collection content, not identity.
+        second = cached_weighted_space([dict(m) for m in MAPS])
+        assert second is first
+        stats = space_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_miss_on_different_weighting(self):
+        tfidf = cached_weighted_space(MAPS, "tfidf")
+        raw = cached_weighted_space(MAPS, "raw")
+        assert raw is not tfidf
+        assert space_cache_stats()["misses"] == 2
+
+    def test_miss_on_different_content(self):
+        first = cached_weighted_space(MAPS)
+        other = cached_weighted_space(MAPS + [{"d": 1}])
+        assert other is not first
+
+    def test_cached_space_matches_fresh_build(self):
+        from repro.vsm.matrix import weighted_space
+
+        cached = cached_weighted_space(MAPS)
+        fresh = weighted_space(MAPS)
+        assert np.array_equal(cached.matrix, fresh.matrix)
+        assert cached.vocabulary == fresh.vocabulary
+
+    def test_cache_off_policy_bypasses(self):
+        off = ExecutionConfig(cache="off")
+        first = cached_weighted_space(MAPS, execution=off)
+        second = cached_weighted_space(MAPS, execution=off)
+        assert second is not first
+        stats = space_cache_stats()
+        assert stats["hits"] == 0 and stats["size"] == 0
+
+    def test_lru_eviction_bounds_size(self):
+        from repro import runtime
+
+        for i in range(runtime._SPACE_CACHE_LIMIT + 5):
+            cached_weighted_space([{f"f{i}": 1}])
+        assert space_cache_stats()["size"] == runtime._SPACE_CACHE_LIMIT
+
+    def test_registry_reuses_space_across_k_sweep(self):
+        from repro.deepweb import make_site
+        from repro.signatures.registry import get_configuration
+
+        site = make_site(domain="ecommerce", seed=3, records=20)
+        pages = [site.query(w) for w in ("alpha", "beta", "gamma", "delta")]
+        config = get_configuration("ttag")
+        for k in (2, 3, 4):
+            config(pages, k, restarts=1, seed=0, backend="numpy")
+        stats = space_cache_stats()
+        # One interning for the collection, hits for every further k.
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2

@@ -9,9 +9,12 @@ import pytest
 from repro.config import (
     DEFAULT_CONFIG,
     ClusteringConfig,
+    ExecutionConfig,
     ProbeConfig,
     SubtreeConfig,
     ThorConfig,
+    execution_from_legacy,
+    resolve_n_jobs,
 )
 from repro.seeding import namespaced_rng
 
@@ -86,3 +89,97 @@ class TestConfigDataclasses:
 
     def test_seed_defaults_to_none(self):
         assert ThorConfig().seed is None
+
+
+class TestExecutionConfig:
+    def test_defaults_are_serial_cached(self):
+        execution = ExecutionConfig()
+        assert execution.backend is None
+        assert execution.n_jobs == 1
+        assert execution.cache == "on"
+
+    def test_rejects_negative_n_jobs(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(n_jobs=-1)
+
+    def test_rejects_unknown_cache_policy(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(cache="sometimes")
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ExecutionConfig().n_jobs = 4
+
+    def test_thor_config_carries_execution(self):
+        config = ThorConfig(execution=ExecutionConfig(backend="python", n_jobs=2))
+        assert config.resolved_execution().backend == "python"
+        assert config.resolved_execution().n_jobs == 2
+
+
+class TestResolveNJobs:
+    def test_explicit_wins_over_execution(self):
+        assert resolve_n_jobs(ExecutionConfig(n_jobs=4), n_jobs=2) == 2
+
+    def test_execution_supplies_n_jobs(self):
+        assert resolve_n_jobs(ExecutionConfig(n_jobs=4)) == 4
+
+    def test_default_is_serial(self):
+        assert resolve_n_jobs() == 1
+        assert resolve_n_jobs("numpy") == 1
+
+    def test_zero_means_all_cores(self):
+        assert resolve_n_jobs(n_jobs=0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_n_jobs(n_jobs=-2)
+
+
+class TestLegacyBackendDeprecation:
+    def test_resolved_execution_warns_on_legacy_fields(self):
+        config = ThorConfig(
+            clustering=ClusteringConfig(backend="python"),
+        )
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            execution = config.resolved_execution()
+        assert execution.backend == "python"
+
+    def test_explicit_execution_backend_outranks_legacy(self):
+        config = ThorConfig(
+            clustering=ClusteringConfig(backend="python"),
+            execution=ExecutionConfig(backend="numpy"),
+        )
+        with pytest.warns(DeprecationWarning):
+            execution = config.resolved_execution()
+        assert execution.backend == "numpy"
+
+    def test_no_warning_without_legacy_fields(self, recwarn):
+        execution = ThorConfig().resolved_execution()
+        assert execution == ExecutionConfig()
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_execution_from_legacy_warns(self):
+        with pytest.warns(DeprecationWarning, match="ClusteringConfig.backend"):
+            execution = execution_from_legacy(
+                None, "python", "ClusteringConfig.backend"
+            )
+        assert execution.backend == "python"
+
+    def test_execution_from_legacy_explicit_wins_silently(self, recwarn):
+        explicit = ExecutionConfig(backend="numpy")
+        assert (
+            execution_from_legacy(explicit, "python", "SubtreeConfig.backend")
+            is explicit
+        )
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_stage_drivers_accept_legacy_field_with_warning(self):
+        from repro.core.page_clustering import PageClusterer
+
+        with pytest.warns(DeprecationWarning):
+            clusterer = PageClusterer(ClusteringConfig(backend="python"))
+        assert clusterer.execution.backend == "python"
