@@ -1,0 +1,165 @@
+"""Probe-subsystem benchmark: serial vs concurrent Stage 1.
+
+Probing is I/O-bound on real deep-web sources, so the win from the
+asyncio executor is latency overlap, not CPU. The bench simulates a
+site with a fixed per-probe latency (:class:`FaultInjectingSource`
+sleeping on the event loop), probes it serially and with a worker
+pool, and records both wall clocks plus the content-identity check in
+``results/BENCH_probe.json``. A second entry exercises retries under a
+30% transient-error rate with a rate budget and records the recovery
+rate and the budget audit.
+
+Scale/threshold knobs:
+
+- ``REPRO_BENCH_PROBE_LATENCY_MS``     — simulated per-probe latency
+  (default 50, the acceptance scenario).
+- ``REPRO_BENCH_PROBE_CONCURRENCY``    — worker-pool bound (default 8).
+- ``REPRO_BENCH_PROBE_SPEEDUP_FLOOR``  — asserted speedup (default 4.0;
+  CI overrides downward on shared runners).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import BENCH_SEED, emit, merge_json
+from repro.config import ProbeConfig
+from repro.core.probing import QueryProber
+from repro.deepweb.corpus import make_site
+from repro.eval.reporting import format_table
+from repro.probe import FaultInjectingSource, FaultSpec
+
+LATENCY_MS = float(os.environ.get("REPRO_BENCH_PROBE_LATENCY_MS", "50"))
+CONCURRENCY = int(os.environ.get("REPRO_BENCH_PROBE_CONCURRENCY", "8"))
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_BENCH_PROBE_SPEEDUP_FLOOR", "4.0"))
+
+#: Probe mix for the bench: enough terms for stable timing, small
+#: enough that the serial baseline stays CI-friendly (36 × 50ms ≈ 1.8s).
+PROBES = ProbeConfig(dictionary_queries=30, nonsense_queries=6)
+
+
+def _probe(site_seed: int, spec: FaultSpec, config: ProbeConfig):
+    site = make_site("ecommerce", seed=site_seed, records=60)
+    source = FaultInjectingSource(site, spec, seed=BENCH_SEED, label="bench")
+    prober = QueryProber(config, seed=BENCH_SEED)
+    started = time.perf_counter()
+    result = prober.probe(source)
+    return result, time.perf_counter() - started
+
+
+def test_bench_probe_concurrency(capsys):
+    """Concurrent vs serial wall clock on a latency-simulated site,
+    with byte-identity of the collected sample."""
+    from dataclasses import replace
+
+    latency = FaultSpec(latency_s=LATENCY_MS / 1000.0)
+    serial_result, serial_s = _probe(
+        BENCH_SEED, latency, replace(PROBES, concurrency=1)
+    )
+    concurrent_result, concurrent_s = _probe(
+        BENCH_SEED, latency, replace(PROBES, concurrency=CONCURRENCY)
+    )
+    speedup = serial_s / concurrent_s if concurrent_s > 0 else float("inf")
+    identical = (
+        [p.html for p in serial_result.pages]
+        == [p.html for p in concurrent_result.pages]
+        and serial_result.terms == concurrent_result.terms
+        and serial_result.failures == concurrent_result.failures
+    )
+
+    payload = {
+        "concurrency": {
+            "n_probes": len(serial_result.telemetry.records),
+            "latency_ms": LATENCY_MS,
+            "workers": CONCURRENCY,
+            "serial_seconds": serial_s,
+            "concurrent_seconds": concurrent_s,
+            "speedup": speedup,
+            "contents_identical": identical,
+        }
+    }
+    merge_json("BENCH_probe", payload)
+
+    rows = [
+        ["serial (1 worker)", f"{serial_s:.3f}", "-"],
+        [f"concurrent ({CONCURRENCY} workers)", f"{concurrent_s:.3f}",
+         f"{speedup:.1f}x"],
+    ]
+    emit(
+        capsys,
+        "probe_concurrency",
+        format_table(
+            ["executor", "seconds", "speedup"],
+            rows,
+            title=(
+                f"Stage-1 probing — {LATENCY_MS:.0f}ms-latency site, "
+                f"{len(serial_result.telemetry.records)} probes "
+                f"(identical sample: {identical})"
+            ),
+        ),
+    )
+
+    assert identical, "concurrent sample must match the serial sample"
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"expected >= {SPEEDUP_FLOOR}x from {CONCURRENCY}-way latency "
+        f"overlap, got {speedup:.1f}x"
+    )
+
+
+def test_bench_probe_fault_recovery(capsys):
+    """Retries under a 30% transient-error rate with a rate budget:
+    recovery stays >= 90% and the token bucket is never exceeded."""
+    from dataclasses import replace
+
+    faults = FaultSpec(error_rate=0.3)
+    config = replace(
+        PROBES, concurrency=CONCURRENCY, max_retries=3, rate=200.0, burst=8
+    )
+    result, wall_s = _probe(BENCH_SEED, faults, config)
+    telemetry = result.telemetry
+    recovery = telemetry.recovery_rate
+    # Budget audit: attempts admitted never outpaced rate*t + burst.
+    within = telemetry.budget_granted <= config.burst + config.rate * max(
+        wall_s, telemetry.wall_s
+    )
+
+    merge_json(
+        "BENCH_probe",
+        {
+            "fault_recovery": {
+                "error_rate": faults.error_rate,
+                "max_retries": config.max_retries,
+                "rate_budget_per_s": config.rate,
+                "burst": config.burst,
+                "probes": len(telemetry.records),
+                "attempts": telemetry.attempts_total,
+                "recovered": telemetry.recovered_count,
+                "permanent_failures": telemetry.failed_count,
+                "recovery_rate": recovery,
+                "budget_granted": telemetry.budget_granted,
+                "within_budget": bool(within),
+                "wall_seconds": wall_s,
+            }
+        },
+    )
+
+    emit(
+        capsys,
+        "probe_fault_recovery",
+        format_table(
+            ["metric", "value"],
+            [
+                ["probes", str(len(telemetry.records))],
+                ["attempts", str(telemetry.attempts_total)],
+                ["recovered by retry", str(telemetry.recovered_count)],
+                ["permanent failures", str(telemetry.failed_count)],
+                ["recovery rate", f"{(recovery or 0):.0%}"],
+                ["within rate budget", str(bool(within))],
+            ],
+            title="Stage-1 probing — retries under 30% transient errors",
+        ),
+    )
+
+    assert recovery is None or recovery >= 0.9
+    assert within

@@ -41,13 +41,27 @@ from repro.core.probing import DeepWebSource, ProbeResult
 from repro.core.thor import Thor, ThorResult
 from repro.deepweb import make_site
 from repro.errors import ThorError
+from repro.probe import (
+    FaultInjectingSource,
+    FaultSpec,
+    ProbeTelemetry,
+    format_probe_report,
+)
 
 
 def probe(source: DeepWebSource, config: Optional[ThorConfig] = None) -> ProbeResult:
     """Stage 1: sample ``source`` with dictionary and nonsense probes.
 
+    Runs the concurrent probing subsystem (:mod:`repro.probe`):
+    ``config.probing`` sets the worker bound, rate budget, timeout and
+    retries, and the returned result carries a
+    :class:`~repro.probe.telemetry.ProbeTelemetry` on ``.telemetry``.
+    Seeded page/term contents are identical at every concurrency.
+
     >>> sample = probe(make_site(domain="ecommerce", seed=7))
     >>> len(sample.pages) > 0
+    True
+    >>> sample.telemetry.ok_count == len(sample.pages)
     True
     """
     return Thor(config or DEFAULT_CONFIG).probe(source)
@@ -68,15 +82,19 @@ __all__ = [
     "DEFAULT_CONFIG",
     "DeepWebSource",
     "ExecutionConfig",
+    "FaultInjectingSource",
+    "FaultSpec",
     "Page",
     "ProbeConfig",
     "ProbeResult",
+    "ProbeTelemetry",
     "SubtreeConfig",
     "Thor",
     "ThorConfig",
     "ThorError",
     "ThorResult",
     "extract",
+    "format_probe_report",
     "make_site",
     "probe",
     "run",

@@ -2,7 +2,8 @@
 
 Subcommands::
 
-    python -m repro.cli probe    --domain music --seed 3 --out pages.jsonl
+    python -m repro.cli probe    --domain music --seed 3 --out pages.jsonl \
+                                 --jobs 4 --rate 50 --probe-report
     python -m repro.cli extract  --pages pages.jsonl --out result.json
     python -m repro.cli demo     --domain ecommerce --seed 7
     python -m repro.cli search   --domains ecommerce,music --query camera
@@ -48,19 +49,46 @@ def _thor_config(args: argparse.Namespace) -> ThorConfig:
                 backend=backend, n_jobs=1 if jobs is None else jobs
             ),
         )
+    if getattr(args, "rate", None):
+        config = replace(
+            config, probing=replace(config.probing, rate=args.rate)
+        )
     return config
+
+
+def _fault_wrap(site, args: argparse.Namespace):
+    """Wrap ``site`` in a FaultInjectingSource when fault flags ask."""
+    if not (args.fault_latency_ms or args.fault_error_rate
+            or args.fault_throttle_rate):
+        return site
+    from repro.probe import FaultInjectingSource, FaultSpec
+
+    return FaultInjectingSource(
+        site,
+        FaultSpec(
+            latency_s=args.fault_latency_ms / 1000.0,
+            error_rate=args.fault_error_rate,
+            throttle_rate=args.fault_throttle_rate,
+        ),
+        seed=args.seed,
+    )
 
 
 def cmd_probe(args: argparse.Namespace) -> int:
     site = make_site(args.domain, seed=args.seed, records=args.records)
+    source = _fault_wrap(site, args)
     thor = Thor(_thor_config(args))
-    result = thor.probe(site)
+    result = thor.probe(source)
     count = save_pages(list(result.pages), args.out)
     classes = Counter(
         getattr(p, "class_label", "?") for p in result.pages
     )
     print(f"Probed {site.theme.host}: {count} pages -> {args.out}")
     print(f"Class mix: {dict(classes)}")
+    if args.probe_report and result.telemetry is not None:
+        from repro.probe import format_probe_report
+
+        print(format_probe_report(result.telemetry))
     return 0
 
 
@@ -148,10 +176,31 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 1 = serial, 0 = one per core)",
     )
 
-    probe = sub.add_parser("probe", help="probe a site, cache the pages")
+    probe = sub.add_parser(
+        "probe", help="probe a site, cache the pages", parents=[execution]
+    )
     common(probe)
     probe.add_argument("--domain", default="ecommerce")
     probe.add_argument("--out", default="pages.jsonl")
+    probe.add_argument(
+        "--rate", type=float, default=None,
+        help="per-site probe rate budget in probes/s (default unlimited)",
+    )
+    probe.add_argument(
+        "--probe-report", action="store_true", dest="probe_report",
+        help="print per-run probe telemetry (outcomes, retries, throughput)",
+    )
+    # Fault injection (repro.probe.faults): exercise retries and the
+    # rate budget against a simulated misbehaving site.
+    probe.add_argument("--fault-latency-ms", type=float, default=0.0,
+                       dest="fault_latency_ms",
+                       help="injected per-probe latency in milliseconds")
+    probe.add_argument("--fault-error-rate", type=float, default=0.0,
+                       dest="fault_error_rate",
+                       help="injected transient server-error probability")
+    probe.add_argument("--fault-throttle-rate", type=float, default=0.0,
+                       dest="fault_throttle_rate",
+                       help="injected throttling probability")
     probe.set_defaults(func=cmd_probe)
 
     extract = sub.add_parser(

@@ -24,12 +24,14 @@ product.
 from __future__ import annotations
 
 import heapq
+import random
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.cluster.assignments import Clustering
-from repro.config import resolve_backend
+from repro.config import BackendSelection, resolve_backend, resolve_n_jobs
 from repro.errors import ClusteringError
+from repro.runtime import restart_seed_streams, run_restarts, select_best
 from repro.vsm.matrix import VectorSpace
 from repro.vsm.vector import SparseVector
 
@@ -41,20 +43,102 @@ class AgglomerativeResult:
     #: descending for well-separated data).
     merge_similarities: tuple[float, ...]
 
+    @property
+    def mean_merge_similarity(self) -> float:
+        """Restart-selection score: tighter merge sequences are better.
+        Average link is deterministic up to linkage *ties*, which the
+        heap breaks by insertion order; restarts permute that order."""
+        if not self.merge_similarities:
+            return 0.0
+        return sum(self.merge_similarities) / len(self.merge_similarities)
+
+
+def _restart_worker(
+    payload: tuple[Sequence[SparseVector], int, BackendSelection],
+    seeds: Sequence,
+) -> list[AgglomerativeResult]:
+    """One chunk of restarts (module-level for process-pool pickling).
+
+    Each restart shuffles the presentation order under its own seed
+    stream, fits single-shot, and maps labels back to input order with
+    first-appearance-canonical ids — so a restart's result is a pure
+    function of (vectors, restart seed), independent of which worker
+    ran it or in what order.
+    """
+    vectors, k, backend = payload
+    results: list[AgglomerativeResult] = []
+    for seed_material in seeds:
+        order = list(range(len(vectors)))
+        random.Random(seed_material).shuffle(order)
+        permuted = [vectors[i] for i in order]
+        fitted = AverageLinkClusterer(k, backend=backend).fit(permuted)
+        labels = [0] * len(vectors)
+        for position, original in enumerate(order):
+            labels[original] = fitted.clustering.labels[position]
+        remap: dict[int, int] = {}
+        canonical = []
+        for label in labels:
+            if label not in remap:
+                remap[label] = len(remap)
+            canonical.append(remap[label])
+        results.append(
+            AgglomerativeResult(
+                clustering=Clustering(tuple(canonical), fitted.clustering.k),
+                merge_similarities=fitted.merge_similarities,
+            )
+        )
+    return results
+
 
 class AverageLinkClusterer:
-    """Average-link agglomerative clustering with a target k."""
+    """Average-link agglomerative clustering with a target k.
 
-    def __init__(self, k: int, backend: Optional[str] = None) -> None:
+    A single fit is deterministic given the input order, so
+    ``restarts=1`` (the default) is the classic algorithm. With
+    ``restarts > 1`` each restart presents the vectors in an
+    independently seeded random order — only linkage *ties* can differ
+    — and the restart with the tightest merge sequence (highest mean
+    merge similarity) wins, first-wins on ties. Restart seed streams
+    come from :func:`repro.runtime.restart_seed_streams` and fan out
+    across processes via :func:`repro.runtime.run_restarts`, so a
+    seeded run is bitwise identical at any ``n_jobs``.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        backend: BackendSelection = None,
+        restarts: int = 1,
+        seed: Optional[int] = None,
+        n_jobs: Optional[int] = None,
+    ) -> None:
         if k < 1:
             raise ClusteringError(f"k must be >= 1, got {k}")
+        if restarts < 1:
+            raise ClusteringError(f"restarts must be >= 1, got {restarts}")
         self.k = k
         self.backend = backend
+        self.restarts = restarts
+        self.seed = seed
+        self.n_jobs = n_jobs
 
     def fit(self, vectors: Sequence[SparseVector]) -> AgglomerativeResult:
         n = len(vectors)
         if n == 0:
             raise ClusteringError("cannot cluster an empty collection")
+        if self.restarts > 1:
+            seeds = restart_seed_streams(self.seed, self.restarts, "hac")
+            results = run_restarts(
+                _restart_worker,
+                (list(vectors), self.k, self.backend),
+                seeds,
+                n_jobs=resolve_n_jobs(self.backend, self.n_jobs),
+            )
+            return select_best(
+                results,
+                lambda candidate, incumbent: candidate.mean_merge_similarity
+                > incumbent.mean_merge_similarity,
+            )
         target_k = min(self.k, n)
         if resolve_backend(self.backend) == "numpy":
             return self._fit_numpy(vectors, n, target_k)

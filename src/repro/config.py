@@ -232,12 +232,48 @@ class SubtreeConfig:
 
 @dataclass(frozen=True)
 class ProbeConfig:
-    """Stage 1 (query probing) settings."""
+    """Stage 1 (query probing) settings.
+
+    The first two fields are the paper's probe mix; the rest configure
+    the concurrent executor (:mod:`repro.probe`): worker-pool bound,
+    per-site rate budget, per-attempt timeout, and transient-failure
+    retries. Term selection and result contents are seed-deterministic
+    at every ``concurrency`` (see DESIGN.md §9).
+    """
 
     #: Dictionary probes per site (paper: 100 random dictionary words).
     dictionary_queries: int = 100
     #: Nonsense-word probes per site (paper: 10).
     nonsense_queries: int = 10
+    #: In-flight probe bound: ``None`` inherits ``ExecutionConfig.n_jobs``
+    #: (so the CLI's ``--jobs`` drives Stage 1 too), 1 = serial,
+    #: N > 1 = that many workers, 0 = one per available core.
+    concurrency: Optional[int] = None
+    #: Per-site rate budget in probes/second (token bucket; ``None`` =
+    #: unlimited). Retries spend budget like first attempts.
+    rate: Optional[float] = None
+    #: Token-bucket burst depth: probes a quiet site may absorb
+    #: instantly before the sustained ``rate`` takes over.
+    burst: int = 4
+    #: Per-attempt timeout in seconds (``None`` = no timeout).
+    timeout_s: Optional[float] = None
+    #: Extra attempts for transient failures (timeout / throttled /
+    #: server error). 0 disables retrying.
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.dictionary_queries < 0 or self.nonsense_queries < 0:
+            raise ValueError("probe query counts must be >= 0")
+        if self.concurrency is not None and self.concurrency < 0:
+            raise ValueError(f"concurrency must be >= 0, got {self.concurrency}")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be > 0 probes/s, got {self.rate}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
 
 
 @dataclass(frozen=True)

@@ -5,18 +5,28 @@ from two candidate pools — dictionary words and nonsense words — so the
 sample is guaranteed to contain at least two classes of pages (normal
 answers and "no matches") and, in practice, the full diversity of the
 site's answer templates.
+
+Execution is delegated to the concurrent probe subsystem
+(:mod:`repro.probe`): the default configuration resolves to one worker
+— the classic serial probe — while ``ProbeConfig.concurrency`` (or the
+``ExecutionConfig.n_jobs`` it inherits) fans the same seeded term list
+out across an asyncio worker pool with per-site rate budgeting and
+retries. Seeded results are content-identical at every concurrency.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence, runtime_checkable
 
-from repro.config import ProbeConfig
+from repro.config import ExecutionConfig, ProbeConfig
 from repro.core.page import Page
 from repro.core.wordlists import DICTIONARY_WORDS, generate_nonsense_words
 from repro.errors import ProbeError
 from repro.seeding import namespaced_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.probe.telemetry import ProbeTelemetry
 
 
 @runtime_checkable
@@ -25,7 +35,9 @@ class DeepWebSource(Protocol):
 
     Implementations may raise on individual queries (real sites time
     out, return 500s, …); the prober records per-query failures and
-    continues.
+    continues. Sources may additionally expose an ``aquery(term)``
+    coroutine, which the concurrent executor awaits directly instead of
+    dispatching ``query`` to a worker thread.
     """
 
     def query(self, term: str) -> Page:
@@ -41,8 +53,16 @@ class ProbeResult:
     #: Probe terms in submission order (parallel to pages for the
     #: successes; failed terms appear only in ``failures``).
     terms: tuple[str, ...]
-    #: (term, error message) for probes the source rejected.
+    #: (term, "ExceptionClass: message") per term the source rejected
+    #: after retries — deduplicated, first occurrence wins; the
+    #: per-attempt detail lives in ``telemetry``.
     failures: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+    #: Execution telemetry (attempts, outcomes, latency, throughput).
+    #: Excluded from equality: two results with the same pages/terms
+    #: are the same sample however long it took to collect.
+    telemetry: Optional["ProbeTelemetry"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.pages)
@@ -54,6 +74,11 @@ class QueryProber:
     ``dictionary`` defaults to the bundled general-English list;
     nonsense words are generated fresh per probe run (seeded). The
     paper submits 110 queries per site: 100 dictionary + 10 nonsense.
+
+    ``execution`` carries the pipeline-wide worker settings; probe
+    concurrency resolves from ``config.concurrency`` first and the
+    execution config's ``n_jobs`` second (see
+    :func:`repro.probe.executor.resolve_probe_concurrency`).
     """
 
     def __init__(
@@ -61,12 +86,14 @@ class QueryProber:
         config: ProbeConfig = ProbeConfig(),
         dictionary: Sequence[str] = DICTIONARY_WORDS,
         seed: Optional[int] = None,
+        execution: Optional[ExecutionConfig] = None,
     ) -> None:
         if not dictionary:
             raise ProbeError("probe dictionary must not be empty")
         self.config = config
         self.dictionary = tuple(dictionary)
         self.seed = seed
+        self.execution = execution
 
     def select_terms(self) -> list[str]:
         """Choose the probe terms for one run (dictionary + nonsense)."""
@@ -87,25 +114,17 @@ class QueryProber:
     def probe(self, source: DeepWebSource) -> ProbeResult:
         """Run a full probe of ``source``.
 
+        Delegates to the concurrent executor (one worker by default,
+        so the sync path and the concurrent path are the same code).
         Raises :class:`ProbeError` if *every* probe fails — there is
         nothing for the later stages to work with.
         """
-        pages: list[Page] = []
-        ok_terms: list[str] = []
-        failures: list[tuple[str, str]] = []
-        for term in self.select_terms():
-            try:
-                page = source.query(term)
-            except Exception as exc:  # noqa: BLE001 - sources are untrusted
-                failures.append((term, str(exc)))
-                continue
-            if page.query == "":
-                page.query = term
-            pages.append(page)
-            ok_terms.append(term)
-        if not pages:
-            raise ProbeError(
-                f"all {len(failures)} probes failed; first error: "
-                f"{failures[0][1] if failures else 'n/a'}"
-            )
-        return ProbeResult(tuple(pages), tuple(ok_terms), tuple(failures))
+        from repro.probe.executor import execute_probe
+
+        return execute_probe(
+            source,
+            self.select_terms(),
+            config=self.config,
+            execution=self.execution,
+            seed=self.seed,
+        )

@@ -56,7 +56,9 @@ class Thor:
         # the same plan to every stage driver.
         execution = config.resolved_execution()
         self.execution = execution
-        self._prober = QueryProber(config.probing, seed=config.seed)
+        self._prober = QueryProber(
+            config.probing, seed=config.seed, execution=execution
+        )
         self._clusterer = PageClusterer(
             config.clustering, seed=config.seed, execution=execution
         )

@@ -106,6 +106,21 @@ class SimulatedDeepWebSite:
         html = self.templates.render_multi(matches, term)
         return self._label(html, url, term, CLASS_MULTI)
 
+    async def aquery(self, term: str) -> LabeledPage:
+        """Async face of :meth:`query` for the concurrent probe
+        executor (:mod:`repro.probe.executor`).
+
+        Rendering is pure CPU work — there is no socket to await — so
+        this simply yields once to the event loop and answers inline;
+        wrappers that *do* wait (e.g.
+        :class:`~repro.probe.faults.FaultInjectingSource` injecting
+        latency) await their sleeps around this call.
+        """
+        import asyncio
+
+        await asyncio.sleep(0)
+        return self.query(term)
+
     # -- internals ----------------------------------------------------------
 
     def _is_error(self, term: str) -> bool:

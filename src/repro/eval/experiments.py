@@ -26,6 +26,7 @@ from repro.config import (
     resolve_backend,
 )
 from repro.core.identification import PageletIdentifier
+from repro.core.probing import QueryProber
 from repro.core.single_page import candidate_subtrees_for_cluster
 from repro.core.subtree_ranking import intra_set_similarity
 from repro.core.subtree_sets import find_common_subtree_sets
@@ -387,6 +388,68 @@ def tradeoff_experiment(
             total = total.merge(score_pagelets(result.pagelets, sample.pages))
         scores[m] = total
     return scores
+
+
+# ---------------------------------------------------------------------------
+# Multisite probing: Stage-1 data collection fanned out across sites
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MultisiteProbeReport:
+    """Corpus-collection run: per-site samples plus probe telemetry."""
+
+    samples: tuple[SiteSample, ...]
+    telemetries: tuple  # one ProbeTelemetry per site, in site order
+    #: Wall-clock seconds for the whole collection run.
+    wall_s: float
+
+    @property
+    def pages_collected(self) -> int:
+        return sum(len(s.pages) for s in self.samples)
+
+
+def multisite_probe_experiment(
+    sites: Sequence,
+    probe_config: Optional["ProbeConfig"] = None,
+    seed: int = 0,
+    execution: Optional[ExecutionConfig] = None,
+) -> MultisiteProbeReport:
+    """Probe every site concurrently under one shared worker pool.
+
+    The concurrent analogue of looping
+    :func:`repro.deepweb.corpus.probe_site` over a corpus: each site
+    keeps the per-site seed convention (``seed * 1000 + index``, the
+    same streams :func:`~repro.deepweb.corpus.generate_corpus` uses) so
+    the collected samples are identical to the serial loop's — the
+    fan-out only changes wall-clock, never contents.
+    """
+    from repro.config import ProbeConfig
+    from repro.probe.executor import SiteJob, probe_sites
+
+    probe_config = probe_config or ProbeConfig()
+    jobs = []
+    for index, site in enumerate(sites):
+        site_seed = seed * 1000 + index
+        prober = QueryProber(probe_config, seed=site_seed)
+        jobs.append(
+            SiteJob(site, tuple(prober.select_terms()), seed=site_seed)
+        )
+    started = time.perf_counter()
+    results = probe_sites(jobs, config=probe_config, execution=execution)
+    wall_s = time.perf_counter() - started
+    samples = tuple(
+        SiteSample(
+            site,
+            tuple(p for p in result.pages if isinstance(p, LabeledPage)),
+        )
+        for site, result in zip(sites, results)
+    )
+    return MultisiteProbeReport(
+        samples=samples,
+        telemetries=tuple(r.telemetry for r in results),
+        wall_s=wall_s,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,57 @@
+"""``repro.probe`` — the concurrent Stage-1 probing subsystem.
+
+Splits query probing into orthogonal pieces (see DESIGN.md §9):
+
+- :mod:`repro.probe.executor` — the asyncio executor: bounded worker
+  pool, per-site fan-out, order-normalized results;
+- :mod:`repro.probe.budget` — per-site token-bucket rate budget;
+- :mod:`repro.probe.retry` — timeout + exponential backoff with
+  deterministic seeded jitter;
+- :mod:`repro.probe.errors` — the failure taxonomy
+  (timeout / throttled / server error / malformed);
+- :mod:`repro.probe.faults` — seeded fault injection for testing
+  robustness without a network;
+- :mod:`repro.probe.telemetry` — per-term and per-site probe telemetry.
+
+:meth:`repro.core.probing.QueryProber.probe` delegates here, so the
+plain sync API is this subsystem at ``concurrency=1``.
+"""
+
+from repro.probe.budget import ProbeBudget
+from repro.probe.errors import (
+    RETRYABLE_KINDS,
+    ProbeMalformed,
+    ProbeServerError,
+    ProbeThrottled,
+    ProbeTimeout,
+    classify_failure,
+)
+from repro.probe.faults import FaultInjectingSource, FaultSpec
+from repro.probe.retry import RetryPolicy
+from repro.probe.telemetry import ProbeRecord, ProbeTelemetry, format_probe_report
+from repro.probe.executor import (
+    SiteJob,
+    execute_probe,
+    probe_sites,
+    resolve_probe_concurrency,
+)
+
+__all__ = [
+    "FaultInjectingSource",
+    "FaultSpec",
+    "ProbeBudget",
+    "ProbeMalformed",
+    "ProbeRecord",
+    "ProbeServerError",
+    "ProbeTelemetry",
+    "ProbeThrottled",
+    "ProbeTimeout",
+    "RETRYABLE_KINDS",
+    "RetryPolicy",
+    "SiteJob",
+    "classify_failure",
+    "execute_probe",
+    "format_probe_report",
+    "probe_sites",
+    "resolve_probe_concurrency",
+]

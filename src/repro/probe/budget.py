@@ -1,0 +1,93 @@
+"""Per-site token-bucket rate budget for the probe executor.
+
+Concurrency without a budget is how probers get banned: eight workers
+against one site is an 8× request-rate increase. :class:`ProbeBudget`
+caps the *rate* independently of the worker count — a classic token
+bucket holding at most ``burst`` tokens, refilled continuously at
+``rate`` tokens per second; every probe attempt (including retries)
+spends one token or waits.
+
+The budget is an asyncio primitive: ``acquire`` never blocks the event
+loop, it sleeps until the bucket refills, so other sites' probes keep
+flowing while one site is rate-bound. One budget instance belongs to
+one event loop (the executor creates a fresh budget per run).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+
+class ProbeBudget:
+    """Token bucket: at most ``burst`` probes instantly, ``rate``/s sustained.
+
+    ``rate`` is probes per second (> 0); ``burst`` is the bucket depth
+    (>= 1) — how far ahead of the steady-state rate a quiet site lets
+    the prober jump.
+    """
+
+    def __init__(self, rate: float, burst: int = 1) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 probes/s, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._tokens = float(burst)
+        self._last_refill: Optional[float] = None
+        self._lock = asyncio.Lock()
+        #: Monotonic timestamps of every grant, for rate audits.
+        self.grant_times: list[float] = []
+
+    async def acquire(self) -> None:
+        """Spend one token, sleeping until the bucket has one."""
+        while True:
+            async with self._lock:
+                now = time.monotonic()
+                if self._last_refill is not None:
+                    self._tokens = min(
+                        float(self.burst),
+                        self._tokens + (now - self._last_refill) * self.rate,
+                    )
+                self._last_refill = now
+                if self._tokens >= 1.0:
+                    self._tokens -= 1.0
+                    self.grant_times.append(now)
+                    return
+                shortfall = (1.0 - self._tokens) / self.rate
+            await asyncio.sleep(shortfall)
+
+    @property
+    def granted(self) -> int:
+        """Probe attempts this budget has admitted."""
+        return len(self.grant_times)
+
+    def observed_rate(self) -> Optional[float]:
+        """Mean grant rate over the budget's lifetime (None if < 2
+        grants). Because ``burst`` tokens are pre-filled, the observed
+        rate over N grants may legitimately exceed ``rate`` by up to
+        ``burst - 1`` grants' worth — :meth:`within_budget` accounts
+        for that."""
+        if len(self.grant_times) < 2:
+            return None
+        window = self.grant_times[-1] - self.grant_times[0]
+        if window <= 0:
+            return None
+        return (len(self.grant_times) - 1) / window
+
+    def within_budget(self, slack: float = 1e-3) -> bool:
+        """True if every grant respected the bucket invariant: at most
+        ``burst + rate * elapsed`` grants by any point in time."""
+        if not self.grant_times:
+            return True
+        start = self.grant_times[0]
+        for count, stamp in enumerate(self.grant_times, start=1):
+            allowance = self.burst + self.rate * (stamp - start + slack)
+            if count > allowance:
+                return False
+        return True
+
+
+__all__ = ["ProbeBudget"]

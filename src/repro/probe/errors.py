@@ -1,0 +1,89 @@
+"""Probe failure taxonomy.
+
+Real deep-web sources fail in a handful of recognizable ways — they
+hang (timeout), push back (throttle), break (server error), or answer
+garbage (malformed) — and the right reaction differs per way: the
+first three are *transient* and worth retrying under backoff, the rest
+are not. This module names the taxonomy once so the retry policy, the
+fault injector, and the telemetry all speak the same labels.
+
+The exception classes derive from :class:`repro.errors.ProbeError`, so
+a caller catching the library-wide :class:`~repro.errors.ThorError`
+still sees every injected or classified fault.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProbeError
+
+#: Outcome labels. ``OK`` marks a successful probe; the rest classify
+#: the final exception of a failed one.
+OK = "ok"
+TIMEOUT = "timeout"
+THROTTLED = "throttled"
+SERVER_ERROR = "server_error"
+MALFORMED = "malformed"
+ERROR = "error"  # anything outside the taxonomy
+
+#: Failure kinds the retry policy considers transient.
+RETRYABLE_KINDS = frozenset({TIMEOUT, THROTTLED, SERVER_ERROR})
+
+
+class ProbeTimeout(ProbeError):
+    """The source did not answer within the configured ``timeout_s``."""
+
+
+class ProbeThrottled(ProbeError):
+    """The source rejected the probe for sending too fast (HTTP 429)."""
+
+
+class ProbeServerError(ProbeError):
+    """The source answered with a server-side error (HTTP 5xx)."""
+
+
+class ProbeMalformed(ProbeError):
+    """The source answered with a response no parser can recover."""
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map an exception from one probe attempt onto the taxonomy.
+
+    Plain :class:`TimeoutError` (which ``asyncio.wait_for`` raises on
+    3.11+) counts as :data:`TIMEOUT` too, so sources need not know our
+    exception classes to signal a hang.
+    """
+    if isinstance(exc, (ProbeTimeout, TimeoutError)):
+        return TIMEOUT
+    if isinstance(exc, ProbeThrottled):
+        return THROTTLED
+    if isinstance(exc, ProbeServerError):
+        return SERVER_ERROR
+    if isinstance(exc, ProbeMalformed):
+        return MALFORMED
+    return ERROR
+
+
+def failure_message(exc: BaseException) -> str:
+    """The message recorded in ``ProbeResult.failures``: the exception
+    *class name* plus its text, so log triage can distinguish a
+    ``ProbeTimeout`` from a ``KeyError`` with identical text."""
+    text = str(exc)
+    name = type(exc).__name__
+    return f"{name}: {text}" if text else name
+
+
+__all__ = [
+    "ERROR",
+    "MALFORMED",
+    "OK",
+    "RETRYABLE_KINDS",
+    "SERVER_ERROR",
+    "THROTTLED",
+    "TIMEOUT",
+    "ProbeMalformed",
+    "ProbeServerError",
+    "ProbeThrottled",
+    "ProbeTimeout",
+    "classify_failure",
+    "failure_message",
+]

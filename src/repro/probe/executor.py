@@ -1,0 +1,311 @@
+"""The concurrent probe executor: Stage 1 across terms and across sites.
+
+One asyncio event loop drives every probe attempt through three gates:
+
+1. a **worker pool** — an ``asyncio.Semaphore(concurrency)`` bounding
+   in-flight probes (shared across sites in a multisite run);
+2. a **per-site rate budget** — a :class:`~repro.probe.budget.ProbeBudget`
+   token bucket, acquired per *attempt* so retries spend budget too;
+3. a **retry loop** — :class:`~repro.probe.retry.RetryPolicy`: timeout
+   via ``asyncio.wait_for``, exponential backoff with deterministic
+   seeded jitter, transient-only retries per the failure taxonomy.
+
+Sources that implement ``aquery(term)`` (a coroutine) are awaited
+directly; sync-only sources run on a thread pool sized to the worker
+bound, so a blocking ``query`` still overlaps I/O waits.
+
+**Determinism contract.** For a fixed seed, the *contents* of the
+returned :class:`~repro.core.probing.ProbeResult` — ``pages``,
+``terms``, ``failures`` — are identical at every concurrency level:
+term selection happens before execution, per-attempt behavior (fault
+plans, backoff jitter) is keyed by ``(term, attempt)`` rather than by
+global call order, and results are re-assembled in submission order no
+matter how completions interleave. Only the telemetry's wall-clock
+numbers vary between runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.config import ExecutionConfig, ProbeConfig, resolve_n_jobs
+from repro.core.probing import DeepWebSource, ProbeResult
+from repro.errors import ProbeError
+from repro.probe.budget import ProbeBudget
+from repro.probe.errors import OK, classify_failure, failure_message
+from repro.probe.retry import RetryPolicy
+from repro.probe.telemetry import ProbeRecord, ProbeTelemetry
+
+
+def resolve_probe_concurrency(
+    config: ProbeConfig, execution: Optional[ExecutionConfig] = None
+) -> int:
+    """The effective worker-pool bound for a probe run.
+
+    ``ProbeConfig.concurrency`` wins when set (0 = one worker per
+    available core, mirroring ``ExecutionConfig.n_jobs``); otherwise
+    the execution config's ``n_jobs`` doubles as the probe concurrency
+    — the CLI's ``--jobs`` reaches Stage 1 through this path.
+    """
+    if config.concurrency is not None:
+        return resolve_n_jobs(None, config.concurrency)
+    if execution is not None:
+        return resolve_n_jobs(execution)
+    return 1
+
+
+@dataclass(frozen=True)
+class _Outcome:
+    """What happened to one submitted term."""
+
+    index: int
+    term: str
+    page: Optional[object]
+    outcome: str
+    attempts: int
+    latency_s: float
+    error: Optional[str]
+
+
+@dataclass(frozen=True)
+class SiteJob:
+    """One site's work order for :func:`probe_sites`."""
+
+    source: DeepWebSource
+    terms: tuple[str, ...]
+    seed: Optional[int] = None
+    label: Optional[str] = None
+
+    def resolved_label(self) -> str:
+        if self.label:
+            return self.label
+        # Wrappers (fault injection) carry a .label; bare simulated
+        # sites carry theme.host.
+        own = getattr(self.source, "label", None)
+        if isinstance(own, str) and own:
+            return own
+        host = getattr(getattr(self.source, "theme", None), "host", None)
+        return host or type(self.source).__name__
+
+
+def _make_caller(source: DeepWebSource, pool: Optional[ThreadPoolExecutor]):
+    """An ``async call(term) -> Page`` for either source flavor."""
+    aquery = getattr(source, "aquery", None)
+    if aquery is not None and asyncio.iscoroutinefunction(aquery):
+
+        async def call(term: str):
+            return await aquery(term)
+
+        return call
+
+    async def call(term: str):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(pool, source.query, term)
+
+    return call
+
+
+async def _probe_term(
+    index: int,
+    term: str,
+    call,
+    policy: RetryPolicy,
+    budget: Optional[ProbeBudget],
+    semaphore: asyncio.Semaphore,
+) -> _Outcome:
+    """Drive one term through budget, timeout, and retries."""
+    attempts = 0
+    started = time.monotonic()
+    async with semaphore:
+        while True:
+            attempts += 1
+            if budget is not None:
+                await budget.acquire()
+            try:
+                if policy.timeout_s is not None:
+                    # Note: a timed-out *sync* query keeps its worker
+                    # thread busy until it returns; the attempt is
+                    # abandoned, not interrupted.
+                    page = await asyncio.wait_for(call(term), policy.timeout_s)
+                else:
+                    page = await call(term)
+            except Exception as exc:  # noqa: BLE001 - sources are untrusted
+                kind = classify_failure(exc)
+                if policy.should_retry(kind, attempts):
+                    await asyncio.sleep(policy.backoff_delay(term, attempts))
+                    continue
+                return _Outcome(
+                    index,
+                    term,
+                    None,
+                    kind,
+                    attempts,
+                    time.monotonic() - started,
+                    failure_message(exc),
+                )
+            return _Outcome(
+                index, term, page, OK, attempts, time.monotonic() - started, None
+            )
+
+
+async def _run_site(
+    job: SiteJob,
+    config: ProbeConfig,
+    semaphore: asyncio.Semaphore,
+    pool: Optional[ThreadPoolExecutor],
+) -> tuple[list[_Outcome], Optional[ProbeBudget]]:
+    policy = RetryPolicy(
+        max_retries=config.max_retries,
+        timeout_s=config.timeout_s,
+        seed=job.seed,
+    )
+    budget = (
+        ProbeBudget(config.rate, config.burst) if config.rate is not None else None
+    )
+    call = _make_caller(job.source, pool)
+    tasks = [
+        _probe_term(index, term, call, policy, budget, semaphore)
+        for index, term in enumerate(job.terms)
+    ]
+    # gather() preserves submission order — the normalized order the
+    # ProbeResult is assembled in, regardless of completion interleaving.
+    outcomes = await asyncio.gather(*tasks)
+    return list(outcomes), budget
+
+
+def _needs_thread_pool(sources: Sequence[DeepWebSource]) -> bool:
+    return any(
+        not asyncio.iscoroutinefunction(getattr(source, "aquery", None))
+        for source in sources
+    )
+
+
+def _assemble(
+    outcomes: Sequence[_Outcome],
+    label: str,
+    wall_s: float,
+    concurrency: int,
+    config: ProbeConfig,
+    budget: Optional[ProbeBudget],
+) -> ProbeResult:
+    """Build the order-normalized, telemetry-carrying ProbeResult."""
+    pages = []
+    ok_terms: list[str] = []
+    failures: list[tuple[str, str]] = []
+    failed_terms: set[str] = set()
+    records = []
+    for outcome in outcomes:
+        records.append(
+            ProbeRecord(
+                term=outcome.term,
+                outcome=outcome.outcome,
+                attempts=outcome.attempts,
+                latency_s=outcome.latency_s,
+                error=outcome.error,
+            )
+        )
+        if outcome.page is not None:
+            page = outcome.page
+            if page.query == "":
+                page.query = outcome.term
+            pages.append(page)
+            ok_terms.append(outcome.term)
+        elif outcome.term not in failed_terms:
+            # Deduplicate repeated failing terms: one failure entry per
+            # term (first occurrence wins), full detail in telemetry.
+            failed_terms.add(outcome.term)
+            failures.append((outcome.term, outcome.error or outcome.outcome))
+    if not pages:
+        raise ProbeError(
+            f"all {len(outcomes)} probes failed; first error: "
+            f"{failures[0][1] if failures else 'n/a'}"
+        )
+    telemetry = ProbeTelemetry(
+        site=label,
+        records=tuple(records),
+        wall_s=wall_s,
+        concurrency=concurrency,
+        rate=config.rate,
+        budget_granted=budget.granted if budget is not None else 0,
+    )
+    return ProbeResult(
+        tuple(pages), tuple(ok_terms), tuple(failures), telemetry=telemetry
+    )
+
+
+def execute_probe(
+    source: DeepWebSource,
+    terms: Sequence[str],
+    config: ProbeConfig = ProbeConfig(),
+    execution: Optional[ExecutionConfig] = None,
+    seed: Optional[int] = None,
+    label: Optional[str] = None,
+) -> ProbeResult:
+    """Probe one source with ``terms`` under the configured concurrency.
+
+    This is the single execution path for Stage 1:
+    :meth:`repro.core.probing.QueryProber.probe` delegates here with
+    whatever concurrency resolves (1 by default, i.e. the serial path
+    runs through the same loop with a one-permit pool).
+    """
+    return probe_sites(
+        [SiteJob(source, tuple(terms), seed=seed, label=label)],
+        config=config,
+        execution=execution,
+    )[0]
+
+
+def probe_sites(
+    jobs: Sequence[SiteJob],
+    config: ProbeConfig = ProbeConfig(),
+    execution: Optional[ExecutionConfig] = None,
+) -> list[ProbeResult]:
+    """Probe several sites concurrently under one worker pool.
+
+    Every site keeps its own rate budget and its own seeded retry
+    jitter (from ``SiteJob.seed``), while the ``concurrency`` bound is
+    global — the multisite fan-out the evaluation harness uses. Results
+    come back in job order, each with its own telemetry.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    concurrency = resolve_probe_concurrency(config, execution)
+
+    async def _run_all():
+        semaphore = asyncio.Semaphore(concurrency)
+        pool = None
+        try:
+            if _needs_thread_pool([job.source for job in jobs]):
+                pool = ThreadPoolExecutor(
+                    max_workers=concurrency, thread_name_prefix="repro-probe"
+                )
+            site_runs = [
+                _run_site(job, config, semaphore, pool) for job in jobs
+            ]
+            return await asyncio.gather(*site_runs)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False)
+
+    started = time.monotonic()
+    per_site = asyncio.run(_run_all())
+    wall_s = time.monotonic() - started
+    return [
+        _assemble(
+            outcomes, job.resolved_label(), wall_s, concurrency, config, budget
+        )
+        for job, (outcomes, budget) in zip(jobs, per_site)
+    ]
+
+
+__all__ = [
+    "SiteJob",
+    "execute_probe",
+    "probe_sites",
+    "resolve_probe_concurrency",
+]

@@ -1,0 +1,182 @@
+"""Fault injection: make a well-behaved source misbehave, reproducibly.
+
+Robustness claims about the concurrent prober ("retries recover
+transient failures", "the rate budget holds under pressure") need a
+source that times out, throttles, and errors *on demand* — no network
+required. :class:`FaultInjectingSource` wraps any
+:class:`~repro.core.probing.DeepWebSource` and injects latency and
+taxonomy faults (:mod:`repro.probe.errors`) according to a
+:class:`FaultSpec`.
+
+Every injection decision is drawn from a
+:func:`~repro.seeding.namespaced_rng` stream keyed by
+``(label, term, attempt)`` — *not* from shared RNG state — so a given
+(term, attempt) pair meets the same fate whether probes run serially
+or eight at a time. That order-independence is what lets the executor
+promise byte-identical :class:`~repro.core.probing.ProbeResult`
+contents across concurrency levels even on a faulty source. (The
+per-term attempt counters assume each term is probed once per run,
+which is how Stage 1 probes: duplicate terms under concurrency would
+race for attempt numbers.)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.page import Page
+from repro.probe.errors import (
+    MALFORMED,
+    SERVER_ERROR,
+    THROTTLED,
+    TIMEOUT,
+    ProbeMalformed,
+    ProbeServerError,
+    ProbeThrottled,
+    ProbeTimeout,
+)
+from repro.seeding import namespaced_rng
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Distributions of injected misbehavior, per probe attempt.
+
+    The four rates are independent per-attempt probabilities, checked
+    in a fixed order (throttle, server error, timeout, malformed); each
+    draws against the same uniform sample, so their sum must stay <= 1.
+    Latency applies to every attempt, faulty or not: base plus a
+    uniform jitter in ``[0, latency_jitter_s)``.
+    """
+
+    latency_s: float = 0.0
+    latency_jitter_s: float = 0.0
+    throttle_rate: float = 0.0
+    error_rate: float = 0.0
+    timeout_rate: float = 0.0
+    malformed_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("latency_s", "latency_jitter_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        total = 0.0
+        for name in ("throttle_rate", "error_rate", "timeout_rate", "malformed_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+            total += rate
+        if total > 1.0:
+            raise ValueError(f"fault rates must sum to <= 1, got {total}")
+
+
+#: (threshold order, taxonomy kind, exception class) for the fault draw.
+_FAULT_LADDER = (
+    ("throttle_rate", THROTTLED, ProbeThrottled),
+    ("error_rate", SERVER_ERROR, ProbeServerError),
+    ("timeout_rate", TIMEOUT, ProbeTimeout),
+    ("malformed_rate", MALFORMED, ProbeMalformed),
+)
+
+
+class FaultInjectingSource:
+    """A :class:`~repro.core.probing.DeepWebSource` wrapper that injects
+    seeded latency and taxonomy faults around ``inner.query``.
+
+    Exposes both the sync protocol (``query``, latency via
+    ``time.sleep``) and the async one (``aquery``, latency via
+    ``asyncio.sleep`` so concurrent probes overlap their waits).
+    ``calls``, ``faults_injected`` and ``attempts_seen`` are
+    diagnostics for tests and benches.
+    """
+
+    def __init__(
+        self,
+        inner,
+        spec: FaultSpec,
+        seed: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        self.inner = inner
+        self.spec = spec
+        self.seed = seed
+        self.label = label or getattr(
+            getattr(inner, "theme", None), "host", type(inner).__name__
+        )
+        self.calls = 0
+        self.faults_injected: Counter[str] = Counter()
+        self._attempts_seen: Counter[str] = Counter()
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return f"FaultInjectingSource({self.label!r}, {self.spec})"
+
+    # -- fault plan ---------------------------------------------------------
+
+    def plan(self, term: str, attempt: int) -> tuple[float, Optional[str]]:
+        """The (latency_s, fault kind or None) this (term, attempt) pair
+        is destined for — pure, order-independent, and what both query
+        paths execute. Exposed so tests can assert determinism without
+        probing."""
+        rng = namespaced_rng(f"fault:{self.label}:{term}:{attempt}", self.seed)
+        latency = self.spec.latency_s + self.spec.latency_jitter_s * rng.random()
+        draw = rng.random()
+        threshold = 0.0
+        for rate_name, kind, _ in _FAULT_LADDER:
+            threshold += getattr(self.spec, rate_name)
+            if draw < threshold:
+                return latency, kind
+        return latency, None
+
+    def _next_attempt(self, term: str) -> int:
+        with self._lock:
+            self._attempts_seen[term] += 1
+            self.calls += 1
+            return self._attempts_seen[term]
+
+    def _raise_for(self, kind: str, term: str, attempt: int) -> None:
+        self.faults_injected[kind] += 1
+        for _, ladder_kind, exc_class in _FAULT_LADDER:
+            if ladder_kind == kind:
+                raise exc_class(f"injected {kind} for {term!r} (attempt {attempt})")
+        raise AssertionError(f"unknown fault kind {kind!r}")  # pragma: no cover
+
+    # -- the DeepWebSource protocol, sync and async -------------------------
+
+    def query(self, term: str) -> Page:
+        attempt = self._next_attempt(term)
+        latency, kind = self.plan(term, attempt)
+        if latency > 0:
+            time.sleep(latency)
+        if kind is not None:
+            self._raise_for(kind, term, attempt)
+        return self.inner.query(term)
+
+    async def aquery(self, term: str) -> Page:
+        import asyncio
+
+        attempt = self._next_attempt(term)
+        latency, kind = self.plan(term, attempt)
+        if latency > 0:
+            await asyncio.sleep(latency)
+        if kind is not None:
+            self._raise_for(kind, term, attempt)
+        inner_aquery = getattr(self.inner, "aquery", None)
+        if inner_aquery is not None:
+            return await inner_aquery(term)
+        return self.inner.query(term)
+
+    def reset(self) -> None:
+        """Clear call/attempt counters so the same wrapper can serve a
+        fresh, identically-faulted run (replay)."""
+        with self._lock:
+            self.calls = 0
+            self.faults_injected.clear()
+            self._attempts_seen.clear()
+
+
+__all__ = ["FaultInjectingSource", "FaultSpec"]

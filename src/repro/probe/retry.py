@@ -1,0 +1,71 @@
+"""Retry policy for probe attempts: timeout, backoff, deterministic jitter.
+
+A transient failure (timeout / throttle / server error — see
+:mod:`repro.probe.errors`) earns up to ``max_retries`` further
+attempts, spaced by exponential backoff. The jitter that de-synchronizes
+retry bursts is *deterministic*: it is drawn from a
+:func:`repro.seeding.namespaced_rng` stream keyed by ``(term, attempt)``,
+never by wall clock or call order, so a seeded probe run schedules the
+exact same delays under any concurrency — the determinism contract the
+executor's replay guarantee rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.probe.errors import RETRYABLE_KINDS
+from repro.seeding import namespaced_rng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When to retry a failed probe attempt and how long to wait.
+
+    ``max_retries`` counts *extra* attempts after the first; attempt
+    numbers below are 1-based. ``timeout_s`` bounds each attempt
+    (enforced by the executor via ``asyncio.wait_for``); ``None``
+    disables the bound. The delay before retry ``attempt + 1`` is::
+
+        min(cap, base * 2**(attempt-1)) * (1 - jitter * u)
+
+    with ``u`` uniform in [0, 1) from the namespaced per-(term, attempt)
+    stream.
+    """
+
+    max_retries: int = 2
+    timeout_s: Optional[float] = None
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    #: Fraction of the nominal delay the jitter may shave off (0..1).
+    jitter: float = 0.5
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff times must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def should_retry(self, kind: str, attempt: int) -> bool:
+        """Whether a failure of ``kind`` on (1-based) ``attempt`` earns
+        another try. Non-transient kinds never do."""
+        return kind in RETRYABLE_KINDS and attempt <= self.max_retries
+
+    def backoff_delay(self, term: str, attempt: int) -> float:
+        """Seconds to sleep before re-probing ``term`` after its
+        (1-based) ``attempt`` failed. Deterministic per (seed, term,
+        attempt)."""
+        nominal = min(self.backoff_cap_s, self.backoff_base_s * 2 ** (attempt - 1))
+        if nominal <= 0 or self.jitter == 0:
+            return nominal
+        rng = namespaced_rng(f"probe-backoff:{term}:{attempt}", self.seed)
+        return nominal * (1.0 - self.jitter * rng.random())
+
+
+__all__ = ["RetryPolicy"]

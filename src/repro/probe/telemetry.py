@@ -1,0 +1,154 @@
+"""Probe telemetry: what Stage 1 actually did, per term and per site.
+
+The deterministic part of a probe run — which terms succeeded, how many
+attempts each took, how each failure classified — is recorded per term
+in :class:`ProbeRecord`; the wall-clock part (latencies, throughput)
+rides along for operators but is explicitly *not* covered by the replay
+contract. The executor attaches one :class:`ProbeTelemetry` to every
+:class:`~repro.core.probing.ProbeResult` (as a ``compare=False`` field,
+so result equality still means "same pages, same terms").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.probe.errors import OK
+
+
+@dataclass(frozen=True)
+class ProbeRecord:
+    """One probed term's outcome."""
+
+    term: str
+    #: :data:`~repro.probe.errors.OK` or a failure kind from the taxonomy.
+    outcome: str
+    #: Total attempts made (1 = no retry needed).
+    attempts: int
+    #: Wall-clock seconds from first attempt to final outcome,
+    #: including backoff sleeps and budget waits. Not deterministic.
+    latency_s: float
+    #: ``"ExceptionClass: message"`` for failed terms, else None.
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == OK
+
+    @property
+    def recovered(self) -> bool:
+        """Succeeded, but only after at least one failed attempt."""
+        return self.ok and self.attempts > 1
+
+
+@dataclass(frozen=True)
+class ProbeTelemetry:
+    """Aggregate view of one probe run against one site."""
+
+    site: str
+    records: tuple[ProbeRecord, ...]
+    #: Wall-clock seconds for the whole run.
+    wall_s: float
+    #: Worker-pool bound the run executed under.
+    concurrency: int
+    #: Rate budget (probes/s) in force, None = unlimited.
+    rate: Optional[float] = None
+    #: Probe attempts the budget admitted (== total attempts when a
+    #: budget was set).
+    budget_granted: int = field(default=0)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def failed_count(self) -> int:
+        return len(self.records) - self.ok_count
+
+    @property
+    def attempts_total(self) -> int:
+        return sum(r.attempts for r in self.records)
+
+    @property
+    def retried_count(self) -> int:
+        """Terms that needed more than one attempt (either outcome)."""
+        return sum(1 for r in self.records if r.attempts > 1)
+
+    @property
+    def recovered_count(self) -> int:
+        """Terms rescued by a retry: failed at least once, ended OK."""
+        return sum(1 for r in self.records if r.recovered)
+
+    @property
+    def recovery_rate(self) -> Optional[float]:
+        """Fraction of transiently-failing terms the retries rescued:
+        recovered / (recovered + permanently failed). None when no term
+        ever failed an attempt."""
+        troubled = self.recovered_count + self.failed_count
+        if troubled == 0:
+            return None
+        return self.recovered_count / troubled
+
+    def outcome_counts(self) -> dict[str, int]:
+        """Terms per final outcome label, sorted by label."""
+        return dict(sorted(Counter(r.outcome for r in self.records).items()))
+
+    @property
+    def throughput(self) -> Optional[float]:
+        """Completed probes per wall-clock second (None if wall≈0)."""
+        if self.wall_s <= 0:
+            return None
+        return len(self.records) / self.wall_s
+
+    @property
+    def mean_latency_s(self) -> Optional[float]:
+        if not self.records:
+            return None
+        return sum(r.latency_s for r in self.records) / len(self.records)
+
+    @property
+    def max_latency_s(self) -> Optional[float]:
+        if not self.records:
+            return None
+        return max(r.latency_s for r in self.records)
+
+
+def format_probe_report(telemetry: ProbeTelemetry) -> str:
+    """Human-readable probe report (the CLI's ``--probe-report``)."""
+    lines = [
+        f"Probe report — {telemetry.site}",
+        f"  probes:      {len(telemetry)} "
+        f"({telemetry.ok_count} ok, {telemetry.failed_count} failed)",
+        f"  attempts:    {telemetry.attempts_total} "
+        f"({telemetry.retried_count} terms retried, "
+        f"{telemetry.recovered_count} recovered)",
+    ]
+    recovery = telemetry.recovery_rate
+    if recovery is not None:
+        lines.append(f"  recovery:    {recovery:.0%} of transient failures")
+    outcomes = ", ".join(
+        f"{kind}={count}" for kind, count in telemetry.outcome_counts().items()
+    )
+    lines.append(f"  outcomes:    {outcomes}")
+    lines.append(
+        f"  concurrency: {telemetry.concurrency}"
+        + (f", rate budget {telemetry.rate:g}/s" if telemetry.rate else "")
+    )
+    throughput = telemetry.throughput
+    mean_latency = telemetry.mean_latency_s
+    if throughput is not None and mean_latency is not None:
+        lines.append(
+            f"  wall:        {telemetry.wall_s:.2f}s "
+            f"({throughput:.1f} probes/s, "
+            f"mean latency {mean_latency * 1000:.0f}ms, "
+            f"max {telemetry.max_latency_s * 1000:.0f}ms)"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["ProbeRecord", "ProbeTelemetry", "format_probe_report"]

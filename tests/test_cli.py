@@ -75,9 +75,35 @@ class TestParser:
         assert config.execution.n_jobs == 2
         assert config.execution.backend == "numpy"
 
-    def test_probe_has_no_execution_flags(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["probe", "--jobs", "2"])
+    def test_probe_execution_and_report_flags(self):
+        # Stage 1 is concurrency-aware: --jobs fans probes out, --rate
+        # caps the per-site budget, --probe-report prints telemetry.
+        args = build_parser().parse_args(
+            ["probe", "--jobs", "4", "--rate", "50", "--probe-report"]
+        )
+        assert args.jobs == 4
+        assert args.rate == 50.0
+        assert args.probe_report is True
+        assert build_parser().parse_args(["probe"]).probe_report is False
+
+    def test_probe_rate_threaded_into_config(self):
+        from repro.cli import _thor_config
+
+        args = build_parser().parse_args(
+            ["probe", "--jobs", "2", "--rate", "25"]
+        )
+        config = _thor_config(args)
+        assert config.execution.n_jobs == 2
+        assert config.probing.rate == 25.0
+
+    def test_probe_fault_flags(self):
+        args = build_parser().parse_args(
+            ["probe", "--fault-error-rate", "0.3",
+             "--fault-latency-ms", "5", "--fault-throttle-rate", "0.1"]
+        )
+        assert args.fault_error_rate == 0.3
+        assert args.fault_latency_ms == 5.0
+        assert args.fault_throttle_rate == 0.1
 
 
 class TestCommands:
@@ -98,6 +124,18 @@ class TestCommands:
         assert record["pagelets"]
         output = capsys.readouterr().out
         assert "QA-Pagelets" in output
+
+    def test_probe_concurrent_with_report_and_faults(self, tmp_path, capsys):
+        pages = tmp_path / "pages.jsonl"
+        assert main(
+            ["probe", "--domain", "music", "--seed", "3", "--jobs", "4",
+             "--records", "40", "--fault-error-rate", "0.2",
+             "--probe-report", "--out", str(pages)]
+        ) == 0
+        assert pages.exists()
+        output = capsys.readouterr().out
+        assert "Probe report" in output
+        assert "concurrency: 4" in output
 
     def test_extract_empty_cache_fails(self, tmp_path, capsys):
         pages = tmp_path / "empty.jsonl"

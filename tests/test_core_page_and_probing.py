@@ -118,6 +118,8 @@ class TestQueryProber:
         result = prober.probe(source)
         assert len(result) == 5
         assert result.failures[0][0] == bad
+        # Failure messages carry the exception class, not just str(e).
+        assert result.failures[0][1] == f"RuntimeError: boom on {bad}"
 
     def test_all_failures_raise(self):
         with pytest.raises(ProbeError):

@@ -53,6 +53,43 @@ class TestAverageLink:
         with pytest.raises(ClusteringError):
             AverageLinkClusterer(2).fit([])
 
+    def test_invalid_restarts(self):
+        with pytest.raises(ClusteringError):
+            AverageLinkClusterer(2, restarts=0)
+
+
+class TestRestartFanout:
+    """Seeded restart fan-out (repro.runtime.run_restarts) on the
+    agglomerative path: parallel must equal serial bitwise."""
+
+    def test_parallel_equals_serial(self):
+        vectors = blobs()
+        serial = AverageLinkClusterer(2, restarts=4, seed=7).fit(vectors)
+        parallel = AverageLinkClusterer(
+            2, restarts=4, seed=7, n_jobs=2
+        ).fit(vectors)
+        assert serial.clustering.labels == parallel.clustering.labels
+        assert serial.merge_similarities == parallel.merge_similarities
+
+    def test_seeded_restarts_deterministic(self):
+        vectors = blobs()
+        a = AverageLinkClusterer(2, restarts=3, seed=5).fit(vectors)
+        b = AverageLinkClusterer(2, restarts=3, seed=5).fit(vectors)
+        assert a.clustering.labels == b.clustering.labels
+
+    def test_restarts_preserve_quality(self):
+        result = AverageLinkClusterer(2, restarts=4, seed=1).fit(blobs())
+        labels = result.clustering.labels
+        assert len(set(labels[:6])) == 1
+        assert len(set(labels[6:])) == 1
+        assert labels[0] != labels[6]
+
+    def test_labels_canonical_first_appearance(self):
+        # Restart permutation must not leak into label numbering: the
+        # first input vector always lands in cluster 0.
+        result = AverageLinkClusterer(2, restarts=5, seed=3).fit(blobs())
+        assert result.clustering.labels[0] == 0
+
     def test_invalid_k(self):
         with pytest.raises(ClusteringError):
             AverageLinkClusterer(0)

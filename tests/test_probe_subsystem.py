@@ -1,0 +1,509 @@
+"""Tests for the concurrent probing subsystem (repro.probe)."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.config import ExecutionConfig, ProbeConfig, ThorConfig
+from repro.core.page import Page
+from repro.core.probing import ProbeResult, QueryProber
+from repro.deepweb.corpus import make_site
+from repro.errors import ProbeError, ThorError
+from repro.probe import (
+    FaultInjectingSource,
+    FaultSpec,
+    ProbeBudget,
+    ProbeServerError,
+    ProbeThrottled,
+    ProbeTimeout,
+    RetryPolicy,
+    classify_failure,
+    execute_probe,
+    format_probe_report,
+    probe_sites,
+    resolve_probe_concurrency,
+)
+from repro.probe.errors import (
+    ERROR,
+    MALFORMED,
+    SERVER_ERROR,
+    THROTTLED,
+    TIMEOUT,
+    ProbeMalformed,
+    failure_message,
+)
+from repro.probe.executor import SiteJob
+
+
+class _EchoSource:
+    """Minimal sync source; optionally fails a fixed set of terms."""
+
+    def __init__(self, fail_terms=()):
+        self.fail_terms = set(fail_terms)
+        self.seen = []
+
+    def query(self, term: str) -> Page:
+        self.seen.append(term)
+        if term in self.fail_terms:
+            raise RuntimeError(f"boom on {term}")
+        return Page(f"<html><body>{term}</body></html>",
+                    url=f"http://e.com/?q={term}")
+
+
+class _AlwaysServerError:
+    def __init__(self):
+        self.calls = 0
+
+    def query(self, term: str) -> Page:
+        self.calls += 1
+        raise ProbeServerError("500")
+
+
+class _EmptyPages:
+    def query(self, term: str) -> Page:
+        return Page("", url=f"http://e.com/?q={term}")
+
+
+class _FlakyOnce:
+    """Fails each term's first attempt with a transient error."""
+
+    def __init__(self):
+        self.attempts = {}
+
+    def query(self, term: str) -> Page:
+        count = self.attempts.get(term, 0) + 1
+        self.attempts[term] = count
+        if count == 1:
+            raise ProbeThrottled("slow down")
+        return Page(f"<html><body>{term}</body></html>")
+
+
+class TestTaxonomy:
+    def test_classification(self):
+        assert classify_failure(ProbeTimeout("t")) == TIMEOUT
+        assert classify_failure(TimeoutError()) == TIMEOUT
+        assert classify_failure(ProbeThrottled("t")) == THROTTLED
+        assert classify_failure(ProbeServerError("t")) == SERVER_ERROR
+        assert classify_failure(ProbeMalformed("t")) == MALFORMED
+        assert classify_failure(KeyError("t")) == ERROR
+
+    def test_taxonomy_derives_from_probe_error(self):
+        for exc_class in (ProbeTimeout, ProbeThrottled, ProbeServerError,
+                          ProbeMalformed):
+            assert issubclass(exc_class, ProbeError)
+            assert issubclass(exc_class, ThorError)
+
+    def test_failure_message_has_class_name(self):
+        assert failure_message(RuntimeError("down")) == "RuntimeError: down"
+        assert failure_message(ProbeTimeout()) == "ProbeTimeout"
+
+
+class TestRetryPolicy:
+    def test_transient_kinds_retry_within_budget(self):
+        policy = RetryPolicy(max_retries=2)
+        for kind in (TIMEOUT, THROTTLED, SERVER_ERROR):
+            assert policy.should_retry(kind, 1)
+            assert policy.should_retry(kind, 2)
+            assert not policy.should_retry(kind, 3)
+
+    def test_non_transient_kinds_never_retry(self):
+        policy = RetryPolicy(max_retries=5)
+        assert not policy.should_retry(MALFORMED, 1)
+        assert not policy.should_retry(ERROR, 1)
+
+    def test_backoff_deterministic_and_bounded(self):
+        policy = RetryPolicy(seed=7, backoff_base_s=0.1, backoff_cap_s=0.3)
+        first = policy.backoff_delay("cat", 1)
+        assert first == policy.backoff_delay("cat", 1)
+        assert first != policy.backoff_delay("dog", 1)
+        # jitter shaves at most `jitter` off the nominal delay
+        assert 0.05 <= first <= 0.1
+        # exponential growth capped
+        assert policy.backoff_delay("cat", 5) <= 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestProbeBudget:
+    def test_burst_grants_are_instant(self):
+        budget = ProbeBudget(rate=5.0, burst=3)
+
+        async def drain():
+            started = time.monotonic()
+            for _ in range(3):
+                await budget.acquire()
+            return time.monotonic() - started
+
+        assert asyncio.run(drain()) < 0.1
+        assert budget.granted == 3
+        assert budget.within_budget()
+
+    def test_rate_enforced_beyond_burst(self):
+        budget = ProbeBudget(rate=50.0, burst=1)
+
+        async def drain():
+            started = time.monotonic()
+            for _ in range(4):
+                await budget.acquire()
+            return time.monotonic() - started
+
+        # 3 refills at 50/s: at least ~60ms
+        assert asyncio.run(drain()) >= 0.05
+        assert budget.within_budget()
+        observed = budget.observed_rate()
+        assert observed is not None and observed <= 60.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbeBudget(rate=0)
+        with pytest.raises(ValueError):
+            ProbeBudget(rate=1, burst=0)
+
+
+class TestFaultInjection:
+    def test_plan_is_deterministic_per_seed(self):
+        site = _EchoSource()
+        a = FaultInjectingSource(site, FaultSpec(error_rate=0.5), seed=3)
+        b = FaultInjectingSource(site, FaultSpec(error_rate=0.5), seed=3)
+        plans_a = [a.plan(f"t{i}", 1) for i in range(50)]
+        plans_b = [b.plan(f"t{i}", 1) for i in range(50)]
+        assert plans_a == plans_b
+        c = FaultInjectingSource(site, FaultSpec(error_rate=0.5), seed=4)
+        assert plans_a != [c.plan(f"t{i}", 1) for i in range(50)]
+
+    def test_fault_rates_materialize(self):
+        source = FaultInjectingSource(
+            _EchoSource(),
+            FaultSpec(throttle_rate=0.5, error_rate=0.25),
+            seed=1,
+            label="x",
+        )
+        outcomes = {THROTTLED: 0, SERVER_ERROR: 0, "ok": 0}
+        for i in range(200):
+            try:
+                source.query(f"term{i}")
+                outcomes["ok"] += 1
+            except ProbeThrottled:
+                outcomes[THROTTLED] += 1
+            except ProbeServerError:
+                outcomes[SERVER_ERROR] += 1
+        assert 60 <= outcomes[THROTTLED] <= 140
+        assert 20 <= outcomes[SERVER_ERROR] <= 80
+        assert outcomes["ok"] >= 30
+        assert source.calls == 200
+
+    def test_reset_replays_identically(self):
+        source = FaultInjectingSource(
+            _EchoSource(), FaultSpec(error_rate=0.4), seed=9, label="x"
+        )
+
+        def sweep():
+            results = []
+            for i in range(30):
+                try:
+                    source.query(f"t{i}")
+                    results.append("ok")
+                except ProbeError as exc:
+                    results.append(type(exc).__name__)
+            return results
+
+        first = sweep()
+        source.reset()
+        assert sweep() == first
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(error_rate=1.2)
+        with pytest.raises(ValueError):
+            FaultSpec(error_rate=0.6, throttle_rate=0.6)
+        with pytest.raises(ValueError):
+            FaultSpec(latency_s=-1)
+
+
+class TestExecutor:
+    def test_resolve_concurrency_precedence(self):
+        assert resolve_probe_concurrency(ProbeConfig()) == 1
+        assert resolve_probe_concurrency(ProbeConfig(concurrency=4)) == 4
+        assert (
+            resolve_probe_concurrency(
+                ProbeConfig(), ExecutionConfig(n_jobs=3)
+            )
+            == 3
+        )
+        # explicit probe concurrency outranks the execution config
+        assert (
+            resolve_probe_concurrency(
+                ProbeConfig(concurrency=2), ExecutionConfig(n_jobs=8)
+            )
+            == 2
+        )
+        assert resolve_probe_concurrency(ProbeConfig(concurrency=0)) >= 1
+
+    def test_concurrent_identical_to_serial_clean_source(self):
+        terms = [f"term{i}" for i in range(24)]
+        serial = execute_probe(_EchoSource(), terms, config=ProbeConfig())
+        concurrent = execute_probe(
+            _EchoSource(), terms, config=ProbeConfig(concurrency=8)
+        )
+        assert [p.html for p in serial.pages] == [p.html for p in concurrent.pages]
+        assert serial.terms == concurrent.terms
+        assert serial.failures == concurrent.failures
+
+    def test_concurrent_identical_to_serial_faulty_source(self):
+        site = make_site("music", seed=5, records=40)
+        spec = FaultSpec(error_rate=0.25, throttle_rate=0.1)
+
+        def run(concurrency):
+            prober = QueryProber(
+                ProbeConfig(dictionary_queries=30, nonsense_queries=3,
+                            concurrency=concurrency),
+                seed=11,
+            )
+            return prober.probe(
+                FaultInjectingSource(site, spec, seed=4, label="m")
+            )
+
+        serial, concurrent = run(1), run(8)
+        assert [p.html for p in serial.pages] == [
+            p.html for p in concurrent.pages
+        ]
+        assert serial.terms == concurrent.terms
+        assert serial.failures == concurrent.failures
+
+    def test_retries_recover_transient_failures(self):
+        source = _FlakyOnce()
+        terms = [f"t{i}" for i in range(20)]
+        result = execute_probe(
+            source, terms, config=ProbeConfig(concurrency=4, max_retries=2)
+        )
+        assert len(result.pages) == 20
+        telemetry = result.telemetry
+        assert telemetry.recovered_count == 20
+        assert telemetry.recovery_rate == 1.0
+        assert telemetry.attempts_total == 40
+
+    def test_fault_recovery_rate_above_90_percent(self):
+        # error_rate 0.3 with 3 retries: P(all four attempts fail)
+        # = 0.008, so well over 90% of transiently failing terms
+        # recover (2 retries puts the expectation at ~91%, too close
+        # to the line for one 110-term draw).
+        site = make_site("ecommerce", seed=2, records=60)
+        faulty = FaultInjectingSource(
+            site, FaultSpec(error_rate=0.3), seed=8, label="e"
+        )
+        prober = QueryProber(ProbeConfig(concurrency=8, max_retries=3), seed=2)
+        result = prober.probe(faulty)
+        telemetry = result.telemetry
+        assert telemetry.retried_count > 0
+        assert telemetry.recovery_rate is not None
+        assert telemetry.recovery_rate >= 0.9
+
+    def test_rate_budget_not_exceeded(self):
+        terms = [f"t{i}" for i in range(12)]
+        config = ProbeConfig(concurrency=8, rate=100.0, burst=2)
+        started = time.monotonic()
+        result = execute_probe(_EchoSource(), terms, config=config)
+        elapsed = time.monotonic() - started
+        # 12 grants, burst 2 at 100/s: at least (12-2)/100 = 0.1s
+        assert elapsed >= 0.08
+        assert result.telemetry.budget_granted == 12
+        assert result.telemetry.rate == 100.0
+
+    def test_timeout_is_classified_and_failed(self):
+        class _Hangs:
+            async def aquery(self, term):
+                await asyncio.sleep(5.0)
+
+            def query(self, term):  # pragma: no cover - not used
+                raise AssertionError
+
+        terms = ["a", "b"]
+        source = _EchoSource()
+        slow = _Hangs()
+        # mix: slow source alone would raise ProbeError, so probe both
+        # sites in one pool and check the slow site's outcome kinds.
+        with pytest.raises(ProbeError):
+            execute_probe(
+                slow,
+                terms,
+                config=ProbeConfig(
+                    concurrency=2, timeout_s=0.05, max_retries=0
+                ),
+            )
+        ok = execute_probe(
+            source, terms, config=ProbeConfig(concurrency=2, timeout_s=5.0)
+        )
+        assert len(ok.pages) == 2
+
+    def test_async_source_used_directly(self):
+        class _AsyncOnly:
+            def __init__(self):
+                self.async_calls = 0
+
+            async def aquery(self, term):
+                self.async_calls += 1
+                await asyncio.sleep(0)
+                return Page(f"<p>{term}</p>")
+
+            def query(self, term):  # pragma: no cover - must not run
+                raise AssertionError("sync path should not be used")
+
+        source = _AsyncOnly()
+        result = execute_probe(source, ["x", "y"], config=ProbeConfig(concurrency=2))
+        assert source.async_calls == 2
+        assert len(result.pages) == 2
+
+    def test_simulated_site_async_adapter(self):
+        site = make_site("jobs", seed=3, records=30)
+        sync_page = site.query("zzz")
+        async_page = asyncio.run(site.aquery("zzz"))
+        assert async_page.html == sync_page.html
+
+    def test_multisite_fanout_matches_per_site_runs(self):
+        sites = [make_site("music", seed=1), make_site("jobs", seed=2)]
+        config = ProbeConfig(dictionary_queries=10, nonsense_queries=2)
+        jobs = []
+        singles = []
+        for index, site in enumerate(sites):
+            prober = QueryProber(config, seed=index)
+            terms = tuple(prober.select_terms())
+            jobs.append(SiteJob(site, terms, seed=index))
+            singles.append(
+                execute_probe(site, terms, config=config, seed=index)
+            )
+        fanned = probe_sites(
+            jobs, config=config, execution=ExecutionConfig(n_jobs=4)
+        )
+        for single, multi in zip(singles, fanned):
+            assert single.terms == multi.terms
+            assert [p.html for p in single.pages] == [
+                p.html for p in multi.pages
+            ]
+
+    def test_probe_sites_empty(self):
+        assert probe_sites([]) == []
+
+
+class TestProbeEdgeCases:
+    def test_always_raising_source_raises_probe_error(self):
+        with pytest.raises(ProbeError):
+            QueryProber(ProbeConfig(3, 1), seed=0).probe(_AlwaysServerError())
+
+    def test_always_raising_source_consumes_retries(self):
+        source = _AlwaysServerError()
+        with pytest.raises(ProbeError):
+            execute_probe(
+                source, ["a", "b"], config=ProbeConfig(max_retries=2)
+            )
+        # 2 terms x (1 attempt + 2 retries)
+        assert source.calls == 6
+
+    def test_empty_pages_are_still_collected(self):
+        result = QueryProber(ProbeConfig(4, 1), seed=0).probe(_EmptyPages())
+        assert len(result.pages) == 5
+        assert all(p.html == "" for p in result.pages)
+        assert all(p.query for p in result.pages)
+
+    def test_zero_dictionary_config(self):
+        result = QueryProber(ProbeConfig(0, 5), seed=0).probe(_EchoSource())
+        assert len(result.pages) == 5
+        assert len(result.terms) == 5
+
+    def test_zero_probes_raises(self):
+        with pytest.raises(ProbeError):
+            QueryProber(ProbeConfig(0, 0), seed=0).probe(_EchoSource())
+
+    def test_failures_deduplicated_with_class_names(self):
+        # A two-word dictionary sampled 8 times repeats terms; the
+        # failing term must appear once in failures, with its class.
+        prober = QueryProber(
+            ProbeConfig(8, 0), dictionary=["good", "bad"], seed=0
+        )
+        result = prober.probe(_EchoSource(fail_terms=["bad"]))
+        bad_entries = [f for f in result.failures if f[0] == "bad"]
+        assert len(bad_entries) == 1
+        assert bad_entries[0][1] == "RuntimeError: boom on bad"
+
+    def test_probe_config_validation(self):
+        with pytest.raises(ValueError):
+            ProbeConfig(dictionary_queries=-1)
+        with pytest.raises(ValueError):
+            ProbeConfig(rate=0)
+        with pytest.raises(ValueError):
+            ProbeConfig(burst=0)
+        with pytest.raises(ValueError):
+            ProbeConfig(timeout_s=-1)
+        with pytest.raises(ValueError):
+            ProbeConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ProbeConfig(concurrency=-2)
+
+
+class TestTelemetry:
+    def test_telemetry_attached_and_consistent(self):
+        result = QueryProber(ProbeConfig(6, 2), seed=1).probe(_EchoSource())
+        telemetry = result.telemetry
+        assert telemetry is not None
+        assert len(telemetry) == 8
+        assert telemetry.ok_count == 8
+        assert telemetry.failed_count == 0
+        assert telemetry.outcome_counts() == {"ok": 8}
+        assert telemetry.throughput is None or telemetry.throughput > 0
+        assert telemetry.concurrency == 1
+
+    def test_telemetry_excluded_from_equality(self):
+        page = Page("<p>x</p>")
+        a = ProbeResult((page,), ("x",), telemetry=None)
+        b = ProbeResult((page,), ("x",))
+        assert a == b
+
+    def test_format_probe_report(self):
+        result = QueryProber(ProbeConfig(6, 2), seed=1).probe(_EchoSource())
+        report = format_probe_report(result.telemetry)
+        assert "Probe report" in report
+        assert "8 ok" in report
+        assert "concurrency: 1" in report
+
+    def test_api_probe_carries_telemetry(self):
+        from repro import api
+
+        site = make_site("ecommerce", seed=7, records=40)
+        config = ThorConfig(
+            seed=7,
+            probing=ProbeConfig(dictionary_queries=10, nonsense_queries=2),
+        )
+        result = api.probe(site, config)
+        assert result.telemetry is not None
+        assert result.telemetry.site == site.theme.host
+
+
+class TestMultisiteExperiment:
+    def test_fanout_matches_serial_corpus_collection(self):
+        from repro.deepweb.corpus import probe_site
+        from repro.eval.experiments import multisite_probe_experiment
+
+        sites = [
+            make_site("music", seed=1000, records=40),
+            make_site("jobs", seed=1001, records=40),
+        ]
+        config = ProbeConfig(dictionary_queries=12, nonsense_queries=2)
+        report = multisite_probe_experiment(
+            sites, config, seed=1, execution=ExecutionConfig(n_jobs=4)
+        )
+        assert len(report.samples) == 2
+        assert len(report.telemetries) == 2
+        assert report.pages_collected > 0
+        for index, (site, sample) in enumerate(zip(sites, report.samples)):
+            serial = probe_site(site, config, seed=1 * 1000 + index)
+            assert [p.html for p in serial.pages] == [
+                p.html for p in sample.pages
+            ]
