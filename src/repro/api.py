@@ -16,8 +16,9 @@ One import gives the whole pipeline behind three verbs::
 - :func:`run` — all three stages (probe → extract → partition).
 
 Each takes an optional :class:`ThorConfig`; execution concerns —
-compute backend, restart worker processes, vector-space caching — ride
-on ``ThorConfig.execution`` (an :class:`ExecutionConfig`). Everything
+compute backend, worker processes, the persistent artifact cache
+(``cache_dir``) — ride on ``ThorConfig.execution`` (an
+:class:`ExecutionConfig`). Everything
 re-exported here (``Thor``, ``ThorConfig``, ``ThorResult``,
 ``ExecutionConfig``, …) is covered by the facade's stability promise;
 deeper module paths (``repro.core.*``, ``repro.cluster.*``) remain
@@ -28,6 +29,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.artifacts import ArtifactStore, GcReport
+from repro.artifacts import collect as collect_artifacts
+from repro.artifacts import format_artifact_report
 from repro.config import (
     DEFAULT_CONFIG,
     ClusteringConfig,
@@ -36,6 +40,7 @@ from repro.config import (
     SubtreeConfig,
     ThorConfig,
 )
+from repro.config import resolve_cache_dir
 from repro.core.page import Page
 from repro.core.probing import DeepWebSource, ProbeResult
 from repro.core.thor import Thor, ThorResult
@@ -78,10 +83,12 @@ def run(source: DeepWebSource, config: Optional[ThorConfig] = None) -> ThorResul
 
 
 __all__ = [
+    "ArtifactStore",
     "ClusteringConfig",
     "DEFAULT_CONFIG",
     "DeepWebSource",
     "ExecutionConfig",
+    "GcReport",
     "FaultInjectingSource",
     "FaultSpec",
     "Page",
@@ -93,9 +100,12 @@ __all__ = [
     "ThorConfig",
     "ThorError",
     "ThorResult",
+    "collect_artifacts",
     "extract",
+    "format_artifact_report",
     "format_probe_report",
     "make_site",
     "probe",
+    "resolve_cache_dir",
     "run",
 ]

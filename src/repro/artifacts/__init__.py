@@ -1,0 +1,81 @@
+"""``repro.artifacts``: the persistent, content-addressed artifact cache.
+
+Repeated extraction over near-identical page sets is the dominant
+production workload (wrapper maintenance: the same site re-probed
+daily, re-extracted after every template tweak). This package persists
+the pipeline's expensive intermediates across processes:
+
+- parsed tag trees (lossless codec, :mod:`repro.artifacts.pages`),
+- page clustering signatures (tag/term counts + max fanout),
+- Phase-2 per-page candidate-subtree records (the ⟨path, fanout,
+  depth, node-count⟩ quadruples plus subtree term counts),
+- interned :class:`~repro.vsm.matrix.VectorSpace` matrices (backing
+  the in-memory LRU in :mod:`repro.runtime`).
+
+Everything is keyed by SHA-256 of the source content plus derivation
+version tags (:mod:`repro.artifacts.keys`), so a hit is always exactly
+what a cold computation would produce — the cache can make a run
+faster, never different. Writes are atomic and last-writer-wins, so
+concurrent processes may share one cache directory.
+
+Enable via ``ExecutionConfig(cache_dir=...)``, the ``REPRO_CACHE_DIR``
+environment variable, or the CLI ``--cache-dir`` flag; manage disk
+usage with ``repro artifacts-gc``.
+"""
+
+from repro.artifacts.gc import GcReport, collect
+from repro.artifacts.keys import (
+    candidate_records_key,
+    page_signature_key,
+    page_tree_key,
+    sha256_hex,
+    space_key,
+)
+from repro.artifacts.pages import (
+    cached_signature,
+    cached_tree,
+    payload_to_tree,
+    put_signature,
+    put_tree,
+    tree_to_payload,
+)
+from repro.artifacts.stats import (
+    artifact_report,
+    format_artifact_report,
+    store_usage,
+)
+from repro.artifacts.store import (
+    KIND_RECORDS,
+    KIND_SIGNATURES,
+    KIND_SPACES,
+    KIND_TREES,
+    ArtifactStore,
+    load_persistent_stats,
+    merge_persistent_stats,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "GcReport",
+    "KIND_RECORDS",
+    "KIND_SIGNATURES",
+    "KIND_SPACES",
+    "KIND_TREES",
+    "artifact_report",
+    "cached_signature",
+    "cached_tree",
+    "candidate_records_key",
+    "collect",
+    "format_artifact_report",
+    "load_persistent_stats",
+    "merge_persistent_stats",
+    "page_signature_key",
+    "page_tree_key",
+    "payload_to_tree",
+    "put_signature",
+    "put_tree",
+    "sha256_hex",
+    "space_key",
+    "store_usage",
+    "tree_to_payload",
+]

@@ -1,0 +1,108 @@
+"""Artifact-store garbage collection.
+
+Eviction is oldest-first by modification time — the store is a cache,
+so LRU-ish recency is the right victim order — under two independent
+bounds: a byte budget (``max_bytes``) and an age limit (``max_age_s``).
+Either bound alone works; together, age-expired entries go first and
+the byte budget is enforced on what remains.
+
+GC is concurrent-writer safe for the same reason writes are: entries
+are whole files, removal is atomic, and a reader that loses the race
+simply sees a miss and recomputes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+_ARTIFACT_EXTENSIONS = (".json", ".npz")
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What one :func:`collect` pass did."""
+
+    scanned_entries: int
+    scanned_bytes: int
+    removed_entries: int
+    removed_bytes: int
+
+    @property
+    def kept_entries(self) -> int:
+        return self.scanned_entries - self.removed_entries
+
+    @property
+    def kept_bytes(self) -> int:
+        return self.scanned_bytes - self.removed_bytes
+
+
+def iter_entries(root: str | os.PathLike):
+    """Yield ``(path, size, mtime)`` for every artifact under ``root``.
+
+    The ``stats.json`` ledger and in-flight ``.tmp`` files are not
+    artifacts and are never yielded (so never evicted).
+    """
+    root = os.fspath(root)
+    for directory, _subdirs, files in os.walk(root):
+        for name in files:
+            if not name.endswith(_ARTIFACT_EXTENSIONS):
+                continue
+            if name == "stats.json" and directory == root:
+                # The counter ledger is not an artifact (never evicted).
+                continue
+            path = os.path.join(directory, name)
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue  # lost a race with a concurrent GC/replace
+            yield path, info.st_size, info.st_mtime
+
+
+def collect(
+    root: str | os.PathLike,
+    max_bytes: Optional[int] = None,
+    max_age_s: Optional[float] = None,
+    now: Optional[float] = None,
+) -> GcReport:
+    """Evict artifacts until the store fits the given bounds.
+
+    ``max_bytes=None`` disables the byte budget; ``max_age_s=None``
+    disables age expiry. With both ``None`` this is a pure scan
+    (nothing is removed), which is how ``repro artifacts-gc --stats``
+    reports usage.
+    """
+    entries = sorted(iter_entries(root), key=lambda e: (e[2], e[0]))
+    scanned_bytes = sum(size for _, size, _ in entries)
+    cutoff = None if max_age_s is None else (now or time.time()) - max_age_s
+
+    removed_entries = 0
+    removed_bytes = 0
+    remaining_bytes = scanned_bytes
+    for path, size, mtime in entries:
+        expired = cutoff is not None and mtime < cutoff
+        over_budget = max_bytes is not None and remaining_bytes > max_bytes
+        if not (expired or over_budget):
+            if max_bytes is None:
+                # No byte budget and this entry is fresh: everything
+                # after it is fresher still.
+                break
+            continue
+        try:
+            os.unlink(path)
+        except OSError:
+            continue  # already removed by a concurrent GC
+        removed_entries += 1
+        removed_bytes += size
+        remaining_bytes -= size
+    return GcReport(
+        scanned_entries=len(entries),
+        scanned_bytes=scanned_bytes,
+        removed_entries=removed_entries,
+        removed_bytes=removed_bytes,
+    )
+
+
+__all__ = ["GcReport", "collect", "iter_entries"]

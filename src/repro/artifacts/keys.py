@@ -1,0 +1,101 @@
+"""Content-addressed keys for the artifact store.
+
+Every artifact is keyed by the SHA-256 of the *content it was derived
+from* plus the version tags of the code that derived it. A key can
+therefore never serve a stale artifact: changing the page HTML changes
+the hash, and changing the derivation (parser semantics, record
+layout, extractor pipeline) must be accompanied by a version bump
+below, which changes every key of that kind at once — the old entries
+simply stop being referenced and age out via GC.
+
+Key layout: ``sha256(content) + ':' + sha256(parameter-tag)`` where the
+parameter tag folds in the version constants and any derivation
+parameters (e.g. ``require_branching`` for candidate records).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping, Sequence
+
+#: Bump when :mod:`repro.html.parser` output changes for the same HTML.
+PARSER_VERSION = 1
+
+#: Bump when the candidate-record layout or derivation changes
+#: (:func:`repro.core.single_page.page_candidate_records`).
+RECORD_VERSION = 1
+
+#: Bump when the page-signature layout changes (tag counts, term
+#: counts, max fanout — :func:`repro.artifacts.store.page_signature`).
+SIGNATURE_VERSION = 1
+
+#: Bump when the serialized :class:`~repro.vsm.matrix.VectorSpace`
+#: layout changes.
+SPACE_VERSION = 1
+
+#: Bump when the term-extraction pipeline (tokenize → stem) changes.
+EXTRACTOR_VERSION = 1
+
+
+def sha256_hex(text: str) -> str:
+    """Hex SHA-256 of a unicode string (UTF-8 encoded)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _tagged(content_hash: str, tag: str) -> str:
+    return f"{content_hash}-{sha256_hex(tag)[:16]}"
+
+
+def page_tree_key(html: str) -> str:
+    """Key of the parsed tag tree of one page."""
+    return _tagged(sha256_hex(html), f"tree:v{PARSER_VERSION}")
+
+
+def page_signature_key(html: str) -> str:
+    """Key of a page's clustering signatures (tag/term counts)."""
+    return _tagged(
+        sha256_hex(html),
+        f"signature:v{SIGNATURE_VERSION}:parser{PARSER_VERSION}"
+        f":extractor{EXTRACTOR_VERSION}",
+    )
+
+
+def candidate_records_key(html: str, require_branching: bool) -> str:
+    """Key of a page's Phase-2 candidate-subtree records."""
+    return _tagged(
+        sha256_hex(html),
+        f"records:v{RECORD_VERSION}:parser{PARSER_VERSION}"
+        f":extractor{EXTRACTOR_VERSION}:branching{int(require_branching)}",
+    )
+
+
+def space_key(count_maps: Sequence[Mapping[str, float]], weighting: str) -> str:
+    """Key of an interned :class:`~repro.vsm.matrix.VectorSpace`.
+
+    The key hashes the count maps *in iteration order* — the vocabulary
+    column order (and therefore the exact float accumulation order of
+    every downstream kernel) depends on it, and the warm == cold
+    bitwise invariant demands the cached space be the exact space a
+    fresh build would produce.
+    """
+    payload = json.dumps(
+        [weighting, [list(map(list, counts.items())) for counts in count_maps]],
+        ensure_ascii=False,
+        separators=(",", ":"),
+    )
+    return _tagged(sha256_hex(payload), f"space:v{SPACE_VERSION}")
+
+
+__all__ = [
+    "EXTRACTOR_VERSION",
+    "PARSER_VERSION",
+    "RECORD_VERSION",
+    "SIGNATURE_VERSION",
+    "SPACE_VERSION",
+    "candidate_records_key",
+    "page_signature_key",
+    "page_tree_key",
+    "sha256_hex",
+    "space_key",
+]

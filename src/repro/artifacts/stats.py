@@ -1,0 +1,64 @@
+"""Artifact-store usage reporting.
+
+Two sources are combined: the persistent hit/miss/put ledger
+(``stats.json``, folded in by every :meth:`ArtifactStore.flush_stats`)
+and a live disk scan (entries and bytes per artifact kind).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.artifacts.gc import iter_entries
+from repro.artifacts.store import load_persistent_stats
+
+
+def store_usage(root: str | os.PathLike) -> dict:
+    """Scan a store directory: entries and bytes, total and per kind."""
+    root = os.fspath(root)
+    per_kind: dict[str, dict[str, int]] = {}
+    total_entries = 0
+    total_bytes = 0
+    for path, size, _mtime in iter_entries(root):
+        kind = os.path.relpath(path, root).split(os.sep)[0]
+        bucket = per_kind.setdefault(kind, {"entries": 0, "bytes": 0})
+        bucket["entries"] += 1
+        bucket["bytes"] += size
+        total_entries += 1
+        total_bytes += size
+    return {"entries": total_entries, "bytes": total_bytes, "kinds": per_kind}
+
+
+def artifact_report(root: str | os.PathLike) -> dict:
+    """Usage scan plus the persistent counter ledger, as one dict."""
+    usage = store_usage(root)
+    counters = load_persistent_stats(root)
+    return {
+        "root": os.fspath(root),
+        "entries": usage["entries"],
+        "bytes": usage["bytes"],
+        "kinds": usage["kinds"],
+        "hits": int(counters.get("hits", 0)),
+        "misses": int(counters.get("misses", 0)),
+        "puts": int(counters.get("puts", 0)),
+        "bytes_written": int(counters.get("bytes_written", 0)),
+    }
+
+
+def format_artifact_report(report: dict) -> str:
+    """Human-readable rendering of :func:`artifact_report`."""
+    lines = [
+        f"artifact store {report['root']}",
+        f"  entries: {report['entries']}  bytes: {report['bytes']}",
+        f"  lifetime: hits={report['hits']} misses={report['misses']} "
+        f"puts={report['puts']} bytes_written={report['bytes_written']}",
+    ]
+    for kind in sorted(report["kinds"]):
+        bucket = report["kinds"][kind]
+        lines.append(
+            f"  {kind}: {bucket['entries']} entries, {bucket['bytes']} bytes"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["artifact_report", "format_artifact_report", "store_usage"]

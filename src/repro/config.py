@@ -31,13 +31,17 @@ CACHE_POLICIES = ("on", "off")
 class ExecutionConfig:
     """How the pipeline computes: backend, parallelism, caching.
 
-    One object answers the three *how* questions every stage used to
-    answer separately: which compute kernels run (``backend``), how
-    many worker processes fan the clustering restarts out (``n_jobs``),
-    and whether interned :class:`~repro.vsm.matrix.VectorSpace` builds
-    are reused across calls over the same collection (``cache``).
-    Every entry point that accepts a ``backend`` argument also accepts
-    a full ``ExecutionConfig`` in its place.
+    One object answers the *how* questions every stage used to answer
+    separately: which compute kernels run (``backend``), how many
+    worker processes fan restarts and per-page Phase-2 analysis out
+    (``n_jobs``), whether interned
+    :class:`~repro.vsm.matrix.VectorSpace` builds are reused across
+    calls over the same collection (``cache``), and whether expensive
+    intermediates persist across *processes* in an on-disk artifact
+    store (``cache_dir`` / ``artifact_cache`` —
+    :mod:`repro.artifacts`). Every entry point that accepts a
+    ``backend`` argument also accepts a full ``ExecutionConfig`` in
+    its place.
     """
 
     #: Compute backend: "python", "numpy", or ``None`` to defer to
@@ -45,12 +49,21 @@ class ExecutionConfig:
     #: var > auto-detection — the env var is the lowest-precedence way
     #: to *select* a backend and only fills in when nothing is set).
     backend: Optional[str] = None
-    #: Worker processes for restart fan-out: 1 = serial (default),
-    #: N > 1 = that many processes, 0 = one per available core.
+    #: Worker processes for restart fan-out and Phase-2 per-page
+    #: analysis: 1 = serial (default), N > 1 = that many processes,
+    #: 0 = one per available core.
     n_jobs: int = 1
     #: "on" reuses interned vector spaces across calls over the same
     #: collection (keyed by content, so never stale); "off" disables.
     cache: str = "on"
+    #: Root directory of the persistent artifact store. ``None`` defers
+    #: to the ``REPRO_CACHE_DIR`` environment variable; with neither
+    #: set, no on-disk cache is used (see :func:`resolve_cache_dir`).
+    cache_dir: Optional[str] = None
+    #: "on" lets a configured ``cache_dir`` (or ``REPRO_CACHE_DIR``)
+    #: take effect; "off" disables the on-disk artifact store entirely
+    #: (the CLI ``--no-artifact-cache`` flag).
+    artifact_cache: str = "on"
 
     def __post_init__(self) -> None:
         if self.n_jobs < 0:
@@ -58,6 +71,11 @@ class ExecutionConfig:
         if self.cache not in CACHE_POLICIES:
             raise ValueError(
                 f"unknown cache policy {self.cache!r}; "
+                f"valid: {', '.join(CACHE_POLICIES)}"
+            )
+        if self.artifact_cache not in CACHE_POLICIES:
+            raise ValueError(
+                f"unknown artifact cache policy {self.artifact_cache!r}; "
                 f"valid: {', '.join(CACHE_POLICIES)}"
             )
 
@@ -132,6 +150,30 @@ def resolve_n_jobs(
         except AttributeError:  # pragma: no cover - non-POSIX only
             return os.cpu_count() or 1
     return n_jobs
+
+
+def resolve_cache_dir(execution: "BackendSelection" = None) -> Optional[str]:
+    """Resolve the on-disk artifact-store root, or ``None`` when the
+    persistent cache is disabled.
+
+    An explicit ``ExecutionConfig.cache_dir`` wins; otherwise the
+    ``REPRO_CACHE_DIR`` environment variable fills in. Setting
+    ``artifact_cache="off"`` disables the store regardless of either
+    (that is the CLI ``--no-artifact-cache`` escape hatch).
+
+    >>> resolve_cache_dir(ExecutionConfig(cache_dir="/tmp/artifacts"))
+    '/tmp/artifacts'
+    >>> resolve_cache_dir(
+    ...     ExecutionConfig(cache_dir="/tmp/artifacts", artifact_cache="off")
+    ... ) is None
+    True
+    """
+    if isinstance(execution, ExecutionConfig):
+        if execution.artifact_cache == "off":
+            return None
+        if execution.cache_dir:
+            return execution.cache_dir
+    return os.environ.get("REPRO_CACHE_DIR") or None
 
 
 def execution_from_legacy(

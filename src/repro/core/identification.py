@@ -12,11 +12,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.config import ExecutionConfig, SubtreeConfig, execution_from_legacy
+from repro.config import (
+    ExecutionConfig,
+    SubtreeConfig,
+    execution_from_legacy,
+    resolve_cache_dir,
+    resolve_n_jobs,
+)
 from repro.core.page import Page
 from repro.core.pagelet import QAPagelet
 from repro.core.selection import ScoredSet, score_sets
-from repro.core.single_page import candidate_subtrees_for_cluster
+from repro.core.single_page import (
+    candidate_records_for_cluster,
+    candidate_subtrees_for_cluster,
+)
 from repro.core.subtree_ranking import (
     RankedSubtreeSet,
     dynamic_sets,
@@ -24,6 +33,7 @@ from repro.core.subtree_ranking import (
 )
 from repro.core.subtree_sets import find_common_subtree_sets
 from repro.errors import ExtractionError
+from repro.html.paths import resolve_path
 
 
 @dataclass(frozen=True)
@@ -76,9 +86,25 @@ class PageletIdentifier:
         if not pages:
             raise ExtractionError("cannot identify pagelets in an empty cluster")
         cfg = self.config
-        candidates = candidate_subtrees_for_cluster(
-            pages, require_branching=cfg.require_branching
+        # The record-backed pipeline (node-free candidate snapshots)
+        # is what fans out over processes and round-trips through the
+        # artifact cache; it is bitwise identical to the node-backed
+        # one, but snapshots term counts eagerly — so plain serial
+        # no-cache runs keep the lazy node path.
+        use_records = (
+            resolve_n_jobs(self.execution) > 1
+            or resolve_cache_dir(self.execution) is not None
         )
+        if use_records:
+            candidates = candidate_records_for_cluster(
+                pages,
+                require_branching=cfg.require_branching,
+                execution=self.execution,
+            )
+        else:
+            candidates = candidate_subtrees_for_cluster(
+                pages, require_branching=cfg.require_branching
+            )
         if not any(candidates):
             return IdentificationResult(tuple(pages), (), (), ())
         sets = find_common_subtree_sets(
@@ -156,21 +182,29 @@ class PageletIdentifier:
                 member = scored_set.ranked.subtree_set.members.get(page_index)
                 if member is None:
                     continue
-                inside = {id(n) for n in member.node.iter_tags()}
-                inside.discard(id(member.node))
+                # Strict descendants of the pagelet are exactly the
+                # paths extending its own (see _containment_relation
+                # for why the trailing "/" makes this the descendant
+                # relation, for node-free record members too).
+                prefix = member.shape.path + "/"
                 dynamic_paths = self._member_paths_inside(
-                    inside,
+                    prefix,
                     page_index,
                     [s.ranked for s in scored if s is not scored_set],
                 )
                 static_paths = self._member_paths_inside(
-                    inside, page_index, static_sets
+                    prefix, page_index, static_sets
                 )
+                node = member.node
+                if node is None:
+                    # Record-backed winner: resolve the path against
+                    # the page's tree once, only for actual pagelets.
+                    node = resolve_path(page.tree, member.shape.path)
                 pagelets.append(
                     QAPagelet(
                         page=page,
                         path=member.shape.path,
-                        node=member.node,
+                        node=node,
                         score=scored_set.score,
                         rank=rank,
                         contained_dynamic_paths=dynamic_paths,
@@ -182,7 +216,7 @@ class PageletIdentifier:
 
     @staticmethod
     def _member_paths_inside(
-        inside: set[int],
+        prefix: str,
         page_index: int,
         sets: Sequence[RankedSubtreeSet],
     ) -> tuple[str, ...]:
@@ -190,6 +224,6 @@ class PageletIdentifier:
         paths: list[str] = []
         for ranked in sets:
             member = ranked.subtree_set.members.get(page_index)
-            if member is not None and id(member.node) in inside:
+            if member is not None and member.shape.path.startswith(prefix):
                 paths.append(member.shape.path)
         return tuple(paths)

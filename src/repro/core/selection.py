@@ -33,7 +33,6 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.subtree_ranking import RankedSubtreeSet
-from repro.html.tree import TagNode
 
 
 @dataclass(frozen=True)
@@ -63,8 +62,19 @@ def _has_similar_dom_siblings(
     sample_pages: int = 3,
 ) -> bool:
     """Majority vote over sampled member pages: does the member's
-    parent hold another tag child of similar shape?"""
-    from repro.core.subtree_sets import make_candidate, shape_distance
+    parent hold another tag child of similar shape?
+
+    Node-backed members walk the live DOM; record-backed members
+    (parallel/cached pipeline) replay the identical comparison from
+    the sibling shapes snapshotted at record-build time — same fresh
+    codec, same code-assignment order, same float operations.
+    """
+    from repro.core.subtree_sets import (
+        SubtreeCandidate,
+        make_candidate,
+        shape_distance,
+    )
+    from repro.html.metrics import SubtreeShape
     from repro.html.paths import TagCodec
 
     codec = TagCodec()
@@ -72,8 +82,35 @@ def _has_similar_dom_siblings(
     sampled = 0
     for page_index in sorted(ranked.subtree_set.members)[:sample_pages]:
         member = ranked.subtree_set.members[page_index]
-        parent = member.node.parent
         sampled += 1
+        if member.node is None:
+            target = SubtreeCandidate(
+                page_index=page_index,
+                node=None,
+                shape=member.shape,
+                code_path=codec.simplify(list(member.tags)),
+            )
+            parent_tags = list(member.tags[:-1])
+            for tag, fanout, nodes in member.siblings:
+                other = SubtreeCandidate(
+                    page_index=page_index,
+                    node=None,
+                    # DOM siblings share the member's parent, hence its
+                    # depth; the path expression plays no role in the
+                    # distance.
+                    shape=SubtreeShape(
+                        path="",
+                        fanout=fanout,
+                        depth=member.shape.depth,
+                        nodes=nodes,
+                    ),
+                    code_path=codec.simplify(parent_tags + [tag]),
+                )
+                if shape_distance(target, other) <= threshold:
+                    votes += 1
+                    break
+            continue
+        parent = member.node.parent
         if parent is None:
             continue
         target = make_candidate(page_index, member.node, codec)
@@ -97,32 +134,31 @@ def _containment_relation(
 
     Set a contains set b when, on a strict majority of the pages where
     both have members, a's member strictly encloses b's member.
+    Enclosure is decided on path expressions: within one page tree a
+    node's path strictly extends every ancestor's path, and the
+    trailing ``"/"`` guard keeps ``div[1]`` from matching ``div[10]``
+    — exactly the descendant relation, without touching the DOM (so
+    node-free record members work too).
     """
     n_sets = len(candidates)
-    # Per page: set index -> member node.
-    page_nodes: dict[int, dict[int, TagNode]] = {}
+    # Per page: set index -> member path expression.
+    page_paths: dict[int, dict[int, str]] = {}
     for set_index, ranked in enumerate(candidates):
         for page_index, member in ranked.subtree_set.members.items():
-            page_nodes.setdefault(page_index, {})[set_index] = member.node
+            page_paths.setdefault(page_index, {})[set_index] = member.shape.path
 
     enclosure_votes: dict[tuple[int, int], int] = {}
     shared_pages: dict[tuple[int, int], int] = {}
-    for members in page_nodes.values():
+    for members in page_paths.values():
         set_indices = list(members)
-        # Precompute descendant id sets once per page per container.
-        descendant_ids: dict[int, set[int]] = {}
         for a in set_indices:
-            node = members[a]
-            ids = {id(x) for x in node.iter_tags()}
-            ids.discard(id(node))
-            descendant_ids[a] = ids
-        for a in set_indices:
+            prefix = members[a] + "/"
             for b in set_indices:
                 if a == b:
                     continue
                 key = (a, b)
                 shared_pages[key] = shared_pages.get(key, 0) + 1
-                if id(members[b]) in descendant_ids[a]:
+                if members[b].startswith(prefix):
                     enclosure_votes[key] = enclosure_votes.get(key, 0) + 1
 
     contained: list[set[int]] = [set() for _ in range(n_sets)]

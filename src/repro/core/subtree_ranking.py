@@ -15,8 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.config import BackendSelection, resolve_backend
-from repro.core.subtree_sets import CommonSubtreeSet
+from repro.config import BackendSelection, ExecutionConfig, resolve_backend
+from repro.core.subtree_sets import CommonSubtreeSet, SubtreeCandidate
 from repro.text.terms import TermExtractor, DEFAULT_EXTRACTOR
 from repro.vsm.vector import SparseVector
 from repro.vsm.weighting import CorpusWeighter, raw_tf_vector
@@ -34,6 +34,22 @@ class RankedSubtreeSet:
     is_static: bool
 
 
+def _member_term_counts(
+    candidate: SubtreeCandidate, extractor: TermExtractor
+) -> dict:
+    """A member's content term counts, from its record when possible.
+
+    Record-backed candidates snapshot the subtree's counts under the
+    default extractor at record-build time; the snapshot preserves the
+    extractor's insertion order, so using it is indistinguishable from
+    re-extracting the node text. Any other extractor (or a node-backed
+    candidate) extracts from the live node.
+    """
+    if candidate.term_counts is not None and extractor is DEFAULT_EXTRACTOR:
+        return candidate.term_counts
+    return extractor.extract_counts(candidate.node.text())
+
+
 def set_content_vectors(
     subtree_set: CommonSubtreeSet,
     extractor: TermExtractor = DEFAULT_EXTRACTOR,
@@ -45,7 +61,7 @@ def set_content_vectors(
     used — the ablation shown in Figure 9's left histogram.
     """
     counts = [
-        extractor.extract_counts(c.node.text()) for c in subtree_set.candidates()
+        _member_term_counts(c, extractor) for c in subtree_set.candidates()
     ]
     if not use_tfidf:
         return [raw_tf_vector(c) for c in counts]
@@ -71,15 +87,22 @@ def intra_set_similarity(
     """
     if resolve_backend(backend) == "numpy":
         counts = [
-            extractor.extract_counts(c.node.text())
-            for c in subtree_set.candidates()
+            _member_term_counts(c, extractor) for c in subtree_set.candidates()
         ]
         n = len(counts)
         if n <= 1:
             return 1.0
-        from repro.vsm.matrix import weighted_space
+        scheme = "tfidf" if use_tfidf else "raw"
+        if isinstance(backend, ExecutionConfig):
+            # Through the keyed (and, when configured, persistent)
+            # space cache: a warm rerun skips the TFIDF build per set.
+            from repro.runtime import cached_weighted_space
 
-        space = weighted_space(counts, "tfidf" if use_tfidf else "raw")
+            space = cached_weighted_space(counts, scheme, backend)
+        else:
+            from repro.vsm.matrix import weighted_space
+
+            space = weighted_space(counts, scheme)
         # Rows are unit length (or zero): Σ_{i<j} v_i·v_j =
         # (‖Σv‖² − #non-zero) / 2, one axis-sum and one dot product.
         composite = space.matrix.sum(axis=0)
@@ -139,7 +162,10 @@ def rank_subtree_sets(
     come first; static sets are retained (flagged) for diagnostics but
     sorted after dynamic ones.
     """
-    backend = resolve_backend(backend)
+    resolve_backend(backend)  # validate early; pass the original through
+    # (an ExecutionConfig carries cache settings intra_set_similarity
+    # uses for the persistent space cache — don't flatten it to a
+    # backend string here).
     min_pages = max(1, int(min_support * n_pages))
     ranked = []
     for subtree_set in sets:

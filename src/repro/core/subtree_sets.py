@@ -21,40 +21,49 @@ to each set (greedy one-to-one matching, bounded by
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from functools import lru_cache
-from typing import Optional, Sequence
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence, Union
 
-from repro.cluster.editdist import normalized_levenshtein
+from repro.cluster.editdist import cached_normalized_levenshtein
 from repro.config import BackendSelection, resolve_backend
 from repro.errors import ExtractionError
 from repro.html.metrics import SubtreeShape, subtree_shape
 from repro.html.paths import TagCodec, node_tag_sequence
 from repro.html.tree import TagNode
 
-
-@lru_cache(maxsize=65536)
-def _cached_path_distance(a: str, b: str) -> float:
-    """Memoized normalized edit distance between simplified paths.
-
-    Candidate code paths are heavily repeated (every result row shares
-    one), so caching turns the distance matrix construction from the
-    dominant cost of cross-page analysis into a dictionary lookup.
-    """
-    if a > b:  # normalize argument order: the distance is symmetric
-        a, b = b, a
-    return normalized_levenshtein(a, b)
+#: Memoized normalized edit distance between simplified paths.
+#: Candidate code paths are heavily repeated (every result row shares
+#: one), so the memo turns distance-matrix construction from the
+#: dominant cost of cross-page analysis into a dictionary lookup.
+_cached_path_distance = cached_normalized_levenshtein
 
 
 @dataclass(frozen=True)
 class SubtreeCandidate:
-    """One candidate subtree with its precomputed shape features."""
+    """One candidate subtree with its precomputed shape features.
+
+    ``node`` is ``None`` for candidates built from node-free
+    :class:`~repro.core.single_page.CandidateRecord` snapshots (the
+    parallel/cached pipeline); those carry the record's term counts,
+    raw tag sequence, and sibling shapes instead, which is everything
+    downstream ranking and selection otherwise read from the node.
+    """
 
     page_index: int
-    node: TagNode
+    node: Optional[TagNode]
     shape: SubtreeShape
     #: The root→node tag sequence simplified to q-letter codes.
     code_path: str
+    #: Subtree term counts (record-backed candidates only).
+    term_counts: Optional[Mapping[str, int]] = field(default=None, compare=False)
+    #: Raw root→node tag names (record-backed candidates only).
+    tags: Optional[tuple[str, ...]] = field(default=None, compare=False)
+    #: ``(tag, fanout, nodes)`` of the member's other DOM siblings
+    #: (record-backed candidates only).
+    siblings: Optional[tuple[tuple[str, int, int], ...]] = field(
+        default=None, compare=False
+    )
 
 
 def make_candidate(
@@ -66,6 +75,32 @@ def make_candidate(
         node=node,
         shape=subtree_shape(node),
         code_path=codec.simplify(node_tag_sequence(node)),
+    )
+
+
+def make_candidate_from_record(
+    page_index: int, record, codec: TagCodec
+) -> SubtreeCandidate:
+    """Wrap a node-free candidate record for cross-page analysis.
+
+    The codec simplifies the record's raw tag sequence exactly where
+    :func:`make_candidate` would simplify the node's, so first-come
+    code assignment — and therefore every path distance — matches the
+    node pipeline bitwise.
+    """
+    return SubtreeCandidate(
+        page_index=page_index,
+        node=None,
+        shape=SubtreeShape(
+            path=record.path,
+            fanout=record.fanout,
+            depth=record.depth,
+            nodes=record.nodes,
+        ),
+        code_path=codec.simplify(list(record.tags)),
+        term_counts=record.term_counts,
+        tags=tuple(record.tags),
+        siblings=tuple(record.siblings),
     )
 
 
@@ -97,6 +132,78 @@ def shape_distance(
     return total
 
 
+#: One distance quadruple: (code path, fanout, depth, nodes). The
+#: distance function reads nothing else from a candidate, so a matrix
+#: over unique quadruples determines the full candidate matrix.
+_Quad = tuple[str, int, int, int]
+
+#: Memoized *compact* distance matrices keyed by (weights, unique row
+#: quads, unique column quads). Result pages inside one cluster repeat
+#: the same candidate shapes page after page, so whole prototype × page
+#: matrices recur verbatim across the matching loop.
+_QUAD_MATRIX_MEMO: "OrderedDict[tuple, Any]" = OrderedDict()
+_QUAD_MATRIX_MEMO_LIMIT = 256
+
+
+def _candidate_quad(candidate: SubtreeCandidate) -> _Quad:
+    shape = candidate.shape
+    return (candidate.code_path, shape.fanout, shape.depth, shape.nodes)
+
+
+def clear_quad_matrix_memo() -> None:
+    """Drop memoized compact distance matrices (tests, benchmarks)."""
+    _QUAD_MATRIX_MEMO.clear()
+
+
+def _compact_distance_matrix(
+    a_quads: tuple[_Quad, ...],
+    b_quads: tuple[_Quad, ...],
+    weights: tuple[float, float, float, float],
+):
+    """Distance matrix over unique quadruples (memoized).
+
+    Every entry is a pure function of its own (row, column) quadruple
+    pair — the Levenshtein kernel and the broadcast ratio terms are
+    all elementwise — so computing over deduplicated quadruples and
+    expanding applies the exact float operations of the full matrix.
+    """
+    import numpy as np
+
+    from repro.vsm.matrix import pairwise_normalized_levenshtein
+
+    memo_key = (weights, a_quads, b_quads)
+    cached = _QUAD_MATRIX_MEMO.get(memo_key)
+    if cached is not None:
+        _QUAD_MATRIX_MEMO.move_to_end(memo_key)
+        return cached
+
+    w1, w2, w3, w4 = weights
+    total = np.zeros((len(a_quads), len(b_quads)), dtype=np.float64)
+    if w1:
+        total += w1 * pairwise_normalized_levenshtein(
+            [quad[0] for quad in a_quads],
+            [quad[0] for quad in b_quads],
+        )
+    for weight, position in ((w2, 1), (w3, 2), (w4, 3)):
+        if not weight:
+            continue
+        a_values = np.array([quad[position] for quad in a_quads], dtype=np.float64)
+        b_values = np.array([quad[position] for quad in b_quads], dtype=np.float64)
+        largest = np.maximum(a_values[:, None], b_values[None, :])
+        difference = np.abs(a_values[:, None] - b_values[None, :])
+        total += weight * np.divide(
+            difference,
+            largest,
+            out=np.zeros_like(difference),
+            where=largest > 0.0,
+        )
+    total.setflags(write=False)  # memoized value is shared: freeze it
+    _QUAD_MATRIX_MEMO[memo_key] = total
+    while len(_QUAD_MATRIX_MEMO) > _QUAD_MATRIX_MEMO_LIMIT:
+        _QUAD_MATRIX_MEMO.popitem(last=False)
+    return total
+
+
 def shape_distance_matrix(
     a_candidates: Sequence[SubtreeCandidate],
     b_candidates: Sequence[SubtreeCandidate],
@@ -107,39 +214,26 @@ def shape_distance_matrix(
 
     The path term runs through the vectorized, memoized Levenshtein
     kernel (:func:`repro.vsm.matrix.pairwise_normalized_levenshtein`);
-    the three scalar ratio terms are broadcast subtractions. Entries
-    equal the scalar :func:`shape_distance` bitwise — both backends
-    apply the identical sequence of float operations per pair.
+    the three scalar ratio terms are broadcast subtractions. The
+    computation itself is deduplicated to *unique* distance quadruples
+    (result rows repeat the same ⟨P, F, D, N⟩ dozens of times per
+    page) and the compact matrix is memoized across calls, then
+    expanded back by fancy indexing. Entries equal the scalar
+    :func:`shape_distance` bitwise — every path computes the identical
+    sequence of float operations per quadruple pair.
     """
     import numpy as np
 
-    from repro.vsm.matrix import pairwise_normalized_levenshtein
-
-    w1, w2, w3, w4 = weights
-    total = np.zeros((len(a_candidates), len(b_candidates)), dtype=np.float64)
-    if w1:
-        total += w1 * pairwise_normalized_levenshtein(
-            [c.code_path for c in a_candidates],
-            [c.code_path for c in b_candidates],
-        )
-    for weight, attribute in ((w2, "fanout"), (w3, "depth"), (w4, "nodes")):
-        if not weight:
-            continue
-        a_values = np.array(
-            [getattr(c.shape, attribute) for c in a_candidates], dtype=np.float64
-        )
-        b_values = np.array(
-            [getattr(c.shape, attribute) for c in b_candidates], dtype=np.float64
-        )
-        largest = np.maximum(a_values[:, None], b_values[None, :])
-        difference = np.abs(a_values[:, None] - b_values[None, :])
-        total += weight * np.divide(
-            difference,
-            largest,
-            out=np.zeros_like(difference),
-            where=largest > 0.0,
-        )
-    return total
+    a_quads = [_candidate_quad(c) for c in a_candidates]
+    b_quads = [_candidate_quad(c) for c in b_candidates]
+    a_unique = tuple(dict.fromkeys(a_quads))
+    b_unique = tuple(dict.fromkeys(b_quads))
+    compact = _compact_distance_matrix(a_unique, b_unique, tuple(weights))
+    a_index = {quad: i for i, quad in enumerate(a_unique)}
+    b_index = {quad: i for i, quad in enumerate(b_unique)}
+    rows = [a_index[quad] for quad in a_quads]
+    columns = [b_index[quad] for quad in b_quads]
+    return compact[np.ix_(rows, columns)]
 
 
 @dataclass
@@ -164,8 +258,15 @@ class CommonSubtreeSet:
         return len(self.members)
 
 
+def _as_candidate(page_index: int, item, codec: TagCodec) -> SubtreeCandidate:
+    """Adapt one per-page item — live node or node-free record."""
+    if isinstance(item, TagNode):
+        return make_candidate(page_index, item, codec)
+    return make_candidate_from_record(page_index, item, codec)
+
+
 def find_common_subtree_sets(
-    candidates_per_page: Sequence[Sequence[TagNode]],
+    candidates_per_page: Sequence[Sequence[Any]],
     weights: tuple[float, float, float, float] = (0.25, 0.25, 0.25, 0.25),
     max_assign_distance: float = 0.5,
     path_code_length: int = 1,
@@ -176,7 +277,10 @@ def find_common_subtree_sets(
     """Group candidate subtrees across the cluster's pages.
 
     ``candidates_per_page[i]`` holds page i's candidates from
-    single-page analysis. The prototype page is chosen at random
+    single-page analysis — either live :class:`TagNode` handles or
+    node-free :class:`~repro.core.single_page.CandidateRecord`
+    snapshots (the parallel/cached pipeline); both forms produce
+    identical groupings. The prototype page is chosen at random
     (seeded) unless ``prototype_index`` pins it. Pages other than the
     prototype are matched greedily: all (set, candidate) pairs are
     sorted by distance and accepted when both the set's slot for that
@@ -217,14 +321,14 @@ def find_common_subtree_sets(
 
     sets = []
     for node in prototype_nodes:
-        candidate = make_candidate(prototype_index, node, codec)
+        candidate = _as_candidate(prototype_index, node, codec)
         sets.append(CommonSubtreeSet(candidate, {prototype_index: candidate}))
 
     prototypes = [subtree_set.prototype for subtree_set in sets]
     for page_index, nodes in enumerate(candidates_per_page):
         if page_index == prototype_index or not nodes:
             continue
-        page_candidates = [make_candidate(page_index, n, codec) for n in nodes]
+        page_candidates = [_as_candidate(page_index, n, codec) for n in nodes]
         pairs: list[tuple[float, int, int]] = []
         if backend == "numpy":
             import numpy as np

@@ -23,6 +23,8 @@ from repro.core.page_clustering import PageClusterer, PageClusteringResult
 from repro.core.pagelet import PartitionedPagelet, QAPagelet
 from repro.core.partitioning import ObjectPartitioner
 from repro.core.probing import DeepWebSource, ProbeResult, QueryProber
+from repro.runtime import artifact_store_for
+from repro.text.terms import DEFAULT_EXTRACTOR
 
 
 @dataclass(frozen=True)
@@ -66,6 +68,8 @@ class Thor:
             config.subtrees, seed=config.seed, execution=execution
         )
         self._partitioner = ObjectPartitioner(config.subtrees)
+        #: Artifact-cache counters folded in at each extract() flush.
+        self._artifact_stats: dict[str, int] = {}
 
     # -- stage 1 ---------------------------------------------------------
 
@@ -76,7 +80,15 @@ class Thor:
     # -- stage 2 ---------------------------------------------------------
 
     def extract(self, pages: Sequence[Page]) -> ThorResult:
-        """Stage 2: two-phase QA-Pagelet extraction over sampled pages."""
+        """Stage 2: two-phase QA-Pagelet extraction over sampled pages.
+
+        With a configured artifact cache, pages are prewarmed from the
+        store first (clustering signatures injected, lazy tree loads
+        redirected to the cached lossless codec) and signatures
+        computed on this run are persisted afterwards — the cache only
+        changes *when* values are computed, never what they are.
+        """
+        primed = self._prime_pages(pages)
         clustering = self._clusterer.fit(pages)
         identifications: list[IdentificationResult] = []
         pagelets: list[QAPagelet] = []
@@ -89,12 +101,81 @@ class Thor:
             result = self._identifier.identify(cluster_pages)
             identifications.append(result)
             pagelets.extend(result.pagelets)
+        self._persist_signatures(pages, primed)
         return ThorResult(
             pages=tuple(pages),
             clustering=clustering,
             identifications=tuple(identifications),
             pagelets=tuple(pagelets),
         )
+
+    def _prime_pages(self, pages: Sequence[Page]) -> set[int]:
+        """Warm pages from the artifact store; return primed page ids."""
+        store = artifact_store_for(self.execution)
+        primed: set[int] = set()
+        if store is None:
+            return primed
+        from repro.artifacts.pages import cached_signature, cached_tree
+
+        def load_tree(page: Page):
+            return cached_tree(store, page.html, page.url)
+
+        for page in pages:
+            page.set_tree_loader(load_tree)
+            signature = cached_signature(store, page.html)
+            if signature is None:
+                continue
+            try:
+                page.prime_signature(
+                    tag_counts={
+                        str(tag): int(count)
+                        for tag, count in signature["tag_counts"].items()
+                    },
+                    term_counts={
+                        str(term): int(count)
+                        for term, count in signature["term_counts"].items()
+                    },
+                    max_fanout=int(signature["max_fanout"]),
+                )
+            except (TypeError, ValueError, AttributeError):
+                continue  # malformed bundle: fall back to computing
+            primed.add(id(page))
+        return primed
+
+    def _persist_signatures(self, pages: Sequence[Page], primed: set[int]) -> None:
+        """Publish signatures computed this run; fold counter deltas."""
+        store = artifact_store_for(self.execution)
+        if store is None:
+            return
+        from repro.artifacts.pages import put_signature
+
+        for page in pages:
+            if id(page) in primed or page.extractor is not DEFAULT_EXTRACTOR:
+                continue
+            put_signature(
+                store,
+                page.html,
+                page.tag_counts(),
+                page.term_counts(),
+                page.max_fanout(),
+            )
+        for field, value in store.stats().items():
+            self._artifact_stats[field] = self._artifact_stats.get(field, 0) + value
+        store.flush_stats()
+
+    def artifact_stats(self) -> Optional[dict]:
+        """This process's artifact-cache counters (``None`` if off).
+
+        Counts cover the driving process (worker processes flush their
+        own counters straight into the store's persistent ledger).
+        """
+        store = artifact_store_for(self.execution)
+        if store is None:
+            return None
+        totals = dict(self._artifact_stats)
+        for field, value in store.stats().items():
+            totals[field] = totals.get(field, 0) + value
+        return totals
 
     # -- stage 3 ---------------------------------------------------------
 

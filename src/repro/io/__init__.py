@@ -11,7 +11,7 @@ provides both halves for this implementation:
   cluster structure) to plain dicts / JSON.
 """
 
-from repro.io.cache import load_pages, save_pages
+from repro.io.cache import PageSample, load_pages, save_pages
 from repro.io.export import (
     export_result,
     pagelet_to_dict,
@@ -20,6 +20,7 @@ from repro.io.export import (
 )
 
 __all__ = [
+    "PageSample",
     "load_pages",
     "save_pages",
     "export_result",

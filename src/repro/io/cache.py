@@ -11,11 +11,26 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import Sequence, Union
 
 from repro.core.page import Page
 from repro.deepweb.site import LabeledPage
 from repro.errors import ThorError
+
+
+class PageSample(list):
+    """The pages loaded from one cache file, plus load diagnostics.
+
+    Behaves exactly like ``list[Page]``; ``skipped`` counts malformed
+    lines that were dropped during a non-strict load (0 for a clean
+    file), so callers can surface partial-load information without a
+    second pass over the file.
+    """
+
+    def __init__(self, pages: Sequence[Page] = (), skipped: int = 0) -> None:
+        super().__init__(pages)
+        self.skipped = skipped
 
 
 def _page_to_record(page: Page) -> dict:
@@ -60,13 +75,19 @@ def save_pages(pages: Sequence[Page], path: Union[str, os.PathLike]) -> int:
     return count
 
 
-def load_pages(path: Union[str, os.PathLike]) -> list[Page]:
+def load_pages(
+    path: Union[str, os.PathLike], strict: bool = False
+) -> PageSample:
     """Read pages back from a JSONL file.
 
-    Raises :class:`ThorError` with the offending line number on
-    malformed input.
+    A malformed line (truncated write, bit rot, hand edit) is skipped
+    with a warning naming the file and line; the number of skipped
+    lines is surfaced as ``.skipped`` on the returned
+    :class:`PageSample` — one bad line should not discard an otherwise
+    healthy crawl sample. With ``strict=True`` the first malformed
+    line raises :class:`ThorError` with its location instead.
     """
-    pages: list[Page] = []
+    pages = PageSample()
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -76,7 +97,14 @@ def load_pages(path: Union[str, os.PathLike]) -> list[Page]:
                 record = json.loads(line)
                 pages.append(_record_to_page(record))
             except (json.JSONDecodeError, KeyError, TypeError) as exc:
-                raise ThorError(
-                    f"malformed page record at {path}:{line_number}: {exc}"
-                ) from exc
+                if strict:
+                    raise ThorError(
+                        f"malformed page record at {path}:{line_number}: {exc}"
+                    ) from exc
+                pages.skipped += 1
+                warnings.warn(
+                    f"skipping malformed page record at {path}:{line_number}: "
+                    f"{exc}",
+                    stacklevel=2,
+                )
     return pages

@@ -43,6 +43,7 @@ from repro.config import (
     ExecutionConfig,
     execution_from_legacy,
     resolve_backend,
+    resolve_cache_dir,
     resolve_n_jobs,
 )
 
@@ -86,24 +87,27 @@ def _chunks(seeds: Sequence[SeedMaterial], n_jobs: int) -> list[list[SeedMateria
     return chunks
 
 
-def run_restarts(
-    worker: Callable[[Any, Sequence[SeedMaterial]], list],
+def run_chunked(
+    worker: Callable[[Any, Sequence[Any]], list],
     payload: Any,
-    seeds: Sequence[SeedMaterial],
+    items: Sequence[Any],
     n_jobs: int = 1,
 ) -> list:
-    """Run ``worker(payload, chunk)`` over all restart seeds, possibly
-    across processes, returning per-restart results in restart order.
+    """Run ``worker(payload, chunk)`` over all items, possibly across
+    processes, returning per-item results in item order.
 
     ``worker`` must be a module-level (picklable) function that maps a
-    chunk of seed materials to one result per seed, in order. With
-    ``n_jobs <= 1`` (or a single restart) everything runs inline; a
-    pool that cannot start (sandboxes without process support) also
-    degrades to inline execution rather than failing the fit.
+    chunk of items to one result per item, in order; items must pickle
+    (restart seed materials, page HTML strings). With ``n_jobs <= 1``
+    (or a single item) everything runs inline; a pool that cannot
+    start (sandboxes without process support) also degrades to inline
+    execution rather than failing the computation. Chunking is
+    contiguous, so concatenating the chunk results reproduces the
+    serial output order exactly.
     """
-    if n_jobs <= 1 or len(seeds) <= 1:
-        return worker(payload, list(seeds))
-    chunks = _chunks(seeds, n_jobs)
+    if n_jobs <= 1 or len(items) <= 1:
+        return worker(payload, list(items))
+    chunks = _chunks(items, n_jobs)
     try:
         import concurrent.futures
 
@@ -115,11 +119,21 @@ def run_restarts(
     except (OSError, PermissionError, ImportError):  # pragma: no cover
         # Process pools need /dev/shm semaphores and fork/spawn rights;
         # degrade to the (identical) serial computation without them.
-        return worker(payload, list(seeds))
+        return worker(payload, list(items))
     results: list = []
     for batch in batches:
         results.extend(batch)
     return results
+
+
+def run_restarts(
+    worker: Callable[[Any, Sequence[SeedMaterial]], list],
+    payload: Any,
+    seeds: Sequence[SeedMaterial],
+    n_jobs: int = 1,
+) -> list:
+    """Restart fan-out: :func:`run_chunked` over per-restart seeds."""
+    return run_chunked(worker, payload, seeds, n_jobs)
 
 
 def select_best(results: Sequence, better: Callable[[Any, Any], bool]):
@@ -137,6 +151,44 @@ def select_best(results: Sequence, better: Callable[[Any, Any], bool]):
 
 
 # ---------------------------------------------------------------------------
+# Artifact-store registry
+# ---------------------------------------------------------------------------
+
+#: One :class:`~repro.artifacts.store.ArtifactStore` per root path, so
+#: every stage of one process shares a counter set per cache directory.
+_STORE_REGISTRY: dict[str, Any] = {}
+
+
+def artifact_store_for(execution: Optional[ExecutionConfig] = None):
+    """The process-wide artifact store for an execution plan.
+
+    Returns ``None`` when no persistent cache is configured (no
+    ``cache_dir``, no ``REPRO_CACHE_DIR``, or ``artifact_cache="off"``
+    — see :func:`repro.config.resolve_cache_dir`). Stores are memoized
+    per root path; an unusable root (read-only filesystem) disables
+    the cache rather than failing the pipeline.
+    """
+    root = resolve_cache_dir(execution)
+    if root is None:
+        return None
+    store = _STORE_REGISTRY.get(root)
+    if store is None:
+        from repro.artifacts.store import ArtifactStore
+
+        try:
+            store = ArtifactStore(root)
+        except OSError:
+            return None
+        _STORE_REGISTRY[root] = store
+    return store
+
+
+def clear_artifact_store_registry() -> None:
+    """Forget memoized stores (tests that reuse a tmp root path)."""
+    _STORE_REGISTRY.clear()
+
+
+# ---------------------------------------------------------------------------
 # Keyed VectorSpace cache
 # ---------------------------------------------------------------------------
 
@@ -148,10 +200,17 @@ _SPACE_CACHE_STATS = {"hits": 0, "misses": 0}
 
 
 def _space_key(count_maps: Sequence[Mapping[str, float]], weighting: str) -> _SpaceKey:
-    """A content key for a collection: never stale, cheap vs interning."""
+    """A content key for a collection: never stale, cheap vs interning.
+
+    Items are kept in *iteration order*, not sorted: the vocabulary
+    column order of the built space follows first-seen term order, so
+    two collections with equal sorted content but different insertion
+    order produce different (column-permuted) spaces and must not
+    share a cache slot.
+    """
     return (
         weighting,
-        tuple(tuple(sorted(counts.items())) for counts in count_maps),
+        tuple(tuple(counts.items()) for counts in count_maps),
     )
 
 
@@ -169,6 +228,13 @@ def cached_weighted_space(
     ``ExecutionConfig(cache="off")`` bypasses the cache entirely.
     Spaces must be treated as immutable by callers (they already are:
     every kernel copies before writing).
+
+    When the execution plan configures a persistent artifact store
+    (``cache_dir`` / ``REPRO_CACHE_DIR``), an in-memory miss falls
+    through to the on-disk cache before rebuilding, and fresh builds
+    are persisted — the keyed space cache survives across processes.
+    Stored matrices are exact float64 round-trips, so a disk hit is
+    bitwise identical to a cold build.
     """
     from repro.vsm.matrix import weighted_space
 
@@ -181,11 +247,64 @@ def cached_weighted_space(
         _SPACE_CACHE_STATS["hits"] += 1
         return space
     _SPACE_CACHE_STATS["misses"] += 1
-    space = weighted_space(count_maps, weighting)
+    store = artifact_store_for(execution)
+    space = _load_persistent_space(store, count_maps, weighting)
+    if space is None:
+        space = weighted_space(count_maps, weighting)
+        _store_persistent_space(store, count_maps, weighting, space)
     _SPACE_CACHE[key] = space
     while len(_SPACE_CACHE) > _SPACE_CACHE_LIMIT:
         _SPACE_CACHE.popitem(last=False)
     return space
+
+
+def _load_persistent_space(
+    store, count_maps: Sequence[Mapping[str, float]], weighting: str
+):
+    """Rebuild a :class:`VectorSpace` from the artifact store, if any."""
+    if store is None:
+        return None
+    from repro.artifacts.keys import space_key as persistent_space_key
+    from repro.artifacts.store import KIND_SPACES
+    from repro.vsm.matrix import VectorSpace
+
+    bundle = store.get_arrays(KIND_SPACES, persistent_space_key(count_maps, weighting))
+    if bundle is None:
+        return None
+    meta = bundle.get("meta")
+    if (
+        not isinstance(meta, dict)
+        or not isinstance(meta.get("features"), list)
+        or "matrix" not in bundle
+        or "norms" not in bundle
+    ):
+        return None
+    features = meta["features"]
+    matrix = bundle["matrix"]
+    if matrix.ndim != 2 or matrix.shape != (len(count_maps), len(features)):
+        return None
+    vocabulary = {feature: index for index, feature in enumerate(features)}
+    return VectorSpace(vocabulary, matrix, bundle["norms"])
+
+
+def _store_persistent_space(
+    store, count_maps: Sequence[Mapping[str, float]], weighting: str, space
+) -> None:
+    """Persist a freshly built space (best effort — cache, not state)."""
+    if store is None:
+        return
+    from repro.artifacts.keys import space_key as persistent_space_key
+    from repro.artifacts.store import KIND_SPACES
+
+    try:
+        store.put_arrays(
+            KIND_SPACES,
+            persistent_space_key(count_maps, weighting),
+            {"matrix": space.matrix, "norms": space.norms},
+            meta={"features": space.features},
+        )
+    except OSError:  # pragma: no cover - disk-full/permission races
+        pass
 
 
 def space_cache_stats() -> dict[str, int]:
@@ -205,12 +324,16 @@ __all__ = [
     "BackendSelection",
     "ExecutionConfig",
     "SeedMaterial",
+    "artifact_store_for",
     "cached_weighted_space",
+    "clear_artifact_store_registry",
     "clear_space_cache",
     "execution_from_legacy",
     "resolve_backend",
+    "resolve_cache_dir",
     "resolve_n_jobs",
     "restart_seed_streams",
+    "run_chunked",
     "run_restarts",
     "select_best",
     "space_cache_stats",

@@ -1,0 +1,350 @@
+"""Tests for the persistent content-addressed artifact store."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.artifacts import (
+    ArtifactStore,
+    KIND_RECORDS,
+    KIND_SPACES,
+    KIND_TREES,
+    artifact_report,
+    cached_signature,
+    cached_tree,
+    candidate_records_key,
+    collect,
+    format_artifact_report,
+    load_persistent_stats,
+    merge_persistent_stats,
+    page_signature_key,
+    page_tree_key,
+    payload_to_tree,
+    put_signature,
+    put_tree,
+    space_key,
+    store_usage,
+    tree_to_payload,
+)
+from repro.artifacts.gc import iter_entries
+from repro.config import ExecutionConfig, resolve_cache_dir
+from repro.html.parser import parse
+
+
+HTML = "<html><body><div id='a'>hello <b>world</b></div><p>x</p></body></html>"
+
+
+class TestKeys:
+    def test_keys_are_deterministic(self):
+        assert page_tree_key(HTML) == page_tree_key(HTML)
+        assert page_signature_key(HTML) == page_signature_key(HTML)
+
+    def test_keys_differ_by_content(self):
+        assert page_tree_key(HTML) != page_tree_key(HTML + " ")
+
+    def test_kinds_of_one_page_get_distinct_keys(self):
+        keys = {
+            page_tree_key(HTML),
+            page_signature_key(HTML),
+            candidate_records_key(HTML, False),
+        }
+        assert len(keys) == 3
+
+    def test_records_key_folds_in_parameters(self):
+        assert candidate_records_key(HTML, True) != candidate_records_key(
+            HTML, False
+        )
+
+    def test_space_key_is_iteration_order_sensitive(self):
+        # Column order of the vocabulary is load-bearing for the
+        # bitwise invariant: two collections with equal *sorted*
+        # content but different insertion order are different spaces.
+        a = space_key([{"x": 1, "y": 2}], "tfidf")
+        b = space_key([{"y": 2, "x": 1}], "tfidf")
+        assert a != b
+        assert space_key([{"x": 1}], "tfidf") != space_key([{"x": 1}], "raw")
+
+
+class TestStore:
+    def test_json_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        value = {"b": 2, "a": [1, "x", None]}
+        store.put_json(KIND_RECORDS, "ab" * 32, value)
+        loaded = store.get_json(KIND_RECORDS, "ab" * 32)
+        assert loaded == value
+        # JSON preserves dict insertion order.
+        assert list(loaded) == ["b", "a"]
+        assert store.stats() == {
+            "hits": 1, "misses": 0, "puts": 1,
+            "bytes_written": store.stats()["bytes_written"],
+        }
+
+    def test_missing_key_is_counted_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.get_json(KIND_RECORDS, "00" * 32) is None
+        assert store.stats()["misses"] == 1
+
+    def test_corrupt_file_is_counted_miss_and_repairable(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "cd" * 32
+        store.put_json(KIND_RECORDS, key, [1, 2])
+        path = store._path(KIND_RECORDS, key, "json")
+        with open(path, "wb") as handle:
+            handle.write(b"{truncated")
+        assert store.get_json(KIND_RECORDS, key) is None
+        assert store.stats()["misses"] == 1
+        store.put_json(KIND_RECORDS, key, [1, 2])
+        assert store.get_json(KIND_RECORDS, key) == [1, 2]
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put_json(KIND_RECORDS, "ef" * 32, {"k": 1})
+        leftovers = [
+            name
+            for _, _, files in os.walk(tmp_path)
+            for name in files
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_array_round_trip_is_bitwise(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        store = ArtifactStore(tmp_path)
+        matrix = np.array([[0.1, 0.2], [1.0 / 3.0, 7e-300]])
+        norms = np.array([1.0, 0.999999999999])
+        store.put_arrays(
+            KIND_SPACES, "12" * 32, {"matrix": matrix, "norms": norms},
+            meta={"features": ["a", "b"]},
+        )
+        bundle = store.get_arrays(KIND_SPACES, "12" * 32)
+        assert bundle["meta"] == {"features": ["a", "b"]}
+        assert np.array_equal(bundle["matrix"], matrix)
+        assert np.array_equal(bundle["norms"], norms)
+
+    def test_stats_ledger_accumulates_across_flushes(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put_json(KIND_RECORDS, "aa" * 32, 1)
+        store.get_json(KIND_RECORDS, "aa" * 32)
+        store.flush_stats()
+        assert store.stats()["puts"] == 0  # folded into the ledger
+        other = ArtifactStore(tmp_path)  # a second process
+        other.get_json(KIND_RECORDS, "no" * 32)
+        other.flush_stats()
+        ledger = load_persistent_stats(tmp_path)
+        assert ledger["puts"] == 1
+        assert ledger["hits"] == 1
+        assert ledger["misses"] == 1
+
+    def test_merge_persistent_stats_survives_corrupt_ledger(self, tmp_path):
+        (tmp_path / "stats.json").write_text("not json")
+        totals = merge_persistent_stats(tmp_path, {"hits": 2})
+        assert totals == {"hits": 2}
+
+
+class TestTreeCodec:
+    def test_round_trip_is_lossless(self):
+        tree = parse(HTML)
+        rebuilt = payload_to_tree(tree_to_payload(tree))
+        # Equal payloads == equal node structure (tags, attrs, text,
+        # order) — the codec is its own witness.
+        assert tree_to_payload(rebuilt) == tree_to_payload(tree)
+
+    def test_cached_tree_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert cached_tree(store, HTML) is None
+        put_tree(store, HTML, parse(HTML))
+        tree = cached_tree(store, HTML, url="http://x/")
+        assert tree is not None
+        assert tree.url == "http://x/"
+        assert tree_to_payload(tree) == tree_to_payload(parse(HTML))
+
+    def test_string_root_payload_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put_json(KIND_TREES, page_tree_key(HTML), "just text")
+        assert cached_tree(store, HTML) is None
+
+
+class TestSignatures:
+    def test_round_trip_preserves_count_order(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        put_signature(
+            store, HTML,
+            tag_counts={"div": 2, "b": 1},
+            term_counts={"world": 1, "hello": 1},
+            max_fanout=3,
+        )
+        bundle = cached_signature(store, HTML)
+        assert list(bundle["term_counts"]) == ["world", "hello"]
+        assert bundle["max_fanout"] == 3
+
+    def test_incomplete_bundle_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put_json(
+            KIND_RECORDS, page_signature_key(HTML), {"tag_counts": {}}
+        )
+        assert cached_signature(store, HTML) is None
+
+
+class TestGc:
+    def _fill(self, tmp_path, n=6):
+        store = ArtifactStore(tmp_path)
+        for i in range(n):
+            store.put_json(KIND_RECORDS, f"{i:02d}" * 32, {"i": i, "pad": "x" * 64})
+        store.flush_stats()
+        return store
+
+    def test_pure_scan_removes_nothing(self, tmp_path):
+        self._fill(tmp_path)
+        report = collect(tmp_path)
+        assert report.removed_entries == 0
+        assert report.scanned_entries == 6
+
+    def test_byte_budget_evicts_oldest_first(self, tmp_path):
+        self._fill(tmp_path)
+        entries = sorted(iter_entries(tmp_path), key=lambda e: (e[2], e[0]))
+        per_entry = entries[0][1]
+        report = collect(tmp_path, max_bytes=3 * per_entry)
+        assert report.removed_entries == 3
+        survivors = {path for path, _, _ in iter_entries(tmp_path)}
+        # The oldest three are the ones gone.
+        assert all(e[0] not in survivors for e in entries[:3])
+        assert report.kept_bytes <= 3 * per_entry
+
+    def test_age_limit_evicts_expired(self, tmp_path):
+        self._fill(tmp_path)
+        stale = sorted(iter_entries(tmp_path))[0][0]
+        os.utime(stale, (1, 1))
+        report = collect(tmp_path, max_age_s=3600)
+        assert report.removed_entries == 1
+        assert not os.path.exists(stale)
+
+    def test_stats_ledger_never_evicted(self, tmp_path):
+        self._fill(tmp_path)
+        paths = [path for path, _, _ in iter_entries(tmp_path)]
+        assert all(not p.endswith("stats.json") for p in paths)
+        collect(tmp_path, max_bytes=0)
+        assert os.path.exists(tmp_path / "stats.json")
+        assert list(iter_entries(tmp_path)) == []
+
+    def test_usage_report_breaks_down_by_kind(self, tmp_path):
+        store = self._fill(tmp_path)
+        put_tree(store, HTML, parse(HTML))
+        usage = store_usage(tmp_path)
+        assert usage["entries"] == 7
+        report = artifact_report(tmp_path)
+        text = format_artifact_report(report)
+        assert "records: 6 entries" in text
+        assert "trees: 1 entries" in text
+        assert "lifetime:" in text
+
+
+class TestResolveCacheDir:
+    def test_explicit_dir_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/elsewhere")
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        assert resolve_cache_dir(execution) == str(tmp_path)
+
+    def test_env_var_fills_in(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert resolve_cache_dir(ExecutionConfig()) == str(tmp_path)
+        assert resolve_cache_dir(None) == str(tmp_path)
+
+    def test_unset_means_no_store(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache_dir(ExecutionConfig()) is None
+
+    def test_artifact_cache_off_disables_everything(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        execution = ExecutionConfig(
+            cache_dir=str(tmp_path), artifact_cache="off"
+        )
+        assert resolve_cache_dir(execution) is None
+
+
+class TestStoreRegistry:
+    @pytest.fixture(autouse=True)
+    def fresh_registry(self):
+        from repro.runtime import clear_artifact_store_registry
+
+        clear_artifact_store_registry()
+        yield
+        clear_artifact_store_registry()
+
+    def test_memoized_per_root(self, tmp_path):
+        from repro.runtime import artifact_store_for
+
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        first = artifact_store_for(execution)
+        second = artifact_store_for(ExecutionConfig(cache_dir=str(tmp_path)))
+        assert first is second
+        assert first.root == str(tmp_path)
+
+    def test_none_without_configuration(self, monkeypatch):
+        from repro.runtime import artifact_store_for
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert artifact_store_for(None) is None
+        assert artifact_store_for(ExecutionConfig()) is None
+
+
+class TestPersistentSpaceCache:
+    @pytest.fixture(autouse=True)
+    def fresh_caches(self):
+        from repro.runtime import (
+            clear_artifact_store_registry,
+            clear_space_cache,
+        )
+
+        clear_space_cache()
+        clear_artifact_store_registry()
+        yield
+        clear_space_cache()
+        clear_artifact_store_registry()
+
+    def test_disk_hit_is_bitwise_identical(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        from repro.runtime import (
+            artifact_store_for,
+            cached_weighted_space,
+            clear_space_cache,
+        )
+        from repro.vsm.matrix import weighted_space
+
+        maps = [{"a": 2, "b": 1}, {"b": 3, "c": 1}, {"a": 1}]
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        built = cached_weighted_space(maps, "tfidf", execution)
+        clear_space_cache()  # force the in-memory miss
+        loaded = cached_weighted_space(maps, "tfidf", execution)
+        assert loaded is not built
+        assert np.array_equal(loaded.matrix, built.matrix)
+        assert np.array_equal(loaded.norms, built.norms)
+        assert loaded.vocabulary == built.vocabulary
+        fresh = weighted_space(maps, "tfidf")
+        assert np.array_equal(loaded.matrix, fresh.matrix)
+        store = artifact_store_for(execution)
+        assert store.stats()["hits"] >= 1
+
+    def test_corrupt_space_artifact_falls_back_to_build(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        from repro.artifacts.keys import space_key as persistent_space_key
+        from repro.runtime import (
+            artifact_store_for,
+            cached_weighted_space,
+            clear_space_cache,
+        )
+
+        maps = [{"a": 1, "b": 2}]
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        built = cached_weighted_space(maps, "tfidf", execution)
+        store = artifact_store_for(execution)
+        path = store._path(
+            KIND_SPACES, persistent_space_key(maps, "tfidf"), "npz"
+        )
+        with open(path, "wb") as handle:
+            handle.write(b"not an npz")
+        clear_space_cache()
+        rebuilt = cached_weighted_space(maps, "tfidf", execution)
+        assert np.array_equal(rebuilt.matrix, built.matrix)

@@ -67,17 +67,38 @@ class TestPageCache:
         path.write_text(f"{record}\n\n{record}\n")
         assert len(load_pages(path)) == 2
 
-    def test_malformed_line_raises_with_location(self, tmp_path):
+    def test_malformed_line_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"html": "<p>x</p>"}\nnot json\n{"html": "<p>y</p>"}\n')
+        with pytest.warns(UserWarning, match=":2"):
+            loaded = load_pages(path)
+        assert [p.html for p in loaded] == ["<p>x</p>", "<p>y</p>"]
+        assert loaded.skipped == 1
+
+    def test_malformed_line_raises_in_strict_mode(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"html": "<p>x</p>"}\nnot json\n')
         with pytest.raises(ThorError, match=":2"):
-            load_pages(path)
+            load_pages(path, strict=True)
 
-    def test_missing_html_field_raises(self, tmp_path):
+    def test_missing_html_field_skipped(self, tmp_path):
+        path = tmp_path / "nohtml.jsonl"
+        path.write_text('{"url": "x"}\n')
+        with pytest.warns(UserWarning, match=":1"):
+            loaded = load_pages(path)
+        assert loaded == []
+        assert loaded.skipped == 1
+
+    def test_missing_html_field_raises_in_strict_mode(self, tmp_path):
         path = tmp_path / "nohtml.jsonl"
         path.write_text('{"url": "x"}\n')
         with pytest.raises(ThorError):
-            load_pages(path)
+            load_pages(path, strict=True)
+
+    def test_clean_file_reports_zero_skipped(self, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        path.write_text('{"html": "<p>x</p>"}\n')
+        assert load_pages(path).skipped == 0
 
     def test_extraction_works_from_cache(self, tmp_path):
         site = make_site("ecommerce", seed=19)
