@@ -45,12 +45,24 @@ from repro.core.page import Page
 from repro.core.probing import DeepWebSource, ProbeResult
 from repro.core.thor import Thor, ThorResult
 from repro.deepweb import make_site
-from repro.errors import ThorError
+from repro.errors import (
+    ChunkFailedError,
+    ResilienceError,
+    ResumeError,
+    StageTimeoutError,
+    ThorError,
+)
 from repro.probe import (
     FaultInjectingSource,
     FaultSpec,
     ProbeTelemetry,
     format_probe_report,
+)
+from repro.resilience import (
+    FaultPlan,
+    QuarantineRecord,
+    RunReport,
+    format_run_report,
 )
 
 
@@ -73,28 +85,52 @@ def probe(source: DeepWebSource, config: Optional[ThorConfig] = None) -> ProbeRe
 
 
 def extract(pages: Sequence[Page], config: Optional[ThorConfig] = None) -> ThorResult:
-    """Stage 2: two-phase QA-Pagelet extraction over sampled pages."""
+    """Stage 2: two-phase QA-Pagelet extraction over sampled pages.
+
+    Pages whose analysis raises a :class:`ThorError` are quarantined
+    and extraction degrades to the survivors (see
+    ``ExecutionConfig.min_surviving_fraction``); the accounting rides
+    on ``result.report``.
+    """
     return Thor(config or DEFAULT_CONFIG).extract(pages)
 
 
-def run(source: DeepWebSource, config: Optional[ThorConfig] = None) -> ThorResult:
-    """The full pipeline: probe, extract, and partition ``source``."""
-    return Thor(config or DEFAULT_CONFIG).run(source)
+def run(
+    source: DeepWebSource,
+    config: Optional[ThorConfig] = None,
+    run_id: Optional[str] = None,
+    resume: bool = False,
+) -> ThorResult:
+    """The full pipeline: probe, extract, and partition ``source``.
+
+    With ``run_id`` (and a persistent artifact cache configured), each
+    completed stage is checkpointed; ``resume=True`` then skips
+    checkpointed stages after a crash and reproduces the identical
+    result digest.
+    """
+    return Thor(config or DEFAULT_CONFIG).run(source, run_id=run_id, resume=resume)
 
 
 __all__ = [
     "ArtifactStore",
+    "ChunkFailedError",
     "ClusteringConfig",
     "DEFAULT_CONFIG",
     "DeepWebSource",
     "ExecutionConfig",
-    "GcReport",
     "FaultInjectingSource",
+    "FaultPlan",
     "FaultSpec",
+    "GcReport",
     "Page",
     "ProbeConfig",
     "ProbeResult",
     "ProbeTelemetry",
+    "QuarantineRecord",
+    "ResilienceError",
+    "ResumeError",
+    "RunReport",
+    "StageTimeoutError",
     "SubtreeConfig",
     "Thor",
     "ThorConfig",
@@ -104,6 +140,7 @@ __all__ = [
     "extract",
     "format_artifact_report",
     "format_probe_report",
+    "format_run_report",
     "make_site",
     "probe",
     "resolve_cache_dir",

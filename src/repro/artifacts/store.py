@@ -26,6 +26,7 @@ import io
 import json
 import os
 import tempfile
+import zipfile
 from typing import Any, Optional
 
 from repro.artifacts.keys import sha256_hex  # noqa: F401  (re-export)
@@ -55,7 +56,18 @@ class ArtifactStore:
         return os.path.join(self.root, kind, key[:2], f"{key}.{ext}")
 
     def _publish(self, path: str, payload: bytes) -> None:
-        """Atomically write ``payload`` to ``path``."""
+        """Atomically write ``payload`` to ``path``.
+
+        An active :class:`~repro.resilience.faults.FaultPlan` with an
+        ``artifact_corrupt_rate`` may truncate the payload mid-write
+        here — simulating a torn write on a non-atomic filesystem —
+        which downstream reads must treat as a cache miss.
+        """
+        from repro.resilience.faults import active_fault_plan
+
+        plan = active_fault_plan()
+        if plan is not None and plan.corrupts_artifact(os.path.basename(path)):
+            payload = payload[: max(1, len(payload) // 2)]
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -112,7 +124,9 @@ class ArtifactStore:
         try:
             with np.load(path, allow_pickle=False) as bundle:
                 arrays = {name: bundle[name] for name in bundle.files}
-        except (OSError, ValueError, KeyError):
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+            # BadZipFile/EOFError: a truncated bundle (torn write on a
+            # non-atomic filesystem) — a miss like any other corruption.
             self.counters["misses"] += 1
             return None
         meta_blob = arrays.pop("__meta__", None)

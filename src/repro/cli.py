@@ -5,7 +5,8 @@ Subcommands::
     python -m repro.cli probe    --domain music --seed 3 --out pages.jsonl \
                                  --jobs 4 --rate 50 --probe-report
     python -m repro.cli extract  --pages pages.jsonl --out result.json
-    python -m repro.cli run      --domain movies --jobs 4 --cache-dir .thor-cache
+    python -m repro.cli run      --domain movies --jobs 4 --cache-dir .thor-cache \
+                                 --run-id nightly --resume --report
     python -m repro.cli demo     --domain ecommerce --seed 7
     python -m repro.cli search   --domains ecommerce,music --query camera
     python -m repro.cli artifacts-gc --cache-dir .thor-cache --max-bytes 100000000
@@ -52,12 +53,21 @@ def _thor_config(args: argparse.Namespace) -> ThorConfig:
     jobs = getattr(args, "jobs", None)
     cache_dir = getattr(args, "cache_dir", None)
     no_artifact_cache = getattr(args, "no_artifact_cache", False)
+    no_recovery = getattr(args, "no_recovery", False)
+    chunk_retries = getattr(args, "chunk_retries", None)
+    stage_timeout_s = getattr(args, "stage_timeout_s", None)
+    min_surviving = getattr(args, "min_surviving_fraction", None)
     if (
         backend is not None
         or jobs is not None
         or cache_dir is not None
         or no_artifact_cache
+        or no_recovery
+        or chunk_retries is not None
+        or stage_timeout_s is not None
+        or min_surviving is not None
     ):
+        defaults = ExecutionConfig()
         config = replace(
             config,
             execution=ExecutionConfig(
@@ -65,6 +75,14 @@ def _thor_config(args: argparse.Namespace) -> ThorConfig:
                 n_jobs=1 if jobs is None else jobs,
                 cache_dir=cache_dir,
                 artifact_cache="off" if no_artifact_cache else "on",
+                recovery="off" if no_recovery else "on",
+                chunk_retries=defaults.chunk_retries
+                if chunk_retries is None
+                else chunk_retries,
+                stage_timeout_s=stage_timeout_s,
+                min_surviving_fraction=defaults.min_surviving_fraction
+                if min_surviving is None
+                else min_surviving,
             ),
         )
     if getattr(args, "rate", None):
@@ -72,6 +90,36 @@ def _thor_config(args: argparse.Namespace) -> ThorConfig:
             config, probing=replace(config.probing, rate=args.rate)
         )
     return config
+
+
+def _fault_plan(args: argparse.Namespace):
+    """A seeded chaos :class:`~repro.resilience.faults.FaultPlan` from
+    the ``--chaos-*`` flags, or ``None`` when none are set."""
+    rates = (
+        getattr(args, "chaos_worker_crash_rate", 0.0),
+        getattr(args, "chaos_chunk_error_rate", 0.0),
+        getattr(args, "chaos_artifact_corrupt_rate", 0.0),
+        getattr(args, "chaos_page_failure_rate", 0.0),
+    )
+    if not any(rates):
+        return None
+    from repro.resilience import FaultPlan
+
+    chaos_seed = getattr(args, "chaos_seed", None)
+    return FaultPlan(
+        seed=args.seed if chaos_seed is None else chaos_seed,
+        worker_crash_rate=rates[0],
+        chunk_error_rate=rates[1],
+        artifact_corrupt_rate=rates[2],
+        page_failure_rate=rates[3],
+    )
+
+
+def _print_run_report(thor: Thor, args: argparse.Namespace) -> None:
+    if getattr(args, "report", False):
+        from repro.resilience import format_run_report
+
+        print(format_run_report(thor.report()))
 
 
 def _fault_wrap(site, args: argparse.Namespace):
@@ -114,22 +162,24 @@ def cmd_extract(args: argparse.Namespace) -> int:
     pages = load_pages(args.pages)
     if pages.skipped:
         print(
-            f"warning: skipped {pages.skipped} malformed line(s) in "
+            f"warning: quarantined {pages.skipped} malformed line(s) in "
             f"{args.pages}",
             file=sys.stderr,
         )
     if not pages:
         print("no pages in cache", file=sys.stderr)
         return 1
-    thor = Thor(_thor_config(args))
+    thor = Thor(_thor_config(args), fault_plan=_fault_plan(args))
+    thor.record_quarantine(pages.quarantined)
     result = thor.partition(thor.extract(pages))
     export_result(result, args.out, include_html=args.html)
     print(
         f"Extracted {len(result.pagelets)} QA-Pagelets / "
         f"{sum(len(p.objects) for p in result.partitioned)} QA-Objects "
-        f"from {len(pages)} pages -> {args.out}"
+        f"from {len(result.pages)} pages -> {args.out}"
     )
     _print_artifact_stats(thor)
+    _print_run_report(thor, args)
     return 0
 
 
@@ -146,13 +196,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     """Probe + extract + partition, with a deterministic result digest.
 
     The digest is the SHA-256 of the exported JSON, so two runs over
-    the same site/seed — whatever the worker count or cache state —
-    must print the same line; CI uses this to verify the warm == cold
-    and parallel == serial invariants end to end.
+    the same site/seed — whatever the worker count, cache state, or
+    recoverable-fault history — must print the same line; CI uses this
+    to verify the warm == cold, parallel == serial, and resumed ==
+    uninterrupted invariants end to end.
     """
+    if args.resume and not args.run_id:
+        print("--resume requires --run-id", file=sys.stderr)
+        return 2
     site = make_site(args.domain, seed=args.seed, records=args.records)
-    thor = Thor(_thor_config(args))
-    result = thor.run(site)
+    thor = Thor(_thor_config(args), fault_plan=_fault_plan(args))
+    result = thor.run(site, run_id=args.run_id, resume=args.resume)
     export_result(result, args.out, include_html=args.html)
     with open(args.out, "rb") as handle:
         digest = hashlib.sha256(handle.read()).hexdigest()
@@ -164,6 +218,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     print(f"result-digest: {digest}")
     _print_artifact_stats(thor)
+    _print_run_report(thor, args)
     return 0
 
 
@@ -268,6 +323,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the persistent artifact cache, even if "
              "REPRO_CACHE_DIR is set",
     )
+    execution.add_argument(
+        "--no-recovery", action="store_true", dest="no_recovery",
+        help="fail fast on worker crashes instead of retrying and "
+             "falling back to serial execution",
+    )
+    execution.add_argument(
+        "--chunk-retries", type=int, default=None, dest="chunk_retries",
+        help="parallel-chunk retry rounds before the serial fallback "
+             "(default 2)",
+    )
+    execution.add_argument(
+        "--stage-timeout-s", type=float, default=None, dest="stage_timeout_s",
+        help="wall-clock watchdog deadline per pipeline stage "
+             "(default: no deadline)",
+    )
+    execution.add_argument(
+        "--min-surviving-fraction", type=float, default=None,
+        dest="min_surviving_fraction",
+        help="abort extraction when fewer than this fraction of pages "
+             "survives the quarantine scan (default 0.5)",
+    )
+    execution.add_argument(
+        "--report", action="store_true",
+        help="print the run report (quarantined units, retries, "
+             "fallbacks, timeouts, resume hits, injected faults)",
+    )
+    # Seeded chaos injection (repro.resilience.faults): deterministic
+    # crash/corruption drills for the recovery machinery.
+    execution.add_argument(
+        "--chaos-seed", type=int, default=None, dest="chaos_seed",
+        help="seed for the chaos fault plan (default: --seed)",
+    )
+    execution.add_argument(
+        "--chaos-worker-crash-rate", type=float, default=0.0,
+        dest="chaos_worker_crash_rate",
+        help="injected worker-pool crash probability per chunk attempt",
+    )
+    execution.add_argument(
+        "--chaos-chunk-error-rate", type=float, default=0.0,
+        dest="chaos_chunk_error_rate",
+        help="injected in-worker exception probability per chunk attempt",
+    )
+    execution.add_argument(
+        "--chaos-artifact-corrupt-rate", type=float, default=0.0,
+        dest="chaos_artifact_corrupt_rate",
+        help="injected torn-write probability per artifact publish",
+    )
+    execution.add_argument(
+        "--chaos-page-failure-rate", type=float, default=0.0,
+        dest="chaos_page_failure_rate",
+        help="injected page-analysis failure probability per page "
+             "(quarantine drill)",
+    )
 
     probe = sub.add_parser(
         "probe", help="probe a site, cache the pages", parents=[execution]
@@ -316,6 +424,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", default="result.json")
     run.add_argument("--html", action="store_true",
                      help="include pagelet HTML in the export")
+    run.add_argument(
+        "--run-id", default=None, dest="run_id",
+        help="name this run and checkpoint completed stages in the "
+             "artifact store (requires --cache-dir or REPRO_CACHE_DIR)",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="skip stages already checkpointed under --run-id "
+             "(crash recovery; the result digest matches an "
+             "uninterrupted run)",
+    )
     run.set_defaults(func=cmd_run)
 
     gc = sub.add_parser(

@@ -29,7 +29,12 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.cluster.assignments import Clustering
-from repro.config import BackendSelection, resolve_backend, resolve_n_jobs
+from repro.config import (
+    BackendSelection,
+    ExecutionConfig,
+    resolve_backend,
+    resolve_n_jobs,
+)
 from repro.errors import ClusteringError
 from repro.runtime import restart_seed_streams, run_restarts, select_best
 from repro.vsm.matrix import VectorSpace
@@ -133,6 +138,10 @@ class AverageLinkClusterer:
                 (list(vectors), self.k, self.backend),
                 seeds,
                 n_jobs=resolve_n_jobs(self.backend, self.n_jobs),
+                label="hac",
+                execution=self.backend
+                if isinstance(self.backend, ExecutionConfig)
+                else None,
             )
             return select_best(
                 results,

@@ -35,7 +35,12 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.cluster.assignments import Clustering
-from repro.config import BackendSelection, resolve_backend, resolve_n_jobs
+from repro.config import (
+    BackendSelection,
+    ExecutionConfig,
+    resolve_backend,
+    resolve_n_jobs,
+)
 from repro.errors import ClusteringError
 from repro.runtime import restart_seed_streams, run_restarts, select_best
 from repro.vsm.centroid import centroid
@@ -184,7 +189,14 @@ class KMeans:
         (first restart wins ties, like the serial loop always did)."""
         seeds = restart_seed_streams(self.seed, self.restarts, "kmeans")
         results = run_restarts(
-            worker, (self, data, effective_k), seeds, self.n_jobs
+            worker,
+            (self, data, effective_k),
+            seeds,
+            self.n_jobs,
+            label="kmeans",
+            execution=self.backend
+            if isinstance(self.backend, ExecutionConfig)
+            else None,
         )
         best = select_best(
             results,

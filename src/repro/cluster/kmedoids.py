@@ -31,7 +31,12 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, TypeVar
 
 from repro.cluster.assignments import Clustering
-from repro.config import BackendSelection, resolve_backend, resolve_n_jobs
+from repro.config import (
+    BackendSelection,
+    ExecutionConfig,
+    resolve_backend,
+    resolve_n_jobs,
+)
 from repro.errors import ClusteringError
 from repro.runtime import restart_seed_streams, run_restarts, select_best
 
@@ -110,7 +115,14 @@ class KMedoids:
         # serial or fanned out across n_jobs worker processes).
         seeds = restart_seed_streams(self.seed, self.restarts, "kmedoids")
         results = run_restarts(
-            worker, (self, data, n, effective_k), seeds, self.n_jobs
+            worker,
+            (self, data, n, effective_k),
+            seeds,
+            self.n_jobs,
+            label="kmedoids",
+            execution=self.backend
+            if isinstance(self.backend, ExecutionConfig)
+            else None,
         )
         best = select_best(
             results,

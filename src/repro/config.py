@@ -64,6 +64,26 @@ class ExecutionConfig:
     #: take effect; "off" disables the on-disk artifact store entirely
     #: (the CLI ``--no-artifact-cache`` flag).
     artifact_cache: str = "on"
+    #: "on" recovers failed process-fan-out chunks (retries with seeded
+    #: backoff, then in-process serial fallback — see
+    #: :func:`repro.runtime.run_chunked`); "off" raises a
+    #: :class:`~repro.errors.ChunkFailedError` (with the chunk's
+    #: payload indices attached) on the first failure instead.
+    recovery: str = "on"
+    #: Extra attempts a failed fan-out chunk earns before the serial
+    #: fallback (counts retries, not total attempts; 0 = fall straight
+    #: back to serial).
+    chunk_retries: int = 2
+    #: Wall-clock deadline per pipeline stage in seconds (``None`` =
+    #: no watchdog). A stage that exceeds it is cancelled: per-cluster
+    #: Phase-2 analysis degrades (the cluster is quarantined), other
+    #: stages raise :class:`~repro.errors.StageTimeoutError`.
+    stage_timeout_s: Optional[float] = None
+    #: Minimum fraction of the page sample that must survive the
+    #: quarantine scan for extraction to proceed; below it the sample
+    #: is considered junk and :class:`~repro.errors.ExtractionError`
+    #: is raised rather than extracting from noise.
+    min_surviving_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.n_jobs < 0:
@@ -77,6 +97,24 @@ class ExecutionConfig:
             raise ValueError(
                 f"unknown artifact cache policy {self.artifact_cache!r}; "
                 f"valid: {', '.join(CACHE_POLICIES)}"
+            )
+        if self.recovery not in CACHE_POLICIES:
+            raise ValueError(
+                f"unknown recovery policy {self.recovery!r}; "
+                f"valid: {', '.join(CACHE_POLICIES)}"
+            )
+        if self.chunk_retries < 0:
+            raise ValueError(
+                f"chunk_retries must be >= 0, got {self.chunk_retries}"
+            )
+        if self.stage_timeout_s is not None and self.stage_timeout_s <= 0:
+            raise ValueError(
+                f"stage_timeout_s must be > 0, got {self.stage_timeout_s}"
+            )
+        if not 0.0 <= self.min_surviving_fraction <= 1.0:
+            raise ValueError(
+                "min_surviving_fraction must be in [0, 1], got "
+                f"{self.min_surviving_fraction}"
             )
 
 

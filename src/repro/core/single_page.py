@@ -289,6 +289,8 @@ def candidate_records_for_cluster(
             (require_branching, cache_root),
             [page.html for page in pages],
             n_jobs,
+            label="phase2-records",
+            execution=execution,
         )
     from repro.runtime import artifact_store_for
 

@@ -9,11 +9,24 @@
 
 :meth:`Thor.run` does all three. Each stage is also usable standalone,
 which is how the evaluation isolates Phase 2 (Figure 8) from Phase 1.
+
+The driver is fault-tolerant (DESIGN.md §11): pages and clusters whose
+analysis raises a :class:`~repro.errors.ThorError` are *quarantined*
+with structured reasons instead of aborting the run (as long as
+``ExecutionConfig.min_surviving_fraction`` of the sample survives),
+stages run under optional wall-clock watchdogs
+(``ExecutionConfig.stage_timeout_s``), named runs checkpoint their
+stages through the artifact store so ``Thor.run(..., resume=True)``
+skips finished work after a crash, and every run's degradations are
+accounted for on a :class:`~repro.resilience.report.RunReport`
+(``ThorResult.report``). A seeded
+:class:`~repro.resilience.faults.FaultPlan` can be attached for
+deterministic chaos testing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Optional, Sequence
 
 from repro.config import DEFAULT_CONFIG, ThorConfig
@@ -23,6 +36,27 @@ from repro.core.page_clustering import PageClusterer, PageClusteringResult
 from repro.core.pagelet import PartitionedPagelet, QAPagelet
 from repro.core.partitioning import ObjectPartitioner
 from repro.core.probing import DeepWebSource, ProbeResult, QueryProber
+from repro.errors import ExtractionError, ResumeError, ThorError
+from repro.resilience.faults import FaultPlan, activate_fault_plan, active_fault_plan
+from repro.resilience.manifest import (
+    config_fingerprint,
+    load_probe_checkpoint,
+    open_manifest,
+    save_manifest,
+    save_probe_checkpoint,
+)
+from repro.resilience.quarantine import (
+    STAGE_IDENTIFY,
+    STAGE_PARTITION,
+    STAGE_SIGNATURE,
+    quarantine_record,
+)
+from repro.resilience.report import (
+    RunReport,
+    RunReportBuilder,
+    activate_report,
+)
+from repro.resilience.watchdog import run_stage
 from repro.runtime import artifact_store_for
 from repro.text.terms import DEFAULT_EXTRACTOR
 
@@ -39,6 +73,11 @@ class ThorResult:
     pagelets: tuple[QAPagelet, ...] = ()
     #: Stage-3 output, parallel to ``pagelets``.
     partitioned: tuple[PartitionedPagelet, ...] = field(default=(), repr=False)
+    #: Resilience accounting for the run that produced this result
+    #: (quarantined units, chunk retries, fallbacks, timeouts, resume
+    #: hits). Excluded from equality: two runs that computed the same
+    #: pagelets are the same result however bumpy the road was.
+    report: Optional[RunReport] = field(default=None, repr=False, compare=False)
 
     def pagelet_for_page(self, page: Page) -> Optional[QAPagelet]:
         """The pagelet extracted from ``page``, if any."""
@@ -51,13 +90,20 @@ class ThorResult:
 class Thor:
     """The THOR extraction system."""
 
-    def __init__(self, config: ThorConfig = DEFAULT_CONFIG) -> None:
+    def __init__(
+        self,
+        config: ThorConfig = DEFAULT_CONFIG,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         self.config = config
         # Resolve the execution plan (backend / n_jobs / cache) once —
         # folding in the deprecated per-stage backend fields — and hand
         # the same plan to every stage driver.
         execution = config.resolved_execution()
         self.execution = execution
+        #: Seeded chaos injected into this instance's runs (tests/CI);
+        #: ``None`` — the default — injects nothing.
+        self.fault_plan = fault_plan
         self._prober = QueryProber(
             config.probing, seed=config.seed, execution=execution
         )
@@ -70,12 +116,49 @@ class Thor:
         self._partitioner = ObjectPartitioner(config.subtrees)
         #: Artifact-cache counters folded in at each extract() flush.
         self._artifact_stats: dict[str, int] = {}
+        #: Resilience ledger, accumulated across this instance's stages.
+        self._report = RunReportBuilder()
+
+    # -- resilience accounting -------------------------------------------
+
+    def report(self) -> RunReport:
+        """The resilience ledger so far (see
+        :func:`repro.resilience.report.format_run_report`)."""
+        report = self._report.build()
+        if self.fault_plan is not None:
+            report = dataclass_replace(
+                report, faults_injected=dict(self.fault_plan.injected)
+            )
+        return report
+
+    def record_quarantine(self, records) -> None:
+        """Fold externally produced quarantine records (e.g. corrupt
+        page-cache lines from :func:`repro.io.cache.load_pages`) into
+        this instance's run report."""
+        for record in records:
+            self._report.quarantine(record)
 
     # -- stage 1 ---------------------------------------------------------
 
     def probe(self, source: DeepWebSource) -> ProbeResult:
         """Stage 1: collect sample pages from ``source``."""
-        return self._prober.probe(source)
+        with activate_fault_plan(self.fault_plan), activate_report(self._report):
+            return self._probe_guarded(source)
+
+    def _probe_guarded(self, source: DeepWebSource) -> ProbeResult:
+        plan = active_fault_plan()
+        if plan is not None and plan.source is not None:
+            from repro.probe.faults import FaultInjectingSource
+
+            if not isinstance(source, FaultInjectingSource):
+                source = FaultInjectingSource(
+                    source, plan.source, seed=plan.seed
+                )
+        return run_stage(
+            lambda: self._prober.probe(source),
+            "probe",
+            self.execution.stage_timeout_s,
+        )
 
     # -- stage 2 ---------------------------------------------------------
 
@@ -87,26 +170,100 @@ class Thor:
         redirected to the cached lossless codec) and signatures
         computed on this run are persisted afterwards — the cache only
         changes *when* values are computed, never what they are.
+
+        Pages whose parse or signature analysis raises a
+        :class:`~repro.errors.ThorError` are quarantined (with a
+        structured reason on the run report) and extraction degrades
+        to the survivors; when fewer than
+        ``ExecutionConfig.min_surviving_fraction`` of the sample
+        survives, :class:`~repro.errors.ExtractionError` is raised —
+        extracting a template from junk would only produce junk. A
+        forwarded cluster whose Phase-2 analysis raises (or times out
+        under ``stage_timeout_s``) is likewise quarantined whole, and
+        the remaining clusters still produce pagelets.
         """
+        with activate_fault_plan(self.fault_plan), activate_report(self._report):
+            return self._extract_guarded(pages)
+
+    def _extract_guarded(self, pages: Sequence[Page]) -> ThorResult:
+        timeout_s = self.execution.stage_timeout_s
         primed = self._prime_pages(pages)
-        clustering = self._clusterer.fit(pages)
+        surviving = self._quarantine_scan(pages)
+        self._check_survival(len(surviving), len(pages))
+        clustering = run_stage(
+            lambda: self._clusterer.fit(surviving), "cluster", timeout_s
+        )
         identifications: list[IdentificationResult] = []
         pagelets: list[QAPagelet] = []
-        for cluster_pages in clustering.top_clusters(
-            self.config.clustering.top_m,
-            min_pages=self.config.clustering.min_cluster_pages,
+        for cluster_index, cluster_pages in enumerate(
+            clustering.top_clusters(
+                self.config.clustering.top_m,
+                min_pages=self.config.clustering.min_cluster_pages,
+            )
         ):
             if not cluster_pages:
                 continue
-            result = self._identifier.identify(cluster_pages)
+            try:
+                result = run_stage(
+                    lambda pages=cluster_pages: self._identifier.identify(pages),
+                    "identify",
+                    timeout_s,
+                )
+            except ThorError as exc:
+                # Degrade: this cluster contributes nothing, the rest
+                # of the run proceeds. (StageTimeoutError lands here
+                # too — the watchdog already logged the timeout.)
+                self._report.quarantine(
+                    quarantine_record(
+                        STAGE_IDENTIFY,
+                        f"cluster[{cluster_index}] ({len(cluster_pages)} pages)",
+                        exc,
+                    )
+                )
+                continue
             identifications.append(result)
             pagelets.extend(result.pagelets)
-        self._persist_signatures(pages, primed)
+        self._persist_signatures(surviving, primed)
         return ThorResult(
-            pages=tuple(pages),
+            pages=tuple(surviving),
             clustering=clustering,
             identifications=tuple(identifications),
             pagelets=tuple(pagelets),
+            report=self.report(),
+        )
+
+    def _quarantine_scan(self, pages: Sequence[Page]) -> list[Page]:
+        """Force each page's parse + signature analysis, quarantining
+        the ones that raise; returns the surviving pages in order."""
+        plan = active_fault_plan()
+        surviving: list[Page] = []
+        for index, page in enumerate(pages):
+            unit = page.url or f"page[{index}]"
+            try:
+                if plan is not None:
+                    fault = plan.page_fault(unit)
+                    if fault is not None:
+                        raise fault
+                page.tag_counts()
+                page.term_counts()
+                page.max_fanout()
+            except ThorError as exc:
+                self._report.quarantine(
+                    quarantine_record(STAGE_SIGNATURE, unit, exc)
+                )
+                continue
+            surviving.append(page)
+        self._report.pages_scanned(len(pages), len(surviving))
+        return surviving
+
+    def _check_survival(self, surviving: int, total: int) -> None:
+        minimum = self.execution.min_surviving_fraction
+        if surviving and surviving >= minimum * total:
+            return
+        raise ExtractionError(
+            f"only {surviving}/{total} pages survived the quarantine scan "
+            f"(min_surviving_fraction={minimum}); refusing to extract a "
+            "template from what is mostly junk"
         )
 
     def _prime_pages(self, pages: Sequence[Page]) -> set[int]:
@@ -180,20 +337,90 @@ class Thor:
     # -- stage 3 ---------------------------------------------------------
 
     def partition(self, result: ThorResult) -> ThorResult:
-        """Stage 3: partition every extracted pagelet into QA-Objects."""
-        partitioned = tuple(self._partitioner.partition(p) for p in result.pagelets)
-        return ThorResult(
-            pages=result.pages,
-            clustering=result.clustering,
-            identifications=result.identifications,
-            pagelets=result.pagelets,
-            partitioned=partitioned,
-        )
+        """Stage 3: partition every extracted pagelet into QA-Objects.
+
+        A pagelet whose partitioning raises a
+        :class:`~repro.errors.ThorError` is quarantined (it keeps its
+        place in ``pagelets`` but contributes no partitioned entry)
+        rather than aborting the stage.
+        """
+        with activate_fault_plan(self.fault_plan), activate_report(self._report):
+            partitioned = []
+            for pagelet in result.pagelets:
+                try:
+                    partitioned.append(
+                        run_stage(
+                            lambda p=pagelet: self._partitioner.partition(p),
+                            "partition",
+                            self.execution.stage_timeout_s,
+                        )
+                    )
+                except ThorError as exc:
+                    self._report.quarantine(
+                        quarantine_record(STAGE_PARTITION, pagelet.path, exc)
+                    )
+            return ThorResult(
+                pages=result.pages,
+                clustering=result.clustering,
+                identifications=result.identifications,
+                pagelets=result.pagelets,
+                partitioned=tuple(partitioned),
+                report=self.report(),
+            )
 
     # -- all together ------------------------------------------------------
 
-    def run(self, source: DeepWebSource) -> ThorResult:
-        """Probe, extract, and partition in one call."""
-        probe_result = self.probe(source)
-        result = self.extract(list(probe_result.pages))
-        return self.partition(result)
+    def run(
+        self,
+        source: DeepWebSource,
+        run_id: Optional[str] = None,
+        resume: bool = False,
+    ) -> ThorResult:
+        """Probe, extract, and partition in one call.
+
+        With ``run_id`` set (and a persistent artifact store
+        configured), the run checkpoints each completed stage in a run
+        manifest; ``resume=True`` then skips stages the manifest marks
+        complete — after a crash, ``Thor.run(source, run_id=...,
+        resume=True)`` re-probes nothing and re-derives Phase-2 work
+        from the warm artifact cache, producing a result digest
+        bitwise-identical to an uninterrupted run. Resume hits are
+        accounted on the run report.
+        """
+        with activate_fault_plan(self.fault_plan), activate_report(self._report):
+            store = manifest = None
+            if run_id is not None:
+                store = artifact_store_for(self.execution)
+                if store is None:
+                    raise ResumeError(
+                        "checkpointed runs need a persistent artifact store: "
+                        "set ExecutionConfig.cache_dir (or REPRO_CACHE_DIR)"
+                    )
+                manifest = open_manifest(
+                    store, run_id, config_fingerprint(self.config), resume
+                )
+            pages: Optional[list[Page]] = None
+            if manifest is not None and resume and manifest.stage_complete("probe"):
+                pages = load_probe_checkpoint(store, run_id)
+                if pages is not None:
+                    self._report.resume_hit("probe")
+                # A corrupt/evicted checkpoint is a miss, not an error:
+                # fall through to re-probing.
+            if pages is None:
+                probe_result = self._probe_guarded(source)
+                pages = list(probe_result.pages)
+                if manifest is not None:
+                    payload_key = save_probe_checkpoint(store, run_id, pages)
+                    manifest.mark_complete(
+                        "probe", pages=len(pages), payload_key=payload_key
+                    )
+                    save_manifest(store, manifest)
+            result = self._extract_guarded(pages)
+            result = self.partition(result)
+            if manifest is not None:
+                from repro.io.export import result_digest
+
+                manifest.mark_complete("extract", digest=result_digest(result))
+                manifest.mark_complete("partition", digest=result_digest(result))
+                save_manifest(store, manifest)
+            return result

@@ -55,3 +55,46 @@ class SiteGenerationError(ThorError):
 
 class EvaluationError(ThorError):
     """Raised by evaluation helpers on malformed ground truth."""
+
+
+class ResilienceError(ThorError):
+    """Base class for fault-tolerant-runtime errors (the
+    :mod:`repro.resilience` layer): chunk execution that could not be
+    recovered, stage deadlines, and resume-manifest mismatches."""
+
+
+class ChunkFailedError(ResilienceError):
+    """A chunk of a :func:`repro.runtime.run_chunked` fan-out failed and
+    could not be (or was configured not to be) recovered.
+
+    Carries the *payload indices* of the failed chunk — the positions of
+    its items in the original ``items`` sequence — so a worker traceback
+    is actionable without re-running the whole batch. The causing worker
+    exception rides on ``__cause__``.
+    """
+
+    def __init__(self, message: str, indices: tuple[int, ...] = (), label: str = ""):
+        super().__init__(message)
+        #: Positions (in the original items sequence) of the failed chunk.
+        self.indices = tuple(indices)
+        #: The fan-out's label (which stage submitted the chunk).
+        self.label = label
+
+
+class StageTimeoutError(ResilienceError):
+    """A pipeline stage exceeded its wall-clock deadline
+    (``ExecutionConfig.stage_timeout_s``) and was cancelled by the stage
+    watchdog."""
+
+    def __init__(self, message: str, stage: str = "", timeout_s: float = 0.0):
+        super().__init__(message)
+        #: Which stage hit its deadline ("probe", "cluster", ...).
+        self.stage = stage
+        #: The deadline that was exceeded, in seconds.
+        self.timeout_s = timeout_s
+
+
+class ResumeError(ResilienceError):
+    """A checkpointed run cannot be resumed: the manifest is missing,
+    corrupt, or was written under a different configuration
+    fingerprint (resuming it would silently change results)."""

@@ -17,20 +17,36 @@ from typing import Sequence, Union
 from repro.core.page import Page
 from repro.deepweb.site import LabeledPage
 from repro.errors import ThorError
+from repro.resilience.quarantine import (
+    CORRUPT_RECORD,
+    STAGE_LOAD,
+    QuarantineRecord,
+)
+from repro.resilience.report import current_report
 
 
 class PageSample(list):
     """The pages loaded from one cache file, plus load diagnostics.
 
-    Behaves exactly like ``list[Page]``; ``skipped`` counts malformed
-    lines that were dropped during a non-strict load (0 for a clean
-    file), so callers can surface partial-load information without a
-    second pass over the file.
+    Behaves exactly like ``list[Page]``; ``quarantined`` holds one
+    :class:`~repro.resilience.quarantine.QuarantineRecord` per
+    malformed line dropped during a non-strict load (empty for a clean
+    file) — the same structured taxonomy the pipeline uses for bad
+    pages — so callers can surface partial-load information without a
+    second pass over the file. ``skipped`` is the record count.
     """
 
-    def __init__(self, pages: Sequence[Page] = (), skipped: int = 0) -> None:
+    def __init__(
+        self,
+        pages: Sequence[Page] = (),
+        quarantined: Sequence[QuarantineRecord] = (),
+    ) -> None:
         super().__init__(pages)
-        self.skipped = skipped
+        self.quarantined: list[QuarantineRecord] = list(quarantined)
+
+    @property
+    def skipped(self) -> int:
+        return len(self.quarantined)
 
 
 def _page_to_record(page: Page) -> dict:
@@ -64,6 +80,20 @@ def _record_to_page(record: dict) -> Page:
     return page
 
 
+# Public names for the record codec: the resume checkpoint
+# (repro.resilience.manifest) stores probe results through the same
+# schema as the page-sample cache files.
+def page_to_record(page: Page) -> dict:
+    """One page as its JSON-ready cache record."""
+    return _page_to_record(page)
+
+
+def record_to_page(record: dict) -> Page:
+    """Rebuild a page from its cache record (raises ``KeyError`` /
+    ``TypeError`` on malformed input — callers decide the policy)."""
+    return _record_to_page(record)
+
+
 def save_pages(pages: Sequence[Page], path: Union[str, os.PathLike]) -> int:
     """Write pages to a JSONL file; returns the number written."""
     count = 0
@@ -80,12 +110,14 @@ def load_pages(
 ) -> PageSample:
     """Read pages back from a JSONL file.
 
-    A malformed line (truncated write, bit rot, hand edit) is skipped
-    with a warning naming the file and line; the number of skipped
-    lines is surfaced as ``.skipped`` on the returned
-    :class:`PageSample` — one bad line should not discard an otherwise
-    healthy crawl sample. With ``strict=True`` the first malformed
-    line raises :class:`ThorError` with its location instead.
+    A malformed line (truncated write, bit rot, hand edit) is
+    *quarantined* with a warning naming the file and line: a
+    :class:`~repro.resilience.quarantine.QuarantineRecord` is appended
+    to ``.quarantined`` on the returned :class:`PageSample` (and folded
+    into the active run report, when one is active) — one bad line
+    should not discard an otherwise healthy crawl sample. With
+    ``strict=True`` the first malformed line raises :class:`ThorError`
+    with its location instead.
     """
     pages = PageSample()
     with open(path, "r", encoding="utf-8") as handle:
@@ -95,13 +127,22 @@ def load_pages(
                 continue
             try:
                 record = json.loads(line)
-                pages.append(_record_to_page(record))
+                pages.append(record_to_page(record))
             except (json.JSONDecodeError, KeyError, TypeError) as exc:
                 if strict:
                     raise ThorError(
                         f"malformed page record at {path}:{line_number}: {exc}"
                     ) from exc
-                pages.skipped += 1
+                quarantined = QuarantineRecord(
+                    stage=STAGE_LOAD,
+                    unit=f"{path}:{line_number}",
+                    kind=CORRUPT_RECORD,
+                    detail=str(exc),
+                )
+                pages.quarantined.append(quarantined)
+                report = current_report()
+                if report is not None:
+                    report.quarantine(quarantined)
                 warnings.warn(
                     f"skipping malformed page record at {path}:{line_number}: "
                     f"{exc}",

@@ -7,6 +7,7 @@ text) and its itemized QA-Objects.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from typing import Union
@@ -66,6 +67,22 @@ def result_to_dict(result: ThorResult, include_html: bool = False) -> dict:
             for p in result.partitioned
         ],
     }
+
+
+def result_digest(result: ThorResult, include_html: bool = False) -> str:
+    """SHA-256 over the canonical JSON export of ``result``.
+
+    This is the pipeline's equality fingerprint: the determinism
+    invariants (parallel == serial, warm == cold, resumed ==
+    uninterrupted) are all stated — and tested — as digest equality.
+    """
+    payload = json.dumps(
+        result_to_dict(result, include_html),
+        ensure_ascii=False,
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def export_result(

@@ -1,0 +1,200 @@
+"""Deterministic chaos: the :class:`FaultPlan`.
+
+:mod:`repro.probe.faults` makes a *source* misbehave on demand; this
+module extends the same idea to the rest of the runtime. One seeded
+plan drives every injection point:
+
+- **source faults** — an optional :class:`~repro.probe.faults.FaultSpec`
+  applied by wrapping the probed source in a
+  :class:`~repro.probe.faults.FaultInjectingSource` (Stage-1 timeouts,
+  throttles, server errors);
+- **worker-level faults** — simulated worker-process crashes
+  (:class:`InjectedWorkerCrash`, a ``BrokenProcessPool`` subclass, so
+  recovery code cannot tell it from the real thing) and in-worker chunk
+  exceptions (:class:`InjectedChunkError`), injected per
+  ``(label, chunk, attempt)`` at the :func:`repro.runtime.run_chunked`
+  collection point;
+- **artifact-I/O faults** — torn publishes: the artifact store writes
+  only half the payload, simulating a crash between ``mkstemp`` and a
+  durable ``os.replace`` (the reader must treat the file as a miss);
+- **per-unit pipeline faults** — :class:`InjectedPageFault` (a
+  :class:`~repro.errors.ThorError`) raised during the quarantine scan,
+  standing in for a page whose parse/signature analysis blows up.
+
+Every decision is drawn from a :func:`~repro.seeding.namespaced_rng`
+stream keyed by the injection point's identity — never from shared RNG
+state or wall clock — so a given plan injects the *same* faults under
+any concurrency, which is what makes the chaos tests' bitwise-digest
+invariant checkable at all.
+
+Like the report builder, the active plan is a process-local stack
+(:func:`activate_fault_plan`); worker *processes* do not inherit it,
+so worker-level faults are injected parent-side at result collection —
+exercising exactly the same recovery paths a real dead worker would.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ThorError
+from repro.probe.faults import FaultSpec
+from repro.resilience.quarantine import INJECTED
+from repro.seeding import namespaced_rng
+
+#: Injection-counter kinds.
+WORKER_CRASH = "worker_crash"
+CHUNK_ERROR = "chunk_error"
+ARTIFACT_CORRUPT = "artifact_corrupt"
+PAGE_FAULT = "page_fault"
+
+
+class InjectedWorkerCrash(BrokenProcessPool):
+    """A simulated dead worker process. Subclasses
+    ``BrokenProcessPool`` so the recovery path in
+    :func:`repro.runtime.run_chunked` is the one a real crash takes."""
+
+
+class InjectedChunkError(RuntimeError):
+    """A simulated exception raised from inside a worker chunk."""
+
+
+class InjectedPageFault(ThorError):
+    """A simulated per-page analysis failure (quarantine fodder)."""
+
+    #: Quarantine taxonomy label (see repro.resilience.quarantine).
+    quarantine_kind = INJECTED
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, order-independent chaos for one run.
+
+    Rates are independent per-decision probabilities. The two
+    worker-level rates are checked against one uniform draw (crash
+    first), so their sum must stay <= 1. ``injected`` counts what was
+    actually injected — diagnostics for tests and the run report.
+    """
+
+    seed: Optional[int] = None
+    #: Simulated worker-process death per (label, chunk, attempt).
+    worker_crash_rate: float = 0.0
+    #: Simulated in-worker exception per (label, chunk, attempt).
+    chunk_error_rate: float = 0.0
+    #: Torn artifact publish (half-written file) per store key.
+    artifact_corrupt_rate: float = 0.0
+    #: Per-page analysis failure during the quarantine scan.
+    page_failure_rate: float = 0.0
+    #: Stage-1 source misbehavior (timeouts/throttles/server errors),
+    #: applied by wrapping the probed source.
+    source: Optional[FaultSpec] = None
+    #: What this plan actually injected, by kind (mutable diagnostics;
+    #: excluded from equality).
+    injected: Counter = field(default_factory=Counter, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "worker_crash_rate",
+            "chunk_error_rate",
+            "artifact_corrupt_rate",
+            "page_failure_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.worker_crash_rate + self.chunk_error_rate > 1.0:
+            raise ValueError(
+                "worker_crash_rate + chunk_error_rate must sum to <= 1"
+            )
+
+    def _draw(self, point: str) -> float:
+        return namespaced_rng(f"chaos:{point}", self.seed).random()
+
+    # -- injection decisions (pure per injection point) -----------------
+
+    def worker_fault(
+        self, label: str, chunk: int, attempt: int
+    ) -> Optional[Exception]:
+        """The fault destiny of one chunk attempt, or ``None``.
+
+        Keyed by ``(label, chunk, attempt)`` so a chunk that crashes on
+        its first attempt can succeed on the retry — which is what lets
+        the chaos tests exercise the retry ladder deterministically.
+        """
+        if self.worker_crash_rate == 0.0 and self.chunk_error_rate == 0.0:
+            return None
+        draw = self._draw(f"worker:{label}:{chunk}:{attempt}")
+        if draw < self.worker_crash_rate:
+            self.injected[WORKER_CRASH] += 1
+            return InjectedWorkerCrash(
+                f"injected worker crash ({label} chunk {chunk}, attempt {attempt})"
+            )
+        if draw < self.worker_crash_rate + self.chunk_error_rate:
+            self.injected[CHUNK_ERROR] += 1
+            return InjectedChunkError(
+                f"injected chunk error ({label} chunk {chunk}, attempt {attempt})"
+            )
+        return None
+
+    def page_fault(self, unit: str) -> Optional[ThorError]:
+        """An injected analysis failure for page ``unit``, or ``None``."""
+        if self.page_failure_rate == 0.0:
+            return None
+        if self._draw(f"page:{unit}") < self.page_failure_rate:
+            self.injected[PAGE_FAULT] += 1
+            return InjectedPageFault(f"injected page fault for {unit}")
+        return None
+
+    def corrupts_artifact(self, name: str) -> bool:
+        """Whether the publish of artifact ``name`` is torn in half."""
+        if self.artifact_corrupt_rate == 0.0:
+            return False
+        if self._draw(f"artifact:{name}") < self.artifact_corrupt_rate:
+            self.injected[ARTIFACT_CORRUPT] += 1
+            return True
+        return False
+
+
+#: The active-plan stack (see module docstring on worker processes).
+_ACTIVE: list[FaultPlan] = []
+
+
+@contextmanager
+def activate_fault_plan(plan: Optional[FaultPlan]):
+    """Install ``plan`` as the active chaos plan for the duration.
+
+    Re-entrant, and ``None`` pushes nothing — mirroring
+    :func:`repro.resilience.report.activate_report`.
+    """
+    if plan is None:
+        yield None
+        return
+    _ACTIVE.append(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE.pop()
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The innermost active plan, or ``None`` (the fault-free default)."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+__all__ = [
+    "ARTIFACT_CORRUPT",
+    "CHUNK_ERROR",
+    "PAGE_FAULT",
+    "WORKER_CRASH",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedChunkError",
+    "InjectedPageFault",
+    "InjectedWorkerCrash",
+    "activate_fault_plan",
+    "active_fault_plan",
+]

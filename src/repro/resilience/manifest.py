@@ -1,0 +1,183 @@
+"""Checkpointed runs: the persistent run manifest.
+
+A run manifest records, per named run, which pipeline stages have
+completed and where their artifacts live, so a crashed run can be
+resumed (``repro run --resume <run-id>`` /
+``Thor.run(source, run_id=..., resume=True)``) without redoing
+finished work — and, because every checkpoint stores exactly what the
+live stage produced, with a result digest bitwise-identical to an
+uninterrupted run.
+
+Manifests live in the same content-addressed artifact store as every
+other intermediate (kind ``runs``), published atomically, so a crash
+*during* checkpointing leaves either the previous manifest or the new
+one — never a torn state. The probe checkpoint stores the full page
+records (HTML + labels, the same JSONL schema as
+:mod:`repro.io.cache`); Phase-2 intermediates need no per-run
+checkpoint because the content-addressed cache already serves them
+warm on resume.
+
+A manifest carries the *configuration fingerprint* of the run that
+wrote it. Resuming under a different seed or stage configuration would
+splice incompatible half-runs together, so a fingerprint mismatch
+raises :class:`~repro.errors.ResumeError` instead of silently
+producing a franken-result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.artifacts.keys import sha256_hex
+from repro.errors import ResumeError
+
+#: Artifact-store kind for run manifests and stage checkpoints.
+KIND_RUNS = "runs"
+
+#: Bump when the manifest or checkpoint layout changes.
+MANIFEST_VERSION = 1
+
+
+def manifest_key(run_id: str) -> str:
+    """Store key of the manifest for ``run_id``."""
+    return sha256_hex(f"manifest:v{MANIFEST_VERSION}:{run_id}")
+
+
+def checkpoint_key(run_id: str, stage: str) -> str:
+    """Store key of one stage's checkpoint payload for ``run_id``."""
+    return sha256_hex(f"checkpoint:v{MANIFEST_VERSION}:{run_id}:{stage}")
+
+
+def config_fingerprint(config) -> str:
+    """A digest of everything that determines a run's results.
+
+    Execution concerns (worker count, backend, cache policy) are
+    deliberately excluded: the parallel == serial and warm == cold
+    invariants mean a run may be resumed with a different execution
+    plan and still digest identically.
+    """
+    return sha256_hex(
+        repr((config.seed, config.probing, config.clustering, config.subtrees))
+    )
+
+
+@dataclass
+class RunManifest:
+    """Completed-stage ledger for one named run."""
+
+    run_id: str
+    fingerprint: str
+    #: Stage name -> completion info ({"digest": ..., "pages": N, ...}).
+    stages: dict = field(default_factory=dict)
+
+    def stage_complete(self, stage: str) -> bool:
+        return stage in self.stages
+
+    def stage_info(self, stage: str) -> dict:
+        return dict(self.stages.get(stage, {}))
+
+    def mark_complete(self, stage: str, **info) -> None:
+        self.stages[stage] = dict(info)
+
+
+def load_manifest(store, run_id: str) -> Optional[RunManifest]:
+    """Load the manifest for ``run_id``, or ``None`` when absent or
+    corrupt (a corrupt manifest means the run restarts from scratch —
+    the store's corrupt-file-as-miss rule, applied to run state)."""
+    payload = store.get_json(KIND_RUNS, manifest_key(run_id))
+    if not isinstance(payload, dict):
+        return None
+    run_id_stored = payload.get("run_id")
+    fingerprint = payload.get("fingerprint")
+    stages = payload.get("stages")
+    if (
+        run_id_stored != run_id
+        or not isinstance(fingerprint, str)
+        or not isinstance(stages, dict)
+        or not all(isinstance(info, dict) for info in stages.values())
+    ):
+        return None
+    return RunManifest(run_id=run_id, fingerprint=fingerprint, stages=dict(stages))
+
+
+def save_manifest(store, manifest: RunManifest) -> None:
+    """Atomically publish ``manifest`` (last writer wins)."""
+    store.put_json(
+        KIND_RUNS,
+        manifest_key(manifest.run_id),
+        {
+            "run_id": manifest.run_id,
+            "fingerprint": manifest.fingerprint,
+            "stages": manifest.stages,
+        },
+    )
+
+
+def open_manifest(store, run_id: str, fingerprint: str, resume: bool) -> RunManifest:
+    """The manifest to run under: resumed or fresh.
+
+    With ``resume=True`` an existing, fingerprint-matching manifest is
+    returned (its completed stages will be skipped); a fingerprint
+    mismatch raises :class:`~repro.errors.ResumeError`, and a missing
+    or corrupt manifest starts fresh — resuming a run that never
+    checkpointed is just running it. With ``resume=False`` any previous
+    manifest for the id is discarded.
+    """
+    if resume:
+        manifest = load_manifest(store, run_id)
+        if manifest is not None:
+            if manifest.fingerprint != fingerprint:
+                raise ResumeError(
+                    f"cannot resume run {run_id!r}: its manifest was written "
+                    "under a different configuration (seed or stage settings "
+                    "changed); rerun without --resume"
+                )
+            return manifest
+    return RunManifest(run_id=run_id, fingerprint=fingerprint)
+
+
+# -- stage checkpoints ------------------------------------------------------
+
+
+def save_probe_checkpoint(store, run_id: str, pages: Sequence) -> str:
+    """Persist the probe stage's page sample; returns the payload key."""
+    from repro.io.cache import page_to_record
+
+    key = checkpoint_key(run_id, "probe")
+    store.put_json(KIND_RUNS, key, [page_to_record(page) for page in pages])
+    return key
+
+
+def load_probe_checkpoint(store, run_id: str) -> Optional[list]:
+    """Rebuild the checkpointed page sample, or ``None`` when the
+    payload is missing or corrupt (the caller re-probes)."""
+    from repro.io.cache import record_to_page
+
+    payload = store.get_json(KIND_RUNS, checkpoint_key(run_id, "probe"))
+    if not isinstance(payload, list):
+        return None
+    pages = []
+    for record in payload:
+        if not isinstance(record, dict):
+            return None
+        try:
+            pages.append(record_to_page(record))
+        except (KeyError, TypeError, ValueError):
+            return None
+    return pages
+
+
+__all__ = [
+    "KIND_RUNS",
+    "MANIFEST_VERSION",
+    "RunManifest",
+    "checkpoint_key",
+    "config_fingerprint",
+    "load_manifest",
+    "load_probe_checkpoint",
+    "manifest_key",
+    "open_manifest",
+    "save_manifest",
+    "save_probe_checkpoint",
+]

@@ -1,0 +1,129 @@
+"""Per-unit quarantine: structured reasons for work set aside.
+
+THOR's inputs are messy by design — truncated HTML, error pages, junk
+responses are *expected* (PAPER.md §Stage 1–2) — so a pathological
+page must never abort a whole extraction. When a unit of work (a page,
+a cluster, a cached record) raises a :class:`~repro.errors.ThorError`,
+the pipeline quarantines it with a :class:`QuarantineRecord` and
+degrades to the surviving units; the records surface on the
+:class:`~repro.resilience.report.RunReport` so every dropped unit is
+accounted for.
+
+The ``kind`` taxonomy mirrors the exception hierarchy of
+:mod:`repro.errors` (plus the chaos-injection and I/O kinds that have
+no exception class of their own), so quarantine reports from the
+pipeline, the probe cache loader, and fault-injection tests all speak
+the same labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import (
+    ChunkFailedError,
+    ExtractionError,
+    HtmlParseError,
+    ProbeError,
+    StageTimeoutError,
+    ThorError,
+)
+
+#: Quarantine kinds (the taxonomy).
+PARSE_ERROR = "parse_error"
+SIGNATURE_ERROR = "signature_error"
+ANALYSIS_ERROR = "analysis_error"
+CHUNK_FAILED = "chunk_failed"
+STAGE_TIMEOUT = "stage_timeout"
+CORRUPT_RECORD = "corrupt_record"
+PROBE_FAILURE = "probe_failure"
+INJECTED = "injected"
+ERROR = "error"  # any other ThorError
+
+#: Pipeline stages a unit can be quarantined from.
+STAGE_LOAD = "load_pages"
+STAGE_SIGNATURE = "signature"
+STAGE_CLUSTER = "cluster"
+STAGE_IDENTIFY = "identify"
+STAGE_PARTITION = "partition"
+STAGE_ARTIFACTS = "artifacts"
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One quarantined unit of work and why it was set aside.
+
+    ``unit`` identifies the work (a page URL, ``path:line`` of a cache
+    record, a cluster label), ``stage`` names the pipeline stage that
+    quarantined it, ``kind`` is one of the taxonomy labels above, and
+    ``detail`` preserves the triggering error text for triage.
+    """
+
+    stage: str
+    unit: str
+    kind: str
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        detail = f": {self.detail}" if self.detail else ""
+        return f"[{self.stage}] {self.unit} ({self.kind}){detail}"
+
+
+def classify_quarantine(exc: BaseException) -> str:
+    """Map an exception onto the quarantine taxonomy.
+
+    Injected chaos faults (:mod:`repro.resilience.faults`) carry their
+    own label; everything else classifies by exception type, with
+    :data:`ERROR` as the catch-all for unmapped :class:`ThorError`
+    subclasses.
+    """
+    kind = getattr(exc, "quarantine_kind", None)
+    if kind is not None:
+        return str(kind)
+    if isinstance(exc, HtmlParseError):
+        return PARSE_ERROR
+    if isinstance(exc, StageTimeoutError):
+        return STAGE_TIMEOUT
+    if isinstance(exc, ChunkFailedError):
+        return CHUNK_FAILED
+    if isinstance(exc, ProbeError):
+        return PROBE_FAILURE
+    if isinstance(exc, ExtractionError):
+        return ANALYSIS_ERROR
+    if isinstance(exc, ThorError):
+        return ERROR
+    return ERROR
+
+
+def quarantine_record(
+    stage: str, unit: str, exc: BaseException
+) -> QuarantineRecord:
+    """Build the record for one quarantined unit from its exception."""
+    return QuarantineRecord(
+        stage=stage,
+        unit=unit,
+        kind=classify_quarantine(exc),
+        detail=f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__,
+    )
+
+
+__all__ = [
+    "ANALYSIS_ERROR",
+    "CHUNK_FAILED",
+    "CORRUPT_RECORD",
+    "ERROR",
+    "INJECTED",
+    "PARSE_ERROR",
+    "PROBE_FAILURE",
+    "SIGNATURE_ERROR",
+    "STAGE_ARTIFACTS",
+    "STAGE_CLUSTER",
+    "STAGE_IDENTIFY",
+    "STAGE_LOAD",
+    "STAGE_PARTITION",
+    "STAGE_SIGNATURE",
+    "STAGE_TIMEOUT",
+    "QuarantineRecord",
+    "classify_quarantine",
+    "quarantine_record",
+]

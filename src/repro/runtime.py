@@ -18,7 +18,10 @@ machinery:
   collection is pickled once per worker, not once per restart), and
   results come back in restart order so best-of selection reduces
   exactly like the serial loop. Environments where process pools are
-  unavailable fall back to inline execution.
+  unavailable fall back to inline execution, and failed chunks
+  (crashed workers, chunk exceptions) are retried and then degraded to
+  in-process serial execution — see the worker-crash-recovery notes on
+  :func:`run_chunked` and DESIGN.md §11.
 - **Keyed vector-space cache** (:func:`cached_weighted_space`): the
   k-sensitivity sweeps re-cluster the *same* collection dozens of
   times with different k/restart settings; interning the collection
@@ -46,6 +49,7 @@ from repro.config import (
     resolve_cache_dir,
     resolve_n_jobs,
 )
+from repro.errors import ChunkFailedError
 
 #: Seed material for one restart: anything ``random.Random`` accepts
 #: deterministically (namespaced strings for seeded runs, fresh 64-bit
@@ -87,11 +91,31 @@ def _chunks(seeds: Sequence[SeedMaterial], n_jobs: int) -> list[list[SeedMateria
     return chunks
 
 
+#: Backoff schedule for chunk re-execution after a worker crash. The
+#: delays are tiny (workers are local processes, not remote services)
+#: and seeded, so a retried run schedules identically every time.
+_CHUNK_BACKOFF_BASE_S = 0.01
+_CHUNK_BACKOFF_CAP_S = 0.25
+
+
+def _chunk_offsets(chunks: Sequence[Sequence[Any]]) -> list[int]:
+    """Start index of each contiguous chunk in the original items."""
+    offsets = []
+    start = 0
+    for chunk in chunks:
+        offsets.append(start)
+        start += len(chunk)
+    return offsets
+
+
 def run_chunked(
     worker: Callable[[Any, Sequence[Any]], list],
     payload: Any,
     items: Sequence[Any],
     n_jobs: int = 1,
+    *,
+    label: str = "chunked",
+    execution: Optional[ExecutionConfig] = None,
 ) -> list:
     """Run ``worker(payload, chunk)`` over all items, possibly across
     processes, returning per-item results in item order.
@@ -104,26 +128,128 @@ def run_chunked(
     execution rather than failing the computation. Chunking is
     contiguous, so concatenating the chunk results reproduces the
     serial output order exactly.
+
+    **Worker-crash recovery.** A chunk whose worker dies
+    (``BrokenProcessPool``) or raises is retried in a fresh pool up to
+    ``execution.chunk_retries`` times under seeded backoff (the
+    :class:`~repro.probe.retry.RetryPolicy` schedule), then falls back
+    to in-process serial execution. ``worker`` is pure, so a
+    re-execution — parallel or serial — returns bitwise-identical
+    results; recovery can change *where* a chunk computes, never what.
+    With ``execution.recovery="off"`` the first failure raises
+    :class:`~repro.errors.ChunkFailedError` instead, carrying the
+    chunk's payload indices (and the worker exception as
+    ``__cause__``) for an actionable traceback. Retries and fallbacks
+    are counted on the active run report, and an active
+    :class:`~repro.resilience.faults.FaultPlan` may inject
+    deterministic chunk faults here (chaos tests).
     """
+    items = list(items)
     if n_jobs <= 1 or len(items) <= 1:
-        return worker(payload, list(items))
+        return worker(payload, items)
+    if execution is None:
+        execution = ExecutionConfig()
+    recovery = execution.recovery == "on"
     chunks = _chunks(items, n_jobs)
+    offsets = _chunk_offsets(chunks)
     try:
         import concurrent.futures
+    except ImportError:  # pragma: no cover - stdlib always present
+        return worker(payload, items)
+    from repro.resilience.faults import active_fault_plan
+    from repro.resilience.report import current_report
 
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=len(chunks)
-        ) as pool:
-            futures = [pool.submit(worker, payload, chunk) for chunk in chunks]
-            batches = [future.result() for future in futures]
-    except (OSError, PermissionError, ImportError):  # pragma: no cover
-        # Process pools need /dev/shm semaphores and fork/spawn rights;
-        # degrade to the (identical) serial computation without them.
-        return worker(payload, list(items))
-    results: list = []
-    for batch in batches:
-        results.extend(batch)
-    return results
+    plan = active_fault_plan()
+    report = current_report()
+    results: list = [None] * len(chunks)
+    failures: dict[int, Exception] = {}
+    pending = list(range(len(chunks)))
+    max_attempts = 1 + (execution.chunk_retries if recovery else 0)
+    policy = None
+    for attempt in range(1, max_attempts + 1):
+        if attempt > 1:
+            if report is not None:
+                report.count_chunk_retry(len(pending))
+            if policy is None:
+                from repro.probe.retry import RetryPolicy
+
+                policy = RetryPolicy(
+                    max_retries=execution.chunk_retries,
+                    backoff_base_s=_CHUNK_BACKOFF_BASE_S,
+                    backoff_cap_s=_CHUNK_BACKOFF_CAP_S,
+                    seed=0,
+                )
+            delay = policy.backoff_delay(label, attempt - 1)
+            if delay > 0:
+                import time
+
+                time.sleep(delay)
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=len(pending)
+            ) as pool:
+                futures = {
+                    index: pool.submit(worker, payload, chunks[index])
+                    for index in pending
+                }
+                still_failed = []
+                for index in pending:
+                    injected = (
+                        plan.worker_fault(label, index, attempt)
+                        if plan is not None
+                        else None
+                    )
+                    if injected is not None:
+                        failures[index] = injected
+                        still_failed.append(index)
+                        continue
+                    try:
+                        results[index] = futures[index].result()
+                    except Exception as exc:  # incl. BrokenProcessPool
+                        failures[index] = exc
+                        still_failed.append(index)
+                pending = still_failed
+        except (OSError, PermissionError):  # pragma: no cover
+            # Process pools need /dev/shm semaphores and fork/spawn
+            # rights; degrade to the (identical) serial computation.
+            break
+        if not pending:
+            break
+    if pending:
+        if not recovery:
+            index = pending[0]
+            indices = tuple(
+                range(offsets[index], offsets[index] + len(chunks[index]))
+            )
+            raise ChunkFailedError(
+                f"{label} chunk {index} (items {indices[0]}..{indices[-1]}) "
+                f"failed and recovery is off",
+                indices=indices,
+                label=label,
+            ) from failures.get(index)
+        # Last line of defense: the failed chunks run serially in this
+        # process — the same pure computation, so results (and their
+        # order) are unchanged.
+        for index in pending:
+            indices = tuple(
+                range(offsets[index], offsets[index] + len(chunks[index]))
+            )
+            try:
+                results[index] = worker(payload, chunks[index])
+            except Exception as exc:
+                raise ChunkFailedError(
+                    f"{label} chunk {index} (items {indices[0]}.."
+                    f"{indices[-1]}) failed in every worker attempt and in "
+                    "the serial fallback",
+                    indices=indices,
+                    label=label,
+                ) from exc
+            if report is not None:
+                report.count_serial_fallback()
+    flattened: list = []
+    for batch in results:
+        flattened.extend(batch)
+    return flattened
 
 
 def run_restarts(
@@ -131,9 +257,14 @@ def run_restarts(
     payload: Any,
     seeds: Sequence[SeedMaterial],
     n_jobs: int = 1,
+    *,
+    label: str = "restarts",
+    execution: Optional[ExecutionConfig] = None,
 ) -> list:
     """Restart fan-out: :func:`run_chunked` over per-restart seeds."""
-    return run_chunked(worker, payload, seeds, n_jobs)
+    return run_chunked(
+        worker, payload, seeds, n_jobs, label=label, execution=execution
+    )
 
 
 def select_best(results: Sequence, better: Callable[[Any, Any], bool]):
