@@ -12,7 +12,8 @@ cache, asserts the bitwise-equivalence invariant along the way
 (parallel == serial and warm == cold, record for record), and archives
 ``BENCH_extraction.json``.
 
-Floors:
+Floors (skipped floors are recorded explicitly in the archived JSON's
+``skipped_floors`` list, with reasons — never silently):
 
 - warm cache ≥ ``REPRO_BENCH_WARM_FLOOR``× serial (default 4.0;
   measured ~5× on the reference machine),
@@ -20,7 +21,12 @@ Floors:
   2.0) — asserted only when ≥ 4 cores are actually available: on a
   single-core runner the workers time-slice one CPU and the honest
   ratio sits at or below 1× (it is still recorded, with the cpu
-  count, like BENCH_clustering.json's restart-parallelism entry).
+  count, like BENCH_clustering.json's restart-parallelism entry),
+- columnar record transport ships ≥ ``REPRO_BENCH_TRANSPORT_FLOOR``×
+  fewer per-worker result bytes than pickling the records (default
+  5.0; transport bytes come from the run report's per-chunk
+  accounting),
+- streaming ``Thor.run`` == barriered run, digest-bitwise.
 """
 
 from __future__ import annotations
@@ -30,13 +36,15 @@ import tempfile
 import time
 
 from conftest import emit, emit_json
-from repro.config import ExecutionConfig, SubtreeConfig
+from repro.config import ExecutionConfig, ProbeConfig, SubtreeConfig, ThorConfig
 from repro.core.identification import PageletIdentifier
 from repro.core.page import Page
 from repro.core.single_page import candidate_records_for_cluster
+from repro.resilience.report import RunReportBuilder, activate_report
 
 WARM_FLOOR = float(os.environ.get("REPRO_BENCH_WARM_FLOOR", "4.0"))
 COLD_FLOOR = float(os.environ.get("REPRO_BENCH_COLD_FLOOR", "2.0"))
+TRANSPORT_FLOOR = float(os.environ.get("REPRO_BENCH_TRANSPORT_FLOOR", "5.0"))
 COLD_JOBS = (1, 2, 4, 8)
 
 
@@ -132,7 +140,62 @@ def test_phase2_parallel_and_cache_speedup(corpus, capsys):
         (p.path, repr(p.score), p.rank) for p in warm_result.pagelets
     ] == [(p.path, repr(p.score), p.rank) for p in serial_result.pagelets]
 
+    # Per-worker serialized transport: fan out the same pages twice at
+    # n_jobs=2 — once pickling the CandidateRecord lists back from the
+    # workers, once shipping them as columnar npz bytes — and compare
+    # the result bytes the run report counted per chunk. Cache off so
+    # both runs measure real worker traffic, not store read-backs.
+    transport = {}
+    for mode in ("pickle", "columnar"):
+        _reset_caches()
+        builder = RunReportBuilder()
+        execution = ExecutionConfig(
+            n_jobs=2, record_transport=mode, artifact_cache="off"
+        )
+        with activate_report(builder):
+            records = candidate_records_for_cluster(
+                clone_pages(), execution=execution
+            )
+        assert records == baseline  # transport swap is invisible, bitwise
+        entry = builder.build().transport["phase2-records"]
+        transport[mode] = {
+            "chunks": entry["chunks"],
+            "bytes_sent": entry["bytes_sent"],
+            "bytes_received": entry["bytes_received"],
+        }
+    transport_reduction = (
+        transport["pickle"]["bytes_received"]
+        / transport["columnar"]["bytes_received"]
+    )
+
+    # Streaming single-pass run == barriered run, digest-bitwise.
+    from repro.core.thor import Thor
+    from repro.deepweb import make_site
+    from repro.io.export import result_digest
+
+    streaming_config = ThorConfig(
+        probing=ProbeConfig(dictionary_queries=12, nonsense_queries=2),
+        seed=2,
+    )
+    barriered = Thor(streaming_config).run(make_site(domain="ecommerce", seed=2))
+    streamed = Thor(streaming_config).run(
+        make_site(domain="ecommerce", seed=2), streaming=True
+    )
+    streaming_digest_match = result_digest(streamed) == result_digest(barriered)
+
     cpus = _available_cpus()
+    skipped_floors = []
+    if cpus < 4:
+        skipped_floors.append(
+            {
+                "floor": "cold_at_4_workers",
+                "reason": (
+                    f"only {cpus} cpu(s) available; >= 4 cores are"
+                    " needed for the cold fan-out floor to be honest"
+                ),
+            }
+        )
+
     lines = [
         f"pages: {len(pages)}  cpus: {cpus}",
         f"per-page analysis, serial: {serial_s:.3f}s",
@@ -151,6 +214,17 @@ def test_phase2_parallel_and_cache_speedup(corpus, capsys):
         f"  warm {identify_warm_s:.3f}s"
         f" ({identify_serial_s / identify_warm_s:.2f}x)"
     )
+    lines.append(
+        "worker result bytes (n_jobs=2):"
+        f" pickle {transport['pickle']['bytes_received']}B"
+        f"  columnar {transport['columnar']['bytes_received']}B"
+        f" ({transport_reduction:.2f}x smaller)"
+    )
+    lines.append(
+        f"streaming == barriered digest: {streaming_digest_match}"
+    )
+    for skip in skipped_floors:
+        lines.append(f"skipped floor {skip['floor']}: {skip['reason']}")
     emit(capsys, "extraction_speedup", "\n".join(lines))
 
     emit_json(
@@ -172,20 +246,26 @@ def test_phase2_parallel_and_cache_speedup(corpus, capsys):
                 "warm_seconds": identify_warm_s,
                 "warm_speedup": identify_serial_s / identify_warm_s,
             },
+            "record_transport": {
+                "n_jobs": 2,
+                "pickle": transport["pickle"],
+                "columnar": transport["columnar"],
+                "reduction": transport_reduction,
+            },
+            "streaming_digest_match": streaming_digest_match,
             "bitwise_identical": True,
             "floors": {
                 "warm": WARM_FLOOR,
                 "cold_at_4_workers": COLD_FLOOR,
+                "transport_reduction": TRANSPORT_FLOOR,
                 "cold_floor_asserted": cpus >= 4,
+                "skipped_floors": skipped_floors,
             },
-            "note": (
-                "cold multi-worker speedup requires that many available"
-                " cores; on fewer the workers time-slice and the honest"
-                " ratio is recorded without asserting the floor"
-            ),
         },
     )
 
     assert warm[1]["speedup"] >= WARM_FLOOR
     if cpus >= 4:
         assert cold[4]["speedup"] >= COLD_FLOOR
+    assert transport_reduction >= TRANSPORT_FLOOR
+    assert streaming_digest_match

@@ -100,15 +100,21 @@ def run(
     config: Optional[ThorConfig] = None,
     run_id: Optional[str] = None,
     resume: bool = False,
+    streaming: bool = False,
 ) -> ThorResult:
     """The full pipeline: probe, extract, and partition ``source``.
 
     With ``run_id`` (and a persistent artifact cache configured), each
     completed stage is checkpointed; ``resume=True`` then skips
     checkpointed stages after a crash and reproduces the identical
-    result digest.
+    result digest. ``streaming=True`` overlaps the stages single-pass
+    (pages prewarm Phase-2 state as the probe returns them,
+    partitioning overlaps identification) while producing a bitwise
+    identical result digest.
     """
-    return Thor(config or DEFAULT_CONFIG).run(source, run_id=run_id, resume=resume)
+    return Thor(config or DEFAULT_CONFIG).run(
+        source, run_id=run_id, resume=resume, streaming=streaming
+    )
 
 
 __all__ = [

@@ -31,7 +31,7 @@ from collections import Counter
 from dataclasses import replace
 from typing import Optional, Sequence
 
-from repro.config import BACKENDS, ExecutionConfig, ThorConfig
+from repro.config import BACKENDS, RECORD_TRANSPORTS, ExecutionConfig, ThorConfig
 from repro.core.thor import Thor
 from repro.deepweb.corpus import make_site
 from repro.engine.engine import DeepWebSearchEngine
@@ -57,6 +57,8 @@ def _thor_config(args: argparse.Namespace) -> ThorConfig:
     chunk_retries = getattr(args, "chunk_retries", None)
     stage_timeout_s = getattr(args, "stage_timeout_s", None)
     min_surviving = getattr(args, "min_surviving_fraction", None)
+    record_transport = getattr(args, "record_transport", None)
+    distance_memo = getattr(args, "distance_memo_entries", None)
     if (
         backend is not None
         or jobs is not None
@@ -66,6 +68,8 @@ def _thor_config(args: argparse.Namespace) -> ThorConfig:
         or chunk_retries is not None
         or stage_timeout_s is not None
         or min_surviving is not None
+        or record_transport is not None
+        or distance_memo is not None
     ):
         defaults = ExecutionConfig()
         config = replace(
@@ -83,6 +87,12 @@ def _thor_config(args: argparse.Namespace) -> ThorConfig:
                 min_surviving_fraction=defaults.min_surviving_fraction
                 if min_surviving is None
                 else min_surviving,
+                record_transport=defaults.record_transport
+                if record_transport is None
+                else record_transport,
+                distance_memo_entries=defaults.distance_memo_entries
+                if distance_memo is None
+                else distance_memo,
             ),
         )
     if getattr(args, "rate", None):
@@ -206,7 +216,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     site = make_site(args.domain, seed=args.seed, records=args.records)
     thor = Thor(_thor_config(args), fault_plan=_fault_plan(args))
-    result = thor.run(site, run_id=args.run_id, resume=args.resume)
+    result = thor.run(
+        site,
+        run_id=args.run_id,
+        resume=args.resume,
+        streaming=getattr(args, "streaming", False),
+    )
     export_result(result, args.out, include_html=args.html)
     with open(args.out, "rb") as handle:
         digest = hashlib.sha256(handle.read()).hexdigest()
@@ -345,6 +360,19 @@ def build_parser() -> argparse.ArgumentParser:
              "survives the quarantine scan (default 0.5)",
     )
     execution.add_argument(
+        "--record-transport", choices=list(RECORD_TRANSPORTS), default=None,
+        dest="record_transport",
+        help="wire format for Phase-2 records crossing process "
+             "boundaries (default columnar; pickle is the uncompressed "
+             "baseline)",
+    )
+    execution.add_argument(
+        "--distance-memo-entries", type=int, default=None,
+        dest="distance_memo_entries",
+        help="LRU cap on memoized Phase-2 distance matrices "
+             "(default 256; 0 disables the memo)",
+    )
+    execution.add_argument(
         "--report", action="store_true",
         help="print the run report (quarantined units, retries, "
              "fallbacks, timeouts, resume hits, injected faults)",
@@ -434,6 +462,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip stages already checkpointed under --run-id "
              "(crash recovery; the result digest matches an "
              "uninterrupted run)",
+    )
+    run.add_argument(
+        "--streaming", action="store_true",
+        help="single-pass pipeline: start Phase-2 work as probed pages "
+             "land and overlap partitioning with identification (the "
+             "result digest matches a barriered run bitwise)",
     )
     run.set_defaults(func=cmd_run)
 

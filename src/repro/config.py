@@ -26,6 +26,12 @@ BACKENDS = ("python", "numpy")
 #: Valid :class:`ExecutionConfig` cache policies.
 CACHE_POLICIES = ("on", "off")
 
+#: Valid cross-process record transports: "columnar" ships candidate
+#: records as compressed numpy column bundles (npz bytes), "pickle"
+#: ships the record objects themselves (the pre-columnar baseline,
+#: and the fallback on numpy-less machines).
+RECORD_TRANSPORTS = ("columnar", "pickle")
+
 
 @dataclass(frozen=True)
 class ExecutionConfig:
@@ -84,6 +90,18 @@ class ExecutionConfig:
     #: is considered junk and :class:`~repro.errors.ExtractionError`
     #: is raised rather than extracting from noise.
     min_surviving_fraction: float = 0.5
+    #: How Phase-2 candidate records cross process boundaries:
+    #: "columnar" packs each worker's records into one compressed
+    #: numpy column bundle (int-coded paths, shape arrays, CSR term
+    #: counts — see :mod:`repro.core.columnar`), "pickle" ships the
+    #: record objects directly. Columnar silently degrades to pickle
+    #: on numpy-less machines (:func:`resolve_record_transport`).
+    record_transport: str = "columnar"
+    #: LRU entry cap of the Phase-2 quadruple distance-matrix memo
+    #: (:func:`repro.core.subtree_sets.set_quad_matrix_memo_limit`);
+    #: 0 disables memoization. Long fleet runs visiting many sites
+    #: would grow an unbounded memo without limit.
+    distance_memo_entries: int = 256
 
     def __post_init__(self) -> None:
         if self.n_jobs < 0:
@@ -115,6 +133,16 @@ class ExecutionConfig:
             raise ValueError(
                 "min_surviving_fraction must be in [0, 1], got "
                 f"{self.min_surviving_fraction}"
+            )
+        if self.record_transport not in RECORD_TRANSPORTS:
+            raise ValueError(
+                f"unknown record transport {self.record_transport!r}; "
+                f"valid: {', '.join(RECORD_TRANSPORTS)}"
+            )
+        if self.distance_memo_entries < 0:
+            raise ValueError(
+                "distance_memo_entries must be >= 0, got "
+                f"{self.distance_memo_entries}"
             )
 
 
@@ -212,6 +240,28 @@ def resolve_cache_dir(execution: "BackendSelection" = None) -> Optional[str]:
         if execution.cache_dir:
             return execution.cache_dir
     return os.environ.get("REPRO_CACHE_DIR") or None
+
+
+def resolve_record_transport(execution: "BackendSelection" = None) -> str:
+    """Resolve the cross-process record transport for an execution plan.
+
+    ``"columnar"`` (the default) requires numpy for the column packing;
+    on numpy-less machines it degrades to ``"pickle"`` rather than
+    failing — transport is a wire format, not a compute backend, so
+    the silent downgrade cannot change any result.
+
+    >>> resolve_record_transport(ExecutionConfig(record_transport="pickle"))
+    'pickle'
+    """
+    transport = "columnar"
+    if isinstance(execution, ExecutionConfig):
+        transport = execution.record_transport
+    if transport == "columnar":
+        from repro.vsm.matrix import HAVE_NUMPY
+
+        if not HAVE_NUMPY:
+            return "pickle"
+    return transport
 
 
 def execution_from_legacy(

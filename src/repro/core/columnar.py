@@ -1,0 +1,185 @@
+"""Columnar transport for Phase-2 candidate records.
+
+Pickling ``list[list[CandidateRecord]]`` across ``run_chunked`` process
+boundaries ships every path string, tag name, and term key verbatim,
+once per record — and candidate records repeat them massively (every
+result row of a page shares a path; every page of a cluster shares a
+tag and term vocabulary). This module flattens a whole chunk of
+records into a handful of numpy columns over *deduplicated*
+vocabularies and ships the compressed ``.npz`` bytes instead:
+
+- ``page_offsets`` — CSR offsets of each page's record span;
+- ``path_ids`` + ``path_vocab`` — int-coded path expressions;
+- ``tag_offsets``/``tag_ids`` + ``tag_vocab`` — int-coded root→node
+  tag sequences (CSR);
+- ``shapes`` — one (records × 3) matrix of fanout/depth/nodes;
+- ``term_offsets``/``term_ids``/``term_counts`` + ``term_vocab`` —
+  CSR term-count rows. CSR keeps *per-record insertion order*, which
+  is load-bearing: term order fixes TFIDF vocabulary column order
+  downstream;
+- ``sib_offsets``/``sib_tag_ids``/``sib_fanout``/``sib_nodes`` — CSR
+  sibling shapes, sharing ``tag_vocab``.
+
+Decoding rebuilds records value-for-value (``decode_records(
+encode_records(x)) == x``), with plain python ``str``/``int`` — numpy
+scalars never leak into payloads or the JSON artifact cache. The
+round-trip changes bytes on the wire, never results.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+
+def _vocab_array(vocab: dict[str, int]):
+    """The vocabulary as a numpy unicode array (index → string)."""
+    import numpy as np
+
+    if not vocab:
+        # np.array([]) would infer float64; pin a string dtype.
+        return np.array([], dtype="<U1")
+    return np.array(list(vocab), dtype=np.str_)
+
+
+def encode_records(record_lists: Sequence[Sequence]) -> dict:
+    """Flatten per-page record lists into named numpy columns."""
+    import numpy as np
+
+    path_vocab: dict[str, int] = {}
+    tag_vocab: dict[str, int] = {}
+    term_vocab: dict[str, int] = {}
+    page_offsets = [0]
+    path_ids: list[int] = []
+    tag_offsets = [0]
+    tag_ids: list[int] = []
+    shapes: list[tuple[int, int, int]] = []
+    term_offsets = [0]
+    term_ids: list[int] = []
+    term_counts: list[int] = []
+    sib_offsets = [0]
+    sib_tag_ids: list[int] = []
+    sib_fanout: list[int] = []
+    sib_nodes: list[int] = []
+    for records in record_lists:
+        for record in records:
+            path_ids.append(
+                path_vocab.setdefault(record.path, len(path_vocab))
+            )
+            for tag in record.tags:
+                tag_ids.append(tag_vocab.setdefault(tag, len(tag_vocab)))
+            tag_offsets.append(len(tag_ids))
+            shapes.append((record.fanout, record.depth, record.nodes))
+            for term, count in record.term_counts.items():
+                term_ids.append(
+                    term_vocab.setdefault(term, len(term_vocab))
+                )
+                term_counts.append(count)
+            term_offsets.append(len(term_ids))
+            for tag, fanout, nodes in record.siblings:
+                sib_tag_ids.append(
+                    tag_vocab.setdefault(tag, len(tag_vocab))
+                )
+                sib_fanout.append(fanout)
+                sib_nodes.append(nodes)
+            sib_offsets.append(len(sib_tag_ids))
+        page_offsets.append(len(path_ids))
+    return {
+        "page_offsets": np.array(page_offsets, dtype=np.int64),
+        "path_ids": np.array(path_ids, dtype=np.int32),
+        "path_vocab": _vocab_array(path_vocab),
+        "tag_offsets": np.array(tag_offsets, dtype=np.int64),
+        "tag_ids": np.array(tag_ids, dtype=np.int32),
+        "tag_vocab": _vocab_array(tag_vocab),
+        "shapes": np.array(shapes, dtype=np.int64).reshape(
+            len(shapes), 3
+        ),
+        "term_offsets": np.array(term_offsets, dtype=np.int64),
+        "term_ids": np.array(term_ids, dtype=np.int32),
+        "term_counts": np.array(term_counts, dtype=np.int64),
+        "term_vocab": _vocab_array(term_vocab),
+        "sib_offsets": np.array(sib_offsets, dtype=np.int64),
+        "sib_tag_ids": np.array(sib_tag_ids, dtype=np.int32),
+        "sib_fanout": np.array(sib_fanout, dtype=np.int64),
+        "sib_nodes": np.array(sib_nodes, dtype=np.int64),
+    }
+
+
+def decode_records(arrays) -> list[list]:
+    """Rebuild per-page :class:`CandidateRecord` lists from columns.
+
+    ``.tolist()`` conversion up front yields native python ``str`` and
+    ``int`` throughout — records compare equal to freshly-built ones
+    and serialize into the JSON artifact cache unchanged.
+    """
+    from repro.core.single_page import CandidateRecord
+
+    page_offsets = arrays["page_offsets"].tolist()
+    path_ids = arrays["path_ids"].tolist()
+    path_vocab = arrays["path_vocab"].tolist()
+    tag_offsets = arrays["tag_offsets"].tolist()
+    tag_ids = arrays["tag_ids"].tolist()
+    tag_vocab = arrays["tag_vocab"].tolist()
+    shapes = arrays["shapes"].tolist()
+    term_offsets = arrays["term_offsets"].tolist()
+    term_ids = arrays["term_ids"].tolist()
+    term_counts = arrays["term_counts"].tolist()
+    term_vocab = arrays["term_vocab"].tolist()
+    sib_offsets = arrays["sib_offsets"].tolist()
+    sib_tag_ids = arrays["sib_tag_ids"].tolist()
+    sib_fanout = arrays["sib_fanout"].tolist()
+    sib_nodes = arrays["sib_nodes"].tolist()
+
+    records: list[CandidateRecord] = []
+    for row in range(len(path_ids)):
+        tag_lo, tag_hi = tag_offsets[row], tag_offsets[row + 1]
+        term_lo, term_hi = term_offsets[row], term_offsets[row + 1]
+        sib_lo, sib_hi = sib_offsets[row], sib_offsets[row + 1]
+        fanout, depth, nodes = shapes[row]
+        records.append(
+            CandidateRecord(
+                path=path_vocab[path_ids[row]],
+                tags=tuple(
+                    tag_vocab[i] for i in tag_ids[tag_lo:tag_hi]
+                ),
+                fanout=fanout,
+                depth=depth,
+                nodes=nodes,
+                term_counts={
+                    term_vocab[i]: count
+                    for i, count in zip(
+                        term_ids[term_lo:term_hi],
+                        term_counts[term_lo:term_hi],
+                    )
+                },
+                siblings=tuple(
+                    (tag_vocab[i], f, n)
+                    for i, f, n in zip(
+                        sib_tag_ids[sib_lo:sib_hi],
+                        sib_fanout[sib_lo:sib_hi],
+                        sib_nodes[sib_lo:sib_hi],
+                    )
+                ),
+            )
+        )
+    return [
+        records[page_offsets[p] : page_offsets[p + 1]]
+        for p in range(len(page_offsets) - 1)
+    ]
+
+
+def pack_records(record_lists: Sequence[Sequence]) -> bytes:
+    """Per-page record lists → compressed ``.npz`` bytes."""
+    import numpy as np
+
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **encode_records(record_lists))
+    return buffer.getvalue()
+
+
+def unpack_records(blob: bytes) -> list[list]:
+    """Inverse of :func:`pack_records`."""
+    import numpy as np
+
+    with np.load(io.BytesIO(blob)) as arrays:
+        return decode_records(arrays)

@@ -31,7 +31,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
-from repro.config import ExecutionConfig, resolve_cache_dir, resolve_n_jobs
+from repro.config import (
+    ExecutionConfig,
+    resolve_cache_dir,
+    resolve_n_jobs,
+    resolve_record_transport,
+)
 from repro.core.page import Page
 from repro.html.metrics import subtree_shape
 from repro.html.paths import node_tag_sequence
@@ -264,6 +269,20 @@ def _records_worker(payload, htmls: Sequence[str]) -> list[list[CandidateRecord]
     return results
 
 
+def _columnar_records_worker(payload, htmls: Sequence[str]) -> bytes:
+    """Process-pool worker returning its chunk as columnar npz bytes.
+
+    Same computation as :func:`_records_worker`; only the wire format
+    differs — the chunk's record lists are packed into one compressed
+    column bundle (:mod:`repro.core.columnar`), cutting per-worker
+    serialized bytes by roughly an order of magnitude versus pickling
+    the record objects.
+    """
+    from repro.core.columnar import pack_records
+
+    return pack_records(_records_worker(payload, htmls))
+
+
 def candidate_records_for_cluster(
     pages: Sequence[Page],
     require_branching: bool = False,
@@ -273,24 +292,33 @@ def candidate_records_for_cluster(
 
     With ``execution.n_jobs > 1`` the cluster's pages fan out over a
     process pool (each worker ships only HTML strings and returns
-    node-free records); with a configured cache directory each page's
-    records are served from — or published to — the persistent store.
-    Output order follows ``pages``, and per-page record order is the
-    document order of :func:`candidate_subtrees`, so the result is
-    interchangeable with the node pipeline's.
+    node-free records — by default packed into columnar npz bytes,
+    see ``ExecutionConfig.record_transport``); with a configured cache
+    directory each page's records are served from — or published to —
+    the persistent store. Output order follows ``pages``, and per-page
+    record order is the document order of :func:`candidate_subtrees`,
+    so the result is interchangeable with the node pipeline's.
     """
     n_jobs = resolve_n_jobs(execution)
     cache_root = resolve_cache_dir(execution)
     if n_jobs > 1 and len(pages) > 1:
         from repro.runtime import run_chunked
 
+        worker = _records_worker
+        unpack = None
+        if resolve_record_transport(execution) == "columnar":
+            from repro.core.columnar import unpack_records
+
+            worker = _columnar_records_worker
+            unpack = unpack_records
         return run_chunked(
-            _records_worker,
+            worker,
             (require_branching, cache_root),
             [page.html for page in pages],
             n_jobs,
             label="phase2-records",
             execution=execution,
+            unpack=unpack,
         )
     from repro.runtime import artifact_store_for
 

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence, Union
 
 from repro.cluster.editdist import cached_normalized_levenshtein
-from repro.config import BackendSelection, resolve_backend
+from repro.config import BackendSelection, ExecutionConfig, resolve_backend
 from repro.errors import ExtractionError
 from repro.html.metrics import SubtreeShape, subtree_shape
 from repro.html.paths import TagCodec, node_tag_sequence
@@ -140,9 +140,14 @@ _Quad = tuple[str, int, int, int]
 #: Memoized *compact* distance matrices keyed by (weights, unique row
 #: quads, unique column quads). Result pages inside one cluster repeat
 #: the same candidate shapes page after page, so whole prototype × page
-#: matrices recur verbatim across the matching loop.
+#: matrices recur verbatim across the matching loop. The memo is LRU:
+#: its entry cap defaults to :data:`_QUAD_MATRIX_MEMO_DEFAULT_LIMIT`
+#: and is wired to ``ExecutionConfig.distance_memo_entries`` (fleet
+#: runs visiting many sites would otherwise grow it without bound).
 _QUAD_MATRIX_MEMO: "OrderedDict[tuple, Any]" = OrderedDict()
-_QUAD_MATRIX_MEMO_LIMIT = 256
+_QUAD_MATRIX_MEMO_DEFAULT_LIMIT = 256
+_QUAD_MATRIX_MEMO_LIMIT = _QUAD_MATRIX_MEMO_DEFAULT_LIMIT
+_QUAD_MATRIX_MEMO_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def _candidate_quad(candidate: SubtreeCandidate) -> _Quad:
@@ -153,6 +158,49 @@ def _candidate_quad(candidate: SubtreeCandidate) -> _Quad:
 def clear_quad_matrix_memo() -> None:
     """Drop memoized compact distance matrices (tests, benchmarks)."""
     _QUAD_MATRIX_MEMO.clear()
+    for field_name in _QUAD_MATRIX_MEMO_STATS:
+        _QUAD_MATRIX_MEMO_STATS[field_name] = 0
+
+
+def set_quad_matrix_memo_limit(limit: Optional[int]) -> None:
+    """Cap the quadruple-matrix memo at ``limit`` entries (LRU).
+
+    ``None`` restores the default. ``0`` disables memoization (every
+    matrix recomputes). Shrinking the cap evicts oldest entries
+    immediately. Called by :func:`find_common_subtree_sets` with
+    ``ExecutionConfig.distance_memo_entries``, so the bound follows
+    the active execution plan.
+    """
+    global _QUAD_MATRIX_MEMO_LIMIT
+    if limit is None:
+        limit = _QUAD_MATRIX_MEMO_DEFAULT_LIMIT
+    if limit < 0:
+        raise ValueError(f"memo limit must be >= 0, got {limit}")
+    _QUAD_MATRIX_MEMO_LIMIT = limit
+    while len(_QUAD_MATRIX_MEMO) > limit:
+        _QUAD_MATRIX_MEMO.popitem(last=False)
+        _QUAD_MATRIX_MEMO_STATS["evictions"] += 1
+
+
+def quad_matrix_memo_stats() -> dict[str, int]:
+    """Hit/miss/eviction counters plus size and cap (diagnostics)."""
+    return {
+        **_QUAD_MATRIX_MEMO_STATS,
+        "size": len(_QUAD_MATRIX_MEMO),
+        "limit": _QUAD_MATRIX_MEMO_LIMIT,
+    }
+
+
+def _quad_columns(quads: tuple[_Quad, ...]):
+    """Columnar view of a quadruple batch: paths + an (n × 3) numeric
+    matrix (fanout, depth, nodes), built once per unique batch."""
+    import numpy as np
+
+    paths = [quad[0] for quad in quads]
+    numbers = np.array(
+        [quad[1:] for quad in quads], dtype=np.float64
+    ).reshape(len(quads), 3)
+    return paths, numbers
 
 
 def _compact_distance_matrix(
@@ -160,35 +208,39 @@ def _compact_distance_matrix(
     b_quads: tuple[_Quad, ...],
     weights: tuple[float, float, float, float],
 ):
-    """Distance matrix over unique quadruples (memoized).
+    """Distance matrix over unique quadruples (memoized, LRU-bounded).
 
     Every entry is a pure function of its own (row, column) quadruple
-    pair — the Levenshtein kernel and the broadcast ratio terms are
-    all elementwise — so computing over deduplicated quadruples and
-    expanding applies the exact float operations of the full matrix.
+    pair — the batched Levenshtein kernel and the broadcast ratio
+    terms are all elementwise — so computing over deduplicated
+    quadruple *columns* and expanding applies the exact float
+    operations of the full matrix: the four weighted terms accumulate
+    in the same order as the scalar :func:`shape_distance`.
     """
     import numpy as np
 
     from repro.vsm.matrix import pairwise_normalized_levenshtein
 
     memo_key = (weights, a_quads, b_quads)
-    cached = _QUAD_MATRIX_MEMO.get(memo_key)
-    if cached is not None:
-        _QUAD_MATRIX_MEMO.move_to_end(memo_key)
-        return cached
+    if _QUAD_MATRIX_MEMO_LIMIT:
+        cached = _QUAD_MATRIX_MEMO.get(memo_key)
+        if cached is not None:
+            _QUAD_MATRIX_MEMO.move_to_end(memo_key)
+            _QUAD_MATRIX_MEMO_STATS["hits"] += 1
+            return cached
+    _QUAD_MATRIX_MEMO_STATS["misses"] += 1
 
     w1, w2, w3, w4 = weights
+    a_paths, a_numbers = _quad_columns(a_quads)
+    b_paths, b_numbers = _quad_columns(b_quads)
     total = np.zeros((len(a_quads), len(b_quads)), dtype=np.float64)
     if w1:
-        total += w1 * pairwise_normalized_levenshtein(
-            [quad[0] for quad in a_quads],
-            [quad[0] for quad in b_quads],
-        )
-    for weight, position in ((w2, 1), (w3, 2), (w4, 3)):
+        total += w1 * pairwise_normalized_levenshtein(a_paths, b_paths)
+    for weight, column in ((w2, 0), (w3, 1), (w4, 2)):
         if not weight:
             continue
-        a_values = np.array([quad[position] for quad in a_quads], dtype=np.float64)
-        b_values = np.array([quad[position] for quad in b_quads], dtype=np.float64)
+        a_values = a_numbers[:, column]
+        b_values = b_numbers[:, column]
         largest = np.maximum(a_values[:, None], b_values[None, :])
         difference = np.abs(a_values[:, None] - b_values[None, :])
         total += weight * np.divide(
@@ -197,10 +249,12 @@ def _compact_distance_matrix(
             out=np.zeros_like(difference),
             where=largest > 0.0,
         )
-    total.setflags(write=False)  # memoized value is shared: freeze it
-    _QUAD_MATRIX_MEMO[memo_key] = total
-    while len(_QUAD_MATRIX_MEMO) > _QUAD_MATRIX_MEMO_LIMIT:
-        _QUAD_MATRIX_MEMO.popitem(last=False)
+    if _QUAD_MATRIX_MEMO_LIMIT:
+        total.setflags(write=False)  # memoized value is shared: freeze it
+        _QUAD_MATRIX_MEMO[memo_key] = total
+        while len(_QUAD_MATRIX_MEMO) > _QUAD_MATRIX_MEMO_LIMIT:
+            _QUAD_MATRIX_MEMO.popitem(last=False)
+            _QUAD_MATRIX_MEMO_STATS["evictions"] += 1
     return total
 
 
@@ -298,6 +352,9 @@ def find_common_subtree_sets(
     """
     if not candidates_per_page:
         raise ExtractionError("no pages given to cross-page analysis")
+    if isinstance(backend, ExecutionConfig):
+        # The execution plan bounds the quadruple-matrix memo.
+        set_quad_matrix_memo_limit(backend.distance_memo_entries)
     backend = resolve_backend(backend)
     rng = random.Random(seed)
     codec = TagCodec(path_code_length)

@@ -145,7 +145,9 @@ class Thor:
         with activate_fault_plan(self.fault_plan), activate_report(self._report):
             return self._probe_guarded(source)
 
-    def _probe_guarded(self, source: DeepWebSource) -> ProbeResult:
+    def _probe_guarded(
+        self, source: DeepWebSource, tap=None
+    ) -> ProbeResult:
         plan = active_fault_plan()
         if plan is not None and plan.source is not None:
             from repro.probe.faults import FaultInjectingSource
@@ -154,11 +156,76 @@ class Thor:
                 source = FaultInjectingSource(
                     source, plan.source, seed=plan.seed
                 )
+        if tap is not None:
+            from repro.runtime import StreamingSourceTap
+
+            # The tap wraps *outside* any fault injector, so only pages
+            # the prober actually receives land on the stream.
+            source = StreamingSourceTap(source, tap)
         return run_stage(
             lambda: self._prober.probe(source),
             "probe",
             self.execution.stage_timeout_s,
         )
+
+    def _streamed_probe(self, source: DeepWebSource) -> ProbeResult:
+        """Stage 1 with page-level streaming into Phase-2 prewarming.
+
+        The probe runs on a helper thread (the active fault plan and
+        report stacks are process-global, so injection and accounting
+        are unchanged); each page is prewarmed here — artifact-store
+        priming plus signature computation — the moment the source
+        returns it. Prewarming only populates lazy per-page caches, so
+        the returned :class:`ProbeResult` (and everything extracted
+        from it) is bitwise identical to a barriered probe.
+        """
+        import threading
+
+        from repro.runtime import PageStream
+
+        stream = PageStream()
+        outcome: dict = {}
+
+        def produce() -> None:
+            try:
+                outcome["result"] = self._probe_guarded(source, tap=stream)
+            except BaseException as exc:  # re-raised on the main thread
+                outcome["error"] = exc
+            finally:
+                stream.close()
+
+        producer = threading.Thread(
+            target=produce, name="thor-streaming-probe", daemon=True
+        )
+        producer.start()
+        store = artifact_store_for(self.execution)
+        load_tree = self._tree_loader(store)
+        for page in stream:
+            self._prewarm_page(page, store, load_tree)
+        producer.join()
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["result"]
+
+    def _prewarm_page(self, page: Page, store, load_tree) -> None:
+        """Start one streamed page's Phase-2 work early (best effort).
+
+        Store priming and signature computation both populate lazy
+        caches that :meth:`_prime_pages` / :meth:`_quarantine_scan`
+        would otherwise fill later — computing them here moves work
+        into the probe's wall-clock shadow without changing any value.
+        A page whose analysis raises is left for the canonical
+        quarantine scan, which alone decides survival (in final page
+        order, so quarantine records match the barriered run).
+        """
+        try:
+            if store is not None:
+                self._prime_page(page, store, load_tree)
+            page.tag_counts()
+            page.term_counts()
+            page.max_fanout()
+        except ThorError:
+            pass
 
     # -- stage 2 ---------------------------------------------------------
 
@@ -185,7 +252,9 @@ class Thor:
         with activate_fault_plan(self.fault_plan), activate_report(self._report):
             return self._extract_guarded(pages)
 
-    def _extract_guarded(self, pages: Sequence[Page]) -> ThorResult:
+    def _extract_guarded(
+        self, pages: Sequence[Page], on_identified=None
+    ) -> ThorResult:
         timeout_s = self.execution.stage_timeout_s
         primed = self._prime_pages(pages)
         surviving = self._quarantine_scan(pages)
@@ -223,6 +292,10 @@ class Thor:
                 continue
             identifications.append(result)
             pagelets.extend(result.pagelets)
+            if on_identified is not None:
+                # Streaming: hand the cluster's pagelets downstream
+                # while the next cluster identifies.
+                on_identified(result)
         self._persist_signatures(surviving, primed)
         return ThorResult(
             pages=tuple(surviving),
@@ -266,37 +339,51 @@ class Thor:
             "template from what is mostly junk"
         )
 
+    def _tree_loader(self, store):
+        """A page-tree loader bound to ``store`` (``None`` without one)."""
+        if store is None:
+            return None
+        from repro.artifacts.pages import cached_tree
+
+        def load_tree(page: Page):
+            return cached_tree(store, page.html, page.url)
+
+        return load_tree
+
+    def _prime_page(self, page: Page, store, load_tree) -> bool:
+        """Warm one page from the artifact store; True when primed."""
+        from repro.artifacts.pages import cached_signature
+
+        page.set_tree_loader(load_tree)
+        signature = cached_signature(store, page.html)
+        if signature is None:
+            return False
+        try:
+            page.prime_signature(
+                tag_counts={
+                    str(tag): int(count)
+                    for tag, count in signature["tag_counts"].items()
+                },
+                term_counts={
+                    str(term): int(count)
+                    for term, count in signature["term_counts"].items()
+                },
+                max_fanout=int(signature["max_fanout"]),
+            )
+        except (TypeError, ValueError, AttributeError):
+            return False  # malformed bundle: fall back to computing
+        return True
+
     def _prime_pages(self, pages: Sequence[Page]) -> set[int]:
         """Warm pages from the artifact store; return primed page ids."""
         store = artifact_store_for(self.execution)
         primed: set[int] = set()
         if store is None:
             return primed
-        from repro.artifacts.pages import cached_signature, cached_tree
-
-        def load_tree(page: Page):
-            return cached_tree(store, page.html, page.url)
-
+        load_tree = self._tree_loader(store)
         for page in pages:
-            page.set_tree_loader(load_tree)
-            signature = cached_signature(store, page.html)
-            if signature is None:
-                continue
-            try:
-                page.prime_signature(
-                    tag_counts={
-                        str(tag): int(count)
-                        for tag, count in signature["tag_counts"].items()
-                    },
-                    term_counts={
-                        str(term): int(count)
-                        for term, count in signature["term_counts"].items()
-                    },
-                    max_fanout=int(signature["max_fanout"]),
-                )
-            except (TypeError, ValueError, AttributeError):
-                continue  # malformed bundle: fall back to computing
-            primed.add(id(page))
+            if self._prime_page(page, store, load_tree):
+                primed.add(id(page))
         return primed
 
     def _persist_signatures(self, pages: Sequence[Page], primed: set[int]) -> None:
@@ -345,20 +432,13 @@ class Thor:
         rather than aborting the stage.
         """
         with activate_fault_plan(self.fault_plan), activate_report(self._report):
-            partitioned = []
-            for pagelet in result.pagelets:
-                try:
-                    partitioned.append(
-                        run_stage(
-                            lambda p=pagelet: self._partitioner.partition(p),
-                            "partition",
-                            self.execution.stage_timeout_s,
-                        )
-                    )
-                except ThorError as exc:
-                    self._report.quarantine(
-                        quarantine_record(STAGE_PARTITION, pagelet.path, exc)
-                    )
+            partitioned = [
+                entry
+                for entry in (
+                    self._partition_one(pagelet) for pagelet in result.pagelets
+                )
+                if entry is not None
+            ]
             return ThorResult(
                 pages=result.pages,
                 clustering=result.clustering,
@@ -368,6 +448,60 @@ class Thor:
                 report=self.report(),
             )
 
+    def _partition_one(self, pagelet: QAPagelet) -> Optional[PartitionedPagelet]:
+        """Partition one pagelet; ``None`` (after quarantining) on a
+        :class:`~repro.errors.ThorError`. Pure per pagelet, so the
+        barriered loop and the streaming overlap call it identically."""
+        try:
+            return run_stage(
+                lambda: self._partitioner.partition(pagelet),
+                "partition",
+                self.execution.stage_timeout_s,
+            )
+        except ThorError as exc:
+            self._report.quarantine(
+                quarantine_record(STAGE_PARTITION, pagelet.path, exc)
+            )
+            return None
+
+    def _extract_partition_streaming(self, pages: Sequence[Page]) -> ThorResult:
+        """Stages 2+3 overlapped: partition cluster ``i``'s pagelets
+        while cluster ``i+1`` identifies.
+
+        A one-worker thread pool keeps partitioning strictly in pagelet
+        order; futures are collected in submission order, so the
+        ``partitioned`` tuple — and therefore the result digest — is
+        bitwise identical to the barriered
+        ``extract()`` → ``partition()`` sequence. Quarantine records
+        from the two stages may *interleave* differently on the run
+        report (the report is accounting, excluded from digests and
+        result equality), but their contents match the barriered run's.
+        """
+        from concurrent.futures import Future, ThreadPoolExecutor
+
+        futures: list[Future] = []
+        with ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="thor-streaming-partition"
+        ) as pool:
+            def on_identified(result: IdentificationResult) -> None:
+                for pagelet in result.pagelets:
+                    futures.append(pool.submit(self._partition_one, pagelet))
+
+            extracted = self._extract_guarded(pages, on_identified=on_identified)
+            partitioned = [
+                entry
+                for entry in (future.result() for future in futures)
+                if entry is not None
+            ]
+        return ThorResult(
+            pages=extracted.pages,
+            clustering=extracted.clustering,
+            identifications=extracted.identifications,
+            pagelets=extracted.pagelets,
+            partitioned=tuple(partitioned),
+            report=self.report(),
+        )
+
     # -- all together ------------------------------------------------------
 
     def run(
@@ -375,6 +509,7 @@ class Thor:
         source: DeepWebSource,
         run_id: Optional[str] = None,
         resume: bool = False,
+        streaming: bool = False,
     ) -> ThorResult:
         """Probe, extract, and partition in one call.
 
@@ -386,6 +521,14 @@ class Thor:
         from the warm artifact cache, producing a result digest
         bitwise-identical to an uninterrupted run. Resume hits are
         accounted on the run report.
+
+        ``streaming=True`` runs the same pipeline single-pass: pages
+        prewarm Phase-2 state as the probe returns them
+        (:meth:`_streamed_probe`) and partitioning overlaps
+        identification (:meth:`_extract_partition_streaming`) instead
+        of barriering between stages. Streaming changes scheduling
+        only — result digests are bitwise identical to a barriered
+        run, and quarantine/recovery semantics are unchanged.
         """
         with activate_fault_plan(self.fault_plan), activate_report(self._report):
             store = manifest = None
@@ -407,7 +550,10 @@ class Thor:
                 # A corrupt/evicted checkpoint is a miss, not an error:
                 # fall through to re-probing.
             if pages is None:
-                probe_result = self._probe_guarded(source)
+                if streaming:
+                    probe_result = self._streamed_probe(source)
+                else:
+                    probe_result = self._probe_guarded(source)
                 pages = list(probe_result.pages)
                 if manifest is not None:
                     payload_key = save_probe_checkpoint(store, run_id, pages)
@@ -415,8 +561,11 @@ class Thor:
                         "probe", pages=len(pages), payload_key=payload_key
                     )
                     save_manifest(store, manifest)
-            result = self._extract_guarded(pages)
-            result = self.partition(result)
+            if streaming:
+                result = self._extract_partition_streaming(pages)
+            else:
+                result = self._extract_guarded(pages)
+                result = self.partition(result)
             if manifest is not None:
                 from repro.io.export import result_digest
 

@@ -48,6 +48,13 @@ class RunReport:
     #: Pages surviving the quarantine scan vs. pages offered to it.
     pages_total: int = 0
     pages_surviving: int = 0
+    #: Cross-process transport accounting, by fan-out label:
+    #: ``label → {"chunks", "bytes_sent", "bytes_received"}``. Sent is
+    #: the pickled (payload, chunk) shipped to each worker; received
+    #: is the chunk result's wire size (npz bytes for the columnar
+    #: record transport, pickle size otherwise). Inline and
+    #: serial-fallback execution cross no boundary and count nothing.
+    transport: dict = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -77,6 +84,7 @@ class RunReportBuilder:
         self._faults_injected: dict[str, int] = {}
         self._pages_total = 0
         self._pages_surviving = 0
+        self._transport: dict[str, dict[str, int]] = {}
 
     def quarantine(self, record: QuarantineRecord) -> None:
         with self._lock:
@@ -107,6 +115,16 @@ class RunReportBuilder:
             self._pages_total += total
             self._pages_surviving += surviving
 
+    def count_transport(self, label: str, sent: int, received: int) -> None:
+        """Record one pool chunk's serialized payload/result sizes."""
+        with self._lock:
+            entry = self._transport.setdefault(
+                label, {"chunks": 0, "bytes_sent": 0, "bytes_received": 0}
+            )
+            entry["chunks"] += 1
+            entry["bytes_sent"] += sent
+            entry["bytes_received"] += received
+
     def build(self) -> RunReport:
         """An immutable snapshot of everything recorded so far."""
         with self._lock:
@@ -119,6 +137,10 @@ class RunReportBuilder:
                 faults_injected=dict(self._faults_injected),
                 pages_total=self._pages_total,
                 pages_surviving=self._pages_surviving,
+                transport={
+                    label: dict(entry)
+                    for label, entry in self._transport.items()
+                },
             )
 
 
@@ -175,6 +197,11 @@ def format_run_report(report: RunReport) -> str:
             for kind, count in sorted(report.faults_injected.items())
         )
         lines.append(f"  chaos faults injected: {injected}")
+    for label, entry in sorted(report.transport.items()):
+        lines.append(
+            f"  transport[{label}]: chunks={entry['chunks']} "
+            f"sent={entry['bytes_sent']}B received={entry['bytes_received']}B"
+        )
     lines.append(f"  quarantined: {len(report.quarantined)}")
     for record in report.quarantined:
         lines.append(f"    - {record}")

@@ -108,6 +108,23 @@ def _chunk_offsets(chunks: Sequence[Sequence[Any]]) -> list[int]:
     return offsets
 
 
+def _transport_bytes(value: Any) -> int:
+    """Serialized size of one cross-process value, in bytes.
+
+    ``bytes`` payloads (columnar record bundles) are already on the
+    wire format; anything else is measured as its pickle — exactly
+    what the process pool ships.
+    """
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    import pickle
+
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+
+
 def run_chunked(
     worker: Callable[[Any, Sequence[Any]], list],
     payload: Any,
@@ -116,6 +133,7 @@ def run_chunked(
     *,
     label: str = "chunked",
     execution: Optional[ExecutionConfig] = None,
+    unpack: Optional[Callable[[Any], list]] = None,
 ) -> list:
     """Run ``worker(payload, chunk)`` over all items, possibly across
     processes, returning per-item results in item order.
@@ -143,10 +161,28 @@ def run_chunked(
     are counted on the active run report, and an active
     :class:`~repro.resilience.faults.FaultPlan` may inject
     deterministic chunk faults here (chaos tests).
+
+    **Packed transport.** With ``unpack`` given, the worker may return
+    its chunk's results in a packed wire form (e.g. columnar npz
+    bytes — :mod:`repro.core.columnar`) instead of a plain list;
+    ``unpack`` converts one chunk value back to the per-item result
+    list on this side of the process boundary. It is applied on every
+    path — pool, inline degrade, and serial fallback — so a worker
+    never needs to know where it ran.
+
+    **Transport accounting.** When a run report is active, every
+    successful pool chunk records its serialized payload size (what
+    was pickled *to* the worker) and result size (bytes for packed
+    transports, pickle size otherwise) under ``label`` — the
+    ``--report`` CLI output and :mod:`benchmarks.bench_extraction`
+    read these to keep transport-cost regressions visible. Inline and
+    serial-fallback execution cross no process boundary and count
+    nothing.
     """
     items = list(items)
     if n_jobs <= 1 or len(items) <= 1:
-        return worker(payload, items)
+        result = worker(payload, items)
+        return list(unpack(result)) if unpack is not None else result
     if execution is None:
         execution = ExecutionConfig()
     recovery = execution.recovery == "on"
@@ -155,7 +191,8 @@ def run_chunked(
     try:
         import concurrent.futures
     except ImportError:  # pragma: no cover - stdlib always present
-        return worker(payload, items)
+        result = worker(payload, items)
+        return list(unpack(result)) if unpack is not None else result
     from repro.resilience.faults import active_fault_plan
     from repro.resilience.report import current_report
 
@@ -208,6 +245,13 @@ def run_chunked(
                     except Exception as exc:  # incl. BrokenProcessPool
                         failures[index] = exc
                         still_failed.append(index)
+                        continue
+                    if report is not None:
+                        report.count_transport(
+                            label,
+                            sent=_transport_bytes((payload, chunks[index])),
+                            received=_transport_bytes(results[index]),
+                        )
                 pending = still_failed
         except (OSError, PermissionError):  # pragma: no cover
             # Process pools need /dev/shm semaphores and fork/spawn
@@ -248,6 +292,8 @@ def run_chunked(
                 report.count_serial_fallback()
     flattened: list = []
     for batch in results:
+        if unpack is not None:
+            batch = unpack(batch)
         flattened.extend(batch)
     return flattened
 
@@ -279,6 +325,86 @@ def select_best(results: Sequence, better: Callable[[Any, Any], bool]):
         if best is None or better(result, best):
             best = result
     return best
+
+
+# ---------------------------------------------------------------------------
+# Streaming probe → extract conduit
+# ---------------------------------------------------------------------------
+
+
+class PageStream:
+    """A thread-safe conduit of probe result pages.
+
+    The streaming pipeline (``Thor.run(..., streaming=True)``) probes
+    on a helper thread and pushes each page here the moment the source
+    returns it; the main thread iterates and starts Phase-2 priming
+    work immediately instead of barriering on the full probe. The
+    stream is append-only and closed exactly once by the producer
+    (``close`` is idempotent); iteration drains in arrival order and
+    ends when the stream is closed and empty.
+    """
+
+    _DONE = object()
+
+    def __init__(self) -> None:
+        import queue
+
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._closed = False
+
+    def put(self, page: Any) -> None:
+        if self._closed:
+            raise RuntimeError("PageStream is closed")
+        self._queue.put(page)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._queue.put(self._DONE)
+
+    def __iter__(self):
+        while True:
+            item = self._queue.get()
+            if item is self._DONE:
+                return
+            yield item
+
+
+class StreamingSourceTap:
+    """Wrap a deep-web source so returned pages also feed a stream.
+
+    Sits *outside* any fault-injecting wrapper, so only pages the
+    prober actually receives are streamed — an injected failure or a
+    dropped attempt never leaks a phantom page into the pipeline. The
+    sync ``query`` taps directly; an async ``aquery`` tap is installed
+    as an instance attribute only when the inner source has a
+    coroutine ``aquery`` (so ``iscoroutinefunction`` probing by the
+    probe executor sees exactly what the inner source offers).
+    Everything else (``label``, ``theme``, …) delegates.
+    """
+
+    def __init__(self, source: Any, stream: PageStream) -> None:
+        import asyncio
+
+        self._source = source
+        self._stream = stream
+        inner_aquery = getattr(source, "aquery", None)
+        if asyncio.iscoroutinefunction(inner_aquery):
+
+            async def aquery(term: str):
+                page = await inner_aquery(term)
+                self._stream.put(page)
+                return page
+
+            self.aquery = aquery
+
+    def query(self, term: str):
+        page = self._source.query(term)
+        self._stream.put(page)
+        return page
+
+    def __getattr__(self, name: str):
+        return getattr(self._source, name)
 
 
 # ---------------------------------------------------------------------------
@@ -454,7 +580,9 @@ __all__ = [
     "BACKENDS",
     "BackendSelection",
     "ExecutionConfig",
+    "PageStream",
     "SeedMaterial",
+    "StreamingSourceTap",
     "artifact_store_for",
     "cached_weighted_space",
     "clear_artifact_store_registry",

@@ -265,6 +265,13 @@ def _normalized_distance(a: str, b: str) -> float:
     return value
 
 
+def _memo_store(key: tuple[str, str], value: float) -> float:
+    if len(_PAIR_MEMO) >= _PAIR_MEMO_LIMIT:  # pragma: no cover - bound only
+        _PAIR_MEMO.clear()
+    _PAIR_MEMO[key] = value
+    return value
+
+
 def pairwise_normalized_levenshtein(
     a_strings: Sequence[str], b_strings: Optional[Sequence[str]] = None
 ):
@@ -273,23 +280,59 @@ def pairwise_normalized_levenshtein(
     With ``b_strings=None`` the (symmetric) self-distance matrix of
     ``a_strings`` is returned and only the upper triangle is computed.
     Equals :func:`repro.cluster.editdist.normalized_levenshtein` entry
-    for entry — the kernel computes exact integer edit distances and
-    performs the same final division, so both backends agree bitwise.
+    for entry — the kernels compute exact integer edit distances and
+    perform the same final division, so both backends agree bitwise.
+
+    Cells are served from the interned-pair memo where possible; every
+    cell the memo (and the equal/empty early exits) cannot answer is
+    collected and dispatched to
+    :func:`repro.cluster.editdist.batch_normalized_levenshtein` in one
+    batched int-code DP call, instead of one scalar DP per pair — the
+    Phase-2 cold path runs thousands of short-path comparisons per
+    cluster, and the per-pair interpreter overhead used to dominate.
     """
     _require_numpy()
-    if b_strings is None:
-        n = len(a_strings)
-        out = np.zeros((n, n), dtype=np.float64)
-        for i in range(n):
-            for j in range(i + 1, n):
-                d = _normalized_distance(a_strings[i], a_strings[j])
-                out[i, j] = d
-                out[j, i] = d
-        return out
-    out = np.empty((len(a_strings), len(b_strings)), dtype=np.float64)
+    symmetric = b_strings is None
+    if symmetric:
+        b_strings = a_strings
+    out = np.zeros((len(a_strings), len(b_strings)), dtype=np.float64)
+    #: Cells the memo cannot answer, keyed by order-normalized pair —
+    #: insertion-ordered, so the batch call dedupes repeated pairs.
+    pending: dict[tuple[str, str], list[tuple[int, int]]] = {}
     for i, a in enumerate(a_strings):
-        for j, b in enumerate(b_strings):
-            out[i, j] = _normalized_distance(a, b)
+        for j in range(i + 1 if symmetric else 0, len(b_strings)):
+            b = b_strings[j]
+            if a == b:
+                continue  # exact-match early exit: the cell stays 0.0
+            if not a or not b:
+                out[i, j] = 1.0  # length-band early exit
+                continue
+            key = (a, b) if a <= b else (b, a)
+            cached = _PAIR_MEMO.get(key)
+            if cached is not None:
+                out[i, j] = cached
+            else:
+                pending.setdefault(key, []).append((i, j))
+    if pending:
+        keys = list(pending)
+        if len(keys) == 1:
+            # A single miss: the scalar kernel skips batch setup.
+            distances = [_normalized_distance(*keys[0])]
+        else:
+            from repro.cluster.editdist import batch_normalized_levenshtein
+
+            distances = batch_normalized_levenshtein(
+                [key[0] for key in keys],
+                [key[1] for key in keys],
+                backend="numpy",
+            )
+        for key, value in zip(keys, distances):
+            _memo_store(key, value)
+            for i, j in pending[key]:
+                out[i, j] = value
+    if symmetric:
+        upper = np.triu_indices(len(a_strings), k=1)
+        out[(upper[1], upper[0])] = out[upper]
     return out
 
 
