@@ -1,6 +1,6 @@
 """The stable entry point: ``repro.api``.
 
-One import gives the whole pipeline behind three verbs::
+One import gives the whole pipeline behind four verbs::
 
     from repro import api
 
@@ -14,19 +14,27 @@ One import gives the whole pipeline behind three verbs::
 - :func:`extract` — Stage 2: two-phase QA-Pagelet extraction over an
   existing page collection (how the evaluation isolates Phase 2).
 - :func:`run` — all three stages (probe → extract → partition).
+- :func:`run_fleet` — N sites as one resumable job
+  (:mod:`repro.fleet`): a declarative :class:`FleetSpec` in, one
+  aggregated :class:`FleetReport` out.
 
-Each takes an optional :class:`ThorConfig`; execution concerns —
-compute backend, worker processes, the persistent artifact cache
-(``cache_dir``) — ride on ``ThorConfig.execution`` (an
-:class:`ExecutionConfig`). Everything
-re-exported here (``Thor``, ``ThorConfig``, ``ThorResult``,
-``ExecutionConfig``, …) is covered by the facade's stability promise;
-deeper module paths (``repro.core.*``, ``repro.cluster.*``) remain
-importable but may reorganize between versions.
+Each takes an optional :class:`ThorConfig` for *what to compute*
+(execution concerns — compute backend, worker processes, the
+persistent artifact cache — ride on ``ThorConfig.execution``), and an
+optional :class:`RunOptions` for *how this invocation behaves* —
+naming (``run_id``), resumption (``resume``), single-pass scheduling
+(``streaming``), and seeded chaos (``fault_plan``). The pre-1.0
+``run_id``/``resume``/``streaming`` keyword arguments still work for
+one release with a :class:`DeprecationWarning`.
+
+Exactly the names in ``__all__`` are covered by the facade's stability
+promise; deeper module paths (``repro.core.*``, ``repro.cluster.*``)
+remain importable but may reorganize between versions.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
 from repro.artifacts import ArtifactStore, GcReport
@@ -36,7 +44,10 @@ from repro.config import (
     DEFAULT_CONFIG,
     ClusteringConfig,
     ExecutionConfig,
+    FleetConfig,
     ProbeConfig,
+    RunOptions,
+    StageTimeouts,
     SubtreeConfig,
     ThorConfig,
 )
@@ -47,11 +58,20 @@ from repro.core.thor import Thor, ThorResult
 from repro.deepweb import make_site
 from repro.errors import (
     ChunkFailedError,
+    ConfigError,
     ResilienceError,
     ResumeError,
     StageTimeoutError,
     ThorError,
 )
+from repro.fleet import (
+    FleetReport,
+    FleetSpec,
+    SiteOutcome,
+    SiteSpec,
+    format_fleet_report,
+)
+from repro.fleet import run_fleet as _run_fleet
 from repro.probe import (
     FaultInjectingSource,
     FaultSpec,
@@ -64,6 +84,43 @@ from repro.resilience import (
     RunReport,
     format_run_report,
 )
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` on
+#: the deprecated keyword arguments.
+_UNSET = object()
+
+
+def _options_with_legacy_kwargs(
+    options: Optional[RunOptions],
+    *,
+    run_id=_UNSET,
+    resume=_UNSET,
+    streaming=_UNSET,
+) -> RunOptions:
+    """Fold the deprecated per-kwarg invocation surface into a
+    :class:`RunOptions` (one release of grace, with a warning)."""
+    legacy = {}
+    if run_id is not _UNSET:
+        legacy["run_id"] = run_id
+    if resume is not _UNSET:
+        legacy["resume"] = resume
+    if streaming is not _UNSET:
+        legacy["streaming"] = streaming
+    if not legacy:
+        return options if options is not None else RunOptions()
+    if options is not None:
+        raise TypeError(
+            "pass either options=RunOptions(...) or the legacy "
+            f"{'/'.join(sorted(legacy))} keyword arguments, not both"
+        )
+    warnings.warn(
+        "the run_id/resume/streaming keyword arguments of repro.api are "
+        "deprecated and will be removed next release; pass "
+        "options=RunOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return RunOptions(**legacy)
 
 
 def probe(source: DeepWebSource, config: Optional[ThorConfig] = None) -> ProbeResult:
@@ -84,49 +141,96 @@ def probe(source: DeepWebSource, config: Optional[ThorConfig] = None) -> ProbeRe
     return Thor(config or DEFAULT_CONFIG).probe(source)
 
 
-def extract(pages: Sequence[Page], config: Optional[ThorConfig] = None) -> ThorResult:
+def extract(
+    pages: Sequence[Page],
+    config: Optional[ThorConfig] = None,
+    options: Optional[RunOptions] = None,
+) -> ThorResult:
     """Stage 2: two-phase QA-Pagelet extraction over sampled pages.
 
     Pages whose analysis raises a :class:`ThorError` are quarantined
     and extraction degrades to the survivors (see
     ``ExecutionConfig.min_surviving_fraction``); the accounting rides
-    on ``result.report``.
+    on ``result.report``. A :class:`RunOptions` with a ``run_id``
+    checkpoints the Phase-1 fit, and ``options.resume`` restores it —
+    skipping the K-Means restarts with a bitwise-identical result.
     """
-    return Thor(config or DEFAULT_CONFIG).extract(pages)
+    options = options if options is not None else RunOptions()
+    return Thor(config or DEFAULT_CONFIG, fault_plan=options.fault_plan).extract(
+        pages, options
+    )
 
 
 def run(
     source: DeepWebSource,
     config: Optional[ThorConfig] = None,
-    run_id: Optional[str] = None,
-    resume: bool = False,
-    streaming: bool = False,
+    options: Optional[RunOptions] = None,
+    *,
+    run_id=_UNSET,
+    resume=_UNSET,
+    streaming=_UNSET,
 ) -> ThorResult:
     """The full pipeline: probe, extract, and partition ``source``.
 
-    With ``run_id`` (and a persistent artifact cache configured), each
-    completed stage is checkpointed; ``resume=True`` then skips
-    checkpointed stages after a crash and reproduces the identical
-    result digest. ``streaming=True`` overlaps the stages single-pass
-    (pages prewarm Phase-2 state as the probe returns them,
-    partitioning overlaps identification) while producing a bitwise
-    identical result digest.
+    With ``options.run_id`` (and a persistent artifact cache
+    configured), each completed stage is checkpointed;
+    ``options.resume`` then skips checkpointed stages after a crash —
+    the probe *and* the Phase-1 cluster fit — and reproduces the
+    identical result digest. ``options.streaming`` overlaps the stages
+    single-pass (pages prewarm Phase-2 state as the probe returns
+    them, partitioning overlaps identification) while producing a
+    bitwise identical result digest; ``options.fault_plan`` injects
+    seeded chaos.
+
+    The bare ``run_id``/``resume``/``streaming`` keyword arguments are
+    deprecated (one release of grace): pass ``options=RunOptions(...)``.
     """
-    return Thor(config or DEFAULT_CONFIG).run(
-        source, run_id=run_id, resume=resume, streaming=streaming
+    options = _options_with_legacy_kwargs(
+        options, run_id=run_id, resume=resume, streaming=streaming
     )
+    return Thor(config or DEFAULT_CONFIG, fault_plan=options.fault_plan).run(
+        source, options=options
+    )
+
+
+def run_fleet(
+    spec: FleetSpec,
+    config: Optional[ThorConfig] = None,
+    options: Optional[RunOptions] = None,
+) -> FleetReport:
+    """Run (or resume) N sites as one job (:mod:`repro.fleet`).
+
+    ``spec`` declares the sites (with tenants, priorities, and wave
+    quotas); ``config`` applies to every site, with ``config.fleet``
+    adding the scheduling knobs (``site_jobs`` worker processes across
+    sites, ``max_sites_per_run`` as the graceful-drain budget);
+    ``options.run_id`` names the fleet (default: derived from the spec
+    fingerprint) and ``options.resume`` finishes an interrupted fleet —
+    skipping ``done`` sites wholesale and resuming the rest from their
+    probe/cluster checkpoints. Requires a persistent artifact store
+    (``ExecutionConfig.cache_dir`` or ``REPRO_CACHE_DIR``).
+
+    Per-site result digests are bitwise-identical to N sequential
+    :func:`run` calls, however the fleet was sharded, interrupted, or
+    resumed.
+    """
+    return _run_fleet(spec, config, options)
 
 
 __all__ = [
     "ArtifactStore",
     "ChunkFailedError",
     "ClusteringConfig",
+    "ConfigError",
     "DEFAULT_CONFIG",
     "DeepWebSource",
     "ExecutionConfig",
     "FaultInjectingSource",
     "FaultPlan",
     "FaultSpec",
+    "FleetConfig",
+    "FleetReport",
+    "FleetSpec",
     "GcReport",
     "Page",
     "ProbeConfig",
@@ -135,8 +239,12 @@ __all__ = [
     "QuarantineRecord",
     "ResilienceError",
     "ResumeError",
+    "RunOptions",
     "RunReport",
+    "SiteOutcome",
+    "SiteSpec",
     "StageTimeoutError",
+    "StageTimeouts",
     "SubtreeConfig",
     "Thor",
     "ThorConfig",
@@ -145,10 +253,12 @@ __all__ = [
     "collect_artifacts",
     "extract",
     "format_artifact_report",
+    "format_fleet_report",
     "format_probe_report",
     "format_run_report",
     "make_site",
     "probe",
     "resolve_cache_dir",
     "run",
+    "run_fleet",
 ]

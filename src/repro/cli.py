@@ -7,6 +7,8 @@ Subcommands::
     python -m repro.cli extract  --pages pages.jsonl --out result.json
     python -m repro.cli run      --domain movies --jobs 4 --cache-dir .thor-cache \
                                  --run-id nightly --resume --report
+    python -m repro.cli fleet    --sites ecommerce:7,jobs:3:acme,music:5 \
+                                 --jobs 2 --cache-dir .thor-cache --resume
     python -m repro.cli demo     --domain ecommerce --seed 7
     python -m repro.cli search   --domains ecommerce,music --query camera
     python -m repro.cli artifacts-gc --cache-dir .thor-cache --max-bytes 100000000
@@ -15,10 +17,11 @@ Subcommands::
 ``extract`` runs the two-phase extraction over a cached sample;
 ``run`` does probe + extract + partition in one shot and prints a
 deterministic result digest (plus artifact-cache counters, for warm ==
-cold verification); ``demo`` prints a human-readable summary;
-``search`` spins up the deep-web search engine over several simulated
-sources; ``artifacts-gc`` bounds and reports the persistent artifact
-cache.
+cold verification); ``fleet`` submits many sites as one resumable job
+(per-site state in the fleet ledger, one aggregated report and fleet
+digest); ``demo`` prints a human-readable summary; ``search`` spins up
+the deep-web search engine over several simulated sources;
+``artifacts-gc`` bounds and reports the persistent artifact cache.
 """
 
 from __future__ import annotations
@@ -31,7 +34,16 @@ from collections import Counter
 from dataclasses import replace
 from typing import Optional, Sequence
 
-from repro.config import BACKENDS, RECORD_TRANSPORTS, ExecutionConfig, ThorConfig
+from repro.config import (
+    BACKENDS,
+    RECORD_TRANSPORTS,
+    WATCHDOG_STAGES,
+    ExecutionConfig,
+    FleetConfig,
+    RunOptions,
+    StageTimeouts,
+    ThorConfig,
+)
 from repro.core.thor import Thor
 from repro.deepweb.corpus import make_site
 from repro.engine.engine import DeepWebSearchEngine
@@ -56,6 +68,12 @@ def _thor_config(args: argparse.Namespace) -> ThorConfig:
     no_recovery = getattr(args, "no_recovery", False)
     chunk_retries = getattr(args, "chunk_retries", None)
     stage_timeout_s = getattr(args, "stage_timeout_s", None)
+    stage_timeout_entries = getattr(args, "stage_timeout", None)
+    stage_timeouts = (
+        StageTimeouts(**dict(stage_timeout_entries))
+        if stage_timeout_entries
+        else None
+    )
     min_surviving = getattr(args, "min_surviving_fraction", None)
     record_transport = getattr(args, "record_transport", None)
     distance_memo = getattr(args, "distance_memo_entries", None)
@@ -67,6 +85,7 @@ def _thor_config(args: argparse.Namespace) -> ThorConfig:
         or no_recovery
         or chunk_retries is not None
         or stage_timeout_s is not None
+        or stage_timeouts is not None
         or min_surviving is not None
         or record_transport is not None
         or distance_memo is not None
@@ -84,6 +103,7 @@ def _thor_config(args: argparse.Namespace) -> ThorConfig:
                 if chunk_retries is None
                 else chunk_retries,
                 stage_timeout_s=stage_timeout_s,
+                stage_timeouts=stage_timeouts,
                 min_surviving_fraction=defaults.min_surviving_fraction
                 if min_surviving is None
                 else min_surviving,
@@ -218,9 +238,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     thor = Thor(_thor_config(args), fault_plan=_fault_plan(args))
     result = thor.run(
         site,
-        run_id=args.run_id,
-        resume=args.resume,
-        streaming=getattr(args, "streaming", False),
+        options=RunOptions(
+            run_id=args.run_id,
+            resume=args.resume,
+            streaming=getattr(args, "streaming", False),
+        ),
     )
     export_result(result, args.out, include_html=args.html)
     with open(args.out, "rb") as handle:
@@ -235,6 +257,108 @@ def cmd_run(args: argparse.Namespace) -> int:
     _print_artifact_stats(thor)
     _print_run_report(thor, args)
     return 0
+
+
+def _parse_fleet_sites(text: str, records: int) -> list:
+    """Parse ``--sites`` into :class:`~repro.fleet.SiteSpec` entries.
+
+    Each comma-separated entry is ``domain[:seed[:tenant[:priority]]]``
+    — e.g. ``ecommerce:7``, ``jobs:3:acme:2`` — and gets a stable
+    ``site_id`` of ``{domain}-{seed}``.
+    """
+    from repro.fleet import SiteSpec
+
+    sites = []
+    for entry in (piece.strip() for piece in text.split(",")):
+        if not entry:
+            continue
+        parts = entry.split(":")
+        if len(parts) > 4:
+            raise ValueError(
+                f"bad --sites entry {entry!r}: expected "
+                "domain[:seed[:tenant[:priority]]]"
+            )
+        domain = parts[0]
+        try:
+            seed = int(parts[1]) if len(parts) > 1 and parts[1] else 0
+            priority = int(parts[3]) if len(parts) > 3 and parts[3] else 0
+        except ValueError:
+            raise ValueError(
+                f"bad --sites entry {entry!r}: seed and priority must be "
+                "integers"
+            ) from None
+        tenant = parts[2] if len(parts) > 2 and parts[2] else "default"
+        sites.append(
+            SiteSpec(
+                site_id=f"{domain}-{seed}",
+                domain=domain,
+                seed=seed,
+                records=records,
+                tenant=tenant,
+                priority=priority,
+            )
+        )
+    if not sites:
+        raise ValueError("--sites named no sites")
+    return sites
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Submit (or resume) N sites as one job and print the fleet report.
+
+    The printed report ends with a deterministic ``fleet-digest:`` line
+    — the aggregate over per-site result digests, each bitwise-equal to
+    what a sequential ``repro run`` of that site would produce — which
+    CI uses to verify the fleet == sequential and resumed ==
+    uninterrupted invariants. Exit status: 0 when every admitted site
+    finished, 3 when some were quarantined, 2 on bad arguments.
+    """
+    from repro import api
+    from repro.errors import ConfigError, ResumeError
+    from repro.fleet import FleetSpec, format_fleet_report
+
+    try:
+        sites = _parse_fleet_sites(args.sites, args.records)
+        quotas = tuple(
+            (tenant, limit) for tenant, limit in (args.quota or [])
+        )
+        spec = FleetSpec(
+            sites=tuple(sites),
+            quotas=quotas,
+            default_quota=args.default_quota,
+        )
+    except (ValueError, ConfigError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    config = _thor_config(args)
+    # For a fleet, --jobs means sites in flight (FleetConfig.site_jobs);
+    # per-site stage parallelism stays serial — the driver forbids
+    # nested pools anyway.
+    site_jobs = 1 if args.jobs is None else args.jobs
+    config = replace(
+        config,
+        execution=replace(config.execution, n_jobs=1),
+        fleet=FleetConfig(
+            site_jobs=site_jobs, max_sites_per_run=args.max_sites
+        ),
+    )
+    options = RunOptions(
+        run_id=args.fleet_id,
+        resume=args.resume,
+        streaming=getattr(args, "streaming", False),
+        fault_plan=_fault_plan(args),
+    )
+    try:
+        report = api.run_fleet(spec, config, options)
+    except (ConfigError, ResumeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(format_fleet_report(report))
+    if getattr(args, "report", False) and report.scheduler is not None:
+        from repro.resilience import format_run_report
+
+        print(format_run_report(report.scheduler))
+    return 3 if report.quarantined else 0
 
 
 def cmd_artifacts_gc(args: argparse.Namespace) -> int:
@@ -303,6 +427,44 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stage_timeout_entry(text: str):
+    """Argparse type for ``--stage-timeout STAGE=SECONDS``."""
+    stage, sep, value = text.partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected STAGE=SECONDS, got {text!r}"
+        )
+    if stage not in WATCHDOG_STAGES:
+        raise argparse.ArgumentTypeError(
+            f"unknown stage {stage!r}; valid: {', '.join(WATCHDOG_STAGES)}"
+        )
+    try:
+        seconds = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad deadline {value!r} for stage {stage!r}: not a number"
+        ) from None
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError(
+            f"bad deadline {value!r} for stage {stage!r}: must be > 0"
+        )
+    return (stage, seconds)
+
+
+def _quota_entry(text: str):
+    """Argparse type for ``--quota TENANT=N``."""
+    tenant, sep, value = text.partition("=")
+    if not sep or not tenant:
+        raise argparse.ArgumentTypeError(f"expected TENANT=N, got {text!r}")
+    try:
+        limit = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad quota {value!r} for tenant {tenant!r}: not an integer"
+        ) from None
+    return (tenant, limit)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="THOR deep-web QA-Pagelet extraction"
@@ -352,6 +514,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--stage-timeout-s", type=float, default=None, dest="stage_timeout_s",
         help="wall-clock watchdog deadline per pipeline stage "
              "(default: no deadline)",
+    )
+    execution.add_argument(
+        "--stage-timeout", action="append", type=_stage_timeout_entry,
+        default=None, dest="stage_timeout", metavar="STAGE=SECONDS",
+        help="per-stage watchdog override, repeatable (stages: "
+             + ", ".join(WATCHDOG_STAGES)
+             + "; later entries win; unlisted stages fall back to "
+               "--stage-timeout-s)",
     )
     execution.add_argument(
         "--min-surviving-fraction", type=float, default=None,
@@ -470,6 +640,49 @@ def build_parser() -> argparse.ArgumentParser:
              "result digest matches a barriered run bitwise)",
     )
     run.set_defaults(func=cmd_run)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run N sites as one resumable job, print a fleet digest",
+        parents=[execution],
+    )
+    common(fleet)
+    fleet.add_argument(
+        "--sites", required=True,
+        help="comma-separated site entries, each "
+             "domain[:seed[:tenant[:priority]]] — e.g. "
+             "'ecommerce:7,jobs:3:acme:2,music'",
+    )
+    fleet.add_argument(
+        "--fleet-id", default=None, dest="fleet_id",
+        help="name this fleet in the ledger (default: derived from the "
+             "spec fingerprint, so --resume works without it)",
+    )
+    fleet.add_argument(
+        "--resume", action="store_true",
+        help="finish an interrupted fleet: skip sites already done, "
+             "resume the rest from their probe/cluster checkpoints "
+             "(the fleet digest matches an uninterrupted run)",
+    )
+    fleet.add_argument(
+        "--max-sites", type=int, default=None, dest="max_sites",
+        help="admit at most this many sites this invocation and defer "
+             "the rest (graceful drain; finish with --resume)",
+    )
+    fleet.add_argument(
+        "--streaming", action="store_true",
+        help="run each site's pipeline single-pass (same digests)",
+    )
+    fleet.add_argument(
+        "--quota", action="append", type=_quota_entry, default=None,
+        metavar="TENANT=N",
+        help="per-wave site cap for one tenant, repeatable",
+    )
+    fleet.add_argument(
+        "--default-quota", type=int, default=None, dest="default_quota",
+        help="per-wave site cap for tenants without an explicit --quota",
+    )
+    fleet.set_defaults(func=cmd_fleet)
 
     gc = sub.add_parser(
         "artifacts-gc",

@@ -14,9 +14,13 @@ value as the default:
 from __future__ import annotations
 
 import os
-import warnings
-from dataclasses import dataclass, field, replace
-from typing import Optional, Union
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.resilience.faults import FaultPlan
 
 #: Valid compute backends: "numpy" is the vectorized matrix backend
 #: (:mod:`repro.vsm.matrix`), "python" the pure-python reference
@@ -31,6 +35,35 @@ CACHE_POLICIES = ("on", "off")
 #: ships the record objects themselves (the pre-columnar baseline,
 #: and the fallback on numpy-less machines).
 RECORD_TRANSPORTS = ("columnar", "pickle")
+
+
+#: Pipeline stages a watchdog deadline can be set for.
+WATCHDOG_STAGES = ("probe", "cluster", "identify", "partition")
+
+
+@dataclass(frozen=True)
+class StageTimeouts:
+    """Per-stage wall-clock watchdog deadlines, in seconds.
+
+    One global ``ExecutionConfig.stage_timeout_s`` fits no real
+    pipeline: probing is network-bound (seconds to minutes of latency,
+    almost no CPU) while identification is CPU-bound (no latency, all
+    compute). A field set here overrides the global deadline for that
+    stage only; ``None`` fields fall back to ``stage_timeout_s``.
+    """
+
+    probe: Optional[float] = None
+    cluster: Optional[float] = None
+    identify: Optional[float] = None
+    partition: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for stage in WATCHDOG_STAGES:
+            value = getattr(self, stage)
+            if value is not None and value <= 0:
+                raise ValueError(
+                    f"StageTimeouts.{stage} must be > 0, got {value}"
+                )
 
 
 @dataclass(frozen=True)
@@ -85,6 +118,10 @@ class ExecutionConfig:
     #: Phase-2 analysis degrades (the cluster is quarantined), other
     #: stages raise :class:`~repro.errors.StageTimeoutError`.
     stage_timeout_s: Optional[float] = None
+    #: Per-stage watchdog overrides (:class:`StageTimeouts`); a stage
+    #: named there uses its own deadline, the rest fall back to
+    #: ``stage_timeout_s`` (see :func:`resolve_stage_timeout`).
+    stage_timeouts: Optional[StageTimeouts] = None
     #: Minimum fraction of the page sample that must survive the
     #: quarantine scan for extraction to proceed; below it the sample
     #: is considered junk and :class:`~repro.errors.ExtractionError`
@@ -264,30 +301,117 @@ def resolve_record_transport(execution: "BackendSelection" = None) -> str:
     return transport
 
 
-def execution_from_legacy(
-    execution: Optional[ExecutionConfig],
-    legacy_backend: Optional[str],
-    field_name: str,
-) -> ExecutionConfig:
-    """Fold a deprecated per-stage ``backend`` field into an execution
-    config.
+def resolve_stage_timeout(
+    execution: Optional[ExecutionConfig], stage: str
+) -> Optional[float]:
+    """The effective watchdog deadline for one pipeline stage.
 
-    An explicitly supplied ``execution`` always wins (the caller has
-    already decided); the legacy field is only consulted — with a
-    :class:`DeprecationWarning` — when no execution config was given.
+    A per-stage override (``ExecutionConfig.stage_timeouts``) wins;
+    otherwise the global ``stage_timeout_s`` applies; ``None`` means no
+    watchdog. Unknown stage names raise — a misspelled stage would
+    otherwise silently run without its intended deadline.
+
+    >>> ex = ExecutionConfig(
+    ...     stage_timeout_s=30.0, stage_timeouts=StageTimeouts(probe=120.0)
+    ... )
+    >>> resolve_stage_timeout(ex, "probe")
+    120.0
+    >>> resolve_stage_timeout(ex, "identify")
+    30.0
     """
-    if execution is not None:
-        return execution
-    if legacy_backend is None:
-        return ExecutionConfig()
-    warnings.warn(
-        f"{field_name} is deprecated; pass "
-        f"ThorConfig(execution=ExecutionConfig(backend=...)) "
-        f"(or an ExecutionConfig to the stage driver) instead",
-        DeprecationWarning,
-        stacklevel=3,
+    if stage not in WATCHDOG_STAGES:
+        raise ValueError(
+            f"unknown watchdog stage {stage!r}; "
+            f"valid: {', '.join(WATCHDOG_STAGES)}"
+        )
+    if execution is None:
+        return None
+    if execution.stage_timeouts is not None:
+        override = getattr(execution.stage_timeouts, stage)
+        if override is not None:
+            return override
+    return execution.stage_timeout_s
+
+
+def _removed_backend_field(owner: str, backend: Optional[str]) -> None:
+    """The per-stage ``backend`` fields graduated from deprecated to
+    removed: setting one is now a typed :class:`ConfigError`."""
+    if backend is not None:
+        raise ConfigError(
+            f"{owner}.backend was removed; set "
+            "ThorConfig(execution=ExecutionConfig(backend=...)) "
+            "(or pass an ExecutionConfig to the stage driver) instead"
+        )
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Per-invocation options of one pipeline run — the job surface.
+
+    :func:`repro.api.run`, :func:`repro.api.extract` and
+    :func:`repro.api.run_fleet` all accept one ``RunOptions`` instead
+    of a sprawl of keyword arguments: *what* to compute rides on the
+    positional arguments, *how this invocation behaves* (naming,
+    resumption, scheduling, chaos) rides here. Options are
+    config-fingerprint-neutral by construction: nothing in this object
+    may change a result digest.
+    """
+
+    #: Name of the run (or, for :func:`repro.api.run_fleet`, the fleet)
+    #: for stage checkpointing in the artifact store; ``None`` = an
+    #: anonymous, checkpoint-free run (fleets derive a spec-keyed id).
+    run_id: Optional[str] = None
+    #: Skip stages (or fleet sites) already checkpointed under
+    #: ``run_id``; the resumed result digest is bitwise identical to an
+    #: uninterrupted run's.
+    resume: bool = False
+    #: Single-pass scheduling: overlap Phase-2 prewarming with the
+    #: probe and partitioning with identification (digest unchanged).
+    streaming: bool = False
+    #: Seeded chaos plan injected into the run (tests/CI drills);
+    #: ``None`` — the default — injects nothing.
+    fault_plan: Optional["FaultPlan"] = None
+    #: Observer called with the stage name ("probe", "extract",
+    #: "partition") as each top-level stage *starts computing* (skipped
+    #: stages resumed from a checkpoint do not fire). The fleet ledger
+    #: uses this for its per-site state machine. Must be picklable for
+    #: cross-process runs when set; excluded from equality.
+    on_stage: Optional[Callable[[str], None]] = field(
+        default=None, compare=False, repr=False
     )
-    return ExecutionConfig(backend=legacy_backend)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """How :func:`repro.api.run_fleet` schedules sites over workers.
+
+    Orthogonal to :class:`ExecutionConfig` (*how one site computes*):
+    this is *how many sites run at once and when the invocation
+    stops*. Per-tenant quotas and priorities are data, not policy, and
+    live on the :class:`~repro.fleet.FleetSpec`.
+    """
+
+    #: Worker processes across sites: 1 = one site at a time (each site
+    #: may then use ``ExecutionConfig.n_jobs`` internally), N > 1 = that
+    #: many sites in flight (per-site pipelines forced serial — no
+    #: nested pools), 0 = one per available core.
+    site_jobs: int = 1
+    #: Stop admitting new sites after this many have been attempted in
+    #: one ``run_fleet`` invocation (``None`` = no cap). Remaining
+    #: sites stay ``queued`` in the ledger; a later ``resume`` run
+    #: finishes them. This is the graceful-drain knob — an operator
+    #: budget per invocation, and the deterministic stand-in for a
+    #: mid-fleet kill in tests.
+    max_sites_per_run: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.site_jobs < 0:
+            raise ValueError(f"site_jobs must be >= 0, got {self.site_jobs}")
+        if self.max_sites_per_run is not None and self.max_sites_per_run < 1:
+            raise ValueError(
+                "max_sites_per_run must be >= 1 (or None), got "
+                f"{self.max_sites_per_run}"
+            )
 
 
 @dataclass(frozen=True)
@@ -316,11 +440,14 @@ class ClusteringConfig:
     #: max fanout, page size); the paper uses "a simple linear
     #: combination".
     ranking_weights: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3)
-    #: Deprecated: compute backend for the clustering kernels. Set
-    #: ``ThorConfig.execution`` (an :class:`ExecutionConfig`) instead;
-    #: this field only fills in when no execution config is given, and
-    #: doing so emits a :class:`DeprecationWarning`.
+    #: Removed: the per-stage compute backend graduated through its
+    #: deprecation cycle. Setting it raises
+    #: :class:`~repro.errors.ConfigError`; set
+    #: ``ThorConfig.execution=ExecutionConfig(backend=...)`` instead.
     backend: str | None = None
+
+    def __post_init__(self) -> None:
+        _removed_backend_field("ClusteringConfig", self.backend)
 
 
 @dataclass(frozen=True)
@@ -353,11 +480,14 @@ class SubtreeConfig:
     #: Require candidates to contain a branching node (fanout > 1).
     #: The paper's third single-page rule is ambiguous; off by default.
     require_branching: bool = False
-    #: Deprecated: compute backend for the pairwise subtree distances.
-    #: Set ``ThorConfig.execution`` (an :class:`ExecutionConfig`)
-    #: instead; this field only fills in when no execution config is
-    #: given, and doing so emits a :class:`DeprecationWarning`.
+    #: Removed: the per-stage compute backend graduated through its
+    #: deprecation cycle. Setting it raises
+    #: :class:`~repro.errors.ConfigError`; set
+    #: ``ThorConfig.execution=ExecutionConfig(backend=...)`` instead.
     backend: str | None = None
+
+    def __post_init__(self) -> None:
+        _removed_backend_field("SubtreeConfig", self.backend)
 
 
 @dataclass(frozen=True)
@@ -420,25 +550,18 @@ class ThorConfig:
     #: one execution config shared by clustering, subtree matching,
     #: content ranking, and the benchmarks.
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    #: How :func:`repro.api.run_fleet` schedules many sites of this
+    #: configuration over workers (site-level parallelism and the
+    #: graceful-drain budget). Irrelevant — and ignored — for
+    #: single-site runs.
+    fleet: FleetConfig = field(default_factory=FleetConfig)
 
     def resolved_execution(self) -> ExecutionConfig:
-        """The effective execution config, folding in the deprecated
-        per-stage ``clustering.backend`` / ``subtrees.backend`` fields
-        (with a :class:`DeprecationWarning` when they are set and the
-        execution config itself names no backend)."""
-        execution = self.execution
-        legacy = self.clustering.backend or self.subtrees.backend
-        if legacy is not None:
-            warnings.warn(
-                "ClusteringConfig.backend / SubtreeConfig.backend are "
-                "deprecated; set ThorConfig.execution="
-                "ExecutionConfig(backend=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if execution.backend is None:
-                execution = replace(execution, backend=legacy)
-        return execution
+        """The effective execution config. (Once this folded in the
+        legacy per-stage ``backend`` fields; those are removed, so this
+        is now the identity — kept because it remains the documented
+        way to ask a ``ThorConfig`` how it computes.)"""
+        return self.execution
 
 
 DEFAULT_CONFIG = ThorConfig()

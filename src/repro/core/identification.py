@@ -15,7 +15,6 @@ from typing import Optional, Sequence
 from repro.config import (
     ExecutionConfig,
     SubtreeConfig,
-    execution_from_legacy,
     resolve_cache_dir,
     resolve_n_jobs,
 )
@@ -69,11 +68,7 @@ class PageletIdentifier:
     ) -> None:
         self.config = config
         self.seed = seed
-        # An explicit execution config wins; the deprecated per-stage
-        # ``config.backend`` field fills in (with a warning) otherwise.
-        self.execution = execution_from_legacy(
-            execution, config.backend, "SubtreeConfig.backend"
-        )
+        self.execution = execution if execution is not None else ExecutionConfig()
 
     def identify(self, pages: Sequence[Page]) -> IdentificationResult:
         """Run Phase 2 over one cluster of pages.

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.cluster.assignments import Clustering
-from repro.config import ClusteringConfig, ExecutionConfig, execution_from_legacy
+from repro.config import ClusteringConfig, ExecutionConfig
 from repro.core.cluster_ranking import ClusterScore, score_clusters
 from repro.core.page import Page
 from repro.errors import ExtractionError
@@ -66,11 +66,7 @@ class PageClusterer:
     ) -> None:
         self.config = config
         self.seed = seed
-        # An explicit execution config wins; the deprecated per-stage
-        # ``config.backend`` field fills in (with a warning) otherwise.
-        self.execution = execution_from_legacy(
-            execution, config.backend, "ClusteringConfig.backend"
-        )
+        self.execution = execution if execution is not None else ExecutionConfig()
 
     def fit(self, pages: Sequence[Page]) -> PageClusteringResult:
         """Cluster and rank ``pages``.

@@ -15,9 +15,11 @@ analysis raises a :class:`~repro.errors.ThorError` are *quarantined*
 with structured reasons instead of aborting the run (as long as
 ``ExecutionConfig.min_surviving_fraction`` of the sample survives),
 stages run under optional wall-clock watchdogs
-(``ExecutionConfig.stage_timeout_s``), named runs checkpoint their
+(``ExecutionConfig.stage_timeout_s``, overridable per stage through
+``ExecutionConfig.stage_timeouts``), named runs checkpoint their
 stages through the artifact store so ``Thor.run(..., resume=True)``
-skips finished work after a crash, and every run's degradations are
+skips finished work — the probe *and* the Phase-1 cluster fit — after
+a crash, and every run's degradations are
 accounted for on a :class:`~repro.resilience.report.RunReport`
 (``ThorResult.report``). A seeded
 :class:`~repro.resilience.faults.FaultPlan` can be attached for
@@ -29,7 +31,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Optional, Sequence
 
-from repro.config import DEFAULT_CONFIG, ThorConfig
+from repro.config import (
+    DEFAULT_CONFIG,
+    RunOptions,
+    ThorConfig,
+    resolve_stage_timeout,
+)
 from repro.core.identification import IdentificationResult, PageletIdentifier
 from repro.core.page import Page
 from repro.core.page_clustering import PageClusterer, PageClusteringResult
@@ -40,8 +47,10 @@ from repro.errors import ExtractionError, ResumeError, ThorError
 from repro.resilience.faults import FaultPlan, activate_fault_plan, active_fault_plan
 from repro.resilience.manifest import (
     config_fingerprint,
+    load_cluster_checkpoint,
     load_probe_checkpoint,
     open_manifest,
+    save_cluster_checkpoint,
     save_manifest,
     save_probe_checkpoint,
 )
@@ -165,7 +174,7 @@ class Thor:
         return run_stage(
             lambda: self._prober.probe(source),
             "probe",
-            self.execution.stage_timeout_s,
+            resolve_stage_timeout(self.execution, "probe"),
         )
 
     def _streamed_probe(self, source: DeepWebSource) -> ProbeResult:
@@ -229,7 +238,9 @@ class Thor:
 
     # -- stage 2 ---------------------------------------------------------
 
-    def extract(self, pages: Sequence[Page]) -> ThorResult:
+    def extract(
+        self, pages: Sequence[Page], options: Optional[RunOptions] = None
+    ) -> ThorResult:
         """Stage 2: two-phase QA-Pagelet extraction over sampled pages.
 
         With a configured artifact cache, pages are prewarmed from the
@@ -237,6 +248,12 @@ class Thor:
         redirected to the cached lossless codec) and signatures
         computed on this run are persisted afterwards — the cache only
         changes *when* values are computed, never what they are.
+
+        A :class:`~repro.config.RunOptions` with a ``run_id`` makes the
+        extraction checkpointed: the Phase-1 fit is published to the
+        run manifest once computed, and ``options.resume`` restores it
+        (skipping the K-Means restarts) with a bitwise-identical
+        result.
 
         Pages whose parse or signature analysis raises a
         :class:`~repro.errors.ThorError` are quarantined (with a
@@ -246,22 +263,61 @@ class Thor:
         survives, :class:`~repro.errors.ExtractionError` is raised —
         extracting a template from junk would only produce junk. A
         forwarded cluster whose Phase-2 analysis raises (or times out
-        under ``stage_timeout_s``) is likewise quarantined whole, and
+        under its watchdog deadline) is likewise quarantined whole, and
         the remaining clusters still produce pagelets.
         """
         with activate_fault_plan(self.fault_plan), activate_report(self._report):
-            return self._extract_guarded(pages)
+            store = manifest = None
+            if options is not None and options.run_id is not None:
+                store, manifest = self._open_checkpoint(options)
+            result = self._extract_guarded(
+                pages, store=store, manifest=manifest, options=options
+            )
+            if manifest is not None:
+                from repro.io.export import result_digest
+
+                manifest.mark_complete("extract", digest=result_digest(result))
+                save_manifest(store, manifest)
+            return result
 
     def _extract_guarded(
-        self, pages: Sequence[Page], on_identified=None
+        self,
+        pages: Sequence[Page],
+        on_identified=None,
+        *,
+        store=None,
+        manifest=None,
+        options: Optional[RunOptions] = None,
     ) -> ThorResult:
-        timeout_s = self.execution.stage_timeout_s
         primed = self._prime_pages(pages)
         surviving = self._quarantine_scan(pages)
         self._check_survival(len(surviving), len(pages))
-        clustering = run_stage(
-            lambda: self._clusterer.fit(surviving), "cluster", timeout_s
-        )
+        clustering = None
+        if (
+            manifest is not None
+            and options is not None
+            and options.resume
+            and manifest.stage_complete("cluster")
+        ):
+            clustering = load_cluster_checkpoint(store, options.run_id, surviving)
+            if clustering is not None:
+                self._report.resume_hit("cluster")
+            # A corrupt, evicted, or size-mismatched checkpoint is a
+            # miss, not an error: fall through to refitting.
+        if clustering is None:
+            clustering = run_stage(
+                lambda: self._clusterer.fit(surviving),
+                "cluster",
+                resolve_stage_timeout(self.execution, "cluster"),
+            )
+            if manifest is not None:
+                payload_key = save_cluster_checkpoint(
+                    store, options.run_id, clustering
+                )
+                manifest.mark_complete(
+                    "cluster", pages=len(surviving), payload_key=payload_key
+                )
+                save_manifest(store, manifest)
         identifications: list[IdentificationResult] = []
         pagelets: list[QAPagelet] = []
         for cluster_index, cluster_pages in enumerate(
@@ -276,7 +332,7 @@ class Thor:
                 result = run_stage(
                     lambda pages=cluster_pages: self._identifier.identify(pages),
                     "identify",
-                    timeout_s,
+                    resolve_stage_timeout(self.execution, "identify"),
                 )
             except ThorError as exc:
                 # Degrade: this cluster contributes nothing, the rest
@@ -456,7 +512,7 @@ class Thor:
             return run_stage(
                 lambda: self._partitioner.partition(pagelet),
                 "partition",
-                self.execution.stage_timeout_s,
+                resolve_stage_timeout(self.execution, "partition"),
             )
         except ThorError as exc:
             self._report.quarantine(
@@ -464,7 +520,14 @@ class Thor:
             )
             return None
 
-    def _extract_partition_streaming(self, pages: Sequence[Page]) -> ThorResult:
+    def _extract_partition_streaming(
+        self,
+        pages: Sequence[Page],
+        *,
+        store=None,
+        manifest=None,
+        options: Optional[RunOptions] = None,
+    ) -> ThorResult:
         """Stages 2+3 overlapped: partition cluster ``i``'s pagelets
         while cluster ``i+1`` identifies.
 
@@ -487,7 +550,13 @@ class Thor:
                 for pagelet in result.pagelets:
                     futures.append(pool.submit(self._partition_one, pagelet))
 
-            extracted = self._extract_guarded(pages, on_identified=on_identified)
+            extracted = self._extract_guarded(
+                pages,
+                on_identified=on_identified,
+                store=store,
+                manifest=manifest,
+                options=options,
+            )
             partitioned = [
                 entry
                 for entry in (future.result() for future in futures)
@@ -504,20 +573,57 @@ class Thor:
 
     # -- all together ------------------------------------------------------
 
+    def _open_checkpoint(self, options: RunOptions):
+        """The (store, manifest) pair for a checkpointed invocation.
+
+        Raises :class:`~repro.errors.ResumeError` when checkpointing is
+        requested without a persistent artifact store, or when
+        ``resume=True`` names no run to resume.
+        """
+        if options.run_id is None:
+            raise ResumeError(
+                "resume=True needs a run_id naming the run to resume"
+            )
+        store = artifact_store_for(self.execution)
+        if store is None:
+            raise ResumeError(
+                "checkpointed runs need a persistent artifact store: "
+                "set ExecutionConfig.cache_dir (or REPRO_CACHE_DIR)"
+            )
+        manifest = open_manifest(
+            store, options.run_id, config_fingerprint(self.config), options.resume
+        )
+        return store, manifest
+
+    @staticmethod
+    def _notify_stage(options: Optional[RunOptions], stage: str) -> None:
+        """Fire ``options.on_stage`` as a stage starts computing (the
+        fleet ledger's state-machine hook); never fired for stages a
+        resume skipped."""
+        if options is not None and options.on_stage is not None:
+            options.on_stage(stage)
+
     def run(
         self,
         source: DeepWebSource,
         run_id: Optional[str] = None,
         resume: bool = False,
         streaming: bool = False,
+        options: Optional[RunOptions] = None,
     ) -> ThorResult:
         """Probe, extract, and partition in one call.
+
+        Invocation behavior rides on a
+        :class:`~repro.config.RunOptions` (``options``); the individual
+        keyword arguments remain as a convenience and are consulted
+        only when ``options`` is not given.
 
         With ``run_id`` set (and a persistent artifact store
         configured), the run checkpoints each completed stage in a run
         manifest; ``resume=True`` then skips stages the manifest marks
-        complete — after a crash, ``Thor.run(source, run_id=...,
-        resume=True)`` re-probes nothing and re-derives Phase-2 work
+        complete — after a crash, a resumed run re-probes nothing,
+        restores the Phase-1 fit from the cluster checkpoint instead of
+        re-running the K-Means restarts, and re-derives Phase-2 work
         from the warm artifact cache, producing a result digest
         bitwise-identical to an uninterrupted run. Resume hits are
         accounted on the run report.
@@ -530,41 +636,50 @@ class Thor:
         only — result digests are bitwise identical to a barriered
         run, and quarantine/recovery semantics are unchanged.
         """
+        if options is None:
+            options = RunOptions(
+                run_id=run_id, resume=resume, streaming=streaming
+            )
         with activate_fault_plan(self.fault_plan), activate_report(self._report):
             store = manifest = None
-            if run_id is not None:
-                store = artifact_store_for(self.execution)
-                if store is None:
-                    raise ResumeError(
-                        "checkpointed runs need a persistent artifact store: "
-                        "set ExecutionConfig.cache_dir (or REPRO_CACHE_DIR)"
-                    )
-                manifest = open_manifest(
-                    store, run_id, config_fingerprint(self.config), resume
-                )
+            if options.run_id is not None or options.resume:
+                store, manifest = self._open_checkpoint(options)
             pages: Optional[list[Page]] = None
-            if manifest is not None and resume and manifest.stage_complete("probe"):
-                pages = load_probe_checkpoint(store, run_id)
+            if (
+                manifest is not None
+                and options.resume
+                and manifest.stage_complete("probe")
+            ):
+                pages = load_probe_checkpoint(store, options.run_id)
                 if pages is not None:
                     self._report.resume_hit("probe")
                 # A corrupt/evicted checkpoint is a miss, not an error:
                 # fall through to re-probing.
             if pages is None:
-                if streaming:
+                self._notify_stage(options, "probe")
+                if options.streaming:
                     probe_result = self._streamed_probe(source)
                 else:
                     probe_result = self._probe_guarded(source)
                 pages = list(probe_result.pages)
                 if manifest is not None:
-                    payload_key = save_probe_checkpoint(store, run_id, pages)
+                    payload_key = save_probe_checkpoint(
+                        store, options.run_id, pages
+                    )
                     manifest.mark_complete(
                         "probe", pages=len(pages), payload_key=payload_key
                     )
                     save_manifest(store, manifest)
-            if streaming:
-                result = self._extract_partition_streaming(pages)
+            self._notify_stage(options, "extract")
+            if options.streaming:
+                result = self._extract_partition_streaming(
+                    pages, store=store, manifest=manifest, options=options
+                )
             else:
-                result = self._extract_guarded(pages)
+                result = self._extract_guarded(
+                    pages, store=store, manifest=manifest, options=options
+                )
+                self._notify_stage(options, "partition")
                 result = self.partition(result)
             if manifest is not None:
                 from repro.io.export import result_digest

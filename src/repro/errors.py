@@ -57,6 +57,14 @@ class EvaluationError(ThorError):
     """Raised by evaluation helpers on malformed ground truth."""
 
 
+class ConfigError(ThorError):
+    """Raised for configuration that is no longer (or never was)
+    meaningful — e.g. the removed per-stage ``ClusteringConfig.backend``
+    / ``SubtreeConfig.backend`` fields, or a fleet job submitted without
+    a persistent artifact store. The message always names the
+    replacement knob."""
+
+
 class ResilienceError(ThorError):
     """Base class for fault-tolerant-runtime errors (the
     :mod:`repro.resilience` layer): chunk execution that could not be

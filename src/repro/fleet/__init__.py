@@ -1,0 +1,52 @@
+"""Fleet orchestration: N sites as one resumable job (DESIGN.md §13).
+
+- :mod:`repro.fleet.spec` — the declarative job description
+  (:class:`FleetSpec` / :class:`SiteSpec`: sites, tenants, priorities,
+  wave quotas);
+- :mod:`repro.fleet.ledger` — persistent per-site state in the
+  artifact store (``queued → probing → extracting → done |
+  quarantined``, atomic publishes);
+- :mod:`repro.fleet.driver` — :func:`run_fleet` shards sites over the
+  process machinery and aggregates one :class:`FleetReport`.
+
+The public entry point is :func:`repro.api.run_fleet`.
+"""
+
+from repro.fleet.driver import (
+    FleetReport,
+    SiteOutcome,
+    aggregate_digest,
+    default_fleet_id,
+    format_fleet_report,
+    run_fleet,
+)
+from repro.fleet.ledger import (
+    KIND_FLEETS,
+    SITE_STATES,
+    STATE_DONE,
+    STATE_EXTRACTING,
+    STATE_PROBING,
+    STATE_QUARANTINED,
+    STATE_QUEUED,
+    FleetLedger,
+)
+from repro.fleet.spec import FleetSpec, SiteSpec
+
+__all__ = [
+    "FleetLedger",
+    "FleetReport",
+    "FleetSpec",
+    "KIND_FLEETS",
+    "SITE_STATES",
+    "STATE_DONE",
+    "STATE_EXTRACTING",
+    "STATE_PROBING",
+    "STATE_QUARANTINED",
+    "STATE_QUEUED",
+    "SiteOutcome",
+    "SiteSpec",
+    "aggregate_digest",
+    "default_fleet_id",
+    "format_fleet_report",
+    "run_fleet",
+]

@@ -1,0 +1,161 @@
+"""The fleet ledger: per-site state that survives crashes.
+
+One fleet job tracks each site through a small state machine::
+
+    queued → probing → extracting → done
+                               ↘ quarantined
+
+Every transition is one atomic JSON publish into the artifact store
+(kind ``fleets``), so a crashed driver — or a crashed worker process —
+leaves each site at its last completed transition, never in a torn
+state. A resumed invocation reads the ledger, skips sites already
+``done`` (reusing their recorded digests), and re-admits everything
+else; a site that crashed mid-``extracting`` re-runs under its own run
+manifest and resumes its probe/cluster checkpoints there.
+
+Like the run manifest, the ledger record carries the *spec
+fingerprint* of the fleet that wrote it: resuming a fleet id under a
+different :class:`~repro.fleet.spec.FleetSpec` raises
+:class:`~repro.errors.ResumeError` instead of splicing two different
+jobs together.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.artifacts.keys import sha256_hex
+from repro.errors import ResumeError
+
+#: Artifact-store kind for fleet ledgers and per-site state records.
+KIND_FLEETS = "fleets"
+
+#: Bump when the ledger layout changes.
+LEDGER_VERSION = 1
+
+# -- the site state machine -------------------------------------------------
+
+STATE_QUEUED = "queued"
+STATE_PROBING = "probing"
+STATE_EXTRACTING = "extracting"
+STATE_DONE = "done"
+STATE_QUARANTINED = "quarantined"
+
+#: All valid per-site states, in lifecycle order.
+SITE_STATES = (
+    STATE_QUEUED,
+    STATE_PROBING,
+    STATE_EXTRACTING,
+    STATE_DONE,
+    STATE_QUARANTINED,
+)
+
+
+def fleet_key(fleet_id: str) -> str:
+    """Store key of the fleet-level ledger record."""
+    return sha256_hex(f"fleet:v{LEDGER_VERSION}:{fleet_id}")
+
+
+def site_state_key(fleet_id: str, site_id: str) -> str:
+    """Store key of one site's state record."""
+    return sha256_hex(f"fleet-site:v{LEDGER_VERSION}:{fleet_id}:{site_id}")
+
+
+class FleetLedger:
+    """Reader/writer for one fleet's persistent state.
+
+    Thin by design: every method is one store round-trip, and the
+    store's atomic last-writer-wins publish is the only concurrency
+    mechanism — workers updating different sites never contend, and a
+    torn process leaves records whole.
+    """
+
+    def __init__(self, store, fleet_id: str) -> None:
+        self.store = store
+        self.fleet_id = fleet_id
+
+    # -- fleet-level record ----------------------------------------------
+
+    @classmethod
+    def open(
+        cls, store, fleet_id: str, fingerprint: str, resume: bool
+    ) -> "FleetLedger":
+        """Open (or create) the ledger for one fleet invocation.
+
+        With ``resume=True`` an existing fingerprint-matching ledger is
+        adopted as-is (done sites will be skipped); a fingerprint
+        mismatch raises :class:`~repro.errors.ResumeError`. With
+        ``resume=False`` any previous ledger for the id is discarded
+        and every site starts ``queued``.
+        """
+        ledger = cls(store, fleet_id)
+        existing = store.get_json(KIND_FLEETS, fleet_key(fleet_id))
+        if resume and isinstance(existing, dict):
+            stored = existing.get("fingerprint")
+            if stored != fingerprint:
+                raise ResumeError(
+                    f"cannot resume fleet {fleet_id!r}: its ledger was "
+                    "written for a different FleetSpec (sites, quotas, or "
+                    "priorities changed); resubmit without resume"
+                )
+            return ledger
+        store.put_json(
+            KIND_FLEETS,
+            fleet_key(fleet_id),
+            {"fleet_id": fleet_id, "fingerprint": fingerprint},
+        )
+        return ledger
+
+    # -- per-site records -------------------------------------------------
+
+    def site_state(self, site_id: str) -> dict:
+        """The last recorded state of ``site_id`` (``{"state":
+        "queued"}`` when nothing — or something corrupt — is on disk)."""
+        record = self.store.get_json(
+            KIND_FLEETS, site_state_key(self.fleet_id, site_id)
+        )
+        if (
+            not isinstance(record, dict)
+            or record.get("state") not in SITE_STATES
+        ):
+            return {"state": STATE_QUEUED}
+        return record
+
+    def set_state(self, site_id: str, state: str, **info) -> None:
+        """Atomically publish one site's transition (last writer wins)."""
+        if state not in SITE_STATES:
+            raise ValueError(
+                f"unknown site state {state!r}; valid: {', '.join(SITE_STATES)}"
+            )
+        record = {"state": state}
+        record.update(info)
+        self.store.put_json(
+            KIND_FLEETS, site_state_key(self.fleet_id, site_id), record
+        )
+
+    def reset_site(self, site_id: str) -> None:
+        """Put ``site_id`` back to ``queued`` (fresh submissions)."""
+        self.set_state(site_id, STATE_QUEUED)
+
+    def completed_digest(self, site_id: str) -> Optional[str]:
+        """The recorded result digest of a ``done`` site, else ``None``."""
+        record = self.site_state(site_id)
+        if record.get("state") != STATE_DONE:
+            return None
+        digest = record.get("digest")
+        return digest if isinstance(digest, str) and digest else None
+
+
+__all__ = [
+    "FleetLedger",
+    "KIND_FLEETS",
+    "LEDGER_VERSION",
+    "SITE_STATES",
+    "STATE_DONE",
+    "STATE_EXTRACTING",
+    "STATE_PROBING",
+    "STATE_QUARANTINED",
+    "STATE_QUEUED",
+    "fleet_key",
+    "site_state_key",
+]

@@ -1,0 +1,182 @@
+"""Declarative fleet jobs: what to run, for whom, in what order.
+
+A :class:`FleetSpec` names every site a fleet job covers, plus the
+scheduling *data* — per-site tenant and priority, per-tenant wave
+quotas. Policy (how many worker processes, when an invocation stops)
+lives on :class:`~repro.config.FleetConfig`; the spec stays a pure
+description, so its :meth:`~FleetSpec.fingerprint` can key the fleet's
+persistent ledger: the same submission always resumes the same fleet.
+
+Sites are declared, not passed as live objects: a
+:class:`SiteSpec` carries the simulator parameters (domain, seed,
+records) needed to *rebuild* its source — in this process, in a worker
+process, or in a resumed invocation next week. That is what makes a
+fleet crash-survivable: nothing about a site exists only in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.artifacts.keys import sha256_hex
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One site of a fleet job."""
+
+    #: Unique name of the site inside its fleet; also names the site's
+    #: per-run checkpoints (``<fleet_id>/<site_id>``).
+    site_id: str
+    #: Simulated deep-web domain (see :data:`repro.deepweb.DOMAINS`).
+    domain: str = "ecommerce"
+    #: Site generation seed (content, templates, noise).
+    seed: int = 0
+    #: Database size of the generated site.
+    records: int = 150
+    #: Which tenant submitted the site; quotas meter admission per
+    #: tenant per scheduling wave.
+    tenant: str = "default"
+    #: Higher runs earlier (ties broken by declaration order).
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.site_id:
+            raise ConfigError("SiteSpec.site_id must be a non-empty name")
+        if self.records < 1:
+            raise ConfigError(
+                f"SiteSpec.records must be >= 1, got {self.records}"
+            )
+        if not self.tenant:
+            raise ConfigError("SiteSpec.tenant must be a non-empty name")
+
+    def build_source(self):
+        """Rebuild this site's deep-web source (pure: same spec, same
+        site — in any process, any invocation)."""
+        from repro.deepweb import make_site
+
+        return make_site(self.domain, seed=self.seed, records=self.records)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A whole fleet job: many sites, scheduled fairly across tenants.
+
+    Scheduling is *wave-based* and deterministic: sites are ordered by
+    ``(-priority, declaration index)``, then admitted into waves; a
+    tenant with a quota gets at most that many sites per wave, the
+    rest roll into later waves. Waves run in order, so a tenant
+    flooding the queue cannot starve the others — without any
+    concurrency bookkeeping that could make scheduling (and therefore
+    interruption points) nondeterministic.
+    """
+
+    sites: tuple[SiteSpec, ...]
+    #: Per-tenant wave quota (``tenant -> max sites per wave``).
+    #: Tenants not named here fall back to ``default_quota``.
+    quotas: tuple[tuple[str, int], ...] = ()
+    #: Wave quota for tenants without an explicit entry; ``None`` =
+    #: unlimited.
+    default_quota: Optional[int] = None
+    #: Free-form description carried into the fleet report.
+    description: str = ""
+    _quota_map: dict = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sites", tuple(self.sites))
+        object.__setattr__(
+            self, "quotas", tuple((str(t), int(q)) for t, q in self.quotas)
+        )
+        if not self.sites:
+            raise ConfigError("FleetSpec needs at least one SiteSpec")
+        seen: set[str] = set()
+        for site in self.sites:
+            if site.site_id in seen:
+                raise ConfigError(
+                    f"duplicate site_id {site.site_id!r} in FleetSpec"
+                )
+            seen.add(site.site_id)
+        quota_map: dict[str, int] = {}
+        for tenant, quota in self.quotas:
+            if quota < 1:
+                raise ConfigError(
+                    f"quota for tenant {tenant!r} must be >= 1, got {quota}"
+                )
+            if tenant in quota_map:
+                raise ConfigError(f"duplicate quota for tenant {tenant!r}")
+            quota_map[tenant] = quota
+        if self.default_quota is not None and self.default_quota < 1:
+            raise ConfigError(
+                f"default_quota must be >= 1 (or None), got {self.default_quota}"
+            )
+        object.__setattr__(self, "_quota_map", quota_map)
+
+    def quota_for(self, tenant: str) -> Optional[int]:
+        """The wave quota of ``tenant`` (``None`` = unlimited)."""
+        return self._quota_map.get(tenant, self.default_quota)
+
+    def fingerprint(self) -> str:
+        """A digest of everything that identifies this job.
+
+        Keys the fleet's persistent ledger (and the default fleet id),
+        so resubmitting the same spec resumes the same fleet — and a
+        *changed* spec can be detected instead of silently spliced onto
+        the wrong ledger.
+        """
+        return sha256_hex(
+            repr(
+                (
+                    tuple(
+                        (
+                            s.site_id,
+                            s.domain,
+                            s.seed,
+                            s.records,
+                            s.tenant,
+                            s.priority,
+                        )
+                        for s in self.sites
+                    ),
+                    tuple(sorted(self.quotas)),
+                    self.default_quota,
+                )
+            )
+        )
+
+    def waves(self) -> list[list[SiteSpec]]:
+        """The deterministic scheduling order, as waves of sites.
+
+        >>> spec = FleetSpec(
+        ...     sites=(
+        ...         SiteSpec("a1", tenant="a"),
+        ...         SiteSpec("a2", tenant="a"),
+        ...         SiteSpec("b1", tenant="b", priority=1),
+        ...     ),
+        ...     quotas=(("a", 1),),
+        ... )
+        >>> [[s.site_id for s in wave] for wave in spec.waves()]
+        [['b1', 'a1'], ['a2']]
+        """
+        remaining = sorted(
+            enumerate(self.sites), key=lambda pair: (-pair[1].priority, pair[0])
+        )
+        waves: list[list[SiteSpec]] = []
+        while remaining:
+            used: dict[str, int] = {}
+            wave: list[SiteSpec] = []
+            deferred: list[tuple[int, SiteSpec]] = []
+            for index, site in remaining:
+                quota = self.quota_for(site.tenant)
+                if quota is None or used.get(site.tenant, 0) < quota:
+                    used[site.tenant] = used.get(site.tenant, 0) + 1
+                    wave.append(site)
+                else:
+                    deferred.append((index, site))
+            waves.append(wave)
+            remaining = deferred
+        return waves
+
+
+__all__ = ["FleetSpec", "SiteSpec"]

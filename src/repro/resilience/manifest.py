@@ -13,9 +13,11 @@ other intermediate (kind ``runs``), published atomically, so a crash
 *during* checkpointing leaves either the previous manifest or the new
 one — never a torn state. The probe checkpoint stores the full page
 records (HTML + labels, the same JSONL schema as
-:mod:`repro.io.cache`); Phase-2 intermediates need no per-run
-checkpoint because the content-addressed cache already serves them
-warm on resume.
+:mod:`repro.io.cache`); the cluster checkpoint stores the Phase-1 fit
+(labels, k, ranking scores) so a resumed run skips the K-Means
+restarts too, not just the probe; Phase-2 intermediates need no
+per-run checkpoint because the content-addressed cache already serves
+them warm on resume.
 
 A manifest carries the *configuration fingerprint* of the run that
 wrote it. Resuming under a different seed or stage configuration would
@@ -168,16 +170,95 @@ def load_probe_checkpoint(store, run_id: str) -> Optional[list]:
     return pages
 
 
+def save_cluster_checkpoint(store, run_id: str, result) -> str:
+    """Persist a Phase-1 fit (:class:`PageClusteringResult`); returns
+    the payload key.
+
+    Only the fit itself is stored — labels, k, and the ranking scores.
+    The pages the labels index are the quarantine survivors of the
+    probe checkpoint, which the manifest already owns; storing them
+    again would double the checkpoint for no information. JSON floats
+    round-trip exactly (repr-based encoding), so a restored fit is
+    bitwise-identical to the live one.
+    """
+    key = checkpoint_key(run_id, "cluster")
+    store.put_json(
+        KIND_RUNS,
+        key,
+        {
+            "labels": list(result.clustering.labels),
+            "k": result.clustering.k,
+            "scores": [
+                {
+                    "cluster": score.cluster,
+                    "size": score.size,
+                    "avg_distinct_terms": score.avg_distinct_terms,
+                    "avg_fanout": score.avg_fanout,
+                    "avg_page_size": score.avg_page_size,
+                    "combined": score.combined,
+                }
+                for score in result.scores
+            ],
+        },
+    )
+    return key
+
+
+def load_cluster_checkpoint(store, run_id: str, pages: Sequence):
+    """Rebuild the checkpointed Phase-1 fit over ``pages`` (the
+    quarantine survivors, in order), or ``None`` when the payload is
+    missing, corrupt, or does not label exactly ``len(pages)`` pages —
+    any mismatch means the caller refits from scratch."""
+    from repro.cluster.assignments import Clustering
+    from repro.core.cluster_ranking import ClusterScore
+    from repro.core.page_clustering import PageClusteringResult
+    from repro.errors import ClusteringError
+
+    payload = store.get_json(KIND_RUNS, checkpoint_key(run_id, "cluster"))
+    if not isinstance(payload, dict):
+        return None
+    labels = payload.get("labels")
+    k = payload.get("k")
+    raw_scores = payload.get("scores")
+    if (
+        not isinstance(labels, list)
+        or not isinstance(k, int)
+        or isinstance(k, bool)
+        or len(labels) != len(pages)
+        or not isinstance(raw_scores, list)
+        or not all(isinstance(entry, dict) for entry in raw_scores)
+    ):
+        return None
+    try:
+        clustering = Clustering(tuple(int(label) for label in labels), k)
+        scores = tuple(
+            ClusterScore(
+                cluster=int(entry["cluster"]),
+                size=int(entry["size"]),
+                avg_distinct_terms=float(entry["avg_distinct_terms"]),
+                avg_fanout=float(entry["avg_fanout"]),
+                avg_page_size=float(entry["avg_page_size"]),
+                combined=float(entry["combined"]),
+            )
+            for entry in raw_scores
+        )
+    except (ClusteringError, KeyError, TypeError, ValueError):
+        return None
+    return PageClusteringResult(tuple(pages), clustering, scores)
+
+
 __all__ = [
     "KIND_RUNS",
     "MANIFEST_VERSION",
     "RunManifest",
     "checkpoint_key",
     "config_fingerprint",
+    "load_cluster_checkpoint",
     "load_manifest",
     "load_probe_checkpoint",
     "manifest_key",
     "open_manifest",
+    "save_cluster_checkpoint",
     "save_manifest",
     "save_probe_checkpoint",
 ]

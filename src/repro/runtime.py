@@ -44,7 +44,6 @@ from repro.config import (
     BACKENDS,
     BackendSelection,
     ExecutionConfig,
-    execution_from_legacy,
     resolve_backend,
     resolve_cache_dir,
     resolve_n_jobs,
@@ -587,7 +586,6 @@ __all__ = [
     "cached_weighted_space",
     "clear_artifact_store_registry",
     "clear_space_cache",
-    "execution_from_legacy",
     "resolve_backend",
     "resolve_cache_dir",
     "resolve_n_jobs",

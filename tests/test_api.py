@@ -7,10 +7,65 @@ import pytest
 from repro import api
 
 
+#: The facade's stability promise, verbatim. A diff here is an API
+#: change and belongs in CHANGES.md — the test failing is the point.
+EXPECTED_ALL = [
+    "ArtifactStore",
+    "ChunkFailedError",
+    "ClusteringConfig",
+    "ConfigError",
+    "DEFAULT_CONFIG",
+    "DeepWebSource",
+    "ExecutionConfig",
+    "FaultInjectingSource",
+    "FaultPlan",
+    "FaultSpec",
+    "FleetConfig",
+    "FleetReport",
+    "FleetSpec",
+    "GcReport",
+    "Page",
+    "ProbeConfig",
+    "ProbeResult",
+    "ProbeTelemetry",
+    "QuarantineRecord",
+    "ResilienceError",
+    "ResumeError",
+    "RunOptions",
+    "RunReport",
+    "SiteOutcome",
+    "SiteSpec",
+    "StageTimeoutError",
+    "StageTimeouts",
+    "SubtreeConfig",
+    "Thor",
+    "ThorConfig",
+    "ThorError",
+    "ThorResult",
+    "collect_artifacts",
+    "extract",
+    "format_artifact_report",
+    "format_fleet_report",
+    "format_probe_report",
+    "format_run_report",
+    "make_site",
+    "probe",
+    "resolve_cache_dir",
+    "run",
+    "run_fleet",
+]
+
+
 class TestFacadeSurface:
     def test_exports(self):
         for name in api.__all__:
             assert hasattr(api, name), name
+
+    def test_exact_surface(self):
+        assert api.__all__ == EXPECTED_ALL
+
+    def test_surface_is_sorted(self):
+        assert api.__all__ == sorted(api.__all__)
 
     def test_reexports_are_canonical(self):
         from repro.config import ExecutionConfig, ThorConfig
@@ -52,6 +107,23 @@ class TestFacadeVerbs:
         result = api.run(site, config)
         assert result.pagelets
         assert result.partitioned
+
+    def test_legacy_kwargs_warn_but_work(self, site, tmp_path):
+        from repro.io.export import result_digest
+
+        config = api.ThorConfig(
+            seed=7, execution=api.ExecutionConfig(cache_dir=str(tmp_path))
+        )
+        with pytest.warns(DeprecationWarning, match="RunOptions"):
+            legacy = api.run(site, config, run_id="legacy")
+        modern = api.run(
+            site, config, api.RunOptions(run_id="legacy", resume=True)
+        )
+        assert result_digest(legacy) == result_digest(modern)
+
+    def test_legacy_kwargs_conflict_with_options(self, site):
+        with pytest.raises(TypeError, match="not both"):
+            api.run(site, options=api.RunOptions(), streaming=True)
 
     def test_run_with_jobs(self, site):
         # n_jobs > 1 must not change seeded results (restart fan-out is

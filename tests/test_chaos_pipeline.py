@@ -177,7 +177,9 @@ class TestResumableRuns:
         resumed_thor = Thor(config)
         second = resumed_thor.run(site(), run_id="r1", resume=True)
         assert result_digest(first) == result_digest(second)
-        assert resumed_thor.report().resume_hits == ("probe",)
+        # The resumed run restores both checkpoints: the probe sample
+        # and the Phase-1 cluster fit.
+        assert resumed_thor.report().resume_hits == ("probe", "cluster")
 
     def test_resume_under_different_config_refuses(self, tmp_path):
         execution = ExecutionConfig(cache_dir=str(tmp_path))
@@ -235,7 +237,7 @@ class TestCliChaosSmoke:
 
         assert digest_line(first) == digest_line(second)
         assert "run report:" in first and "run report:" in second
-        assert "resume-hits=1" in second
+        assert "resume-hits=2" in second  # probe + cluster checkpoints
 
     def test_resume_without_run_id_is_an_error(self, capsys):
         from repro.cli import main

@@ -422,11 +422,13 @@ class TestStreamingPipeline:
         assert result_digest(streamed_warm) == result_digest(barriered)
 
     def test_api_run_exposes_streaming(self):
-        from repro.api import run
+        from repro.api import RunOptions, run
 
         config = _small_config()
         barriered = run(make_site("music", seed=2, records=40), config)
         streamed = run(
-            make_site("music", seed=2, records=40), config, streaming=True
+            make_site("music", seed=2, records=40),
+            config,
+            RunOptions(streaming=True),
         )
         assert result_digest(streamed) == result_digest(barriered)

@@ -8,14 +8,19 @@ import pytest
 
 from repro.config import (
     DEFAULT_CONFIG,
+    WATCHDOG_STAGES,
     ClusteringConfig,
     ExecutionConfig,
+    FleetConfig,
     ProbeConfig,
+    RunOptions,
+    StageTimeouts,
     SubtreeConfig,
     ThorConfig,
-    execution_from_legacy,
     resolve_n_jobs,
+    resolve_stage_timeout,
 )
+from repro.errors import ConfigError
 from repro.seeding import namespaced_rng
 
 
@@ -135,51 +140,82 @@ class TestResolveNJobs:
             resolve_n_jobs(n_jobs=-2)
 
 
-class TestLegacyBackendDeprecation:
-    def test_resolved_execution_warns_on_legacy_fields(self):
-        config = ThorConfig(
-            clustering=ClusteringConfig(backend="python"),
+class TestRemovedBackendField:
+    """The deprecated per-stage ``backend`` fields are gone: setting
+    them is a typed :class:`ConfigError` naming the replacement."""
+
+    def test_clustering_backend_raises(self):
+        with pytest.raises(ConfigError, match="ClusteringConfig.backend"):
+            ClusteringConfig(backend="python")
+
+    def test_subtree_backend_raises(self):
+        with pytest.raises(ConfigError, match="SubtreeConfig.backend"):
+            SubtreeConfig(backend="python")
+
+    def test_error_names_the_replacement(self):
+        with pytest.raises(ConfigError, match="ExecutionConfig"):
+            ClusteringConfig(backend="numpy")
+
+    def test_unset_field_stays_silent(self, recwarn):
+        assert ClusteringConfig().backend is None
+        assert SubtreeConfig().backend is None
+        assert not recwarn.list
+
+    def test_resolved_execution_passthrough(self):
+        execution = ExecutionConfig(backend="python", n_jobs=2)
+        assert ThorConfig(execution=execution).resolved_execution() is execution
+
+    def test_config_error_is_thor_error(self):
+        from repro.errors import ThorError
+
+        assert issubclass(ConfigError, ThorError)
+
+
+class TestStageTimeouts:
+    def test_per_stage_override_wins(self):
+        execution = ExecutionConfig(
+            stage_timeout_s=30.0,
+            stage_timeouts=StageTimeouts(cluster=5.0),
         )
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            execution = config.resolved_execution()
-        assert execution.backend == "python"
+        assert resolve_stage_timeout(execution, "cluster") == 5.0
+        assert resolve_stage_timeout(execution, "probe") == 30.0
 
-    def test_explicit_execution_backend_outranks_legacy(self):
-        config = ThorConfig(
-            clustering=ClusteringConfig(backend="python"),
-            execution=ExecutionConfig(backend="numpy"),
-        )
-        with pytest.warns(DeprecationWarning):
-            execution = config.resolved_execution()
-        assert execution.backend == "numpy"
+    def test_none_execution_means_no_deadline(self):
+        for stage in WATCHDOG_STAGES:
+            assert resolve_stage_timeout(None, stage) is None
 
-    def test_no_warning_without_legacy_fields(self, recwarn):
-        execution = ThorConfig().resolved_execution()
-        assert execution == ExecutionConfig()
-        assert not [
-            w for w in recwarn if issubclass(w.category, DeprecationWarning)
-        ]
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown watchdog stage"):
+            resolve_stage_timeout(ExecutionConfig(), "upload")
 
-    def test_execution_from_legacy_warns(self):
-        with pytest.warns(DeprecationWarning, match="ClusteringConfig.backend"):
-            execution = execution_from_legacy(
-                None, "python", "ClusteringConfig.backend"
-            )
-        assert execution.backend == "python"
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            StageTimeouts(probe=0.0)
+        with pytest.raises(ValueError):
+            StageTimeouts(identify=-1.0)
 
-    def test_execution_from_legacy_explicit_wins_silently(self, recwarn):
-        explicit = ExecutionConfig(backend="numpy")
-        assert (
-            execution_from_legacy(explicit, "python", "SubtreeConfig.backend")
-            is explicit
-        )
-        assert not [
-            w for w in recwarn if issubclass(w.category, DeprecationWarning)
-        ]
 
-    def test_stage_drivers_accept_legacy_field_with_warning(self):
-        from repro.core.page_clustering import PageClusterer
+class TestRunOptionsAndFleetConfig:
+    def test_run_options_defaults(self):
+        options = RunOptions()
+        assert options.run_id is None
+        assert options.resume is False
+        assert options.streaming is False
+        assert options.fault_plan is None
 
-        with pytest.warns(DeprecationWarning):
-            clusterer = PageClusterer(ClusteringConfig(backend="python"))
-        assert clusterer.execution.backend == "python"
+    def test_run_options_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            RunOptions().resume = True
+
+    def test_on_stage_excluded_from_equality(self):
+        assert RunOptions(on_stage=print) == RunOptions()
+
+    def test_fleet_config_defaults_on_thor_config(self):
+        assert ThorConfig().fleet == FleetConfig()
+        assert FleetConfig().site_jobs == 1
+
+    def test_fleet_config_validates(self):
+        with pytest.raises(ValueError):
+            FleetConfig(site_jobs=-1)
+        with pytest.raises(ValueError):
+            FleetConfig(max_sites_per_run=0)
