@@ -1,0 +1,124 @@
+"""Crawl-frontier service: fetch concurrency and warm resume.
+
+Measures :func:`repro.api.crawl` over a latency-shimmed
+:class:`~repro.discovery.web.SimulatedWeb` (each fetch sleeps ~10ms,
+standing in for network RTT) at 1, 4, and 8 executor jobs — asserting
+the corpus-digest invariant across all of them — then a warm resume of
+an already-finished checkpointed crawl, which must adopt the corpus
+wholesale instead of refetching it.
+
+Archived to ``BENCH_frontier.json``. Concurrency speedups are recorded,
+not floored: the shim sleeps in threads, so the ratio tracks the
+thread-pool fan-out rather than CPU count, but a loaded runner can
+still flatten it. The warm-resume floor *is* asserted
+(``REPRO_BENCH_FRONTIER_RESUME_FLOOR``, default 10×): skipping every
+fetch must beat redoing them by a wide margin.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from conftest import emit, emit_json
+from repro import api
+from repro.config import CrawlConfig, ExecutionConfig, RunOptions, ThorConfig
+from repro.discovery.web import SimulatedWeb
+
+RESUME_FLOOR = float(
+    os.environ.get("REPRO_BENCH_FRONTIER_RESUME_FLOOR", "10.0")
+)
+PAGES = int(os.environ.get("REPRO_BENCH_FRONTIER_PAGES", "60"))
+FETCH_LATENCY_S = 0.01
+JOBS = (1, 4, 8)
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class _SlowWeb:
+    """SimulatedWeb with a fixed per-fetch latency shim."""
+
+    def __init__(self) -> None:
+        self._web = SimulatedWeb(n_pages=PAGES, n_portals=4, seed=13)
+        self.seed_url = self._web.seed_url
+
+    def fetch(self, url: str) -> str:
+        time.sleep(FETCH_LATENCY_S)
+        return self._web.fetch(url)
+
+
+def _config(jobs: int, cache_dir: str | None = None) -> ThorConfig:
+    return ThorConfig(
+        seed=13,
+        crawl=CrawlConfig(max_pages=PAGES, batch_size=16),
+        execution=ExecutionConfig(cache_dir=cache_dir, n_jobs=jobs),
+    )
+
+
+class TestFrontierBench:
+    def test_concurrency_and_resume(self, capsys):
+        rows = []
+        payload = {
+            "pages": PAGES,
+            "fetch_latency_s": FETCH_LATENCY_S,
+            "cpus": _available_cpus(),
+            "resume_floor": RESUME_FLOOR,
+            "jobs": {},
+        }
+
+        digests = set()
+        serial_s = None
+        for jobs in JOBS:
+            start = time.perf_counter()
+            report = api.crawl(_SlowWeb(), config=_config(jobs))
+            elapsed = time.perf_counter() - start
+            digests.add(report.corpus_digest)
+            fetched = report.pages_fetched
+            if jobs == 1:
+                serial_s = elapsed
+            speedup = serial_s / elapsed if elapsed else float("inf")
+            rows.append(
+                f"crawl jobs={jobs}   {elapsed:8.2f}s "
+                f"({fetched / elapsed:6.1f} pages/s, {speedup:4.2f}x serial)"
+            )
+            payload["jobs"][str(jobs)] = {
+                "elapsed_s": elapsed,
+                "pages_per_s": fetched / elapsed,
+                "speedup_vs_serial": speedup,
+            }
+        # The invariant first, the stopwatch second.
+        assert len(digests) == 1
+
+        with tempfile.TemporaryDirectory() as cache_dir:
+            config = _config(4, cache_dir)
+            options = RunOptions(run_id="bench-crawl")
+            start = time.perf_counter()
+            cold = api.crawl(_SlowWeb(), config=config, options=options)
+            cold_s = time.perf_counter() - start
+            assert cold.finished
+            assert cold.corpus_digest in digests
+            start = time.perf_counter()
+            warm = api.crawl(
+                _SlowWeb(),
+                config=config,
+                options=RunOptions(run_id="bench-crawl", resume=True),
+            )
+            warm_s = time.perf_counter() - start
+            assert warm.corpus_digest == cold.corpus_digest
+            assert warm.resume_hits == cold.pages_fetched
+
+        resume_ratio = cold_s / warm_s if warm_s else float("inf")
+        payload["resume_speedup"] = resume_ratio
+        rows.append(
+            f"warm resume        {warm_s*1000:7.1f}ms "
+            f"({resume_ratio:6.1f}x cold, floor {RESUME_FLOOR}x)"
+        )
+        emit(capsys, "BENCH_frontier", "\n".join(rows))
+        emit_json("BENCH_frontier", payload)
+        assert resume_ratio >= RESUME_FLOOR

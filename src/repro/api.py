@@ -1,6 +1,6 @@
 """The stable entry point: ``repro.api``.
 
-One import gives the whole pipeline behind four verbs::
+One import gives the whole pipeline behind five verbs::
 
     from repro import api
 
@@ -9,6 +9,9 @@ One import gives the whole pipeline behind four verbs::
     for pagelet in result.pagelets:
         print(pagelet.path, pagelet.score)
 
+- :func:`crawl` — Stage 0: acquire pages and discover query
+  interfaces with the checkpointed crawl frontier
+  (:mod:`repro.frontier`).
 - :func:`probe` — Stage 1: sample a deep-web source with probe
   queries, returning the page sample.
 - :func:`extract` — Stage 2: two-phase QA-Pagelet extraction over an
@@ -23,9 +26,9 @@ Each takes an optional :class:`ThorConfig` for *what to compute*
 persistent artifact cache — ride on ``ThorConfig.execution``), and an
 optional :class:`RunOptions` for *how this invocation behaves* —
 naming (``run_id``), resumption (``resume``), single-pass scheduling
-(``streaming``), and seeded chaos (``fault_plan``). The pre-1.0
-``run_id``/``resume``/``streaming`` keyword arguments still work for
-one release with a :class:`DeprecationWarning`.
+(``streaming``), and seeded chaos (``fault_plan``). (The pre-1.0 bare
+``run_id``/``resume``/``streaming`` keyword arguments completed their
+one-release deprecation and are gone.)
 
 Exactly the names in ``__all__`` are covered by the facade's stability
 promise; deeper module paths (``repro.core.*``, ``repro.cluster.*``)
@@ -34,8 +37,7 @@ remain importable but may reorganize between versions.
 
 from __future__ import annotations
 
-import warnings
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.artifacts import ArtifactStore, GcReport
 from repro.artifacts import collect as collect_artifacts
@@ -43,6 +45,7 @@ from repro.artifacts import format_artifact_report
 from repro.config import (
     DEFAULT_CONFIG,
     ClusteringConfig,
+    CrawlConfig,
     ExecutionConfig,
     FleetConfig,
     ProbeConfig,
@@ -72,6 +75,11 @@ from repro.fleet import (
     format_fleet_report,
 )
 from repro.fleet import run_fleet as _run_fleet
+from repro.frontier.service import (
+    CrawlReport,
+    format_crawl_report,
+    run_crawl as _run_crawl,
+)
 from repro.probe import (
     FaultInjectingSource,
     FaultSpec,
@@ -85,42 +93,30 @@ from repro.resilience import (
     format_run_report,
 )
 
-#: Sentinel distinguishing "not passed" from an explicit ``None`` on
-#: the deprecated keyword arguments.
-_UNSET = object()
+def crawl(
+    fetch: Union[Callable[[str], str], object],
+    seeds: Optional[Sequence[str]] = None,
+    config: Optional[ThorConfig] = None,
+    options: Optional[RunOptions] = None,
+) -> CrawlReport:
+    """Stage 0: crawl from ``seeds``, collecting pages and search forms.
 
+    ``fetch`` is a ``fetch(url) -> html`` callable or an object with a
+    ``.fetch`` method (e.g. :class:`repro.discovery.web.SimulatedWeb`,
+    whose ``seed_url`` is then the default seed). ``config.crawl``
+    shapes the crawl (page budget, batch size, depth cap, exclusions,
+    per-site politeness rate); ``options.run_id`` names it for
+    checkpointing and ``options.resume`` continues an interrupted crawl
+    — the finished corpus digest is identical to an uninterrupted
+    crawl's, at any ``--jobs`` level, including under a seeded
+    ``options.fault_plan``.
 
-def _options_with_legacy_kwargs(
-    options: Optional[RunOptions],
-    *,
-    run_id=_UNSET,
-    resume=_UNSET,
-    streaming=_UNSET,
-) -> RunOptions:
-    """Fold the deprecated per-kwarg invocation surface into a
-    :class:`RunOptions` (one release of grace, with a warning)."""
-    legacy = {}
-    if run_id is not _UNSET:
-        legacy["run_id"] = run_id
-    if resume is not _UNSET:
-        legacy["resume"] = resume
-    if streaming is not _UNSET:
-        legacy["streaming"] = streaming
-    if not legacy:
-        return options if options is not None else RunOptions()
-    if options is not None:
-        raise TypeError(
-            "pass either options=RunOptions(...) or the legacy "
-            f"{'/'.join(sorted(legacy))} keyword arguments, not both"
-        )
-    warnings.warn(
-        "the run_id/resume/streaming keyword arguments of repro.api are "
-        "deprecated and will be removed next release; pass "
-        "options=RunOptions(...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return RunOptions(**legacy)
+    >>> from repro.discovery.web import SimulatedWeb
+    >>> report = crawl(SimulatedWeb(n_pages=12, n_portals=2, seed=1))
+    >>> report.pages_fetched > 0 and len(report.forms) > 0
+    True
+    """
+    return _run_crawl(fetch, seeds, config=config, options=options)
 
 
 def probe(source: DeepWebSource, config: Optional[ThorConfig] = None) -> ProbeResult:
@@ -165,10 +161,6 @@ def run(
     source: DeepWebSource,
     config: Optional[ThorConfig] = None,
     options: Optional[RunOptions] = None,
-    *,
-    run_id=_UNSET,
-    resume=_UNSET,
-    streaming=_UNSET,
 ) -> ThorResult:
     """The full pipeline: probe, extract, and partition ``source``.
 
@@ -181,13 +173,8 @@ def run(
     them, partitioning overlaps identification) while producing a
     bitwise identical result digest; ``options.fault_plan`` injects
     seeded chaos.
-
-    The bare ``run_id``/``resume``/``streaming`` keyword arguments are
-    deprecated (one release of grace): pass ``options=RunOptions(...)``.
     """
-    options = _options_with_legacy_kwargs(
-        options, run_id=run_id, resume=resume, streaming=streaming
-    )
+    options = options if options is not None else RunOptions()
     return Thor(config or DEFAULT_CONFIG, fault_plan=options.fault_plan).run(
         source, options=options
     )
@@ -222,6 +209,8 @@ __all__ = [
     "ChunkFailedError",
     "ClusteringConfig",
     "ConfigError",
+    "CrawlConfig",
+    "CrawlReport",
     "DEFAULT_CONFIG",
     "DeepWebSource",
     "ExecutionConfig",
@@ -251,8 +240,10 @@ __all__ = [
     "ThorError",
     "ThorResult",
     "collect_artifacts",
+    "crawl",
     "extract",
     "format_artifact_report",
+    "format_crawl_report",
     "format_fleet_report",
     "format_probe_report",
     "format_run_report",

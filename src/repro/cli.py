@@ -9,6 +9,9 @@ Subcommands::
                                  --run-id nightly --resume --report
     python -m repro.cli fleet    --sites ecommerce:7,jobs:3:acme,music:5 \
                                  --jobs 2 --cache-dir .thor-cache --resume
+    python -m repro.cli crawl    --web-pages 60 --web-portals 6 --seed 1 \
+                                 --max-pages 40 --rate 100 --jobs 4 \
+                                 --cache-dir .thor-cache --crawl-id nightly
     python -m repro.cli demo     --domain ecommerce --seed 7
     python -m repro.cli search   --domains ecommerce,music --query camera
     python -m repro.cli artifacts-gc --cache-dir .thor-cache --max-bytes 100000000
@@ -19,7 +22,10 @@ Subcommands::
 deterministic result digest (plus artifact-cache counters, for warm ==
 cold verification); ``fleet`` submits many sites as one resumable job
 (per-site state in the fleet ledger, one aggregated report and fleet
-digest); ``demo`` prints a human-readable summary; ``search`` spins up
+digest); ``crawl`` drives the
+checkpointed crawl frontier over a simulated web graph (politeness
+lanes, dedup, ``--resume``) and prints a deterministic corpus digest;
+``demo`` prints a human-readable summary; ``search`` spins up
 the deep-web search engine over several simulated sources;
 ``artifacts-gc`` bounds and reports the persistent artifact cache.
 """
@@ -361,6 +367,74 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 3 if report.quarantined else 0
 
 
+def cmd_crawl(args: argparse.Namespace) -> int:
+    """Run (or resume) a checkpointed crawl over a simulated web.
+
+    Prints the crawl report, ending with a deterministic
+    ``corpus-digest:`` line — identical at any ``--jobs`` level and
+    across ``--max-pages-per-run`` + ``--resume`` boundaries — which CI
+    uses to verify the interrupted == uninterrupted invariant. Exit
+    status: 0 on success, 2 on bad arguments.
+    """
+    from repro import api
+    from repro.config import CrawlConfig
+    from repro.discovery.web import SimulatedWeb
+    from repro.errors import ConfigError, ResumeError, ThorError
+    from repro.frontier.service import format_crawl_report
+
+    config = _thor_config(args)
+    try:
+        defaults = CrawlConfig()
+        crawl_config = CrawlConfig(
+            max_pages=args.max_pages,
+            batch_size=args.batch_size,
+            max_depth=args.max_depth,
+            exclude=tuple(args.exclude or ()),
+            rate=args.rate,
+            burst=defaults.burst if args.burst is None else args.burst,
+            max_pages_per_run=args.max_pages_per_run,
+        )
+        web = SimulatedWeb(
+            n_pages=args.web_pages,
+            n_portals=args.web_portals,
+            seed=args.seed,
+            records_per_site=args.records,
+        )
+    except (ValueError, ThorError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    config = replace(config, crawl=crawl_config)
+    options = RunOptions(
+        run_id=args.crawl_id,
+        resume=args.resume,
+        fault_plan=_fault_plan(args),
+    )
+    try:
+        report = api.crawl(web, config=config, options=options)
+    except (ConfigError, ResumeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(format_crawl_report(report))
+    if args.out:
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for page in report.pages:
+                handle.write(
+                    json.dumps(
+                        {
+                            "url": page.url,
+                            "depth": page.depth,
+                            "html": page.html,
+                        },
+                        ensure_ascii=False,
+                    )
+                    + "\n"
+                )
+        print(f"corpus: {len(report.pages)} pages -> {args.out}")
+    return 0
+
+
 def cmd_artifacts_gc(args: argparse.Namespace) -> int:
     """Bound the artifact cache and print a usage/counter report."""
     from repro.artifacts import artifact_report, collect, format_artifact_report
@@ -683,6 +757,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-wave site cap for tenants without an explicit --quota",
     )
     fleet.set_defaults(func=cmd_fleet)
+
+    crawl = sub.add_parser(
+        "crawl",
+        help="crawl a simulated web through the checkpointed frontier, "
+             "print a corpus digest",
+        parents=[execution],
+    )
+    crawl.add_argument("--seed", type=int, default=0)
+    crawl.add_argument(
+        "--records", type=int, default=150,
+        help="records per simulated portal site",
+    )
+    crawl.add_argument(
+        "--web-pages", type=int, default=60, dest="web_pages",
+        help="pages in the simulated web graph",
+    )
+    crawl.add_argument(
+        "--web-portals", type=int, default=6, dest="web_portals",
+        help="deep-web portal pages hidden in the graph",
+    )
+    crawl.add_argument(
+        "--max-pages", type=int, default=200, dest="max_pages",
+        help="total URL budget for the whole crawl (all invocations)",
+    )
+    crawl.add_argument(
+        "--batch-size", type=int, default=8, dest="batch_size",
+        help="frontier URLs per scheduling round (fingerprinted: fixed "
+             "for the lifetime of a crawl id)",
+    )
+    crawl.add_argument(
+        "--max-depth", type=int, default=None, dest="max_depth",
+        help="deepest link depth to follow (default unlimited)",
+    )
+    crawl.add_argument(
+        "--rate", type=float, default=None,
+        help="per-site politeness budget in fetches/s (token bucket "
+             "spanning the whole crawl; default unlimited)",
+    )
+    crawl.add_argument(
+        "--burst", type=int, default=None,
+        help="politeness token-bucket burst depth (default 2)",
+    )
+    crawl.add_argument(
+        "--exclude", action="append", default=None, metavar="PATTERN",
+        help="robots-style exclusion, repeatable: /path (any host), "
+             "host (whole host), or host:/path",
+    )
+    crawl.add_argument(
+        "--crawl-id", default=None, dest="crawl_id",
+        help="name this crawl and checkpoint frontier state in the "
+             "artifact store (default: derived from the crawl "
+             "fingerprint, so --resume works without it)",
+    )
+    crawl.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted crawl from its checkpoint (the "
+             "final corpus digest matches an uninterrupted crawl)",
+    )
+    crawl.add_argument(
+        "--max-pages-per-run", type=int, default=None,
+        dest="max_pages_per_run",
+        help="stop after this many URL attempts this invocation and "
+             "defer the rest (graceful drain; finish with --resume)",
+    )
+    crawl.add_argument(
+        "--out", default=None,
+        help="write the fetched corpus as JSONL (url, depth, html)",
+    )
+    crawl.set_defaults(func=cmd_crawl)
 
     gc = sub.add_parser(
         "artifacts-gc",

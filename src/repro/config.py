@@ -537,6 +537,77 @@ class ProbeConfig:
 
 
 @dataclass(frozen=True)
+class CrawlConfig:
+    """How :func:`repro.api.crawl` acquires pages (the crawl frontier).
+
+    Split the same way :class:`FleetConfig` is: *corpus-shaping* knobs
+    (``max_pages``, ``batch_size``, ``max_depth``, ``exclude``,
+    ``max_retries``, ``timeout_s``) enter the crawl fingerprint — a
+    checkpoint written under one set cannot be resumed under another —
+    while *pacing* knobs (``rate``, ``burst``, ``max_pages_per_run``,
+    ``checkpoint_every``) may change between invocations of the same
+    crawl: politeness and drain budgets are operator policy, not part
+    of what the corpus *is*.
+    """
+
+    #: Total URLs the crawl may attempt (successes and permanent
+    #: failures both count), across all invocations of one crawl id.
+    max_pages: int = 200
+    #: Frontier items admitted per scheduling round. Fixed per crawl
+    #: (fingerprinted): the round structure must not depend on
+    #: ``--jobs`` or the corpus order could.
+    batch_size: int = 8
+    #: Deepest link depth admitted to the frontier (``None`` = no cap).
+    max_depth: Optional[int] = None
+    #: Robots-style exclusion patterns: ``/path`` (any host), ``host``
+    #: (whole host), or ``host:/path``. See :mod:`repro.frontier.robots`.
+    exclude: tuple[str, ...] = ()
+    #: Per-site politeness rate in fetches/second (token bucket shared
+    #: across the whole crawl via the site's lane; ``None`` = unlimited).
+    rate: Optional[float] = None
+    #: Token-bucket burst depth per politeness lane.
+    burst: int = 2
+    #: Per-attempt fetch timeout in seconds (``None`` = no timeout).
+    timeout_s: Optional[float] = None
+    #: Extra attempts for transient fetch failures.
+    max_retries: int = 2
+    #: Stop after this many attempts in one invocation (``None`` = run
+    #: to ``max_pages``/exhaustion). The graceful-drain knob: remaining
+    #: work stays checkpointed for ``--resume``, mirroring
+    #: ``FleetConfig.max_sites_per_run``.
+    max_pages_per_run: Optional[int] = None
+    #: Publish the crawl checkpoint every N scheduling rounds (1 =
+    #: every round; higher trades re-fetch work on crash for fewer
+    #: store writes).
+    checkpoint_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_pages < 1:
+            raise ValueError(f"max_pages must be >= 1, got {self.max_pages}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.max_depth is not None and self.max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {self.max_depth}")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be > 0 fetches/s, got {self.rate}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.max_pages_per_run is not None and self.max_pages_per_run < 1:
+            raise ValueError(
+                "max_pages_per_run must be >= 1 (or None), got "
+                f"{self.max_pages_per_run}"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+
+
+@dataclass(frozen=True)
 class ThorConfig:
     """Top-level pipeline configuration."""
 
@@ -555,6 +626,9 @@ class ThorConfig:
     #: graceful-drain budget). Irrelevant — and ignored — for
     #: single-site runs.
     fleet: FleetConfig = field(default_factory=FleetConfig)
+    #: How :func:`repro.api.crawl` acquires pages (frontier batching,
+    #: politeness lanes, drain budget). Ignored by non-crawl verbs.
+    crawl: CrawlConfig = field(default_factory=CrawlConfig)
 
     def resolved_execution(self) -> ExecutionConfig:
         """The effective execution config. (Once this folded in the

@@ -12,6 +12,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
+from repro.frontier.urls import canonicalize_url
 from repro.html.forms import SearchForm, find_search_forms
 from repro.html.parser import parse
 from repro.html.tree import TagNode
@@ -35,19 +36,33 @@ class CrawlReport:
     pages_failed: int
     forms: tuple[DiscoveredForm, ...]
     frontier_exhausted: bool
+    #: URLs successfully fetched, in fetch (BFS) order — the crawl's
+    #: deterministic trace, asserted seed-stable by the discovery tests.
+    visited: tuple[str, ...] = ()
 
     @property
     def unique_actions(self) -> list[str]:
         return [d.form.action for d in self.forms]
 
 
-def _extract_links(root: TagNode) -> list[str]:
+def _extract_links(root: TagNode, base_url: Optional[str] = None) -> list[str]:
+    """Anchor hrefs as canonical absolute URLs.
+
+    Relative hrefs resolve against ``base_url`` (the hosting page);
+    fragment-only anchors, ``javascript:``/``mailto:`` pseudo-links,
+    and anything else that cannot name a fetchable page are dropped
+    here, *before* any queue sees them — so frontier dedup always
+    operates on canonical absolute URLs.
+    """
     links = []
     for node in root.iter_tags():
         if node.tag == "a":
             href = node.get("href")
-            if href:
-                links.append(href)
+            if not href:
+                continue
+            url = canonicalize_url(href, base=base_url)
+            if url is not None:
+                links.append(url)
     return links
 
 
@@ -55,9 +70,9 @@ class BreadthFirstCrawler:
     """BFS crawl with a page budget and per-URL error tolerance.
 
     ``fetch`` maps a URL to HTML and may raise for dead links; failures
-    are counted, not fatal. Relative links are skipped (the simulated
-    web uses absolute URLs; a production deployment would resolve them
-    against the page URL).
+    are counted, not fatal. Discovered links are canonicalized against
+    the hosting page's URL (relative hrefs resolve, fragment-only and
+    ``javascript:`` hrefs are dropped) before they enter the queue.
     """
 
     def __init__(
@@ -78,6 +93,7 @@ class BreadthFirstCrawler:
             (seed, 0) for seed in seeds
         )
         visited: set[str] = set()
+        order: list[str] = []
         seen_actions: set[str] = set()
         forms: list[DiscoveredForm] = []
         fetched = 0
@@ -94,6 +110,7 @@ class BreadthFirstCrawler:
                 failed += 1
                 continue
             fetched += 1
+            order.append(url)
             tree = parse(html, url=url)
             for form in find_search_forms(tree):
                 if form.action and form.action not in seen_actions:
@@ -101,7 +118,7 @@ class BreadthFirstCrawler:
                     forms.append(
                         DiscoveredForm(form=form, found_on=url, depth=depth)
                     )
-            for link in _extract_links(tree.root):
+            for link in _extract_links(tree.root, base_url=url):
                 if link not in visited:
                     queue.append((link, depth + 1))
 
@@ -110,4 +127,5 @@ class BreadthFirstCrawler:
             pages_failed=failed,
             forms=tuple(forms),
             frontier_exhausted=not queue,
+            visited=tuple(order),
         )

@@ -1,0 +1,56 @@
+"""repro.frontier — the crawl-frontier acquisition subsystem.
+
+A persistent, politeness-scheduled, checkpointed crawl service in
+front of the extractor: :class:`Frontier` (prioritized, deduplicating,
+exclusion-aware URL queue), :class:`CrawlService` (frontier batches
+driven through the async probe executor), and fingerprint-guarded
+crawl checkpoints in the artifact store. See DESIGN.md §14.
+
+Heavy symbols resolve lazily (PEP 562): :mod:`repro.discovery.crawler`
+imports :mod:`repro.frontier.urls` for canonicalization, while
+:mod:`repro.frontier.service` imports the crawler for link/form
+bridging — eager re-exports here would close that loop during the
+crawler's own import.
+"""
+
+from __future__ import annotations
+
+from repro.frontier.urls import FETCHABLE_SCHEMES, canonicalize_url, site_of
+
+_LAZY = {
+    "ExclusionRules": "repro.frontier.robots",
+    "parse_robots": "repro.frontier.robots",
+    "CrawlItem": "repro.frontier.frontier",
+    "Frontier": "repro.frontier.frontier",
+    "CRAWL_STATE_VERSION": "repro.frontier.checkpoint",
+    "KIND_FRONTIERS": "repro.frontier.checkpoint",
+    "crawl_fingerprint": "repro.frontier.checkpoint",
+    "crawl_state_key": "repro.frontier.checkpoint",
+    "load_crawl_state": "repro.frontier.checkpoint",
+    "save_crawl_state": "repro.frontier.checkpoint",
+    "CorpusPage": "repro.frontier.service",
+    "CrawlReport": "repro.frontier.service",
+    "CrawlService": "repro.frontier.service",
+    "FetchedPage": "repro.frontier.service",
+    "PolitenessLane": "repro.frontier.service",
+    "corpus_digest": "repro.frontier.service",
+    "format_crawl_report": "repro.frontier.service",
+    "run_crawl": "repro.frontier.service",
+}
+
+__all__ = sorted(
+    ["FETCHABLE_SCHEMES", "canonicalize_url", "site_of", *_LAZY]
+)
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

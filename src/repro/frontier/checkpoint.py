@@ -1,0 +1,109 @@
+"""Checkpointed crawl state: the frontier's durable half.
+
+One crawl id owns one state record in the artifact store (kind
+``frontiers``), rewritten as a single atomic JSON publish after every
+``checkpoint_every`` scheduling rounds. The record is the *whole*
+resumable truth of the crawl — fetched corpus in fetch order, failed
+URLs, the serialized frontier (pending + seen), discovered forms, and
+audit counters — so ``repro crawl --resume`` restarts from the last
+published round and finishes with a corpus digest identical to an
+uninterrupted crawl's.
+
+Safety mirrors the run manifest and fleet ledger:
+
+* **Fingerprint guard** — the record carries the crawl fingerprint
+  (seeds + corpus-shaping config + pipeline seed); resuming a crawl id
+  under a different fingerprint raises
+  :class:`~repro.errors.ResumeError` instead of splicing two crawls.
+* **Corrupt = miss** — a torn or garbage record (the store's
+  corrupt-file-as-miss contract, exercised by ``FaultPlan`` torn
+  writes) loads as ``None`` and the crawl restarts fresh,
+  deterministically re-fetching to the same corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.artifacts.keys import sha256_hex
+from repro.config import CrawlConfig
+from repro.errors import ResumeError
+
+#: Artifact-store kind for crawl-frontier checkpoints.
+KIND_FRONTIERS = "frontiers"
+
+#: Bump when the checkpoint layout changes.
+CRAWL_STATE_VERSION = 1
+
+
+def crawl_state_key(crawl_id: str) -> str:
+    """Store key of one crawl's state record."""
+    return sha256_hex(f"frontier:v{CRAWL_STATE_VERSION}:{crawl_id}")
+
+
+def crawl_fingerprint(
+    seeds: Sequence[str], config: CrawlConfig, seed: Optional[int]
+) -> str:
+    """Identity of *what the crawl is*: seeds, corpus-shaping config,
+    and the pipeline seed (which drives retry jitter and any fault
+    plan). Pacing knobs (``rate``/``burst``/``max_pages_per_run``/
+    ``checkpoint_every``) are deliberately absent — a resumed
+    invocation may pace itself differently and still be the same crawl.
+    """
+    return sha256_hex(
+        repr(
+            (
+                "crawl",
+                CRAWL_STATE_VERSION,
+                tuple(seeds),
+                config.max_pages,
+                config.batch_size,
+                config.max_depth,
+                config.exclude,
+                config.timeout_s,
+                config.max_retries,
+                seed,
+            )
+        )
+    )
+
+
+def save_crawl_state(store, crawl_id: str, state: dict) -> None:
+    """Publish the full crawl state atomically (last writer wins)."""
+    record = dict(state)
+    record["crawl_id"] = crawl_id
+    record["version"] = CRAWL_STATE_VERSION
+    store.put_json(KIND_FRONTIERS, crawl_state_key(crawl_id), record)
+
+
+def load_crawl_state(
+    store, crawl_id: str, fingerprint: str
+) -> Optional[dict]:
+    """The checkpointed state for ``crawl_id``, or ``None`` when
+    nothing usable is on disk (missing, corrupt, or a stale layout
+    version). A fingerprint mismatch is the one *loud* case: the
+    record is fine but belongs to a different crawl definition."""
+    record = store.get_json(KIND_FRONTIERS, crawl_state_key(crawl_id))
+    if not isinstance(record, dict):
+        return None
+    if record.get("version") != CRAWL_STATE_VERSION:
+        return None
+    stored = record.get("fingerprint")
+    if stored != fingerprint:
+        raise ResumeError(
+            f"cannot resume crawl {crawl_id!r}: its checkpoint was written "
+            "for a different crawl definition (seeds, corpus-shaping "
+            "config, or pipeline seed changed); pick a new --crawl-id or "
+            "drop --resume"
+        )
+    return record
+
+
+__all__ = [
+    "CRAWL_STATE_VERSION",
+    "KIND_FRONTIERS",
+    "crawl_fingerprint",
+    "crawl_state_key",
+    "load_crawl_state",
+    "save_crawl_state",
+]

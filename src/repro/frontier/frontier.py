@@ -1,0 +1,168 @@
+"""The durable crawl frontier: a prioritized, deduplicating URL queue.
+
+The frontier is the crawl's single source of pending work. Three
+invariants make long-running crawls reproducible:
+
+* **Canonical dedup** — every URL is canonicalized on entry
+  (:func:`~repro.frontier.urls.canonicalize_url`) and checked against a
+  seen-set covering everything ever admitted, so a page is fetched at
+  most once per crawl no matter how many links point at it.
+* **Deterministic order** — pending items pop by ``(-priority, depth,
+  seq)``: highest priority first, then shallowest (breadth-first), then
+  insertion order. With uniform priorities this order is invariant to
+  how pops are batched, which is why an interrupted-and-resumed crawl
+  fetches pages in exactly the sequence the uninterrupted crawl would
+  have (see DESIGN.md §14).
+* **Checkpointable state** — :meth:`to_state` / :meth:`from_state`
+  round-trip the entire frontier (pending heap, seen-set, counters)
+  through plain JSON, so the crawl service can publish it atomically
+  via the artifact store after every scheduling round.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontier.robots import ExclusionRules
+from repro.frontier.urls import canonicalize_url, site_of
+
+
+@dataclass(frozen=True)
+class CrawlItem:
+    """One unit of pending crawl work (URL already canonical)."""
+
+    url: str
+    depth: int
+    priority: int
+    #: Politeness-lane key (the URL's host).
+    site: str
+
+
+class Frontier:
+    """Priority + depth ordered URL queue with canonical dedup.
+
+    ``exclusions`` (an :class:`ExclusionRules`) is consulted at
+    :meth:`add` time — disallowed URLs are counted and never admitted,
+    so they consume neither frontier memory nor politeness budget.
+    """
+
+    def __init__(self, exclusions: Optional[ExclusionRules] = None) -> None:
+        self.exclusions = exclusions or ExclusionRules()
+        # Heap entries: (-priority, depth, seq, url, site).
+        self._heap: list[tuple[int, int, int, str, str]] = []
+        self._seq = 0
+        self._seen: set[str] = set()
+        # Admission/audit counters, persisted with the state.
+        self.enqueued = 0
+        self.popped = 0
+        self.dedup_hits = 0
+        self.excluded = 0
+        self.invalid = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def seen(self) -> frozenset[str]:
+        return frozenset(self._seen)
+
+    def add(
+        self,
+        url: str,
+        base: Optional[str] = None,
+        depth: int = 0,
+        priority: int = 0,
+    ) -> bool:
+        """Admit one URL (resolving against ``base`` when relative).
+
+        Returns True when the URL entered the frontier; False when it
+        was invalid, excluded, or already seen (counters record which).
+        """
+        canonical = canonicalize_url(url, base=base)
+        if canonical is None:
+            self.invalid += 1
+            return False
+        if not self.exclusions.allows(canonical):
+            self.excluded += 1
+            return False
+        if canonical in self._seen:
+            self.dedup_hits += 1
+            return False
+        self._seen.add(canonical)
+        heapq.heappush(
+            self._heap,
+            (-priority, depth, self._seq, canonical, site_of(canonical)),
+        )
+        self._seq += 1
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Optional[CrawlItem]:
+        """The least pending item, or None when the frontier is empty."""
+        if not self._heap:
+            return None
+        neg_priority, depth, _seq, url, site = heapq.heappop(self._heap)
+        self.popped += 1
+        return CrawlItem(url=url, depth=depth, priority=-neg_priority, site=site)
+
+    def pop_batch(self, n: int) -> list[CrawlItem]:
+        """Up to ``n`` items in pop order (one scheduling round)."""
+        batch: list[CrawlItem] = []
+        while len(batch) < n:
+            item = self.pop()
+            if item is None:
+                break
+            batch.append(item)
+        return batch
+
+    # -- checkpointing ----------------------------------------------------
+
+    def to_state(self) -> dict:
+        """The frontier as a JSON-serializable dict (pending items in
+        pop order, so restore re-admits them with fresh but
+        order-preserving sequence numbers)."""
+        pending = [
+            [url, depth, -neg_priority]
+            for neg_priority, depth, _seq, url, _site in sorted(self._heap)
+        ]
+        return {
+            "pending": pending,
+            "seen": sorted(self._seen),
+            "counters": {
+                "enqueued": self.enqueued,
+                "popped": self.popped,
+                "dedup_hits": self.dedup_hits,
+                "excluded": self.excluded,
+                "invalid": self.invalid,
+            },
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, exclusions: Optional[ExclusionRules] = None
+    ) -> "Frontier":
+        """Rebuild a frontier from :meth:`to_state` output. The restored
+        pop order is identical to the checkpointed frontier's."""
+        frontier = cls(exclusions=exclusions)
+        frontier._seen = set(state.get("seen", ()))
+        for url, depth, priority in state.get("pending", ()):
+            heapq.heappush(
+                frontier._heap,
+                (-int(priority), int(depth), frontier._seq, url, site_of(url)),
+            )
+            frontier._seq += 1
+        counters = state.get("counters", {})
+        frontier.enqueued = int(counters.get("enqueued", 0))
+        frontier.popped = int(counters.get("popped", 0))
+        frontier.dedup_hits = int(counters.get("dedup_hits", 0))
+        frontier.excluded = int(counters.get("excluded", 0))
+        frontier.invalid = int(counters.get("invalid", 0))
+        return frontier
+
+
+__all__ = ["CrawlItem", "Frontier"]

@@ -1,0 +1,89 @@
+"""URL canonicalization for the crawl frontier.
+
+The frontier's seen-set dedup is only as good as its URL normalization:
+``HTTP://Shop.Example.COM:80/a/../b#row3`` and ``http://shop.example.com/b``
+are the same resource, and fetching both wastes politeness budget and
+pollutes the corpus with duplicate pages. :func:`canonicalize_url`
+maps every href — absolute or relative — onto one canonical absolute
+form, or ``None`` when the href cannot name a fetchable page at all
+(fragment-only anchors, ``javascript:`` pseudo-links, ``mailto:``,
+non-HTTP schemes).
+
+Everything here is pure stdlib ``urllib.parse``; no network, no state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+from urllib.parse import urljoin, urlsplit, urlunsplit
+
+#: Schemes the frontier will fetch.
+FETCHABLE_SCHEMES = frozenset({"http", "https"})
+
+#: Pseudo-link schemes dropped before resolution (a relative join would
+#: otherwise mangle them into path segments).
+_SKIP_PREFIXES = ("javascript:", "mailto:", "tel:", "data:", "about:")
+
+_DEFAULT_PORTS = {"http": "80", "https": "443"}
+
+
+def canonicalize_url(href: str, base: Optional[str] = None) -> Optional[str]:
+    """The canonical absolute form of ``href``, or ``None``.
+
+    ``base`` is the URL of the page the href was found on; relative
+    hrefs resolve against it (RFC 3986 join, which also collapses
+    ``.``/``..`` segments). Canonicalization: drop the fragment,
+    lowercase scheme and host, strip default ports, and give empty
+    paths the explicit ``/``. Returns ``None`` for empty/fragment-only
+    hrefs, pseudo-links, unresolvable relative hrefs (no base), and
+    non-HTTP(S) schemes.
+
+    >>> canonicalize_url("page/2?q=a#top", base="http://X.org/dir/index")
+    'http://x.org/dir/page/2?q=a'
+    >>> canonicalize_url("#row3", base="http://x.org/a") is None
+    True
+    >>> canonicalize_url("javascript:void(0)", base="http://x.org") is None
+    True
+    >>> canonicalize_url("HTTP://Shop.Example.COM:80")
+    'http://shop.example.com/'
+    """
+    if href is None:
+        return None
+    href = href.strip()
+    if not href or href.startswith("#"):
+        return None
+    lowered = href.lower()
+    if any(lowered.startswith(prefix) for prefix in _SKIP_PREFIXES):
+        return None
+    if base:
+        try:
+            href = urljoin(base, href)
+        except ValueError:
+            return None
+    try:
+        parts = urlsplit(href)
+    except ValueError:
+        return None
+    scheme = parts.scheme.lower()
+    if scheme not in FETCHABLE_SCHEMES or not parts.netloc:
+        return None
+    netloc = parts.netloc.lower()
+    host, _, port = netloc.partition(":")
+    if port and port == _DEFAULT_PORTS.get(scheme):
+        netloc = host
+    path = parts.path or "/"
+    return urlunsplit((scheme, netloc, path, parts.query, ""))
+
+
+def site_of(url: str) -> str:
+    """The politeness-lane key of a canonical URL: its host (with any
+    non-default port). One lane per value returned here — two ports on
+    one host are usually one server, but erring polite is cheap.
+
+    >>> site_of("http://shop.example.com/search?q=a")
+    'shop.example.com'
+    """
+    return urlsplit(url).netloc
+
+
+__all__ = ["FETCHABLE_SCHEMES", "canonicalize_url", "site_of"]

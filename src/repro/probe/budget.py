@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Optional
+from typing import Optional, Sequence
 
 
 class ProbeBudget:
@@ -28,18 +28,37 @@ class ProbeBudget:
     the prober jump.
     """
 
-    def __init__(self, rate: float, burst: int = 1) -> None:
+    def __init__(
+        self,
+        rate: float,
+        burst: int = 1,
+        *,
+        initial_tokens: Optional[float] = None,
+        last_refill: Optional[float] = None,
+    ) -> None:
         if rate <= 0:
             raise ValueError(f"rate must be > 0 probes/s, got {rate}")
         if burst < 1:
             raise ValueError(f"burst must be >= 1, got {burst}")
         self.rate = float(rate)
         self.burst = int(burst)
-        self._tokens = float(burst)
-        self._last_refill: Optional[float] = None
+        # ``initial_tokens``/``last_refill`` seed the bucket from a
+        # previous budget's final state — how a crawl's politeness lane
+        # carries one site's bucket across executor batches (each batch
+        # is its own event loop, and the asyncio.Lock below binds to the
+        # loop that first acquires it, so the instance itself cannot
+        # cross batches).
+        self._tokens = (
+            float(burst)
+            if initial_tokens is None
+            else max(0.0, min(float(burst), float(initial_tokens)))
+        )
+        self._last_refill: Optional[float] = last_refill
         self._lock = asyncio.Lock()
         #: Monotonic timestamps of every grant, for rate audits.
         self.grant_times: list[float] = []
+        #: Times acquire() had to sleep for a refill (politeness waits).
+        self.waits = 0
 
     async def acquire(self) -> None:
         """Spend one token, sleeping until the bucket has one."""
@@ -57,7 +76,18 @@ class ProbeBudget:
                     self.grant_times.append(now)
                     return
                 shortfall = (1.0 - self._tokens) / self.rate
+                self.waits += 1
             await asyncio.sleep(shortfall)
+
+    @property
+    def tokens(self) -> float:
+        """Current bucket level (stale until the next acquire refills)."""
+        return self._tokens
+
+    @property
+    def last_refill(self) -> Optional[float]:
+        """Monotonic stamp of the last refill (None before first acquire)."""
+        return self._last_refill
 
     @property
     def granted(self) -> int:
@@ -80,14 +110,31 @@ class ProbeBudget:
     def within_budget(self, slack: float = 1e-3) -> bool:
         """True if every grant respected the bucket invariant: at most
         ``burst + rate * elapsed`` grants by any point in time."""
-        if not self.grant_times:
-            return True
-        start = self.grant_times[0]
-        for count, stamp in enumerate(self.grant_times, start=1):
-            allowance = self.burst + self.rate * (stamp - start + slack)
-            if count > allowance:
-                return False
+        return bucket_respected(self.grant_times, self.rate, self.burst, slack)
+
+
+def bucket_respected(
+    grant_times: Sequence[float],
+    rate: float,
+    burst: int,
+    slack: float = 1e-3,
+) -> bool:
+    """True if a grant-time series respects the token-bucket invariant:
+    at most ``burst + rate * elapsed`` grants by any point in time.
+
+    Shared by :meth:`ProbeBudget.within_budget` and the crawl frontier's
+    politeness lanes, which audit grant series *spliced across several
+    budget instances* (one per executor batch) — the invariant is a
+    property of the series, not of any single bucket object.
+    """
+    if not grant_times:
         return True
+    start = grant_times[0]
+    for count, stamp in enumerate(grant_times, start=1):
+        allowance = burst + rate * (stamp - start + slack)
+        if count > allowance:
+            return False
+    return True
 
 
-__all__ = ["ProbeBudget"]
+__all__ = ["ProbeBudget", "bucket_respected"]

@@ -79,6 +79,16 @@ class SiteJob:
     terms: tuple[str, ...]
     seed: Optional[int] = None
     label: Optional[str] = None
+    #: Caller-supplied rate budget for this job. When set it wins over
+    #: the per-run ``ProbeConfig.rate`` bucket — the crawl frontier uses
+    #: this to hand the executor a bucket pre-seeded with a site's token
+    #: level from earlier batches, so politeness spans the whole crawl.
+    budget: Optional[ProbeBudget] = None
+    #: When False, a job whose every term fails assembles an empty
+    #: ProbeResult instead of raising ProbeError. Sampling a known query
+    #: interface wants the error; a crawler chasing discovered (possibly
+    #: dead) links wants the empty result and the failure telemetry.
+    require_success: bool = True
 
     def resolved_label(self) -> str:
         if self.label:
@@ -163,9 +173,9 @@ async def _run_site(
         timeout_s=config.timeout_s,
         seed=job.seed,
     )
-    budget = (
-        ProbeBudget(config.rate, config.burst) if config.rate is not None else None
-    )
+    budget = job.budget
+    if budget is None and config.rate is not None:
+        budget = ProbeBudget(config.rate, config.burst)
     call = _make_caller(job.source, pool)
     tasks = [
         _probe_term(index, term, call, policy, budget, semaphore)
@@ -191,6 +201,7 @@ def _assemble(
     concurrency: int,
     config: ProbeConfig,
     budget: Optional[ProbeBudget],
+    require_success: bool = True,
 ) -> ProbeResult:
     """Build the order-normalized, telemetry-carrying ProbeResult."""
     pages = []
@@ -219,7 +230,7 @@ def _assemble(
             # term (first occurrence wins), full detail in telemetry.
             failed_terms.add(outcome.term)
             failures.append((outcome.term, outcome.error or outcome.outcome))
-    if not pages:
+    if not pages and require_success:
         raise ProbeError(
             f"all {len(outcomes)} probes failed; first error: "
             f"{failures[0][1] if failures else 'n/a'}"
@@ -229,7 +240,7 @@ def _assemble(
         records=tuple(records),
         wall_s=wall_s,
         concurrency=concurrency,
-        rate=config.rate,
+        rate=budget.rate if budget is not None else config.rate,
         budget_granted=budget.granted if budget is not None else 0,
     )
     return ProbeResult(
@@ -297,7 +308,13 @@ def probe_sites(
     wall_s = time.monotonic() - started
     return [
         _assemble(
-            outcomes, job.resolved_label(), wall_s, concurrency, config, budget
+            outcomes,
+            job.resolved_label(),
+            wall_s,
+            concurrency,
+            config,
+            budget,
+            require_success=job.require_success,
         )
         for job, (outcomes, budget) in zip(jobs, per_site)
     ]

@@ -14,6 +14,8 @@ EXPECTED_ALL = [
     "ChunkFailedError",
     "ClusteringConfig",
     "ConfigError",
+    "CrawlConfig",
+    "CrawlReport",
     "DEFAULT_CONFIG",
     "DeepWebSource",
     "ExecutionConfig",
@@ -43,8 +45,10 @@ EXPECTED_ALL = [
     "ThorError",
     "ThorResult",
     "collect_artifacts",
+    "crawl",
     "extract",
     "format_artifact_report",
+    "format_crawl_report",
     "format_fleet_report",
     "format_probe_report",
     "format_run_report",
@@ -108,22 +112,25 @@ class TestFacadeVerbs:
         assert result.pagelets
         assert result.partitioned
 
-    def test_legacy_kwargs_warn_but_work(self, site, tmp_path):
-        from repro.io.export import result_digest
+    def test_legacy_kwargs_removed(self, site):
+        # The one-release deprecation window for the bare
+        # run_id/resume/streaming kwargs (PR 7) is over: they are now
+        # plain TypeErrors, not warnings.
+        with pytest.raises(TypeError):
+            api.run(site, run_id="legacy")
+        with pytest.raises(TypeError):
+            api.run(site, streaming=True)
 
-        config = api.ThorConfig(
-            seed=7, execution=api.ExecutionConfig(cache_dir=str(tmp_path))
-        )
-        with pytest.warns(DeprecationWarning, match="RunOptions"):
-            legacy = api.run(site, config, run_id="legacy")
-        modern = api.run(
-            site, config, api.RunOptions(run_id="legacy", resume=True)
-        )
-        assert result_digest(legacy) == result_digest(modern)
+    def test_crawl_verb(self):
+        from repro.discovery.web import SimulatedWeb
 
-    def test_legacy_kwargs_conflict_with_options(self, site):
-        with pytest.raises(TypeError, match="not both"):
-            api.run(site, options=api.RunOptions(), streaming=True)
+        report = api.crawl(
+            SimulatedWeb(n_pages=15, n_portals=2, seed=1),
+            config=api.ThorConfig(seed=1, crawl=api.CrawlConfig(max_pages=10)),
+        )
+        assert isinstance(report, api.CrawlReport)
+        assert report.pages_fetched == 10
+        assert "corpus-digest:" in api.format_crawl_report(report)
 
     def test_run_with_jobs(self, site):
         # n_jobs > 1 must not change seeded results (restart fan-out is

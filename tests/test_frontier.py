@@ -1,0 +1,358 @@
+"""Units for the crawl-frontier building blocks.
+
+Covers URL canonicalization, robots-style exclusion rules, the
+prioritized/deduplicating :class:`Frontier` (including its checkpoint
+round-trip), the politeness-lane state carry across
+:class:`~repro.probe.budget.ProbeBudget` instances, and the
+fingerprint-guarded crawl checkpoint. The crawl *service* invariants
+live in ``tests/test_crawl_service.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.artifacts.store import ArtifactStore
+from repro.errors import ResumeError
+from repro.frontier.checkpoint import (
+    KIND_FRONTIERS,
+    crawl_fingerprint,
+    crawl_state_key,
+    load_crawl_state,
+    save_crawl_state,
+)
+from repro.frontier.frontier import Frontier
+from repro.frontier.robots import ExclusionRules, parse_robots
+from repro.frontier.urls import canonicalize_url, site_of
+from repro.config import CrawlConfig
+from repro.probe.budget import ProbeBudget, bucket_respected
+
+
+class TestCanonicalizeUrl:
+    def test_relative_resolves_against_base(self):
+        assert (
+            canonicalize_url("page/2", base="http://x.org/dir/index.html")
+            == "http://x.org/dir/page/2"
+        )
+
+    def test_parent_segments_collapse(self):
+        assert (
+            canonicalize_url("../up", base="http://x.org/a/b/c")
+            == "http://x.org/a/up"
+        )
+
+    def test_fragment_dropped(self):
+        assert (
+            canonicalize_url("http://x.org/a#section") == "http://x.org/a"
+        )
+
+    def test_fragment_only_is_none(self):
+        assert canonicalize_url("#top", base="http://x.org/a") is None
+
+    @pytest.mark.parametrize(
+        "href",
+        [
+            "javascript:void(0)",
+            "JavaScript:alert(1)",
+            "mailto:a@b.org",
+            "tel:+1555",
+            "data:text/html,hi",
+            "",
+            "   ",
+        ],
+    )
+    def test_pseudo_links_are_none(self, href):
+        assert canonicalize_url(href, base="http://x.org/") is None
+
+    def test_relative_without_base_is_none(self):
+        assert canonicalize_url("page/2") is None
+
+    def test_scheme_and_host_lowercased(self):
+        assert (
+            canonicalize_url("HTTP://Shop.Example.COM/A")
+            == "http://shop.example.com/A"
+        )
+
+    def test_default_port_stripped(self):
+        assert canonicalize_url("http://x.org:80/a") == "http://x.org/a"
+        assert canonicalize_url("https://x.org:443/a") == "https://x.org/a"
+        assert canonicalize_url("http://x.org:8080/a") == "http://x.org:8080/a"
+
+    def test_empty_path_becomes_slash(self):
+        assert canonicalize_url("http://x.org") == "http://x.org/"
+
+    def test_query_preserved(self):
+        assert (
+            canonicalize_url("http://x.org/s?q=a&p=2")
+            == "http://x.org/s?q=a&p=2"
+        )
+
+    def test_non_http_scheme_is_none(self):
+        assert canonicalize_url("ftp://x.org/file") is None
+
+    def test_idempotent(self):
+        url = canonicalize_url("Page/2?q=a#f", base="HTTP://X.org:80/d/i")
+        assert canonicalize_url(url) == url
+
+    def test_site_of(self):
+        assert site_of("http://shop.example.com/s?q=a") == "shop.example.com"
+        assert site_of("http://x.org:8080/a") == "x.org:8080"
+
+
+class TestExclusionRules:
+    def test_empty_allows_everything(self):
+        assert ExclusionRules().allows("http://x.org/anything")
+
+    def test_any_host_path_prefix(self):
+        rules = ExclusionRules(["/private"])
+        assert not rules.allows("http://a.org/private/x")
+        assert not rules.allows("http://b.org/private")
+        assert rules.allows("http://a.org/public")
+
+    def test_host_scoped_path(self):
+        rules = ExclusionRules(["shop.example.com:/admin"])
+        assert not rules.allows("http://shop.example.com/admin/users")
+        assert rules.allows("http://other.org/admin")
+
+    def test_whole_host(self):
+        rules = ExclusionRules(["bad.example.com"])
+        assert not rules.allows("http://bad.example.com/")
+        assert not rules.allows("http://bad.example.com/any/path")
+        assert rules.allows("http://good.example.com/")
+
+    def test_star_host_means_any(self):
+        rules = ExclusionRules(["*:/cgi-bin/"])
+        assert not rules.allows("http://a.org/cgi-bin/q")
+        assert rules.allows("http://a.org/cgi")
+
+    def test_bad_pattern_raises(self):
+        with pytest.raises(ValueError):
+            ExclusionRules(["host:relative-path"])
+        with pytest.raises(ValueError):
+            ExclusionRules([""])
+
+    def test_parse_robots(self):
+        rules = parse_robots(
+            "# comment\n"
+            "User-agent: googlebot\n"
+            "Disallow: /only-for-google\n"
+            "\n"
+            "User-agent: *\n"
+            "Disallow: /search\n"
+            "Disallow:\n"
+            "Disallow: /cgi-bin/ # trailing comment\n"
+        )
+        assert not rules.allows("http://x.org/search?q=a")
+        assert not rules.allows("http://x.org/cgi-bin/q")
+        assert rules.allows("http://x.org/only-for-google")
+
+    def test_parse_robots_host_scoped(self):
+        rules = parse_robots(
+            "User-agent: *\nDisallow: /search\n", host="x.org"
+        )
+        assert not rules.allows("http://x.org/search")
+        assert rules.allows("http://other.org/search")
+
+
+class TestFrontier:
+    def test_add_canonicalizes_and_dedups(self):
+        frontier = Frontier()
+        assert frontier.add("http://x.org/a#one")
+        assert not frontier.add("http://X.ORG:80/a#two")
+        assert frontier.dedup_hits == 1
+        assert len(frontier) == 1
+
+    def test_invalid_counted(self):
+        frontier = Frontier()
+        assert not frontier.add("javascript:void(0)")
+        assert not frontier.add("relative/no-base")
+        assert frontier.invalid == 2
+
+    def test_excluded_counted_and_not_admitted(self):
+        frontier = Frontier(exclusions=ExclusionRules(["/private"]))
+        assert not frontier.add("http://x.org/private/a")
+        assert frontier.excluded == 1
+        assert len(frontier) == 0
+        # Excluded URLs are not marked seen: lifting the rule later
+        # would admit them.
+        assert "http://x.org/private/a" not in frontier.seen
+
+    def test_relative_add_with_base(self):
+        frontier = Frontier()
+        assert frontier.add("page/2", base="http://x.org/dir/", depth=3)
+        item = frontier.pop()
+        assert item.url == "http://x.org/dir/page/2"
+        assert item.depth == 3
+        assert item.site == "x.org"
+
+    def test_pop_order_depth_then_fifo(self):
+        frontier = Frontier()
+        frontier.add("http://x.org/d1-first", depth=1)
+        frontier.add("http://x.org/d0", depth=0)
+        frontier.add("http://x.org/d1-second", depth=1)
+        urls = [frontier.pop().url for _ in range(3)]
+        assert urls == [
+            "http://x.org/d0",
+            "http://x.org/d1-first",
+            "http://x.org/d1-second",
+        ]
+
+    def test_priority_beats_depth(self):
+        frontier = Frontier()
+        frontier.add("http://x.org/shallow", depth=0, priority=0)
+        frontier.add("http://x.org/deep-hot", depth=5, priority=2)
+        assert frontier.pop().url == "http://x.org/deep-hot"
+
+    def test_pop_batch_and_exhaustion(self):
+        frontier = Frontier()
+        for i in range(5):
+            frontier.add(f"http://x.org/{i}")
+        batch = frontier.pop_batch(3)
+        assert [item.url for item in batch] == [
+            "http://x.org/0",
+            "http://x.org/1",
+            "http://x.org/2",
+        ]
+        assert len(frontier.pop_batch(10)) == 2
+        assert frontier.pop() is None
+        assert not frontier
+
+    def test_state_round_trip_preserves_pop_order(self):
+        frontier = Frontier()
+        for i in range(8):
+            frontier.add(f"http://x.org/{i}", depth=i % 3, priority=i % 2)
+        frontier.pop()  # make counters nontrivial
+        restored = Frontier.from_state(frontier.to_state())
+        assert restored.enqueued == 8
+        assert restored.popped == 1
+        expected = [item.url for item in frontier.pop_batch(10)]
+        actual = [item.url for item in restored.pop_batch(10)]
+        assert actual == expected
+
+    def test_state_round_trip_preserves_seen(self):
+        frontier = Frontier()
+        frontier.add("http://x.org/a")
+        restored = Frontier.from_state(frontier.to_state())
+        assert not restored.add("http://x.org/a")
+        assert restored.dedup_hits == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=30))
+    def test_state_round_trip_property(self, keys):
+        frontier = Frontier()
+        for key in keys:
+            frontier.add(
+                f"http://s{key % 3}.org/{key}", depth=key % 4,
+                priority=key % 2,
+            )
+        restored = Frontier.from_state(frontier.to_state())
+        assert [item.url for item in restored.pop_batch(100)] == [
+            item.url for item in frontier.pop_batch(100)
+        ]
+
+
+class TestBudgetStateCarry:
+    def _drain(self, budget, n):
+        async def go():
+            for _ in range(n):
+                await budget.acquire()
+
+        asyncio.run(go())
+
+    def test_waits_counter(self):
+        budget = ProbeBudget(rate=200.0, burst=1)
+        self._drain(budget, 4)
+        assert budget.waits >= 3
+        assert budget.granted == 4
+
+    def test_spliced_series_respects_bucket(self):
+        # Simulate a politeness lane: several budgets in sequence, each
+        # seeded from the previous one's final state; the combined
+        # grant series must satisfy the single-bucket invariant.
+        rate, burst = 400.0, 2
+        grants: list[float] = []
+        tokens, last_refill = None, None
+        for _ in range(4):
+            budget = ProbeBudget(
+                rate, burst, initial_tokens=tokens, last_refill=last_refill
+            )
+            self._drain(budget, 3)
+            grants.extend(budget.grant_times)
+            tokens, last_refill = budget.tokens, budget.last_refill
+        assert grants == sorted(grants)
+        assert bucket_respected(grants, rate, burst)
+
+    def test_fresh_budgets_without_carry_overshoot(self):
+        # The control: re-minting a full bucket per batch hands out
+        # burst tokens each time — the spliced series violates the
+        # bucket invariant, which is exactly why lanes carry state.
+        rate, burst = 50.0, 2
+        grants: list[float] = []
+        for _ in range(4):
+            budget = ProbeBudget(rate, burst)
+            self._drain(budget, 2)
+            grants.extend(budget.grant_times)
+        assert not bucket_respected(grants, rate, burst)
+
+    def test_initial_tokens_clamped_to_burst(self):
+        budget = ProbeBudget(10.0, 2, initial_tokens=99.0)
+        assert budget.tokens == 2.0
+
+
+class TestCrawlCheckpoint:
+    @pytest.fixture
+    def store(self, tmp_path):
+        return ArtifactStore(tmp_path / "store")
+
+    def test_missing_is_none(self, store):
+        assert load_crawl_state(store, "nope", "fp") is None
+
+    def test_round_trip(self, store):
+        fingerprint = crawl_fingerprint(
+            ("http://x.org/",), CrawlConfig(), seed=3
+        )
+        save_crawl_state(
+            store,
+            "c1",
+            {"fingerprint": fingerprint, "corpus": [], "attempted": 0},
+        )
+        state = load_crawl_state(store, "c1", fingerprint)
+        assert state["attempted"] == 0
+        assert state["crawl_id"] == "c1"
+
+    def test_fingerprint_mismatch_raises(self, store):
+        save_crawl_state(store, "c1", {"fingerprint": "old"})
+        with pytest.raises(ResumeError, match="different crawl definition"):
+            load_crawl_state(store, "c1", "new")
+
+    def test_corrupt_record_is_miss(self, store, tmp_path):
+        save_crawl_state(store, "c1", {"fingerprint": "fp"})
+        path = store._path(KIND_FRONTIERS, crawl_state_key("c1"), "json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"torn')
+        assert load_crawl_state(store, "c1", "fp") is None
+
+    def test_fingerprint_sensitivity(self):
+        seeds = ("http://x.org/",)
+        base = crawl_fingerprint(seeds, CrawlConfig(), seed=1)
+        # Corpus-shaping knobs change the fingerprint...
+        assert base != crawl_fingerprint(
+            seeds, CrawlConfig(max_pages=10), seed=1
+        )
+        assert base != crawl_fingerprint(
+            seeds, CrawlConfig(exclude=("/x",)), seed=1
+        )
+        assert base != crawl_fingerprint(seeds, CrawlConfig(), seed=2)
+        assert base != crawl_fingerprint(("http://y.org/",), CrawlConfig(), 1)
+        # ...pacing knobs do not: a resumed invocation may repace.
+        assert base == crawl_fingerprint(
+            seeds, CrawlConfig(rate=5.0, burst=9), seed=1
+        )
+        assert base == crawl_fingerprint(
+            seeds,
+            CrawlConfig(max_pages_per_run=3, checkpoint_every=7),
+            seed=1,
+        )
