@@ -1,0 +1,188 @@
+"""Incremental re-extraction: full refit vs O(delta) refresh.
+
+Measures :meth:`Thor.refresh <repro.core.thor.Thor.refresh>` against a
+full-refit re-extraction over a multi-site corpus (all seven synthetic
+domains pooled, one template cluster family per domain) at 0%, 10% and
+50% changed pages, with the delta localized to one site — the shape a
+repeated crawl actually produces (one source re-rendered its data, the
+rest did not). The correctness invariant is asserted before every
+stopwatch: each incremental result digest is bitwise-identical to a
+from-scratch run over the same (mutated) corpus.
+
+Archived to ``BENCH_incremental.json``. The ≤10%-delta speedup *is*
+floored (``REPRO_BENCH_INCREMENTAL_FLOOR``, default 5×): replaying the
+unchanged 90% and re-identifying only the touched cluster must beat
+refitting everything by a wide margin. The 50%-changed ratio is
+recorded, not floored — with half the clusters invalidated the win
+honestly shrinks toward 1×. The 100%-changed worst case (a structural
+mutation on every page, tripping the drift gate into a full refit)
+records the drift-detection overhead: what ``--incremental`` costs
+when it cannot help.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import replace
+
+from conftest import emit, emit_json
+from repro.config import (
+    ClusteringConfig,
+    ExecutionConfig,
+    ProbeConfig,
+    ThorConfig,
+)
+from repro.core.page import Page
+from repro.core.thor import Thor
+from repro.deepweb import make_site
+from repro.deepweb.domains import DOMAINS
+from repro.deepweb.templates import mutate_page_structure, mutate_page_text
+from repro.io.export import result_digest
+
+INCREMENTAL_FLOOR = float(
+    os.environ.get("REPRO_BENCH_INCREMENTAL_FLOOR", "5.0")
+)
+FRACTIONS = (0.0, 0.1, 0.5)
+
+
+def _config(cache_dir: str) -> ThorConfig:
+    return ThorConfig(
+        seed=3,
+        probing=ProbeConfig(dictionary_queries=20, nonsense_queries=2),
+        clustering=replace(ClusteringConfig(), k=16, top_m=12, restarts=20),
+        execution=ExecutionConfig(cache_dir=cache_dir),
+    )
+
+
+def _corpus(config: ThorConfig) -> list[Page]:
+    """All seven domains' probe samples, pooled in domain order."""
+    pages: list[Page] = []
+    for index, domain in enumerate(DOMAINS):
+        thor = Thor(config)
+        result = thor.probe(
+            make_site(domain=domain, seed=3 + index, records=150)
+        )
+        pages.extend(result.pages)
+    return pages
+
+
+def _mutate(pages, fraction: float, mutate) -> list[Page]:
+    """Mutate the first ``fraction`` of the corpus — a contiguous block,
+    so the delta stays localized to the leading site(s)."""
+    n = int(round(len(pages) * fraction))
+    return [
+        Page(mutate(page.html, seed=index), url=page.url, query=page.query)
+        if index < n
+        else page
+        for index, page in enumerate(pages)
+    ]
+
+
+def _full_refit(pages) -> tuple[float, str]:
+    """From-scratch extract+partition on a fresh cache: the cost every
+    repeated crawl paid before incremental re-extraction existed (and
+    still pays on a drift fallback)."""
+    with tempfile.TemporaryDirectory() as fresh:
+        thor = Thor(_config(fresh))
+        start = time.perf_counter()
+        result = thor.partition(thor.extract(pages))
+        elapsed = time.perf_counter() - start
+        return elapsed, result_digest(result)
+
+
+class TestIncrementalBench:
+    def test_full_refit_vs_incremental(self, capsys):
+        rows = []
+        payload = {
+            "floor": INCREMENTAL_FLOOR,
+            "domains": len(DOMAINS),
+            "fractions": {},
+        }
+        with tempfile.TemporaryDirectory() as cache_dir:
+            config = _config(cache_dir)
+            pages = _corpus(config)
+            payload["pages"] = len(pages)
+
+            baseline = Thor(config)
+            start = time.perf_counter()
+            fitted = baseline.partition(baseline.extract(pages))
+            baseline_s = time.perf_counter() - start
+            assert baseline.persist_model(fitted)
+            baseline_digest = result_digest(fitted)
+            payload["baseline_full_s"] = baseline_s
+            rows.append(
+                f"full fit ({len(pages)} pages)     {baseline_s:8.2f}s"
+            )
+
+            floored_ratio = None
+            for fraction in FRACTIONS:
+                mutated = _mutate(pages, fraction, mutate_page_text)
+                changed = int(round(len(pages) * fraction))
+                # Re-publish the pristine model: the named slot is
+                # last-writer-wins and every refresh updates it.
+                assert baseline.persist_model(fitted)
+                thor = Thor(config)
+                start = time.perf_counter()
+                result = thor.refresh(mutated)
+                incremental_s = time.perf_counter() - start
+                counters = dict(thor.report().incremental)
+                # The invariant first, the stopwatch second.
+                assert counters.get("refit", 0) == 0, counters
+                assert counters.get("assigned", 0) == changed, counters
+                if fraction == 0.0:
+                    full_s, full_digest = baseline_s, baseline_digest
+                else:
+                    full_s, full_digest = _full_refit(mutated)
+                assert result_digest(result) == full_digest
+                ratio = full_s / incremental_s if incremental_s else float("inf")
+                rows.append(
+                    f"{int(fraction * 100):3d}% changed: incremental "
+                    f"{incremental_s * 1000:7.1f}ms vs full refit "
+                    f"{full_s:6.2f}s  ({ratio:5.1f}x)"
+                )
+                payload["fractions"][f"{fraction:.2f}"] = {
+                    "changed_pages": changed,
+                    "incremental_s": incremental_s,
+                    "full_refit_s": full_s,
+                    "speedup": ratio,
+                    "counters": counters,
+                }
+                if fraction == 0.1:
+                    floored_ratio = ratio
+
+            # Worst case: every page structurally mutated — the drift
+            # gate trips and the "incremental" run is a full refit plus
+            # fingerprint diffing. Record what that detour costs.
+            mutated = _mutate(pages, 1.0, mutate_page_structure)
+            assert baseline.persist_model(fitted)
+            thor = Thor(config)
+            start = time.perf_counter()
+            result = thor.refresh(mutated)
+            worst_s = time.perf_counter() - start
+            counters = dict(thor.report().incremental)
+            assert counters.get("refit", 0) == len(pages), counters
+            assert counters.get("drift_events", 0) >= 1, counters
+            full_s, full_digest = _full_refit(mutated)
+            assert result_digest(result) == full_digest
+            overhead_s = worst_s - full_s
+            rows.append(
+                f"100% changed (structural): refit fallback "
+                f"{worst_s:6.2f}s vs full {full_s:6.2f}s  "
+                f"(drift-detection overhead {overhead_s * 1000:+7.1f}ms)"
+            )
+            payload["worst_case"] = {
+                "incremental_s": worst_s,
+                "full_refit_s": full_s,
+                "drift_detection_overhead_s": overhead_s,
+                "counters": counters,
+            }
+
+        rows.append(
+            f"10%-delta speedup        {floored_ratio:8.1f}x "
+            f"(floor {INCREMENTAL_FLOOR}x)"
+        )
+        emit(capsys, "BENCH_incremental", "\n".join(rows))
+        emit_json("BENCH_incremental", payload)
+        assert floored_ratio >= INCREMENTAL_FLOOR

@@ -48,6 +48,7 @@ from repro.config import (
     CrawlConfig,
     ExecutionConfig,
     FleetConfig,
+    IncrementalConfig,
     ProbeConfig,
     RunOptions,
     StageTimeouts,
@@ -78,6 +79,7 @@ from repro.fleet import run_fleet as _run_fleet
 from repro.frontier.service import (
     CrawlReport,
     format_crawl_report,
+    refresh_corpus,
     run_crawl as _run_crawl,
 )
 from repro.probe import (
@@ -221,6 +223,7 @@ __all__ = [
     "FleetReport",
     "FleetSpec",
     "GcReport",
+    "IncrementalConfig",
     "Page",
     "ProbeConfig",
     "ProbeResult",
@@ -249,6 +252,7 @@ __all__ = [
     "format_run_report",
     "make_site",
     "probe",
+    "refresh_corpus",
     "resolve_cache_dir",
     "run",
     "run_fleet",

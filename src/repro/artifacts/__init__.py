@@ -25,7 +25,9 @@ usage with ``repro artifacts-gc``.
 
 from repro.artifacts.gc import GcReport, collect
 from repro.artifacts.keys import (
+    MODEL_VERSION,
     candidate_records_key,
+    model_key,
     page_signature_key,
     page_tree_key,
     sha256_hex,
@@ -45,6 +47,7 @@ from repro.artifacts.stats import (
     store_usage,
 )
 from repro.artifacts.store import (
+    KIND_MODELS,
     KIND_RECORDS,
     KIND_SIGNATURES,
     KIND_SPACES,
@@ -57,10 +60,12 @@ from repro.artifacts.store import (
 __all__ = [
     "ArtifactStore",
     "GcReport",
+    "KIND_MODELS",
     "KIND_RECORDS",
     "KIND_SIGNATURES",
     "KIND_SPACES",
     "KIND_TREES",
+    "MODEL_VERSION",
     "artifact_report",
     "cached_signature",
     "cached_tree",
@@ -69,6 +74,7 @@ __all__ = [
     "format_artifact_report",
     "load_persistent_stats",
     "merge_persistent_stats",
+    "model_key",
     "page_signature_key",
     "page_tree_key",
     "payload_to_tree",

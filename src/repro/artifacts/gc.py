@@ -6,6 +6,17 @@ bounds: a byte budget (``max_bytes``) and an age limit (``max_age_s``).
 Either bound alone works; together, age-expired entries go first and
 the byte budget is enforced on what remains.
 
+One kind is special-cased under the byte budget: ``models/`` (the
+fitted-model bundles driving incremental re-extraction,
+:mod:`repro.incremental`). A model is written *after* the signatures
+of the pages it was fitted on, so a plain oldest-first sweep could
+evict a model while older signature bundles of its source pages
+survive — losing the expensive artifact and keeping its cheap inputs.
+Budget eviction therefore drains every other kind (oldest first)
+before touching a model; models themselves then go oldest-first. Age
+expiry still applies to models by their own mtime — a stale model is
+stale however it ranks against other kinds.
+
 GC is concurrent-writer safe for the same reason writes are: entries
 are whole files, removal is atomic, and a reader that loses the race
 simply sees a miss and recomputes.
@@ -19,6 +30,10 @@ from dataclasses import dataclass
 from typing import Optional
 
 _ARTIFACT_EXTENSIONS = (".json", ".npz")
+
+#: Kinds evicted only after every other kind is exhausted (see module
+#: docstring).
+_EVICT_LAST_KINDS = frozenset({"models"})
 
 
 @dataclass(frozen=True)
@@ -74,29 +89,50 @@ def collect(
     (nothing is removed), which is how ``repro artifacts-gc --stats``
     reports usage.
     """
+    root = os.fspath(root)
     entries = sorted(iter_entries(root), key=lambda e: (e[2], e[0]))
     scanned_bytes = sum(size for _, size, _ in entries)
     cutoff = None if max_age_s is None else (now or time.time()) - max_age_s
 
+    def evicts_last(path: str) -> bool:
+        kind = os.path.relpath(path, root).split(os.sep, 1)[0]
+        return kind in _EVICT_LAST_KINDS
+
     removed_entries = 0
     removed_bytes = 0
     remaining_bytes = scanned_bytes
-    for path, size, mtime in entries:
-        expired = cutoff is not None and mtime < cutoff
-        over_budget = max_bytes is not None and remaining_bytes > max_bytes
-        if not (expired or over_budget):
-            if max_bytes is None:
-                # No byte budget and this entry is fresh: everything
-                # after it is fresher still.
-                break
-            continue
+    removed_paths: set[str] = set()
+
+    def remove(path: str, size: int) -> None:
+        nonlocal removed_entries, removed_bytes, remaining_bytes
         try:
             os.unlink(path)
         except OSError:
-            continue  # already removed by a concurrent GC
+            return  # already removed by a concurrent GC
+        removed_paths.add(path)
         removed_entries += 1
         removed_bytes += size
         remaining_bytes -= size
+
+    # Pass 1 — age expiry: own-mtime, all kinds alike.
+    if cutoff is not None:
+        for path, size, mtime in entries:
+            if mtime >= cutoff:
+                break  # sorted by mtime: everything after is fresher
+            remove(path, size)
+
+    # Pass 2 — byte budget: non-model kinds oldest-first, models only
+    # once everything else is gone (see module docstring).
+    if max_bytes is not None:
+        budget_order = sorted(
+            entries, key=lambda e: (evicts_last(e[0]), e[2], e[0])
+        )
+        for path, size, mtime in budget_order:
+            if remaining_bytes <= max_bytes:
+                break
+            if path in removed_paths:
+                continue
+            remove(path, size)
     return GcReport(
         scanned_entries=len(entries),
         scanned_bytes=scanned_bytes,

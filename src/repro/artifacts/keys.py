@@ -37,6 +37,10 @@ SPACE_VERSION = 1
 #: Bump when the term-extraction pipeline (tokenize → stem) changes.
 EXTRACTOR_VERSION = 1
 
+#: Bump when the fitted-model bundle layout changes
+#: (:mod:`repro.incremental.model`).
+MODEL_VERSION = 1
+
 
 def sha256_hex(text: str) -> str:
     """Hex SHA-256 of a unicode string (UTF-8 encoded)."""
@@ -70,6 +74,22 @@ def candidate_records_key(html: str, require_branching: bool) -> str:
     )
 
 
+def model_key(site: str, config_fingerprint: str) -> str:
+    """Key of a site's persisted fitted model (incremental re-extraction).
+
+    Unlike the content-addressed kinds, a model is a *named slot*: one
+    per (site, config fingerprint), last-writer-wins. The config
+    fingerprint keeps a model fitted under one pipeline configuration
+    from ever serving a run under another; ``MODEL_VERSION`` retires
+    every stored model at once when the bundle layout changes.
+    """
+    return _tagged(
+        sha256_hex(f"model:{site}:{config_fingerprint}"),
+        f"model:v{MODEL_VERSION}:signature{SIGNATURE_VERSION}"
+        f":parser{PARSER_VERSION}",
+    )
+
+
 def space_key(count_maps: Sequence[Mapping[str, float]], weighting: str) -> str:
     """Key of an interned :class:`~repro.vsm.matrix.VectorSpace`.
 
@@ -89,11 +109,13 @@ def space_key(count_maps: Sequence[Mapping[str, float]], weighting: str) -> str:
 
 __all__ = [
     "EXTRACTOR_VERSION",
+    "MODEL_VERSION",
     "PARSER_VERSION",
     "RECORD_VERSION",
     "SIGNATURE_VERSION",
     "SPACE_VERSION",
     "candidate_records_key",
+    "model_key",
     "page_signature_key",
     "page_tree_key",
     "sha256_hex",

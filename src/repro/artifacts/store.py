@@ -36,6 +36,7 @@ KIND_TREES = "trees"
 KIND_SIGNATURES = "signatures"
 KIND_RECORDS = "records"
 KIND_SPACES = "spaces"
+KIND_MODELS = "models"
 
 _STATS_FILE = "stats.json"
 _COUNTER_FIELDS = ("hits", "misses", "puts", "bytes_written")
@@ -207,6 +208,7 @@ def load_persistent_stats(root: str | os.PathLike) -> dict:
 
 __all__ = [
     "ArtifactStore",
+    "KIND_MODELS",
     "KIND_RECORDS",
     "KIND_SIGNATURES",
     "KIND_SPACES",

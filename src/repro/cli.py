@@ -20,7 +20,10 @@ Subcommands::
 ``extract`` runs the two-phase extraction over a cached sample;
 ``run`` does probe + extract + partition in one shot and prints a
 deterministic result digest (plus artifact-cache counters, for warm ==
-cold verification); ``fleet`` submits many sites as one resumable job
+cold verification); with ``--incremental`` a rerun diffs the corpus
+against the stored site model and re-extracts only the delta, printing
+skipped/assigned/refit counters; ``fleet`` submits many sites as one
+resumable job
 (per-site state in the fleet ledger, one aggregated report and fleet
 digest); ``crawl`` drives the
 checkpointed crawl frontier over a simulated web graph (politeness
@@ -42,10 +45,12 @@ from typing import Optional, Sequence
 
 from repro.config import (
     BACKENDS,
+    INCREMENTAL_MODES,
     RECORD_TRANSPORTS,
     WATCHDOG_STAGES,
     ExecutionConfig,
     FleetConfig,
+    IncrementalConfig,
     RunOptions,
     StageTimeouts,
     ThorConfig,
@@ -124,6 +129,21 @@ def _thor_config(args: argparse.Namespace) -> ThorConfig:
     if getattr(args, "rate", None):
         config = replace(
             config, probing=replace(config.probing, rate=args.rate)
+        )
+    drift_threshold = getattr(args, "drift_threshold", None)
+    incremental_mode = getattr(args, "incremental_mode", None)
+    if drift_threshold is not None or incremental_mode is not None:
+        defaults = IncrementalConfig()
+        config = replace(
+            config,
+            incremental=IncrementalConfig(
+                drift_threshold=defaults.drift_threshold
+                if drift_threshold is None
+                else drift_threshold,
+                mode=defaults.mode
+                if incremental_mode is None
+                else incremental_mode,
+            ),
         )
     return config
 
@@ -240,14 +260,37 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.resume and not args.run_id:
         print("--resume requires --run-id", file=sys.stderr)
         return 2
+    config = _thor_config(args)
     site = make_site(args.domain, seed=args.seed, records=args.records)
-    thor = Thor(_thor_config(args), fault_plan=_fault_plan(args))
+    source = site
+    if getattr(args, "drift_pages", 0):
+        # Template-drift drill: mutate the pages the first N probe
+        # terms will fetch, so an --incremental rerun sees a known
+        # delta (CI asserts the skipped/assigned/refit counters).
+        from repro.core.probing import QueryProber
+        from repro.deepweb.templates import (
+            TemplateDriftSource,
+            mutate_page_structure,
+            mutate_page_text,
+        )
+
+        terms = QueryProber(config.probing, seed=config.seed).select_terms()
+        source = TemplateDriftSource(
+            site,
+            terms=terms[: args.drift_pages],
+            mutate=mutate_page_structure
+            if getattr(args, "drift_structure", False)
+            else mutate_page_text,
+            seed=args.seed,
+        )
+    thor = Thor(config, fault_plan=_fault_plan(args))
     result = thor.run(
-        site,
+        source,
         options=RunOptions(
             run_id=args.run_id,
             resume=args.resume,
             streaming=getattr(args, "streaming", False),
+            incremental=getattr(args, "incremental", False),
         ),
     )
     export_result(result, args.out, include_html=args.html)
@@ -260,6 +303,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"-> {args.out}"
     )
     print(f"result-digest: {digest}")
+    if getattr(args, "incremental", False):
+        from repro.resilience import format_incremental_counters
+
+        print("incremental: " + format_incremental_counters(thor.report()))
     _print_artifact_stats(thor)
     _print_run_report(thor, args)
     return 0
@@ -712,6 +759,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="single-pass pipeline: start Phase-2 work as probed pages "
              "land and overlap partitioning with identification (the "
              "result digest matches a barriered run bitwise)",
+    )
+    run.add_argument(
+        "--incremental", action="store_true",
+        help="re-extract O(delta) against the stored site model: "
+             "unchanged pages replay from cache, changed pages are "
+             "assigned to stored clusters, and only drift past the "
+             "threshold (or a model miss) triggers a full refit "
+             "(requires --cache-dir or REPRO_CACHE_DIR; the result "
+             "digest matches a from-scratch run bitwise)",
+    )
+    run.add_argument(
+        "--incremental-mode", choices=list(INCREMENTAL_MODES),
+        default=None, dest="incremental_mode",
+        help="drift response for --incremental: auto lets "
+             "--drift-threshold decide, assign never refits on drift, "
+             "refit always refits (default auto)",
+    )
+    run.add_argument(
+        "--drift-threshold", type=float, default=None,
+        dest="drift_threshold",
+        help="template drift (1 - Jaccard over tag paths) above this "
+             "triggers a full refit under --incremental (default 0.35)",
+    )
+    run.add_argument(
+        "--drift-pages", type=int, default=0, dest="drift_pages",
+        help="drift drill: mutate the pages of the first N probe terms "
+             "before extraction (deterministic per --seed)",
+    )
+    run.add_argument(
+        "--drift-structure", action="store_true", dest="drift_structure",
+        help="make --drift-pages mutate tag structure instead of text, "
+             "displacing tag paths so --incremental trips the drift "
+             "threshold and refits",
     )
     run.set_defaults(func=cmd_run)
 

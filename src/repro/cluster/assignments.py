@@ -68,3 +68,23 @@ class Clustering:
     def select(self, items: Sequence, cluster: int) -> list:
         """The subsequence of ``items`` assigned to ``cluster``."""
         return [items[i] for i in self.members(cluster)]
+
+
+def assign_to_centroids(rows, centroids) -> list[int]:
+    """Nearest-centroid labels for already-encoded rows (no refit).
+
+    The assign-without-refit kernel of incremental re-extraction: one
+    cosine matmul of the new pages' tf-idf rows (encoded into the
+    *stored* space via :func:`repro.vsm.matrix.encode_tfidf`) against
+    the stored Phase-1 centroids, then an argmax per row. Ties break
+    toward the lower cluster index — the same rule K-Means applies
+    during a full fit, so a page that did not move re-earns its old
+    label. Requires the numpy backend.
+    """
+    from repro.vsm.matrix import _require_numpy, cosine_matrix
+
+    _require_numpy()
+    if len(rows) == 0:
+        return []
+    similarities = cosine_matrix(rows, centroids)
+    return [int(label) for label in similarities.argmax(axis=1)]

@@ -344,6 +344,47 @@ def _removed_backend_field(owner: str, backend: Optional[str]) -> None:
         )
 
 
+#: Valid :class:`IncrementalConfig` modes.
+INCREMENTAL_MODES = ("auto", "assign", "refit")
+
+
+@dataclass(frozen=True)
+class IncrementalConfig:
+    """How incremental re-extraction reacts to template drift.
+
+    Consulted only when a run opts in via
+    ``RunOptions(incremental=True)`` (or ``repro run --incremental``).
+    See :mod:`repro.incremental` and DESIGN.md §15 for the three
+    drift tiers the mode/threshold pair selects between.
+    """
+
+    #: Maximum per-page fingerprint drift (1 − Jaccard similarity of
+    #: the page's tag-path set against its best-matching stored
+    #: cluster) before the stored model is declared stale and the run
+    #: falls back to a full refit.
+    drift_threshold: float = 0.35
+    #: ``"auto"`` (default): three-tier behavior — replay unchanged
+    #: pages, assign in-threshold changes to stored clusters, refit
+    #: past the threshold. ``"assign"``: never refit on drift — every
+    #: changed page is assigned to its nearest stored cluster however
+    #: far it drifted (a model miss still refits; there is nothing to
+    #: assign against). ``"refit"``: always refit and re-persist the
+    #: model (the model-rebuild escape hatch).
+    mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drift_threshold <= 1.0:
+            raise ValueError(
+                "drift_threshold must be in [0, 1], got "
+                f"{self.drift_threshold}"
+            )
+        if self.mode not in INCREMENTAL_MODES:
+            raise ValueError(
+                f"unknown incremental mode {self.mode!r}; "
+                f"valid: {', '.join(INCREMENTAL_MODES)}"
+            )
+
+
 @dataclass(frozen=True)
 class RunOptions:
     """Per-invocation options of one pipeline run — the job surface.
@@ -354,7 +395,10 @@ class RunOptions:
     positional arguments, *how this invocation behaves* (naming,
     resumption, scheduling, chaos) rides here. Options are
     config-fingerprint-neutral by construction: nothing in this object
-    may change a result digest.
+    may change a result digest. ``incremental`` is the one deliberate
+    carve-out: it substitutes replayed/assigned results from the
+    stored fitted model, and the no-drift invariant (DESIGN.md §15)
+    is what keeps those bitwise identical to a full refit.
     """
 
     #: Name of the run (or, for :func:`repro.api.run_fleet`, the fleet)
@@ -371,6 +415,12 @@ class RunOptions:
     #: Seeded chaos plan injected into the run (tests/CI drills);
     #: ``None`` — the default — injects nothing.
     fault_plan: Optional["FaultPlan"] = None
+    #: Reuse the site's persisted fitted model (``models/`` artifact
+    #: kind) instead of refitting: unchanged pages replay, in-threshold
+    #: changes are assigned to stored clusters, and drift past
+    #: ``IncrementalConfig.drift_threshold`` (or a model miss) falls
+    #: back to a counted full refit. See :mod:`repro.incremental`.
+    incremental: bool = False
     #: Observer called with the stage name ("probe", "extract",
     #: "partition") as each top-level stage *starts computing* (skipped
     #: stages resumed from a checkpoint do not fire). The fleet ledger
@@ -629,6 +679,11 @@ class ThorConfig:
     #: How :func:`repro.api.crawl` acquires pages (frontier batching,
     #: politeness lanes, drain budget). Ignored by non-crawl verbs.
     crawl: CrawlConfig = field(default_factory=CrawlConfig)
+    #: How incremental re-extraction (``RunOptions(incremental=True)``)
+    #: reacts to template drift. Deliberately excluded from the config
+    #: fingerprint: drift policy decides *how much stored work to
+    #: reuse*, not what a cold result is.
+    incremental: IncrementalConfig = field(default_factory=IncrementalConfig)
 
     def resolved_execution(self) -> ExecutionConfig:
         """The effective execution config. (Once this folded in the

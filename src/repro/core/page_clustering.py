@@ -37,8 +37,8 @@ class PageClusteringResult:
         """Pages of one cluster."""
         return self.clustering.select(self.pages, cluster)
 
-    def top_clusters(self, m: int, min_pages: int = 1) -> list[list[Page]]:
-        """The page lists of the ``m`` best-ranked clusters.
+    def top_cluster_ids(self, m: int, min_pages: int = 1) -> list[int]:
+        """Labels of the ``m`` best-ranked clusters.
 
         Clusters with fewer than ``min_pages`` pages are skipped and
         the next ranked cluster takes the slot; when nothing meets the
@@ -46,13 +46,20 @@ class PageClusteringResult:
         on tiny samples).
         """
         qualified = [
-            self.cluster_pages(c)
+            c
             for c in self.ranked_clusters
             if len(self.clustering.members(c)) >= min_pages
         ]
         if not qualified:
-            return [self.cluster_pages(c) for c in self.ranked_clusters[:m]]
+            return self.ranked_clusters[:m]
         return qualified[:m]
+
+    def top_clusters(self, m: int, min_pages: int = 1) -> list[list[Page]]:
+        """The page lists of the ``m`` best-ranked clusters (see
+        :meth:`top_cluster_ids` for the selection rule)."""
+        return [
+            self.cluster_pages(c) for c in self.top_cluster_ids(m, min_pages)
+        ]
 
 
 class PageClusterer:

@@ -31,19 +31,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Optional, Sequence
 
+from repro.cluster.assignments import Clustering, assign_to_centroids
 from repro.config import (
     DEFAULT_CONFIG,
     RunOptions,
     ThorConfig,
     resolve_stage_timeout,
 )
+from repro.core.cluster_ranking import score_clusters
 from repro.core.identification import IdentificationResult, PageletIdentifier
 from repro.core.page import Page
 from repro.core.page_clustering import PageClusterer, PageClusteringResult
-from repro.core.pagelet import PartitionedPagelet, QAPagelet
+from repro.core.pagelet import PartitionedPagelet, QAObject, QAPagelet
 from repro.core.partitioning import ObjectPartitioner
 from repro.core.probing import DeepWebSource, ProbeResult, QueryProber
 from repro.errors import ExtractionError, ResumeError, ThorError
+from repro.html.paths import PathResolutionError, PathSyntaxError, resolve_path
+from repro.incremental.fingerprints import fingerprint_drift, page_fingerprint
+from repro.incremental.model import (
+    ClusterRecord,
+    PageletRecord,
+    SiteModel,
+    load_model,
+    page_content_key,
+    save_model,
+    site_identity,
+)
 from repro.resilience.faults import FaultPlan, activate_fault_plan, active_fault_plan
 from repro.resilience.manifest import (
     config_fingerprint,
@@ -67,7 +80,19 @@ from repro.resilience.report import (
 )
 from repro.resilience.watchdog import run_stage
 from repro.runtime import artifact_store_for
+from repro.signatures.content import content_signature
+from repro.signatures.tag import tag_signature
 from repro.text.terms import DEFAULT_EXTRACTOR
+from repro.vsm.matrix import HAVE_NUMPY
+
+#: Clustering configurations the incremental model can assign against
+#: (tf-idf vector spaces reconstructible from the stored vocabulary +
+#: idf). Other configurations never persist a model, so an incremental
+#: run under them degrades to a counted model miss → full refit.
+_INCREMENTAL_SIGNATURES = {
+    "ttag": tag_signature,
+    "tcon": content_signature,
+}
 
 
 @dataclass(frozen=True)
@@ -127,6 +152,10 @@ class Thor:
         self._artifact_stats: dict[str, int] = {}
         #: Resilience ledger, accumulated across this instance's stages.
         self._report = RunReportBuilder()
+        #: Per-cluster outcomes of the latest fit/refresh — the raw
+        #: material :meth:`persist_model` bundles into the ``models/``
+        #: artifact. ``None`` until an extract or refresh completes.
+        self._last_fit: Optional[dict] = None
 
     # -- resilience accounting -------------------------------------------
 
@@ -320,12 +349,13 @@ class Thor:
                 save_manifest(store, manifest)
         identifications: list[IdentificationResult] = []
         pagelets: list[QAPagelet] = []
-        for cluster_index, cluster_pages in enumerate(
-            clustering.top_clusters(
-                self.config.clustering.top_m,
-                min_pages=self.config.clustering.min_cluster_pages,
-            )
-        ):
+        outcomes: list[dict] = []
+        top_ids = clustering.top_cluster_ids(
+            self.config.clustering.top_m,
+            min_pages=self.config.clustering.min_cluster_pages,
+        )
+        for cluster_index, cluster_id in enumerate(top_ids):
+            cluster_pages = clustering.cluster_pages(cluster_id)
             if not cluster_pages:
                 continue
             try:
@@ -345,14 +375,35 @@ class Thor:
                         exc,
                     )
                 )
+                outcomes.append(
+                    {
+                        "cluster": cluster_id,
+                        "members": cluster_pages,
+                        "identification": None,
+                        "quarantined": str(exc),
+                    }
+                )
                 continue
             identifications.append(result)
             pagelets.extend(result.pagelets)
+            outcomes.append(
+                {
+                    "cluster": cluster_id,
+                    "members": cluster_pages,
+                    "identification": result,
+                    "quarantined": None,
+                }
+            )
             if on_identified is not None:
                 # Streaming: hand the cluster's pagelets downstream
                 # while the next cluster identifies.
                 on_identified(result)
         self._persist_signatures(surviving, primed)
+        self._last_fit = {
+            "pages": tuple(surviving),
+            "clustering": clustering,
+            "outcomes": outcomes,
+        }
         return ThorResult(
             pages=tuple(surviving),
             clustering=clustering,
@@ -520,6 +571,464 @@ class Thor:
             )
             return None
 
+    # -- incremental re-extraction ---------------------------------------
+
+    def refresh(
+        self, pages: Sequence[Page], options: Optional[RunOptions] = None
+    ) -> ThorResult:
+        """Stages 2+3 incrementally against the site's stored model.
+
+        The three drift tiers (DESIGN.md §15): unchanged pages replay
+        their pagelets and partitions straight from the ``models/``
+        artifact; changed/new pages within
+        ``IncrementalConfig.drift_threshold`` are assigned to the
+        stored Phase-1 clusters with one cosine matmul (no refit) and
+        only the clusters they land in re-run Phase 2; drift past the
+        threshold — or a model miss/corruption — falls back to a full
+        refit. Every tier is accounted on the run report
+        (``skipped``/``assigned``/``refit``/``drift_events``/
+        ``model_misses``) and the updated model is re-persisted, so
+        with no drift the result digest is bitwise identical to a full
+        refit.
+        """
+        with activate_fault_plan(self.fault_plan), activate_report(self._report):
+            result = self._refresh_guarded(pages, options=options)
+        self.persist_model(result)
+        return result
+
+    def _refresh_guarded(
+        self,
+        pages: Sequence[Page],
+        *,
+        store=None,
+        manifest=None,
+        options: Optional[RunOptions] = None,
+    ) -> ThorResult:
+        cfg = self.config.incremental
+        model = None
+        if cfg.mode != "refit":
+            cache = artifact_store_for(self.execution)
+            if (
+                cache is not None
+                and HAVE_NUMPY
+                and self.config.clustering.configuration
+                in _INCREMENTAL_SIGNATURES
+            ):
+                model = load_model(
+                    cache,
+                    site_identity([page.url for page in pages]),
+                    config_fingerprint(self.config),
+                )
+            if model is None:
+                # No store, no numpy, an unsupported configuration, a
+                # torn bundle, or simply a first run: all count as one
+                # model miss and fall back to the full pipeline.
+                self._report.incremental_event("model_misses")
+        if model is None:
+            return self._refresh_refit(
+                pages, store=store, manifest=manifest, options=options
+            )
+        keys = [page_content_key(page.html) for page in pages]
+        stored_labels: dict[str, int] = {}
+        for key, label in zip(model.page_keys, model.labels):
+            stored_labels.setdefault(key, label)
+        changed = [
+            page for page, key in zip(pages, keys) if key not in stored_labels
+        ]
+        changed_fps: dict[int, frozenset] = {}
+        if changed and cfg.mode == "auto":
+            drift = self._max_drift(changed, model, changed_fps)
+            if drift > cfg.drift_threshold:
+                self._report.incremental_event("drift_events")
+                return self._refresh_refit(
+                    pages, store=store, manifest=manifest, options=options
+                )
+        return self._refresh_assign(
+            pages, keys, stored_labels, model, changed_fps
+        )
+
+    def _max_drift(
+        self,
+        pages: Sequence[Page],
+        model: SiteModel,
+        fingerprints: Optional[dict] = None,
+    ) -> float:
+        """Worst per-page fingerprint drift vs the stored clusters.
+
+        A page whose parse raises contributes nothing here — the
+        quarantine scan, not the drift gate, decides its fate. Computed
+        fingerprints are stashed in ``fingerprints`` (by page id) so
+        the model republish does not hash the same trees twice.
+        """
+        drift = 0.0
+        for page in pages:
+            try:
+                fingerprint = page_fingerprint(page.tree)
+            except ThorError:
+                continue
+            if fingerprints is not None:
+                fingerprints[id(page)] = fingerprint
+            drift = max(
+                drift, fingerprint_drift(fingerprint, model.fingerprints)
+            )
+        return drift
+
+    def _refresh_refit(
+        self,
+        pages: Sequence[Page],
+        *,
+        store=None,
+        manifest=None,
+        options: Optional[RunOptions] = None,
+    ) -> ThorResult:
+        """Tier (c): the full pipeline, counted as refit pages.
+
+        Running the *complete* page list through the normal extract +
+        partition path (rather than patching the stale model) is what
+        makes the fallback digest match a cold run by construction.
+        """
+        self._report.incremental_event("refit", len(pages))
+        if options is not None and options.streaming:
+            return self._extract_partition_streaming(
+                pages, store=store, manifest=manifest, options=options
+            )
+        result = self._extract_guarded(
+            pages, store=store, manifest=manifest, options=options
+        )
+        return self.partition(result)
+
+    def _refresh_assign(
+        self,
+        pages: Sequence[Page],
+        keys: Sequence[str],
+        stored_labels: dict[str, int],
+        model: SiteModel,
+        changed_fps: Optional[dict] = None,
+    ) -> ThorResult:
+        """Tiers (a)+(b): replay unchanged clusters, assign the delta."""
+        primed = self._prime_pages(pages)
+        key_of = {id(page): key for page, key in zip(pages, keys)}
+        surviving = self._quarantine_scan(pages)
+        self._check_survival(len(surviving), len(pages))
+        unchanged = [p for p in surviving if key_of[id(p)] in stored_labels]
+        fresh = [p for p in surviving if key_of[id(p)] not in stored_labels]
+        labels_by_id = {
+            id(page): stored_labels[key_of[id(page)]] for page in unchanged
+        }
+        if fresh:
+            signature = _INCREMENTAL_SIGNATURES[
+                self.config.clustering.configuration
+            ]
+            from repro.vsm.matrix import encode_tfidf
+
+            vocabulary = {
+                feature: column
+                for column, feature in enumerate(model.vocabulary)
+            }
+            rows = encode_tfidf(
+                [signature(page) for page in fresh], vocabulary, model.idf
+            )
+            for page, label in zip(fresh, assign_to_centroids(rows, model.centroids)):
+                labels_by_id[id(page)] = label
+        self._report.incremental_event("skipped", len(unchanged))
+        self._report.incremental_event("assigned", len(fresh))
+        clustering = Clustering.from_labels(
+            (labels_by_id[id(page)] for page in surviving), model.k
+        )
+        scores = score_clusters(
+            surviving, clustering, self.config.clustering.ranking_weights
+        )
+        clustering_result = PageClusteringResult(
+            tuple(surviving), clustering, tuple(scores)
+        )
+        records_by_cluster = {
+            record.cluster: record for record in model.clusters
+        }
+        identifications: list[IdentificationResult] = []
+        pagelets: list[QAPagelet] = []
+        partitioned: list[PartitionedPagelet] = []
+        outcomes: list[dict] = []
+        top_ids = clustering_result.top_cluster_ids(
+            self.config.clustering.top_m,
+            min_pages=self.config.clustering.min_cluster_pages,
+        )
+        for cluster_index, cluster_id in enumerate(top_ids):
+            members = clustering_result.cluster_pages(cluster_id)
+            if not members:
+                continue
+            member_keys = tuple(key_of[id(page)] for page in members)
+            record = records_by_cluster.get(cluster_id)
+            replayed = None
+            if record is not None and record.page_keys == member_keys:
+                # The cluster's membership is byte-identical to fit
+                # time: its Phase-2/3 outcome replays from the model.
+                replayed = self._replay_cluster(record, members)
+            if replayed is not None:
+                identification, parts, reason = replayed
+                if reason is not None:
+                    # The cluster was quarantined at fit time; identical
+                    # inputs would fail identically, so re-quarantine
+                    # without re-running the failing analysis.
+                    self._report.quarantine(
+                        quarantine_record(
+                            STAGE_IDENTIFY,
+                            f"cluster[{cluster_index}] ({len(members)} pages)",
+                            ExtractionError(reason),
+                        )
+                    )
+                    outcomes.append(
+                        {
+                            "cluster": cluster_id,
+                            "members": members,
+                            "identification": None,
+                            "quarantined": reason,
+                        }
+                    )
+                    continue
+                identifications.append(identification)
+                pagelets.extend(identification.pagelets)
+                partitioned.extend(parts)
+                outcomes.append(
+                    {
+                        "cluster": cluster_id,
+                        "members": members,
+                        "identification": identification,
+                        "quarantined": None,
+                    }
+                )
+                continue
+            # Live Phase 2 + 3 for clusters the model cannot replay
+            # (new/changed members, ranking churn, stale paths).
+            try:
+                identification = run_stage(
+                    lambda pages=members: self._identifier.identify(pages),
+                    "identify",
+                    resolve_stage_timeout(self.execution, "identify"),
+                )
+            except ThorError as exc:
+                self._report.quarantine(
+                    quarantine_record(
+                        STAGE_IDENTIFY,
+                        f"cluster[{cluster_index}] ({len(members)} pages)",
+                        exc,
+                    )
+                )
+                outcomes.append(
+                    {
+                        "cluster": cluster_id,
+                        "members": members,
+                        "identification": None,
+                        "quarantined": str(exc),
+                    }
+                )
+                continue
+            identifications.append(identification)
+            pagelets.extend(identification.pagelets)
+            outcomes.append(
+                {
+                    "cluster": cluster_id,
+                    "members": members,
+                    "identification": identification,
+                    "quarantined": None,
+                }
+            )
+            for pagelet in identification.pagelets:
+                entry = self._partition_one(pagelet)
+                if entry is not None:
+                    partitioned.append(entry)
+        self._persist_signatures(surviving, primed)
+        self._last_fit = {
+            "pages": tuple(surviving),
+            "clustering": clustering_result,
+            "outcomes": outcomes,
+            # Assign-tier republish reuses the stored geometry: the
+            # vocabulary/idf/centroids the assignment ran against stay
+            # the model of record until a refit replaces them.
+            "basis": model,
+            "fresh_ids": frozenset(id(page) for page in fresh),
+            "fresh_fps": dict(changed_fps or {}),
+        }
+        return ThorResult(
+            pages=tuple(surviving),
+            clustering=clustering_result,
+            identifications=tuple(identifications),
+            pagelets=tuple(pagelets),
+            partitioned=tuple(partitioned),
+            report=self.report(),
+        )
+
+    def _replay_cluster(self, record: ClusterRecord, members: Sequence[Page]):
+        """Rebuild one stored cluster's Phase-2/3 outcome, or ``None``.
+
+        Returns ``(identification, partitioned, quarantine_reason)``;
+        a record whose stored paths no longer resolve (a stale bundle)
+        returns ``None`` and the caller re-runs Phase 2 live.
+        """
+        if record.quarantined is not None:
+            return None, (), record.quarantined
+        replayed: list[QAPagelet] = []
+        parts: list[PartitionedPagelet] = []
+        try:
+            for entry in record.pagelets:
+                page = members[entry.page_index]
+                pagelet = QAPagelet(
+                    page=page,
+                    path=entry.path,
+                    node=resolve_path(page.tree, entry.path),
+                    score=entry.score,
+                    rank=entry.rank,
+                    contained_dynamic_paths=entry.dynamic_paths,
+                    contained_static_paths=entry.static_paths,
+                )
+                replayed.append(pagelet)
+                if entry.partition is not None:
+                    separator, object_paths = entry.partition
+                    parts.append(
+                        PartitionedPagelet(
+                            pagelet=pagelet,
+                            objects=tuple(
+                                QAObject(
+                                    path=path,
+                                    node=resolve_path(page.tree, path),
+                                )
+                                for path in object_paths
+                            ),
+                            separator_parent=separator,
+                        )
+                    )
+        except (PathResolutionError, PathSyntaxError, IndexError, ThorError):
+            return None
+        identification = IdentificationResult(
+            tuple(members), tuple(replayed), (), ()
+        )
+        return identification, tuple(parts), None
+
+    def persist_model(self, result: ThorResult) -> bool:
+        """Bundle the latest fit into the ``models/`` slot; True if saved.
+
+        Requires a configured artifact store, the numpy backend, and a
+        clustering configuration the assign kernel can reconstruct
+        (``_INCREMENTAL_SIGNATURES``); silently skips otherwise. Model
+        persistence is strictly additive — a failure to save can never
+        fail the run that produced ``result``.
+        """
+        store = artifact_store_for(self.execution)
+        fit = self._last_fit
+        if (
+            store is None
+            or fit is None
+            or not HAVE_NUMPY
+            or self.config.clustering.configuration not in _INCREMENTAL_SIGNATURES
+        ):
+            return False
+        try:
+            save_model(store, self._build_model(fit, result))
+        except (ThorError, ValueError, TypeError, KeyError, OSError):
+            return False
+        return True
+
+    def _build_model(self, fit: dict, result: ThorResult) -> SiteModel:
+        from repro.vsm.matrix import centroid_matrix, encode_tfidf, tfidf_statistics
+
+        pages: tuple[Page, ...] = fit["pages"]
+        clustering_result: PageClusteringResult = fit["clustering"]
+        k = clustering_result.clustering.k
+        labels = clustering_result.clustering.labels
+        basis: Optional[SiteModel] = fit.get("basis")
+        if basis is not None:
+            # Assign-tier refresh: the stored geometry is still the
+            # fit of record — carry it forward verbatim and extend the
+            # per-cluster fingerprint unions with just the fresh pages
+            # (unchanged pages contributed theirs at fit time, so the
+            # unions are additive until the next refit rebuilds them).
+            vocabulary = basis.vocabulary
+            idf = basis.idf
+            centroids = basis.centroids
+            unions = [set(union) for union in basis.fingerprints]
+            fresh_fps: dict = fit.get("fresh_fps", {})
+            for page, label in zip(pages, labels):
+                if id(page) not in fit["fresh_ids"]:
+                    continue
+                fingerprint = fresh_fps.get(id(page))
+                if fingerprint is None:
+                    fingerprint = page_fingerprint(page.tree)
+                unions[label] |= fingerprint
+        else:
+            signature = _INCREMENTAL_SIGNATURES[
+                self.config.clustering.configuration
+            ]
+            signatures = [signature(page) for page in pages]
+            vocabulary, idf = tfidf_statistics(signatures)
+            centroids, _counts = centroid_matrix(
+                encode_tfidf(signatures, vocabulary, idf), list(labels), k
+            )
+            unions = [set() for _ in range(k)]
+            for page, label in zip(pages, labels):
+                unions[label] |= page_fingerprint(page.tree)
+        partition_map = {
+            id(part.pagelet): part for part in result.partitioned
+        }
+        cluster_records = []
+        for outcome in fit["outcomes"]:
+            members: Sequence[Page] = outcome["members"]
+            member_index = {id(page): i for i, page in enumerate(members)}
+            pagelet_records = []
+            identification = outcome["identification"]
+            if identification is not None:
+                for pagelet in identification.pagelets:
+                    part = partition_map.get(id(pagelet))
+                    pagelet_records.append(
+                        PageletRecord(
+                            page_index=member_index[id(pagelet.page)],
+                            path=pagelet.path,
+                            score=pagelet.score,
+                            rank=pagelet.rank,
+                            dynamic_paths=tuple(pagelet.contained_dynamic_paths),
+                            static_paths=tuple(pagelet.contained_static_paths),
+                            partition=(
+                                None
+                                if part is None
+                                else (
+                                    part.separator_parent,
+                                    tuple(obj.path for obj in part.objects),
+                                )
+                            ),
+                        )
+                    )
+            cluster_records.append(
+                ClusterRecord(
+                    cluster=outcome["cluster"],
+                    page_keys=tuple(
+                        page_content_key(page.html) for page in members
+                    ),
+                    quarantined=outcome["quarantined"],
+                    pagelets=tuple(pagelet_records),
+                )
+            )
+        return SiteModel(
+            site=site_identity([page.url for page in pages]),
+            config_fingerprint=config_fingerprint(self.config),
+            k=k,
+            page_keys=tuple(page_content_key(page.html) for page in pages),
+            labels=tuple(labels),
+            scores=tuple(
+                {
+                    "cluster": score.cluster,
+                    "size": score.size,
+                    "combined_score": score.combined,
+                    "avg_distinct_terms": score.avg_distinct_terms,
+                    "avg_fanout": score.avg_fanout,
+                    "avg_page_size": score.avg_page_size,
+                }
+                for score in clustering_result.scores
+            ),
+            vocabulary=tuple(vocabulary),
+            idf=idf,
+            centroids=centroids,
+            fingerprints=tuple(frozenset(union) for union in unions),
+            clusters=tuple(cluster_records),
+        )
+
     def _extract_partition_streaming(
         self,
         pages: Sequence[Page],
@@ -671,7 +1180,11 @@ class Thor:
                     )
                     save_manifest(store, manifest)
             self._notify_stage(options, "extract")
-            if options.streaming:
+            if options.incremental:
+                result = self._refresh_guarded(
+                    pages, store=store, manifest=manifest, options=options
+                )
+            elif options.streaming:
                 result = self._extract_partition_streaming(
                     pages, store=store, manifest=manifest, options=options
                 )
@@ -687,4 +1200,7 @@ class Thor:
                 manifest.mark_complete("extract", digest=result_digest(result))
                 manifest.mark_complete("partition", digest=result_digest(result))
                 save_manifest(store, manifest)
+            # Feed the next incremental run: every completed full run
+            # (and every refresh) re-publishes the fitted model.
+            self.persist_model(result)
             return result

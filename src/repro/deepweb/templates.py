@@ -352,3 +352,92 @@ class PageTemplates:
             f'<p><a href="http://{self.theme.host}/">Return to front page</a></p>'
         )
         return self._page(query, main, with_chrome=False)
+
+
+# -- template mutation (drift injection for incremental re-extraction) ----
+
+
+def mutate_page_text(html: str, seed: int = 0) -> str:
+    """A *content-only* page change: new text, identical tag structure.
+
+    Injects a seeded sentence into the first paragraph, modeling a site
+    that re-rendered the same template over updated data (prices
+    changed, a counter ticked). The page's content key and term counts
+    change but its tag-path fingerprint — and therefore its Phase-1
+    tag-signature cluster — do not: an incremental run assigns it back
+    to its stored cluster without tripping the drift gate.
+    """
+    rng = random.Random(f"mutate-text:{seed}")
+    words = " ".join(rng.sample(list(DICTIONARY_WORDS), 3))
+    sentence = f" Updated today: {words}."
+    marker = "</p>"
+    index = html.find(marker)
+    if index < 0:
+        # No paragraph to splice into: append a bare text node before
+        # </body> (or at the end) — never a new element, which would
+        # add a tag path and make this a *structural* change.
+        index = html.find("</body>")
+        if index < 0:
+            return html + sentence
+        return html[:index] + sentence + html[index:]
+    return html[:index] + sentence + html[index:]
+
+
+def mutate_page_structure(html: str, seed: int = 0) -> str:
+    """A *template* change: every path under ``<body>`` is displaced.
+
+    Wraps the whole body in nested wrapper tags, the structural
+    equivalent of a site-wide redesign — (nearly) every root-to-node
+    tag path changes, so the page's fingerprint shares almost nothing
+    with the stored cluster fingerprints and the drift gate must fire.
+    """
+    depth = 2 + random.Random(f"mutate-structure:{seed}").randrange(2)
+    opening = "<blockquote><center>" * depth
+    closing = "</center></blockquote>" * depth
+    if "<body>" not in html:
+        return f"<html><body>{opening}{html}{closing}</body></html>"
+    return html.replace("<body>", f"<body>{opening}", 1).replace(
+        "</body>", f"{closing}</body>", 1
+    )
+
+
+class TemplateDriftSource:
+    """A probe-source wrapper that injects template drift per term.
+
+    Pages answering the given probe ``terms`` are rewritten with
+    ``mutate`` (default: the content-only text mutation) before the
+    prober sees them; every other page passes through untouched.
+    Deciding by *term* rather than arrival order keeps the mutation
+    set identical under any probe concurrency. ``mutated`` counts the
+    rewritten pages served, for test assertions.
+    """
+
+    def __init__(self, source, terms=(), mutate=mutate_page_text, seed: int = 0):
+        self.source = source
+        self.terms = frozenset(terms)
+        self.mutate = mutate
+        self.seed = seed
+        self.mutated = 0
+
+    def _rewrite(self, page, term: str):
+        from repro.core.page import Page
+
+        if term not in self.terms:
+            return page
+        self.mutated += 1
+        return Page(
+            self.mutate(page.html, seed=self.seed),
+            url=page.url,
+            query=page.query,
+        )
+
+    def query(self, term: str):
+        return self._rewrite(self.source.query(term), term)
+
+    async def aquery(self, term: str):
+        inner = getattr(self.source, "aquery", None)
+        if inner is not None:
+            page = await inner(term)
+        else:
+            page = self.source.query(term)
+        return self._rewrite(page, term)

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.config import DEFAULT_CONFIG, ThorConfig
+from repro.config import DEFAULT_CONFIG, RunOptions, ThorConfig
 from repro.core.probing import DeepWebSource
 from repro.core.thor import Thor, ThorResult
 from repro.engine.documents import ObjectDocument
@@ -30,6 +30,14 @@ class SiteSummary:
     pages_probed: int
     pagelets_extracted: int
     objects_indexed: int
+    #: Incremental re-extraction accounting for this registration:
+    #: pages replayed unchanged from the stored site model, pages
+    #: assigned to stored clusters without a refit, and pages that
+    #: went through a full refit (the whole sample, on a first
+    #: registration or a drift event).
+    pages_skipped: int = 0
+    pages_assigned: int = 0
+    pages_refit: int = 0
 
 
 @dataclass(frozen=True)
@@ -74,8 +82,21 @@ class DeepWebSearchEngine:
 
         ``site_name`` defaults to the host found in the sampled pages'
         URLs (or ``"source-N"`` when URLs are empty).
+
+        Registration always goes through the incremental refresh path:
+        when the engine's config has an artifact cache, re-registering
+        a source diffs its pages against the stored site model and
+        re-extracts only the delta (a first registration is a model
+        miss and refits in full — same results, full cost). The
+        returned summary's ``pages_skipped`` / ``pages_assigned`` /
+        ``pages_refit`` counters say which tier each page took.
         """
-        result = self._thor.run(source)
+        before = self._thor.report().incremental
+        result = self._thor.run(source, options=RunOptions(incremental=True))
+        after = self._thor.report().incremental
+        delta = {
+            kind: after.get(kind, 0) - before.get(kind, 0) for kind in after
+        }
         name = site_name or self._infer_site_name(result)
         objects = 0
         for part in result.partitioned:
@@ -107,6 +128,9 @@ class DeepWebSearchEngine:
             pages_probed=len(result.pages),
             pagelets_extracted=len(result.pagelets),
             objects_indexed=objects,
+            pages_skipped=delta.get("skipped", 0),
+            pages_assigned=delta.get("assigned", 0),
+            pages_refit=delta.get("refit", 0),
         )
         self._summaries[name] = summary
         return summary

@@ -534,6 +534,34 @@ def run_crawl(
     return CrawlService(fetch, seeds, config=config, options=options).crawl()
 
 
+def refresh_corpus(
+    report: CrawlReport,
+    config: Optional[ThorConfig] = None,
+    options: Optional[RunOptions] = None,
+):
+    """Feed a (re)crawled corpus through incremental re-extraction.
+
+    The bridge from Stage 0 to the incremental pipeline: the crawl
+    report's pages become :class:`~repro.core.page.Page` objects (the
+    URL doubles as the probe term, as in the crawl executor) and run
+    through :meth:`Thor.refresh <repro.core.thor.Thor.refresh>` — on a
+    recrawl of a stable site, unchanged pages replay from the stored
+    model and only the delta is re-extracted; the first crawl (a model
+    miss) refits in full and publishes the model for the next one.
+    Returns the :class:`~repro.core.thor.ThorResult`.
+    """
+    from repro.core.page import Page
+    from repro.core.thor import Thor
+
+    options = options or RunOptions()
+    pages = [
+        Page(page.html, url=page.url, query=page.url)
+        for page in report.pages
+    ]
+    thor = Thor(config or ThorConfig(), fault_plan=options.fault_plan)
+    return thor.refresh(pages, options)
+
+
 def format_crawl_report(report: CrawlReport) -> str:
     """Human-readable crawl summary (ends with the corpus digest)."""
     lines = [
@@ -573,5 +601,6 @@ __all__ = [
     "PolitenessLane",
     "corpus_digest",
     "format_crawl_report",
+    "refresh_corpus",
     "run_crawl",
 ]

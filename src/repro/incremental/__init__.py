@@ -1,0 +1,59 @@
+"""``repro.incremental``: template-drift detection and model reuse.
+
+The paper's pipeline refits everything on every invocation, so a
+nightly re-crawl of an unchanged site costs the same as a cold first
+run. Most deep-web sites keep their answer-page template stable across
+crawls, and template identity is cheaply decidable from structural
+fingerprints — so after a full run the fitted Phase-1 model (tf-idf
+vocabulary + idf, cluster centroids, cluster ranking, per-cluster
+Phase-2 outcomes) is persisted under the ``models/`` artifact kind
+(:mod:`repro.incremental.model`), and a repeated run with
+``RunOptions(incremental=True)`` diffs the fresh pages against it:
+
+- **replay** — pages whose HTML is unchanged skip Phase 1 *and*
+  Phase 2; their pagelets and partitions replay from the stored model,
+- **assign** — new/changed pages whose tag-path fingerprint
+  (:mod:`repro.incremental.fingerprints`) sits within the drift
+  threshold are assigned to the stored clusters with one cosine matmul
+  (no refit) and flow through Phase 2 only for the clusters they touch,
+- **refit** — drift past ``IncrementalConfig.drift_threshold``, a
+  ``models/`` miss, or a corrupt bundle falls back to a full refit,
+  recorded as a counted event on :class:`~repro.resilience.report.RunReport`.
+
+The core invariant (hypothesis-tested across all seven synthetic
+domains): with no template drift, the incremental result digest is
+bitwise identical to a full refit; with drift, the fallback refit
+digest matches a cold run. See DESIGN.md §15.
+"""
+
+from repro.incremental.fingerprints import (
+    cluster_fingerprint,
+    containment,
+    fingerprint_drift,
+    jaccard_similarity,
+    page_fingerprint,
+)
+from repro.incremental.model import (
+    ClusterRecord,
+    PageletRecord,
+    SiteModel,
+    load_model,
+    page_content_key,
+    save_model,
+    site_identity,
+)
+
+__all__ = [
+    "ClusterRecord",
+    "PageletRecord",
+    "SiteModel",
+    "cluster_fingerprint",
+    "containment",
+    "fingerprint_drift",
+    "jaccard_similarity",
+    "load_model",
+    "page_content_key",
+    "page_fingerprint",
+    "save_model",
+    "site_identity",
+]

@@ -1,0 +1,108 @@
+"""Template fingerprints: cheap structural identity for drift detection.
+
+A page's *template fingerprint* is the set of distinct root-to-node tag
+paths in its tag tree, each hashed to a ``uint64`` (first 8 bytes of
+the SHA-256 of the ``/``-joined tag names). The set abstracts away
+everything data-dependent — text, repetition counts, attribute values —
+and keeps exactly what a template defines: which structural positions
+exist. Two pages generated from the same template share (nearly) the
+same fingerprint however different their data is; a template *edit*
+adds or removes paths.
+
+Drift is measured as ``1 − max-over-clusters containment``, where
+containment is the fraction of the *page's* paths some stored cluster
+fingerprint covers and a cluster's fingerprint is the union of its
+member pages' fingerprints at fit time. The union is the right
+aggregate: answer pages of one template class differ in which
+*optional* regions they exercise (empty results, ads, pagination), and
+a fresh page should not be punished for exercising a region some
+stored member already showed. Containment — not Jaccard — is the right
+direction: a small page (an error stub) inside a large, diverse
+cluster union has a tiny Jaccard even when every one of its paths is
+known, but its containment is exactly 1.
+
+Hashes use SHA-256 rather than ``hash()`` so fingerprints are stable
+across processes and Python versions (they are persisted in the model
+bundle as a ``uint64`` array).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+from repro.html.tree import TagTree
+
+
+def _hash_path(path: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(path.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+def page_fingerprint(tree: TagTree) -> frozenset[int]:
+    """The set of hashed root-to-node tag paths of one page.
+
+    Walks every tag node once, extending the parent's path string —
+    O(nodes) with O(distinct paths) hashing, since repeated positions
+    (table rows, result items) collapse into one path.
+    """
+    seen: dict[str, int] = {}
+    root = tree.root
+    stack: list[tuple[object, str]] = [(root, root.tag)]
+    while stack:
+        node, path = stack.pop()
+        if path not in seen:
+            seen[path] = _hash_path(path)
+        for child in node.tag_children():  # type: ignore[attr-defined]
+            stack.append((child, f"{path}/{child.tag}"))
+    return frozenset(seen.values())
+
+
+def cluster_fingerprint(fingerprints: Iterable[frozenset[int]]) -> frozenset[int]:
+    """Union fingerprint of a cluster's member pages."""
+    union: set[int] = set()
+    for fingerprint in fingerprints:
+        union |= fingerprint
+    return frozenset(union)
+
+
+def jaccard_similarity(a: frozenset[int], b: frozenset[int]) -> float:
+    """|a ∩ b| / |a ∪ b| (two empty sets are identical: 1.0)."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    if union == 0:
+        return 1.0
+    return len(a & b) / union
+
+
+def containment(page: frozenset[int], cluster: frozenset[int]) -> float:
+    """|page ∩ cluster| / |page| (an empty page is fully contained)."""
+    if not page:
+        return 1.0
+    return len(page & cluster) / len(page)
+
+
+def fingerprint_drift(
+    page: frozenset[int], clusters: Sequence[frozenset[int]]
+) -> float:
+    """How far one page drifted from its best-matching stored cluster.
+
+    ``1 − max containment`` against every stored cluster fingerprint;
+    0.0 means some cluster's template fully covers the page, 1.0 means
+    no stored cluster shares a single structural position with it.
+    With no stored clusters every page is maximally drifted.
+    """
+    if not clusters:
+        return 1.0
+    return 1.0 - max(containment(page, cluster) for cluster in clusters)
+
+
+__all__ = [
+    "cluster_fingerprint",
+    "containment",
+    "fingerprint_drift",
+    "jaccard_similarity",
+    "page_fingerprint",
+]

@@ -55,6 +55,7 @@ from repro.resilience.report import (
     RunReportBuilder,
     activate_report,
     current_report,
+    format_incremental_counters,
     format_run_report,
 )
 from repro.resilience.watchdog import run_stage
@@ -78,6 +79,7 @@ __all__ = [
     "classify_quarantine",
     "config_fingerprint",
     "current_report",
+    "format_incremental_counters",
     "format_run_report",
     "load_manifest",
     "open_manifest",

@@ -55,6 +55,14 @@ class RunReport:
     #: record transport, pickle size otherwise). Inline and
     #: serial-fallback execution cross no boundary and count nothing.
     transport: dict = field(default_factory=dict)
+    #: Incremental re-extraction accounting (``kind → count``), empty
+    #: unless the run opted in via ``RunOptions(incremental=True)``:
+    #: ``skipped`` (unchanged pages replayed from the stored model),
+    #: ``assigned`` (changed/new pages assigned to stored clusters
+    #: without a refit), ``refit`` (pages that went through a full
+    #: refit), ``drift_events`` (drift-threshold trips), and
+    #: ``model_misses`` (absent/torn/invalid model bundles).
+    incremental: dict = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -85,6 +93,7 @@ class RunReportBuilder:
         self._pages_total = 0
         self._pages_surviving = 0
         self._transport: dict[str, dict[str, int]] = {}
+        self._incremental: dict[str, int] = {}
 
     def quarantine(self, record: QuarantineRecord) -> None:
         with self._lock:
@@ -115,6 +124,11 @@ class RunReportBuilder:
             self._pages_total += total
             self._pages_surviving += surviving
 
+    def incremental_event(self, kind: str, n: int = 1) -> None:
+        """Count an incremental re-extraction event (see ``RunReport``)."""
+        with self._lock:
+            self._incremental[kind] = self._incremental.get(kind, 0) + n
+
     def count_transport(self, label: str, sent: int, received: int) -> None:
         """Record one pool chunk's serialized payload/result sizes."""
         with self._lock:
@@ -141,6 +155,7 @@ class RunReportBuilder:
                     label: dict(entry)
                     for label, entry in self._transport.items()
                 },
+                incremental=dict(self._incremental),
             )
 
 
@@ -174,6 +189,25 @@ def current_report():
     return _ACTIVE[-1] if _ACTIVE else None
 
 
+def format_incremental_counters(report: RunReport) -> str:
+    """The incremental counters as one stable ``key=value`` line.
+
+    Always shows the five well-known counters (zero included) so CI
+    can grep e.g. ``refit=0`` whether or not the event occurred.
+    """
+    counters = report.incremental
+    known = ("skipped", "assigned", "refit", "drift_events", "model_misses")
+    parts = [
+        f"{kind.replace('_', '-')}={counters.get(kind, 0)}" for kind in known
+    ]
+    parts.extend(
+        f"{kind.replace('_', '-')}={count}"
+        for kind, count in sorted(counters.items())
+        if kind not in known
+    )
+    return " ".join(parts)
+
+
 def format_run_report(report: RunReport) -> str:
     """Human-readable run-resilience summary (CLI ``--report``)."""
     lines = ["run report:"]
@@ -202,6 +236,8 @@ def format_run_report(report: RunReport) -> str:
             f"  transport[{label}]: chunks={entry['chunks']} "
             f"sent={entry['bytes_sent']}B received={entry['bytes_received']}B"
         )
+    if report.incremental:
+        lines.append("  incremental: " + format_incremental_counters(report))
     lines.append(f"  quarantined: {len(report.quarantined)}")
     for record in report.quarantined:
         lines.append(f"    - {record}")
@@ -215,5 +251,6 @@ __all__ = [
     "RunReportBuilder",
     "activate_report",
     "current_report",
+    "format_incremental_counters",
     "format_run_report",
 ]

@@ -150,6 +150,69 @@ def weighted_space(count_maps, weighting: str = "tfidf") -> "VectorSpace":
     return VectorSpace(vocabulary, matrix, np.linalg.norm(matrix, axis=1))
 
 
+def tfidf_statistics(count_maps):
+    """The fitted parameters of a tf-idf space: ``(vocabulary, idf)``.
+
+    Mirrors the ``weighting="tfidf"`` branch of :func:`weighted_space`
+    exactly (same first-seen column order, same smoothing), but returns
+    the reusable fit state instead of the transformed matrix. The
+    incremental model (:mod:`repro.incremental.model`) persists these
+    so a later run can encode *new* pages into the stored space without
+    refitting — see :func:`encode_tfidf`.
+    """
+    _require_numpy()
+    vocabulary: dict[str, int] = {}
+    doc_freq: list[int] = []
+    for counts in count_maps:
+        for feature, count in counts.items():
+            if count <= 0:
+                continue
+            col = vocabulary.get(feature)
+            if col is None:
+                vocabulary[feature] = len(vocabulary)
+                doc_freq.append(1)
+            else:
+                doc_freq[col] += 1
+    idf = np.log(
+        (len(count_maps) + 1)
+        / np.maximum(np.asarray(doc_freq, dtype=np.float64), 1)
+    )
+    return vocabulary, idf
+
+
+def encode_tfidf(count_maps, vocabulary: dict[str, int], idf):
+    """Encode documents into a *stored* tf-idf space (assign, don't fit).
+
+    Applies the exact transform of :func:`weighted_space`'s tfidf
+    branch — ``log(count + 1) * idf`` then L2 row normalization — using
+    a previously fitted ``(vocabulary, idf)`` pair from
+    :func:`tfidf_statistics`. Features outside the stored vocabulary
+    drop (a genuinely new tag contributes nothing to similarity, which
+    is what pulls drifted pages *away* from every stored centroid).
+    Returns a dense ``(len(count_maps) × |vocabulary|)`` matrix.
+    """
+    _require_numpy()
+    matrix = np.zeros((len(count_maps), len(vocabulary)), dtype=np.float64)
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for row, counts in enumerate(count_maps):
+        for feature, count in counts.items():
+            if count <= 0:
+                continue
+            col = vocabulary.get(feature)
+            if col is not None:
+                rows.append(row)
+                cols.append(col)
+                vals.append(count)
+    matrix[rows, cols] = vals
+    matrix = np.log(matrix + 1.0) * np.asarray(idf, dtype=np.float64)
+    norms = np.linalg.norm(matrix, axis=1)
+    nonzero = norms > 0.0
+    matrix[nonzero] /= norms[nonzero, None]
+    return matrix
+
+
 def cosine_matrix(a, b, norms_a=None, norms_b=None):
     """All pairwise cosine similarities between the rows of ``a`` and
     ``b`` in a single matmul.
@@ -345,6 +408,8 @@ __all__ = [
     "HAVE_NUMPY",
     "VectorSpace",
     "weighted_space",
+    "tfidf_statistics",
+    "encode_tfidf",
     "cosine_matrix",
     "group_sums",
     "centroid_matrix",

@@ -26,6 +26,7 @@ EXPECTED_ALL = [
     "FleetReport",
     "FleetSpec",
     "GcReport",
+    "IncrementalConfig",
     "Page",
     "ProbeConfig",
     "ProbeResult",
@@ -54,6 +55,7 @@ EXPECTED_ALL = [
     "format_run_report",
     "make_site",
     "probe",
+    "refresh_corpus",
     "resolve_cache_dir",
     "run",
     "run_fleet",

@@ -9,6 +9,7 @@ import pytest
 
 from repro.artifacts import (
     ArtifactStore,
+    KIND_MODELS,
     KIND_RECORDS,
     KIND_SPACES,
     KIND_TREES,
@@ -228,6 +229,46 @@ class TestGc:
         collect(tmp_path, max_bytes=0)
         assert os.path.exists(tmp_path / "stats.json")
         assert list(iter_entries(tmp_path)) == []
+
+    def test_models_evicted_only_after_other_kinds(self, tmp_path):
+        store = self._fill(tmp_path)
+        store.put_json(KIND_MODELS, "ab" * 32, {"pad": "x" * 64})
+        entries = {
+            path: size for path, size, _ in iter_entries(tmp_path)
+        }
+        model_path = next(
+            path
+            for path in entries
+            if os.path.relpath(path, tmp_path).split(os.sep)[0] == "models"
+        )
+        os.utime(model_path, (1, 1))  # make the model the oldest entry
+        record_size = max(
+            size for path, size in entries.items() if path != model_path
+        )
+        collect(tmp_path, max_bytes=entries[model_path] + record_size)
+        # Oldest entry in the store, yet it outlives every evicted
+        # record: the byte budget drains non-model kinds first.
+        assert os.path.exists(model_path)
+        survivors = {path for path, _, _ in iter_entries(tmp_path)}
+        assert len(survivors) == 2  # the model + the newest record
+        # With everything else gone, models are fair game.
+        collect(tmp_path, max_bytes=0)
+        assert not os.path.exists(model_path)
+
+    def test_age_expiry_still_reaps_models(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put_json(KIND_MODELS, "ab" * 32, {"pad": "x" * 64})
+        model_path = next(path for path, _, _ in iter_entries(tmp_path))
+        os.utime(model_path, (1, 1))
+        report = collect(tmp_path, max_age_s=3600)
+        assert report.removed_entries == 1
+        assert not os.path.exists(model_path)
+
+    def test_usage_report_accounts_models_kind(self, tmp_path):
+        store = self._fill(tmp_path)
+        store.put_json(KIND_MODELS, "ab" * 32, {"pad": "x" * 64})
+        text = format_artifact_report(artifact_report(tmp_path))
+        assert "models: 1 entries" in text
 
     def test_usage_report_breaks_down_by_kind(self, tmp_path):
         store = self._fill(tmp_path)

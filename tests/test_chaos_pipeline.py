@@ -27,10 +27,12 @@ from repro.core.page import Page
 from repro.core.thor import Thor
 from repro.deepweb import generate_corpus, make_site
 from repro.deepweb.domains import DOMAINS
+from repro.deepweb.templates import mutate_page_text
 from repro.errors import ExtractionError, HtmlParseError, ResumeError
 from repro.io.export import result_digest
 from repro.resilience import FaultPlan
 from repro.resilience.quarantine import INJECTED, PARSE_ERROR
+from repro.vsm.matrix import HAVE_NUMPY
 
 ALL_DOMAINS = sorted(DOMAINS)  # all seven deep-web genres
 
@@ -244,3 +246,135 @@ class TestCliChaosSmoke:
 
         assert main(["run", "--resume"]) == 2
         assert "requires --run-id" in capsys.readouterr().err
+
+
+class _FailFirstIdentifier:
+    """Raises on the first cluster, delegates afterwards — so exactly
+    one cluster is quarantined at fit time."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.calls = 0
+
+    def identify(self, pages):
+        self.calls += 1
+        if self.calls == 1:
+            raise ExtractionError("injected: cluster analysis failed")
+        return self._inner.identify(pages)
+
+
+class _CountingIdentifier:
+    def __init__(self, inner):
+        self._inner = inner
+        self.calls = 0
+
+    def identify(self, pages):
+        self.calls += 1
+        return self._inner.identify(pages)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="model reuse needs numpy")
+class TestIncrementalChaos:
+    """Drift edge cases (ISSUE: incremental re-extraction): an empty
+    delta must do zero Phase-2 work, stored quarantines must replay
+    without re-running the failing analysis, and a torn model bundle is
+    a counted miss that falls back to a full refit — never an
+    exception."""
+
+    def _config(self, cache_dir: str) -> ThorConfig:
+        return ThorConfig(
+            seed=1, execution=ExecutionConfig(cache_dir=str(cache_dir))
+        )
+
+    def _seed(self, thor: Thor, pages):
+        """Full fit over ``pages`` with the model published — what a
+        first ``run()`` leaves behind for the next crawl."""
+        result = thor.partition(thor.extract(pages))
+        assert thor.persist_model(result)
+        return result
+
+    def test_empty_delta_is_pure_replay_with_zero_phase2_work(self, tmp_path):
+        pages = _site_pages("jobs")
+        config = self._config(tmp_path)
+        seeded = self._seed(Thor(config), pages)
+        replay = Thor(config)
+        spy = _CountingIdentifier(replay._identifier)
+        replay._identifier = spy
+        result = replay.refresh(pages)
+        assert spy.calls == 0
+        assert result_digest(result) == result_digest(seeded)
+        counters = replay.report().incremental
+        assert counters.get("skipped", 0) == len(result.pages)
+        assert counters.get("assigned", 0) == 0
+        assert counters.get("refit", 0) == 0
+
+    def test_quarantined_cluster_replays_without_rerunning(self, tmp_path):
+        pages = _site_pages("movies")
+        config = self._config(tmp_path)
+        seeder = Thor(config)
+        seeder._identifier = _FailFirstIdentifier(seeder._identifier)
+        seeded = self._seed(seeder, pages)
+        seed_quarantine = [
+            (r.kind, r.unit) for r in seeded.report.quarantined
+        ]
+        assert seed_quarantine  # the injected failure really landed
+        replay = Thor(config)
+        spy = _CountingIdentifier(replay._identifier)
+        replay._identifier = spy
+        result = replay.refresh(pages)
+        # The stored quarantine replays verbatim; the failing analysis
+        # (and every healthy one) is not re-run.
+        assert spy.calls == 0
+        assert result_digest(result) == result_digest(seeded)
+        assert [
+            (r.kind, r.unit) for r in result.report.quarantined
+        ] == seed_quarantine
+
+    def test_torn_model_bundle_is_a_counted_miss_not_an_error(self, tmp_path):
+        pages = _site_pages("library")
+        config = self._config(tmp_path)
+        seeded = self._seed(Thor(config), pages)
+        bundles = [
+            path
+            for path in (tmp_path / "models").rglob("*")
+            if path.is_file()
+        ]
+        assert bundles
+        for path in bundles:
+            payload = path.read_bytes()
+            path.write_bytes(payload[: len(payload) // 2])
+        thor = Thor(config)
+        result = thor.refresh(pages)
+        counters = thor.report().incremental
+        assert counters.get("model_misses", 0) == 1
+        assert counters.get("refit", 0) == len(result.pages)
+        assert counters.get("skipped", 0) == 0
+        assert result_digest(result) == result_digest(seeded)
+
+    def test_chaos_refresh_keeps_digest_identical(self, tmp_path):
+        pages = _site_pages("travel")
+        config = ThorConfig(
+            seed=1,
+            execution=ExecutionConfig(
+                n_jobs=2, cache_dir=str(tmp_path / "warm")
+            ),
+        )
+        self._seed(Thor(config), pages)
+        mutated = [
+            Page(mutate_page_text(p.html, seed=i), url=p.url, query=p.query)
+            if i < 3
+            else p
+            for i, p in enumerate(pages)
+        ]
+        # Fault-free cold reference over the mutated corpus.
+        cold = Thor(ThorConfig(seed=1))
+        reference = cold.partition(cold.extract(mutated))
+        plan = FaultPlan(
+            seed=7,
+            worker_crash_rate=0.4,
+            chunk_error_rate=0.3,
+            artifact_corrupt_rate=0.3,
+        )
+        thor = Thor(config, fault_plan=plan)
+        result = thor.refresh(mutated)
+        assert result_digest(result) == result_digest(reference)

@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import ThorConfig
+from repro.config import ExecutionConfig, ProbeConfig, ThorConfig
 from repro.deepweb import make_site
 from repro.engine import DeepWebSearchEngine, InvertedIndex, ObjectDocument
 from repro.errors import ThorError
+from repro.vsm.matrix import HAVE_NUMPY
 
 
 def doc(doc_id, text, site="s.example.com", query="q"):
@@ -171,6 +172,43 @@ class TestDeepWebSearchEngine:
 
     def test_engine_len(self, engine):
         assert len(engine) > 0
+
+
+class TestRegisterIncrementalCounters:
+    """``register`` routes through the incremental refresh path and
+    surfaces the drift-tier counters on the site summary."""
+
+    def _config(self, cache_dir=None):
+        return ThorConfig(
+            seed=7,
+            probing=ProbeConfig(dictionary_queries=12, nonsense_queries=2),
+            execution=ExecutionConfig(
+                cache_dir=str(cache_dir) if cache_dir else None
+            ),
+        )
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="model reuse needs numpy")
+    def test_re_registration_replays_from_the_model(self, tmp_path):
+        eng = DeepWebSearchEngine(self._config(tmp_path))
+        site = lambda: make_site("jobs", seed=7, records=60)  # noqa: E731
+        first = eng.register(site())
+        # Cold cache: the first registration is a counted full fit.
+        assert first.pages_refit == first.pages_probed > 0
+        assert first.pages_skipped == 0
+        assert first.pages_assigned == 0
+        second = eng.register(site())
+        # Unchanged site: every page replays from the stored model.
+        assert second.pages_skipped == second.pages_probed
+        assert second.pages_refit == 0
+        assert second.pages_assigned == 0
+
+    def test_without_a_store_every_registration_refits(self):
+        eng = DeepWebSearchEngine(self._config())
+        site = lambda: make_site("jobs", seed=7, records=60)  # noqa: E731
+        for _ in range(2):
+            summary = eng.register(site())
+            assert summary.pages_refit == summary.pages_probed > 0
+            assert summary.pages_skipped == 0
 
 
 class TestHighlightedSnippet:
