@@ -54,6 +54,7 @@ from repro.config import (
     StageTimeouts,
     SubtreeConfig,
     ThorConfig,
+    TransportConfig,
 )
 from repro.config import resolve_cache_dir
 from repro.core.page import Page
@@ -94,6 +95,7 @@ from repro.resilience import (
     RunReport,
     format_run_report,
 )
+from repro.transport.http import HttpFetcher
 
 def crawl(
     fetch: Union[Callable[[str], str], object],
@@ -223,6 +225,7 @@ __all__ = [
     "FleetReport",
     "FleetSpec",
     "GcReport",
+    "HttpFetcher",
     "IncrementalConfig",
     "Page",
     "ProbeConfig",
@@ -242,6 +245,7 @@ __all__ = [
     "ThorConfig",
     "ThorError",
     "ThorResult",
+    "TransportConfig",
     "collect_artifacts",
     "crawl",
     "extract",

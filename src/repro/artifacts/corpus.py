@@ -1,0 +1,129 @@
+"""Sharded JSONL crawl corpora under the artifact store.
+
+PR 8's crawl checkpoint keeps the whole corpus inline in one JSON
+record — fine for hundreds of pages, pathological for a real crawl:
+every checkpoint rewrites every byte ever fetched. This module moves
+the bulk into immutable JSONL shards under
+``<store root>/corpus/<crawl id>/s<pages-per-shard>/shard-00000.jsonl``
+so a checkpoint writes each full shard **once** and thereafter only the
+small inline tail (the pages that haven't filled a shard yet).
+
+Design points:
+
+* **Append-only corpus, immutable shards.** The crawl corpus only ever
+  grows at the end, so shard *i* holds pages
+  ``[i*S, (i+1)*S)`` forever; a shard already on disk is never
+  rewritten (publish is skip-if-exists).
+* **Pages-per-shard in the path.** Changing
+  ``CrawlConfig.corpus_shard_pages`` between invocations writes under a
+  different ``s<S>`` directory instead of mixing page ranges.
+* **Corrupt = fresh start.** Loading verifies shard count and per-shard
+  page counts; any torn shard (the store's fault-plan corruption
+  applies to shard publishes too) makes the whole load return ``None``
+  and the crawl deterministically restarts — the same contract as a
+  torn checkpoint record.
+* **GC-exempt.** The artifact GC only sweeps ``.json``/``.npz`` files,
+  so corpus shards never get evicted out from under a resumable crawl.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Optional, Sequence
+
+#: Artifact-store kind (directory) holding crawl corpus shards.
+KIND_CORPUS = "corpus"
+
+
+def _safe_id(crawl_id: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]", "_", crawl_id)
+
+
+def shard_dir(store, crawl_id: str, pages_per_shard: int) -> str:
+    return os.path.join(
+        store.root, KIND_CORPUS, _safe_id(crawl_id), f"s{pages_per_shard}"
+    )
+
+
+def shard_path(store, crawl_id: str, pages_per_shard: int, index: int) -> str:
+    return os.path.join(
+        shard_dir(store, crawl_id, pages_per_shard), f"shard-{index:05d}.jsonl"
+    )
+
+
+def publish_corpus_shards(
+    store,
+    crawl_id: str,
+    corpus: Sequence[tuple[str, int, str]],
+    pages_per_shard: int,
+) -> dict:
+    """Write every *complete* shard of ``corpus`` not yet on disk.
+
+    Returns the shard metadata the crawl checkpoint embeds:
+    ``{"pages_per_shard": S, "count": shards, "pages": sharded_pages}``
+    — the caller keeps ``corpus[pages:]`` inline as the tail.
+    """
+    count = len(corpus) // pages_per_shard
+    for index in range(count):
+        path = shard_path(store, crawl_id, pages_per_shard, index)
+        if os.path.exists(path):
+            continue
+        start = index * pages_per_shard
+        lines = [
+            json.dumps(
+                [url, depth, html],
+                ensure_ascii=False,
+                separators=(",", ":"),
+            )
+            for url, depth, html in corpus[start : start + pages_per_shard]
+        ]
+        payload = ("\n".join(lines) + "\n").encode("utf-8")
+        store._publish(path, payload)
+    return {
+        "pages_per_shard": pages_per_shard,
+        "count": count,
+        "pages": count * pages_per_shard,
+    }
+
+
+def load_corpus_shards(
+    store, crawl_id: str, meta: dict
+) -> Optional[list[tuple[str, int, str]]]:
+    """The sharded prefix of a checkpointed corpus, in fetch order, or
+    ``None`` when any shard is missing/torn/miscounted (the caller then
+    treats the whole checkpoint as unusable and restarts fresh)."""
+    try:
+        pages_per_shard = int(meta["pages_per_shard"])
+        count = int(meta["count"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    if pages_per_shard < 1 or count < 0:
+        return None
+    corpus: list[tuple[str, int, str]] = []
+    for index in range(count):
+        path = shard_path(store, crawl_id, pages_per_shard, index)
+        try:
+            with open(path, "rb") as handle:
+                lines = handle.read().decode("utf-8").splitlines()
+        except (OSError, UnicodeDecodeError):
+            return None
+        if len(lines) != pages_per_shard:
+            return None
+        for line in lines:
+            try:
+                url, depth, html = json.loads(line)
+            except (ValueError, TypeError):
+                return None
+            corpus.append((str(url), int(depth), str(html)))
+    return corpus
+
+
+__all__ = [
+    "KIND_CORPUS",
+    "load_corpus_shards",
+    "publish_corpus_shards",
+    "shard_dir",
+    "shard_path",
+]

@@ -414,22 +414,49 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 3 if report.quarantined else 0
 
 
-def cmd_crawl(args: argparse.Namespace) -> int:
-    """Run (or resume) a checkpointed crawl over a simulated web.
+def _transport_config(args: argparse.Namespace):
+    """A :class:`TransportConfig` with the CLI's overrides applied."""
+    from repro.config import TransportConfig
 
-    Prints the crawl report, ending with a deterministic
-    ``corpus-digest:`` line — identical at any ``--jobs`` level and
-    across ``--max-pages-per-run`` + ``--resume`` boundaries — which CI
-    uses to verify the interrupted == uninterrupted invariant. Exit
-    status: 0 on success, 2 on bad arguments.
+    overrides: dict = {}
+    if args.transport_connect_timeout is not None:
+        overrides["connect_timeout_s"] = args.transport_connect_timeout
+    if args.transport_read_timeout is not None:
+        overrides["read_timeout_s"] = args.transport_read_timeout
+    if args.transport_max_redirects is not None:
+        overrides["max_redirects"] = args.transport_max_redirects
+    if args.transport_max_bytes is not None:
+        overrides["max_response_bytes"] = args.transport_max_bytes
+    if args.no_robots:
+        overrides["obey_robots"] = False
+    if args.breaker_failures is not None:
+        overrides["breaker_failures"] = args.breaker_failures
+    if args.breaker_cooldown is not None:
+        overrides["breaker_cooldown"] = args.breaker_cooldown
+    return TransportConfig(**overrides)
+
+
+def cmd_crawl(args: argparse.Namespace) -> int:
+    """Run (or resume) a checkpointed crawl.
+
+    Three fetch modes: the default simulated web, real HTTP from
+    ``--url`` seeds through the hardened transport, or ``--hostile-ports``
+    which stands up the in-process hostile HTTP harness on fixed ports
+    and crawls it (the CI transport-smoke path). Prints the crawl
+    report, ending with a deterministic ``corpus-digest:`` line —
+    identical at any ``--jobs`` level and across ``--max-pages-per-run``
+    + ``--resume`` boundaries — which CI uses to verify the interrupted
+    == uninterrupted invariant. Exit status: 0 on success, 2 on bad
+    arguments.
     """
     from repro import api
     from repro.config import CrawlConfig
-    from repro.discovery.web import SimulatedWeb
     from repro.errors import ConfigError, ResumeError, ThorError
     from repro.frontier.service import format_crawl_report
 
     config = _thor_config(args)
+    harness = None
+    fetcher = None
     try:
         defaults = CrawlConfig()
         crawl_config = CrawlConfig(
@@ -440,27 +467,69 @@ def cmd_crawl(args: argparse.Namespace) -> int:
             rate=args.rate,
             burst=defaults.burst if args.burst is None else args.burst,
             max_pages_per_run=args.max_pages_per_run,
+            corpus_shard_pages=args.shard_pages,
         )
-        web = SimulatedWeb(
-            n_pages=args.web_pages,
-            n_portals=args.web_portals,
-            seed=args.seed,
-            records_per_site=args.records,
-        )
-    except (ValueError, ThorError) as exc:
+        if args.hostile_ports or args.urls:
+            from repro.transport.http import HttpFetcher
+
+            transport_config = _transport_config(args)
+            config = replace(
+                config, crawl=crawl_config, transport=transport_config
+            )
+            if args.hostile_ports:
+                from repro.transport.testserver import HostilePair
+
+                try:
+                    healthy_port, doomed_port = (
+                        int(part) for part in args.hostile_ports.split(",")
+                    )
+                except ValueError:
+                    raise ValueError(
+                        "--hostile-ports takes two comma-separated ports, "
+                        f"e.g. 8765,8766 (got {args.hostile_ports!r})"
+                    )
+                harness = HostilePair(
+                    seed=args.seed,
+                    healthy_port=healthy_port,
+                    doomed_port=doomed_port,
+                ).start()
+                seeds = harness.seeds
+            else:
+                seeds = tuple(args.urls)
+            fetcher = HttpFetcher(transport_config, seed=args.seed)
+            fetch_source: object = fetcher
+        else:
+            from repro.discovery.web import SimulatedWeb
+
+            config = replace(config, crawl=crawl_config)
+            seeds = None
+            fetch_source = SimulatedWeb(
+                n_pages=args.web_pages,
+                n_portals=args.web_portals,
+                seed=args.seed,
+                records_per_site=args.records,
+            )
+    except (ValueError, ThorError, OSError) as exc:
+        if harness is not None:
+            harness.stop()
         print(str(exc), file=sys.stderr)
         return 2
-    config = replace(config, crawl=crawl_config)
     options = RunOptions(
         run_id=args.crawl_id,
         resume=args.resume,
         fault_plan=_fault_plan(args),
     )
     try:
-        report = api.crawl(web, config=config, options=options)
+        report = api.crawl(fetch_source, seeds=seeds, config=config,
+                           options=options)
     except (ConfigError, ResumeError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    finally:
+        if fetcher is not None:
+            fetcher.close()
+        if harness is not None:
+            harness.stop()
     print(format_crawl_report(report))
     if args.out:
         import json
@@ -840,7 +909,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     crawl = sub.add_parser(
         "crawl",
-        help="crawl a simulated web through the checkpointed frontier, "
+        help="crawl a simulated web (or real HTTP, with --url or "
+             "--hostile-ports) through the checkpointed frontier, "
              "print a corpus digest",
         parents=[execution],
     )
@@ -904,6 +974,54 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument(
         "--out", default=None,
         help="write the fetched corpus as JSONL (url, depth, html)",
+    )
+    crawl.add_argument(
+        "--url", action="append", default=None, dest="urls", metavar="URL",
+        help="crawl over real HTTP from this seed URL (repeatable; "
+             "replaces the simulated web)",
+    )
+    crawl.add_argument(
+        "--hostile-ports", default=None, dest="hostile_ports", metavar="A,B",
+        help="start the bundled hostile two-site HTTP harness on these "
+             "loopback ports and crawl it over real HTTP (fixed ports "
+             "keep the corpus digest comparable across runs)",
+    )
+    crawl.add_argument(
+        "--shard-pages", type=int, default=None, dest="shard_pages",
+        help="checkpoint the corpus as immutable JSONL shards of this "
+             "many pages (pacing knob; digest-neutral)",
+    )
+    crawl.add_argument(
+        "--transport-connect-timeout", type=float, default=None,
+        dest="transport_connect_timeout", metavar="S",
+        help="TCP connect timeout in seconds (real-HTTP modes)",
+    )
+    crawl.add_argument(
+        "--transport-read-timeout", type=float, default=None,
+        dest="transport_read_timeout", metavar="S",
+        help="per-recv socket read timeout in seconds (real-HTTP modes)",
+    )
+    crawl.add_argument(
+        "--transport-max-redirects", type=int, default=None,
+        dest="transport_max_redirects", metavar="N",
+        help="redirect-chain cap before the fetch counts as malformed",
+    )
+    crawl.add_argument(
+        "--transport-max-bytes", type=int, default=None,
+        dest="transport_max_bytes", metavar="N",
+        help="response-size cap in bytes before the body is abandoned",
+    )
+    crawl.add_argument(
+        "--no-robots", action="store_true", dest="no_robots",
+        help="skip robots.txt retrieval and enforcement (test servers)",
+    )
+    crawl.add_argument(
+        "--breaker-failures", type=int, default=None, dest="breaker_failures",
+        help="consecutive per-site failures that trip the circuit breaker",
+    )
+    crawl.add_argument(
+        "--breaker-cooldown", type=int, default=None, dest="breaker_cooldown",
+        help="rejected attempts an open breaker waits before half-open",
     )
     crawl.set_defaults(func=cmd_crawl)
 

@@ -630,6 +630,12 @@ class CrawlConfig:
     #: every round; higher trades re-fetch work on crash for fewer
     #: store writes).
     checkpoint_every: int = 1
+    #: Pages per JSONL corpus shard under the artifact store's
+    #: ``corpus/`` kind (``None`` = keep the whole corpus inline in the
+    #: checkpoint record). A pacing knob like ``checkpoint_every`` —
+    #: deliberately outside the crawl fingerprint: sharding changes how
+    #: the corpus is stored, never what it is.
+    corpus_shard_pages: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_pages < 1:
@@ -655,6 +661,84 @@ class CrawlConfig:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
             )
+        if self.corpus_shard_pages is not None and self.corpus_shard_pages < 1:
+            raise ValueError(
+                "corpus_shard_pages must be >= 1 (or None), got "
+                f"{self.corpus_shard_pages}"
+            )
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """How the real-HTTP fetch layer (:mod:`repro.transport`) behaves.
+
+    Deliberately *not* part of the crawl fingerprint: transport knobs
+    (timeouts, pool sizes, breaker thresholds) are operator policy
+    about how pages are moved over the wire, not about what the corpus
+    is — the same stance :class:`CrawlConfig` takes for its pacing
+    knobs.
+    """
+
+    #: ``User-Agent`` header sent with every request.
+    user_agent: str = "repro-thor/0.1 (+https://example.invalid/thor)"
+    #: TCP connect timeout in seconds (``None`` = system default).
+    connect_timeout_s: Optional[float] = 5.0
+    #: Per-read socket timeout in seconds; the body as a whole gets
+    #: ``4 ×`` this as a slow-loris deadline (``None`` = no timeout).
+    read_timeout_s: Optional[float] = 10.0
+    #: Redirect hops allowed before a chain counts as a redirect storm.
+    max_redirects: int = 5
+    #: Response-body size cap in bytes; beyond it the fetch fails as
+    #: non-retryable ``oversize``.
+    max_response_bytes: int = 4_000_000
+    #: Idle keep-alive connections kept pooled per (scheme, host, port).
+    pool_per_host: int = 4
+    #: Charset when neither header nor meta sniff names one, and the
+    #: fallback for unknown/undecodable charsets (replacement-counted).
+    default_charset: str = "utf-8"
+    #: Fetch and honor each site's ``robots.txt`` (fail-open on 5xx,
+    #: fail-closed on 403). Off = no robots traffic at all.
+    obey_robots: bool = True
+    #: Consecutive fetch failures that trip a site's circuit breaker.
+    breaker_failures: int = 5
+    #: Base cooldown of an open breaker, counted in *rejected attempts*
+    #: (not seconds — keeps breaker behavior seed-deterministic); the
+    #: per-trip jitter adds up to the same amount again.
+    breaker_cooldown: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.user_agent.strip():
+            raise ValueError("user_agent must be non-empty")
+        if self.connect_timeout_s is not None and self.connect_timeout_s <= 0:
+            raise ValueError(
+                f"connect_timeout_s must be > 0, got {self.connect_timeout_s}"
+            )
+        if self.read_timeout_s is not None and self.read_timeout_s <= 0:
+            raise ValueError(
+                f"read_timeout_s must be > 0, got {self.read_timeout_s}"
+            )
+        if self.max_redirects < 0:
+            raise ValueError(
+                f"max_redirects must be >= 0, got {self.max_redirects}"
+            )
+        if self.max_response_bytes < 1:
+            raise ValueError(
+                f"max_response_bytes must be >= 1, got {self.max_response_bytes}"
+            )
+        if self.pool_per_host < 0:
+            raise ValueError(
+                f"pool_per_host must be >= 0, got {self.pool_per_host}"
+            )
+        if not self.default_charset.strip():
+            raise ValueError("default_charset must be non-empty")
+        if self.breaker_failures < 1:
+            raise ValueError(
+                f"breaker_failures must be >= 1, got {self.breaker_failures}"
+            )
+        if self.breaker_cooldown < 1:
+            raise ValueError(
+                f"breaker_cooldown must be >= 1, got {self.breaker_cooldown}"
+            )
 
 
 @dataclass(frozen=True)
@@ -679,6 +763,11 @@ class ThorConfig:
     #: How :func:`repro.api.crawl` acquires pages (frontier batching,
     #: politeness lanes, drain budget). Ignored by non-crawl verbs.
     crawl: CrawlConfig = field(default_factory=CrawlConfig)
+    #: How the real-HTTP fetch layer moves those pages over the wire
+    #: (timeouts, pooling, robots, circuit breakers). Only consulted
+    #: when a crawl builds its own :class:`repro.transport.HttpFetcher`;
+    #: simulated-web crawls never touch it.
+    transport: TransportConfig = field(default_factory=TransportConfig)
     #: How incremental re-extraction (``RunOptions(incremental=True)``)
     #: reacts to template drift. Deliberately excluded from the config
     #: fingerprint: drift policy decides *how much stored work to

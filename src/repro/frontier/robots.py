@@ -21,23 +21,30 @@ def _parse_pattern(pattern: str) -> tuple[str, str]:
 
     Accepted forms: ``/path`` (any host), ``host`` (whole host),
     ``host:/path`` (that host's subtree). ``*`` as host means any.
+    The host may carry a port (``host:8080``, ``host:8080:/path``) —
+    real transports crawl non-default ports, and the frontier's site
+    keys keep them.
     """
     pattern = pattern.strip()
     if not pattern:
         raise ValueError("empty exclusion pattern")
     if pattern.startswith("/"):
         return "", pattern
-    host, sep, path = pattern.partition(":")
+    idx = pattern.find(":/")
+    if idx >= 0:
+        host, path = pattern[:idx], pattern[idx + 1 :]
+    else:
+        head, sep, tail = pattern.partition(":")
+        if sep and tail and not tail.isdigit():
+            raise ValueError(
+                f"exclusion path must start with '/': {pattern!r} "
+                "(use host[:port][:/path], /path, or host)"
+            )
+        # "host", "host:8080" (whole host, possibly ported), "host:".
+        host, path = (pattern if tail else head), ""
     host = host.lower()
     if host == "*":
         host = ""
-    if not sep:
-        return host, ""
-    if path and not path.startswith("/"):
-        raise ValueError(
-            f"exclusion path must start with '/': {pattern!r} "
-            "(use host:/path, /path, or host)"
-        )
     return host, path
 
 

@@ -25,6 +25,14 @@ fixed seed the corpus — URLs, depths, HTML, in fetch order — is
 identical at every ``--jobs`` level, across ``--max-pages-per-run``
 drain boundaries, and under a seeded recoverable ``FaultPlan``; stated
 and tested as :func:`corpus_digest` equality.
+
+Over real HTTP (a :class:`repro.transport.HttpFetcher` as ``fetch``,
+or ``fetch=None`` to build one from ``config.transport``), the service
+additionally checkpoints per-site circuit-breaker state, reports
+tripped sites as ``quarantined_sites`` (graceful degradation — never
+fatal), and can spill the corpus into immutable JSONL shards
+(``CrawlConfig.corpus_shard_pages``) so checkpoint writes stop scaling
+with corpus size. See DESIGN.md §16.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence, Union
 
+from repro.artifacts.corpus import load_corpus_shards, publish_corpus_shards
 from repro.artifacts.keys import sha256_hex
 from repro.config import ProbeConfig, RunOptions, ThorConfig
 from repro.discovery.crawler import DiscoveredForm, _extract_links
@@ -176,6 +185,20 @@ class CrawlReport:
     #: No work left for a resume: exhausted, or ``max_pages`` spent.
     finished: bool = False
     pages: tuple[CorpusPage, ...] = field(default=(), repr=False)
+    #: Sites whose circuit breaker has tripped (cumulative across
+    #: invocations) — quarantined, not fatal: the crawl of every other
+    #: site proceeds and resumes normally.
+    quarantined_sites: tuple[str, ...] = ()
+    #: Total breaker trips / open-breaker rejections, cumulative.
+    breaker_trips: int = 0
+    breaker_rejections: int = 0
+    #: URLs refused by real ``robots.txt`` rules (this invocation).
+    robots_denied: int = 0
+    #: Complete JSONL corpus shards on disk (0 = corpus fully inline).
+    corpus_shards: int = 0
+    #: Transport counter snapshot (this invocation), empty for
+    #: simulated-web crawls. See ``repro.transport.http.FetcherStats``.
+    transport: Mapping[str, int] = field(default_factory=dict, hash=False)
 
 
 def corpus_digest(corpus: Sequence[tuple[str, int, str]]) -> str:
@@ -226,20 +249,31 @@ class CrawlService:
 
     ``fetch`` is either a ``fetch(url) -> html`` callable or an object
     exposing ``.fetch`` (e.g. :class:`repro.discovery.web.SimulatedWeb`,
-    whose ``seed_url`` then also serves as the default seed).
-    Invocation behavior — crawl id, resume, chaos — rides on
-    :class:`~repro.config.RunOptions`, exactly like ``api.run``.
+    whose ``seed_url`` then also serves as the default seed, or a
+    :class:`repro.transport.HttpFetcher` for the real web). ``None``
+    builds an :class:`~repro.transport.http.HttpFetcher` from
+    ``config.transport`` — the ``repro crawl --url`` path. When the
+    fetch object carries a breaker registry (``.breakers``), the
+    service checkpoints its state and reports tripped sites as
+    quarantined. Invocation behavior — crawl id, resume, chaos — rides
+    on :class:`~repro.config.RunOptions`, exactly like ``api.run``.
     """
 
     def __init__(
         self,
-        fetch: Union[Callable[[str], str], object],
+        fetch: Union[Callable[[str], str], object, None],
         seeds: Optional[Sequence[str]] = None,
         config: Optional[ThorConfig] = None,
         options: Optional[RunOptions] = None,
     ) -> None:
         self.config = config or ThorConfig()
         self.options = options or RunOptions()
+        if fetch is None:
+            # Deferred import: repro.transport imports frontier modules.
+            from repro.transport.http import HttpFetcher
+
+            fetch = HttpFetcher(self.config.transport, seed=self.config.seed)
+        owner = fetch
         bound = getattr(fetch, "fetch", None)
         if not callable(fetch) and callable(bound):
             if seeds is None:
@@ -251,6 +285,21 @@ class CrawlService:
                 "crawl needs fetch(url) -> html (a callable or an object "
                 f"with a .fetch method), got {type(fetch).__name__}"
             )
+        # Transport-aware fetch objects expose breaker state (for
+        # checkpointing + quarantine reporting) and transfer stats;
+        # duck-typed so simulated webs stay oblivious.
+        breakers = getattr(owner, "breakers", None)
+        self.breakers = (
+            breakers
+            if breakers is not None
+            and callable(getattr(breakers, "to_state", None))
+            and callable(getattr(breakers, "tripped_sites", None))
+            else None
+        )
+        stats = getattr(owner, "stats", None)
+        self.transport_stats = (
+            stats if callable(getattr(stats, "snapshot", None)) else None
+        )
         if not seeds:
             raise ConfigError("crawl needs at least one seed URL")
         self.fetch = fetch
@@ -346,22 +395,35 @@ class CrawlService:
         lane_stats: dict,
         done: bool,
     ) -> None:
-        save_crawl_state(
-            self.store,
-            self.crawl_id,
-            {
-                "fingerprint": self.fingerprint,
-                "corpus": [[url, depth, html] for url, depth, html in corpus],
-                "failed": [[url, message] for url, message in failed],
-                "frontier": frontier.to_state(),
-                "forms": [_form_to_json(form) for form in forms],
-                "seen_actions": sorted(seen_actions),
-                "attempted": attempted,
-                "rounds": rounds,
-                "lane_totals": lane_stats,
-                "done": done,
-            },
-        )
+        state = {
+            "fingerprint": self.fingerprint,
+            "corpus": [[url, depth, html] for url, depth, html in corpus],
+            "failed": [[url, message] for url, message in failed],
+            "frontier": frontier.to_state(),
+            "forms": [_form_to_json(form) for form in forms],
+            "seen_actions": sorted(seen_actions),
+            "attempted": attempted,
+            "rounds": rounds,
+            "lane_totals": lane_stats,
+            "done": done,
+        }
+        shard_pages = self.config.crawl.corpus_shard_pages
+        if shard_pages is not None:
+            # Move the sharded prefix out of the inline record: full
+            # shards publish once (immutable, skip-if-exists), only the
+            # tail stays inline — checkpoint writes stop scaling with
+            # corpus size.
+            meta = publish_corpus_shards(
+                self.store, self.crawl_id, corpus, shard_pages
+            )
+            state["corpus"] = [
+                [url, depth, html]
+                for url, depth, html in corpus[meta["pages"] :]
+            ]
+            state["corpus_shards"] = meta
+        if self.breakers is not None:
+            state["breakers"] = self.breakers.to_state()
+        save_crawl_state(self.store, self.crawl_id, state)
 
     # -- the crawl loop ---------------------------------------------------
 
@@ -374,6 +436,19 @@ class CrawlService:
                 state = load_crawl_state(
                     self.store, self.crawl_id, self.fingerprint
                 )
+            if state is not None and "corpus_shards" in state:
+                sharded = load_corpus_shards(
+                    self.store, self.crawl_id, state["corpus_shards"]
+                )
+                if sharded is None:
+                    # A torn/missing shard poisons the whole checkpoint:
+                    # restart fresh, deterministically (same contract as
+                    # a torn state record).
+                    state = None
+                else:
+                    state["corpus"] = [
+                        list(entry) for entry in sharded
+                    ] + list(state["corpus"])
             if state is not None:
                 frontier = Frontier.from_state(
                     state["frontier"], exclusions=self.exclusions
@@ -390,6 +465,10 @@ class CrawlService:
                 }
                 resume_hits = len(corpus)
                 finished = bool(state.get("done", False))
+                if self.breakers is not None:
+                    # Continue the quarantine (and the cumulative trip
+                    # count) instead of re-hammering tripped sites.
+                    self.breakers.restore(state.get("breakers", {}))
             else:
                 frontier = Frontier(exclusions=self.exclusions)
                 for seed_url in self.seeds:
@@ -491,6 +570,17 @@ class CrawlService:
                 )
                 self.store.flush_stats()
 
+        shard_pages = crawl_config.corpus_shard_pages
+        shard_count = (
+            len(corpus) // shard_pages
+            if shard_pages is not None and self.store is not None
+            else 0
+        )
+        transport_stats = (
+            self.transport_stats.snapshot()
+            if self.transport_stats is not None
+            else {}
+        )
         return CrawlReport(
             crawl_id=self.crawl_id,
             fingerprint=self.fingerprint,
@@ -521,6 +611,22 @@ class CrawlService:
                 CorpusPage(url=url, depth=depth, html=html)
                 for url, depth, html in corpus
             ),
+            quarantined_sites=(
+                self.breakers.tripped_sites()
+                if self.breakers is not None
+                else ()
+            ),
+            breaker_trips=(
+                self.breakers.total_trips if self.breakers is not None else 0
+            ),
+            breaker_rejections=(
+                self.breakers.total_rejections
+                if self.breakers is not None
+                else 0
+            ),
+            robots_denied=transport_stats.get("robots_denied", 0),
+            corpus_shards=shard_count,
+            transport=transport_stats,
         )
 
 
@@ -584,6 +690,17 @@ def format_crawl_report(report: CrawlReport) -> str:
         f"  forms: {len(report.forms)} unique search interfaces",
         f"  resume-hits: {report.resume_hits}",
     ]
+    if report.breaker_trips or report.quarantined_sites:
+        quarantined = ",".join(report.quarantined_sites) or "-"
+        lines.append(
+            f"  breakers: tripped={report.breaker_trips} "
+            f"rejected={report.breaker_rejections} "
+            f"quarantined={quarantined}"
+        )
+    if report.robots_denied:
+        lines.append(f"  robots: denied={report.robots_denied}")
+    if report.corpus_shards:
+        lines.append(f"  corpus-shards: {report.corpus_shards}")
     if report.frontier_pending > 0 and not report.finished:
         lines.append(
             "  deferred (resume to finish): "

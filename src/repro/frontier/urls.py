@@ -26,6 +26,42 @@ _SKIP_PREFIXES = ("javascript:", "mailto:", "tel:", "data:", "about:")
 
 _DEFAULT_PORTS = {"http": "80", "https": "443"}
 
+#: Characters RFC 3986 §2.3 says never need escaping: a ``%41`` is the
+#: same resource as ``A``, so dedup must see them identically.
+_UNRESERVED = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-._~"
+)
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+
+
+def _normalize_percent(component: str) -> str:
+    """Percent-normalize one URL component (RFC 3986 §6.2.2.2): decode
+    escapes of unreserved characters, lowercase the hex digits of the
+    escapes that remain, leave malformed ``%`` sequences untouched."""
+    if "%" not in component:
+        return component
+    out: list[str] = []
+    i = 0
+    n = len(component)
+    while i < n:
+        ch = component[i]
+        if (
+            ch == "%"
+            and i + 2 < n
+            and component[i + 1] in _HEX_DIGITS
+            and component[i + 2] in _HEX_DIGITS
+        ):
+            decoded = chr(int(component[i + 1 : i + 3], 16))
+            if decoded in _UNRESERVED:
+                out.append(decoded)
+            else:
+                out.append("%" + component[i + 1 : i + 3].lower())
+            i += 3
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
 
 def canonicalize_url(href: str, base: Optional[str] = None) -> Optional[str]:
     """The canonical absolute form of ``href``, or ``None``.
@@ -33,10 +69,12 @@ def canonicalize_url(href: str, base: Optional[str] = None) -> Optional[str]:
     ``base`` is the URL of the page the href was found on; relative
     hrefs resolve against it (RFC 3986 join, which also collapses
     ``.``/``..`` segments). Canonicalization: drop the fragment,
-    lowercase scheme and host, strip default ports, and give empty
-    paths the explicit ``/``. Returns ``None`` for empty/fragment-only
-    hrefs, pseudo-links, unresolvable relative hrefs (no base), and
-    non-HTTP(S) schemes.
+    lowercase scheme and host, strip default ports, give empty paths
+    the explicit ``/``, and percent-normalize path and query (decode
+    escaped unreserved characters, lowercase surviving escape hex) so
+    equivalent spellings dedup in the frontier. Returns ``None`` for
+    empty/fragment-only hrefs, pseudo-links, unresolvable relative
+    hrefs (no base), and non-HTTP(S) schemes.
 
     >>> canonicalize_url("page/2?q=a#top", base="http://X.org/dir/index")
     'http://x.org/dir/page/2?q=a'
@@ -46,6 +84,10 @@ def canonicalize_url(href: str, base: Optional[str] = None) -> Optional[str]:
     True
     >>> canonicalize_url("HTTP://Shop.Example.COM:80")
     'http://shop.example.com/'
+    >>> canonicalize_url("http://x.org/%7Euser/%41lbum?q=%2Fa%5B")
+    'http://x.org/~user/Album?q=%2fa%5b'
+    >>> canonicalize_url("http://x.org/50%25off")
+    'http://x.org/50%25off'
     """
     if href is None:
         return None
@@ -71,8 +113,9 @@ def canonicalize_url(href: str, base: Optional[str] = None) -> Optional[str]:
     host, _, port = netloc.partition(":")
     if port and port == _DEFAULT_PORTS.get(scheme):
         netloc = host
-    path = parts.path or "/"
-    return urlunsplit((scheme, netloc, path, parts.query, ""))
+    path = _normalize_percent(parts.path) or "/"
+    query = _normalize_percent(parts.query)
+    return urlunsplit((scheme, netloc, path, query, ""))
 
 
 def site_of(url: str) -> str:

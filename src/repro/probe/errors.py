@@ -63,6 +63,26 @@ def classify_failure(exc: BaseException) -> str:
     return ERROR
 
 
+def retry_after_hint(exc: BaseException) -> "float | None":
+    """The server-requested retry delay carried by ``exc``, in seconds,
+    or ``None``.
+
+    Transport exceptions (:mod:`repro.transport.errors`) attach the
+    parsed ``Retry-After`` header as a ``retry_after`` attribute on 429
+    and 503 answers; any exception exposing that attribute as a number
+    gets the same treatment. The retry policy caps whatever comes back
+    at its own ``backoff_cap_s``.
+    """
+    value = getattr(exc, "retry_after", None)
+    if value is None or isinstance(value, bool):
+        return None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError):
+        return None
+    return max(0.0, seconds)
+
+
 def failure_message(exc: BaseException) -> str:
     """The message recorded in ``ProbeResult.failures``: the exception
     *class name* plus its text, so log triage can distinguish a
@@ -86,4 +106,5 @@ __all__ = [
     "ProbeTimeout",
     "classify_failure",
     "failure_message",
+    "retry_after_hint",
 ]

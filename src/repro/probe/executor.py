@@ -36,7 +36,12 @@ from repro.config import ExecutionConfig, ProbeConfig, resolve_n_jobs
 from repro.core.probing import DeepWebSource, ProbeResult
 from repro.errors import ProbeError
 from repro.probe.budget import ProbeBudget
-from repro.probe.errors import OK, classify_failure, failure_message
+from repro.probe.errors import (
+    OK,
+    classify_failure,
+    failure_message,
+    retry_after_hint,
+)
 from repro.probe.retry import RetryPolicy
 from repro.probe.telemetry import ProbeRecord, ProbeTelemetry
 
@@ -146,7 +151,13 @@ async def _probe_term(
             except Exception as exc:  # noqa: BLE001 - sources are untrusted
                 kind = classify_failure(exc)
                 if policy.should_retry(kind, attempts):
-                    await asyncio.sleep(policy.backoff_delay(term, attempts))
+                    await asyncio.sleep(
+                        policy.backoff_delay(
+                            term,
+                            attempts,
+                            retry_after=retry_after_hint(exc),
+                        )
+                    )
                     continue
                 return _Outcome(
                     index,

@@ -57,10 +57,21 @@ class RetryPolicy:
         another try. Non-transient kinds never do."""
         return kind in RETRYABLE_KINDS and attempt <= self.max_retries
 
-    def backoff_delay(self, term: str, attempt: int) -> float:
+    def backoff_delay(
+        self, term: str, attempt: int, retry_after: Optional[float] = None
+    ) -> float:
         """Seconds to sleep before re-probing ``term`` after its
         (1-based) ``attempt`` failed. Deterministic per (seed, term,
-        attempt)."""
+        attempt).
+
+        ``retry_after`` is the server's own request (a parsed
+        ``Retry-After`` header — see
+        :func:`repro.probe.errors.retry_after_hint`); when present it
+        *replaces* the exponential schedule, un-jittered (the server
+        picked the moment, not us) but capped at ``backoff_cap_s`` so a
+        hostile ``Retry-After: 86400`` cannot stall a worker."""
+        if retry_after is not None:
+            return min(max(0.0, retry_after), self.backoff_cap_s)
         nominal = min(self.backoff_cap_s, self.backoff_base_s * 2 ** (attempt - 1))
         if nominal <= 0 or self.jitter == 0:
             return nominal

@@ -1,0 +1,82 @@
+"""repro.transport — the real-HTTP fetch layer under the crawl frontier.
+
+Everything :mod:`repro.frontier` needs to crawl the actual web instead
+of a :class:`~repro.discovery.web.SimulatedWeb`, behind the same
+``fetch(url) -> html`` callable (see DESIGN.md §16):
+
+* :class:`~repro.transport.http.HttpFetcher` — pooled keep-alive
+  connections, redirect-loop detection, size caps, charset resolution
+  with counted replacement fallback;
+* :mod:`~repro.transport.errors` — the network-fault taxonomy, each
+  class doubling as a :mod:`repro.probe.errors` class so the probe
+  executor's retry/budget machinery handles real faults unchanged;
+* :class:`~repro.transport.breaker.CircuitBreaker` — per-site
+  closed→open→half-open quarantine with seeded, attempt-counted
+  cooldowns (deterministic under a fixed seed);
+* :class:`~repro.transport.robots.RobotsCache` — real ``robots.txt``,
+  fetched once per site, fail-open on 5xx / fail-closed on 403,
+  feeding the frontier's existing ``parse_robots``;
+* :class:`~repro.transport.testserver.HostileHttpServer` — the
+  scripted hostile-network harness every one of the above is tested
+  against.
+"""
+
+from __future__ import annotations
+
+from repro.transport.breaker import BreakerRegistry, CircuitBreaker
+from repro.transport.errors import (
+    FAULT_CLASSES,
+    CircuitOpenError,
+    ConnectError,
+    DnsError,
+    HttpClientError,
+    HttpServerError,
+    HttpThrottled,
+    ReadTimeout,
+    RedirectStorm,
+    ResponseTooLarge,
+    RobotsDisallowed,
+    TlsError,
+    TransportError,
+    TruncatedBody,
+    fault_of,
+)
+from repro.transport.http import (
+    FetchResponse,
+    FetcherStats,
+    HttpFetcher,
+    decode_body,
+    parse_retry_after,
+    resolve_charset,
+)
+from repro.transport.robots import RobotsCache
+from repro.transport.testserver import HostileHttpServer, HostilePair
+
+__all__ = [
+    "FAULT_CLASSES",
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ConnectError",
+    "DnsError",
+    "FetchResponse",
+    "FetcherStats",
+    "HostileHttpServer",
+    "HostilePair",
+    "HttpClientError",
+    "HttpFetcher",
+    "HttpServerError",
+    "HttpThrottled",
+    "ReadTimeout",
+    "RedirectStorm",
+    "ResponseTooLarge",
+    "RobotsCache",
+    "RobotsDisallowed",
+    "TlsError",
+    "TransportError",
+    "TruncatedBody",
+    "decode_body",
+    "fault_of",
+    "parse_retry_after",
+    "resolve_charset",
+]

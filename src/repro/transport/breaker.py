@@ -1,0 +1,249 @@
+"""Per-site circuit breakers: quarantine dead sites without killing crawls.
+
+A site that answers nothing but resets and 5xx should stop costing the
+crawl retries, politeness budget, and wall clock. Each site gets one
+:class:`CircuitBreaker` with the classic three states:
+
+* **closed** — attempts pass through; ``failure_threshold`` consecutive
+  failures trip it open.
+* **open** — attempts are rejected instantly with
+  :class:`~repro.transport.errors.CircuitOpenError` (classified
+  non-retryable, so the retry policy moves on). The cooldown is counted
+  in *rejected attempts*, not wall-clock seconds — a deliberate choice
+  that keeps breaker behavior a pure function of the attempt sequence,
+  so seeded tests and resumed crawls replay it exactly.
+* **half-open** — after the cooldown, exactly one probe attempt is
+  admitted: success closes the breaker, failure re-opens it with a
+  freshly seeded cooldown.
+
+The cooldown length is jittered per trip from
+:func:`repro.seeding.namespaced_rng` keyed by ``(site, trip_count)`` —
+*seeded* half-open probing: deterministic for a fixed seed, spread out
+across sites so a fleet's half-open probes don't synchronize.
+
+Breaker state serializes into the crawl checkpoint (:meth:`to_state` /
+:meth:`BreakerRegistry.restore`), so a resumed crawl continues the
+quarantine — and the cumulative trip count — instead of hammering a
+dead site from scratch.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Optional
+
+from repro.seeding import namespaced_rng
+from repro.transport.errors import CircuitOpenError
+
+#: Breaker state labels (serialized into crawl checkpoints verbatim).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One site's breaker. Thread-safe; all transitions under one lock.
+
+    >>> b = CircuitBreaker("dead.example.com", failure_threshold=2,
+    ...                    cooldown=1, seed=7)
+    >>> b.record_failure(); b.record_failure()  # second one trips it
+    >>> b.state
+    'open'
+    >>> b.admit()  # doctest: +IGNORE_EXCEPTION_DETAIL
+    Traceback (most recent call last):
+    ...
+    repro.transport.errors.CircuitOpenError: ...
+    """
+
+    def __init__(
+        self,
+        site: str,
+        failure_threshold: int = 5,
+        cooldown: int = 8,
+        seed: Optional[int] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {cooldown}")
+        self.site = site
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.seed = seed
+        self._lock = threading.Lock()
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        #: Times this breaker has tripped (closed/half-open -> open).
+        self.trips = 0
+        #: Attempts rejected while open, lifetime.
+        self.rejections = 0
+        self._rejected_since_open = 0
+        self._cooldown_current = 0
+        #: ``(from, to)`` transition log of this process's lifetime —
+        #: what the seed-determinism tests assert on.
+        self.transitions: list[tuple[str, str]] = []
+
+    # -- internals (caller holds the lock) --------------------------------
+
+    def _transition(self, new_state: str) -> None:
+        self.transitions.append((self.state, new_state))
+        self.state = new_state
+
+    def _jittered_cooldown(self) -> int:
+        """Cooldown for the current trip: base + seeded jitter in
+        ``[0, cooldown]``, keyed by (site, trip ordinal)."""
+        rng = namespaced_rng(f"breaker:{self.site}:{self.trips}", self.seed)
+        return self.cooldown + rng.randrange(self.cooldown + 1)
+
+    def _trip(self) -> None:
+        self.trips += 1
+        self._cooldown_current = self._jittered_cooldown()
+        self._rejected_since_open = 0
+        self._transition(OPEN)
+
+    # -- the attempt-side API ---------------------------------------------
+
+    def admit(self) -> None:
+        """Gate one attempt. Raises :class:`CircuitOpenError` while the
+        breaker is open; transitions to half-open (and admits) once the
+        cooldown's worth of rejections has accumulated."""
+        with self._lock:
+            if self.state != OPEN:
+                return
+            if self._rejected_since_open < self._cooldown_current:
+                self._rejected_since_open += 1
+                self.rejections += 1
+                remaining = self._cooldown_current - self._rejected_since_open
+                raise CircuitOpenError(
+                    self.site,
+                    f"breaker open after {self.trips} trip(s); "
+                    f"half-open probe in {remaining} attempt(s)",
+                )
+            self._transition(HALF_OPEN)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.consecutive_failures = 0
+            if self.state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.consecutive_failures += 1
+            if self.state == HALF_OPEN:
+                self._trip()
+            elif (
+                self.state == CLOSED
+                and self.consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    # -- reporting / checkpointing ----------------------------------------
+
+    @property
+    def tripped(self) -> bool:
+        """Ever tripped (this process or a restored checkpoint)."""
+        return self.trips > 0
+
+    def to_state(self) -> dict:
+        with self._lock:
+            return {
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "trips": self.trips,
+                "rejections": self.rejections,
+                "rejected_since_open": self._rejected_since_open,
+                "cooldown_current": self._cooldown_current,
+            }
+
+    def restore(self, state: Mapping) -> None:
+        with self._lock:
+            stored = state.get("state", CLOSED)
+            if stored in (CLOSED, OPEN, HALF_OPEN):
+                self.state = stored
+            self.consecutive_failures = int(
+                state.get("consecutive_failures", 0)
+            )
+            self.trips = int(state.get("trips", 0))
+            self.rejections = int(state.get("rejections", 0))
+            self._rejected_since_open = int(
+                state.get("rejected_since_open", 0)
+            )
+            self._cooldown_current = int(state.get("cooldown_current", 0))
+
+
+class BreakerRegistry:
+    """All breakers of one fetcher, lazily created per site."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: int = 8,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def lane(self, site: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(site)
+            if breaker is None:
+                breaker = self._breakers[site] = CircuitBreaker(
+                    site,
+                    failure_threshold=self.failure_threshold,
+                    cooldown=self.cooldown,
+                    seed=self.seed,
+                )
+            return breaker
+
+    def sites(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._breakers))
+
+    def tripped_sites(self) -> tuple[str, ...]:
+        """Sites that have tripped at least once — the quarantine list
+        the :class:`~repro.frontier.service.CrawlReport` publishes."""
+        with self._lock:
+            return tuple(
+                sorted(
+                    site
+                    for site, breaker in self._breakers.items()
+                    if breaker.tripped
+                )
+            )
+
+    @property
+    def total_trips(self) -> int:
+        with self._lock:
+            return sum(b.trips for b in self._breakers.values())
+
+    @property
+    def total_rejections(self) -> int:
+        with self._lock:
+            return sum(b.rejections for b in self._breakers.values())
+
+    def to_state(self) -> dict:
+        with self._lock:
+            return {
+                site: breaker.to_state()
+                for site, breaker in sorted(self._breakers.items())
+            }
+
+    def restore(self, state: Mapping) -> None:
+        for site, entry in state.items():
+            if isinstance(entry, Mapping):
+                self.lane(site).restore(entry)
+
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "BreakerRegistry",
+    "CircuitBreaker",
+]

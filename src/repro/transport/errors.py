@@ -1,0 +1,208 @@
+"""The network-fault taxonomy of the real-HTTP transport.
+
+Every way a real fetch can fail — DNS, connect/read timeouts, TLS,
+4xx vs 5xx vs 429, truncated bodies, redirect storms, oversized
+responses — gets one exception class here, and every class *also*
+derives from the matching :mod:`repro.probe.errors` class. That double
+inheritance is the whole integration contract: the probe executor's
+``classify_failure`` sees a :class:`ReadTimeout` as a ``ProbeTimeout``,
+an :class:`HttpThrottled` as a ``ProbeThrottled``, and so on, which
+means ``RetryPolicy`` retry/backoff decisions and ``ProbeBudget``
+accounting apply to real network faults unchanged — no transport
+special-casing anywhere above this module.
+
+The mapping, in one place::
+
+    fault            class              probe class        retried?
+    ---------------  -----------------  -----------------  --------
+    dns              DnsError           ProbeServerError   yes
+    connect          ConnectError       ProbeTimeout       yes
+    read_timeout     ReadTimeout        ProbeTimeout       yes
+    tls              TlsError           ProbeMalformed     no
+    http_4xx         HttpClientError    ProbeMalformed     no
+    http_5xx         HttpServerError    ProbeServerError   yes
+    throttled        HttpThrottled      ProbeThrottled     yes
+    truncated        TruncatedBody      ProbeServerError   yes
+    oversize         ResponseTooLarge   ProbeMalformed     no
+    redirect_storm   RedirectStorm      ProbeMalformed     no
+    robots           RobotsDisallowed   ProbeError         no
+    circuit_open     CircuitOpenError   ProbeError         no
+
+Transient network hiccups (DNS blips, resets, 5xx, throttling) map
+onto retryable kinds; deterministic rejections (bad TLS, 4xx, a loop,
+a size cap, robots, an open breaker) fail fast. ``429`` and ``503``
+responses carry the server's parsed ``Retry-After`` on the exception,
+which :func:`repro.probe.errors.retry_after_hint` feeds back into the
+retry policy's backoff.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ProbeError
+from repro.probe.errors import (
+    ProbeMalformed,
+    ProbeServerError,
+    ProbeThrottled,
+    ProbeTimeout,
+)
+
+
+class TransportError(ProbeError):
+    """Base of every transport fault: carries the URL, a detail string,
+    an optional HTTP ``status``, and an optional parsed ``retry_after``
+    (seconds). Subclasses pick their probe class via a second base."""
+
+    #: Stable short label of the fault, for stats and log triage.
+    fault = "transport"
+
+    def __init__(
+        self,
+        url: str,
+        detail: str = "",
+        *,
+        status: int = 0,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        self.url = url
+        self.detail = detail
+        self.status = status
+        self.retry_after = retry_after
+        message = f"{self.fault} fault for {url}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class DnsError(TransportError, ProbeServerError):
+    """Name resolution failed. Treated as transient (resolver blips
+    heal; a truly dead name exhausts retries and trains the breaker)."""
+
+    fault = "dns"
+
+
+class ConnectError(TransportError, ProbeTimeout):
+    """TCP connect failed or timed out (refused, unreachable, timeout)."""
+
+    fault = "connect"
+
+
+class ReadTimeout(TransportError, ProbeTimeout):
+    """The server went quiet — no data within the read timeout, or a
+    slow-loris body that dripped past the total read deadline."""
+
+    fault = "read_timeout"
+
+
+class TlsError(TransportError, ProbeMalformed):
+    """TLS handshake or record failure. Not retryable: a bad cert or
+    protocol mismatch will not heal within a retry window."""
+
+    fault = "tls"
+
+
+class HttpClientError(TransportError, ProbeMalformed):
+    """A non-429 4xx answer: the request itself is wrong for this
+    server, so retrying the identical request cannot help."""
+
+    fault = "http_4xx"
+
+
+class HttpServerError(TransportError, ProbeServerError):
+    """A 5xx answer. Retryable; a 503 with ``Retry-After`` carries the
+    server's own backoff request."""
+
+    fault = "http_5xx"
+
+
+class HttpThrottled(TransportError, ProbeThrottled):
+    """HTTP 429 — slow down. ``retry_after`` holds the parsed header
+    (seconds or HTTP-date form), when the server sent one."""
+
+    fault = "throttled"
+
+
+class TruncatedBody(TransportError, ProbeServerError):
+    """The connection died mid-response: a reset, a premature close
+    short of ``Content-Length``, or a broken chunk stream. Retryable —
+    this is the classic transient network failure."""
+
+    fault = "truncated"
+
+
+class ResponseTooLarge(TransportError, ProbeMalformed):
+    """The body exceeded ``TransportConfig.max_response_bytes``. The
+    page would be just as oversized on a retry."""
+
+    fault = "oversize"
+
+
+class RedirectStorm(TransportError, ProbeMalformed):
+    """A redirect loop, a redirect chain past ``max_redirects``, or a
+    redirect without a usable ``Location``."""
+
+    fault = "redirect_storm"
+
+
+class RobotsDisallowed(TransportError):
+    """The site's ``robots.txt`` forbids this URL (including the whole
+    host under the fail-closed 403 policy). Plain ``ProbeError`` —
+    kind ``error``, never retried."""
+
+    fault = "robots"
+
+
+class CircuitOpenError(TransportError):
+    """The site's circuit breaker is open; the attempt was rejected
+    without touching the network. Plain ``ProbeError`` — the retry
+    policy must not spin on a site already known to be down."""
+
+    fault = "circuit_open"
+
+
+#: Every transport fault class, keyed by its stable ``fault`` label.
+FAULT_CLASSES = {
+    cls.fault: cls
+    for cls in (
+        DnsError,
+        ConnectError,
+        ReadTimeout,
+        TlsError,
+        HttpClientError,
+        HttpServerError,
+        HttpThrottled,
+        TruncatedBody,
+        ResponseTooLarge,
+        RedirectStorm,
+        RobotsDisallowed,
+        CircuitOpenError,
+    )
+}
+
+
+def fault_of(exc: BaseException) -> Optional[str]:
+    """The transport fault label of ``exc``, or ``None`` for
+    exceptions raised outside the transport."""
+    if isinstance(exc, TransportError):
+        return exc.fault
+    return None
+
+
+__all__ = [
+    "FAULT_CLASSES",
+    "CircuitOpenError",
+    "ConnectError",
+    "DnsError",
+    "HttpClientError",
+    "HttpServerError",
+    "HttpThrottled",
+    "ReadTimeout",
+    "RedirectStorm",
+    "ResponseTooLarge",
+    "RobotsDisallowed",
+    "TlsError",
+    "TransportError",
+    "TruncatedBody",
+    "fault_of",
+]

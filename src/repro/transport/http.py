@@ -1,0 +1,537 @@
+"""The pooled real-HTTP fetcher behind the frontier's fetch callable.
+
+:class:`HttpFetcher` is the production implementation of the
+``fetch(url) -> html`` contract :class:`repro.frontier.service.CrawlService`
+was built against — pure stdlib (``http.client``; the pool, timeouts,
+and fault classification need connection-level control ``urllib``
+doesn't give), so it runs wherever the pipeline does.
+
+What one ``fetch`` does, in order:
+
+1. **robots** — the site's cached ``robots.txt`` rules
+   (:class:`~repro.transport.robots.RobotsCache`) may reject the URL
+   outright (``RobotsDisallowed``).
+2. **breaker** — the site's circuit breaker
+   (:class:`~repro.transport.breaker.CircuitBreaker`) may reject it
+   without touching the network (``CircuitOpenError``).
+3. **transfer** — a pooled keep-alive connection per (scheme, host,
+   port), redirect following with loop detection, a response-size cap
+   enforced while streaming, and a total body deadline that defeats
+   slow-loris drips. Stale pooled connections (server closed the
+   keep-alive between requests) are retried once on a fresh
+   connection before counting as a fault.
+4. **classification** — non-2xx statuses and every socket/TLS/protocol
+   failure raise the :mod:`repro.transport.errors` taxonomy, which *is*
+   the probe failure taxonomy, so the executor's retry/budget machinery
+   applies unchanged. ``Retry-After`` (seconds or HTTP-date) rides on
+   429/5xx exceptions for the retry policy to honor.
+5. **charset** — ``Content-Type`` header, then a meta sniff of the
+   first 2 KiB, then the configured default; undecodable bytes fall
+   back to counted replacement decoding (the fetch succeeds, the damage
+   is measured in ``stats``).
+
+Every counter lives in :attr:`HttpFetcher.stats`; breaker state in
+:attr:`HttpFetcher.breakers` (which the crawl service checkpoints and
+reports).
+"""
+
+from __future__ import annotations
+
+import email.utils
+import re
+import socket
+import ssl
+import threading
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from http import client as http_client
+from typing import Mapping, Optional
+from urllib.parse import urljoin, urlsplit
+
+from repro.config import TransportConfig
+from repro.frontier.urls import canonicalize_url, site_of
+from repro.transport.breaker import BreakerRegistry
+from repro.transport.errors import (
+    CircuitOpenError,
+    ConnectError,
+    DnsError,
+    HttpClientError,
+    HttpServerError,
+    HttpThrottled,
+    ReadTimeout,
+    RedirectStorm,
+    ResponseTooLarge,
+    RobotsDisallowed,
+    TlsError,
+    TransportError,
+    TruncatedBody,
+)
+from repro.transport.robots import RobotsCache
+
+#: Statuses followed as redirects (Location honored).
+REDIRECT_STATUSES = frozenset({301, 302, 303, 307, 308})
+
+#: Bytes of body prefix the meta-charset sniff examines.
+_SNIFF_BYTES = 2048
+
+#: Streaming read granularity for the size cap / deadline checks.
+_READ_CHUNK = 65536
+
+#: The whole body must land within this many read timeouts — the
+#: slow-loris guard (per-read timeouts never fire on a steady drip).
+_BODY_DEADLINE_FACTOR = 4
+
+_CHARSET_IN_TYPE = re.compile(
+    r"charset\s*=\s*\"?\s*([A-Za-z0-9_.:-]+)", re.IGNORECASE
+)
+_META_CHARSET = re.compile(
+    rb"<meta[^>]{0,512}?charset\s*=\s*[\"']?\s*([A-Za-z0-9_.:-]+)",
+    re.IGNORECASE,
+)
+
+
+def parse_retry_after(
+    value: Optional[str], now: Optional[datetime] = None
+) -> Optional[float]:
+    """Seconds from a ``Retry-After`` header, or ``None``.
+
+    Both RFC 9110 forms: delta-seconds and HTTP-date (via
+    ``email.utils.parsedate_to_datetime``). Dates in the past clamp
+    to 0; garbage parses to ``None``.
+
+    >>> parse_retry_after("7")
+    7.0
+    >>> from datetime import datetime, timezone
+    >>> ref = datetime(2026, 1, 1, 12, 0, 0, tzinfo=timezone.utc)
+    >>> parse_retry_after("Thu, 01 Jan 2026 12:00:30 GMT", now=ref)
+    30.0
+    >>> parse_retry_after("soon") is None
+    True
+    """
+    if value is None:
+        return None
+    value = value.strip()
+    if not value:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        pass
+    try:
+        when = email.utils.parsedate_to_datetime(value)
+    except (TypeError, ValueError):
+        return None
+    if when is None:
+        return None
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=timezone.utc)
+    reference = now if now is not None else datetime.now(timezone.utc)
+    return max(0.0, (when - reference).total_seconds())
+
+
+def resolve_charset(
+    content_type: Optional[str], body: bytes, default: str = "utf-8"
+) -> tuple[str, str]:
+    """``(charset, source)`` for a response: the ``Content-Type``
+    header's ``charset=`` parameter, else a meta sniff of the body
+    prefix, else the default.
+
+    >>> resolve_charset("text/html; charset=ISO-8859-1", b"")
+    ('ISO-8859-1', 'header')
+    >>> resolve_charset("text/html", b'<meta charset="koi8-r">')
+    ('koi8-r', 'meta')
+    >>> resolve_charset(None, b"<p>hi</p>")
+    ('utf-8', 'default')
+    """
+    if content_type:
+        match = _CHARSET_IN_TYPE.search(content_type)
+        if match:
+            return match.group(1), "header"
+    match = _META_CHARSET.search(body[:_SNIFF_BYTES])
+    if match:
+        try:
+            return match.group(1).decode("ascii"), "meta"
+        except UnicodeDecodeError:  # pragma: no cover - ascii-safe regex
+            pass
+    return default, "default"
+
+
+def decode_body(
+    body: bytes, charset: str, default: str = "utf-8"
+) -> tuple[str, int]:
+    """``(text, replacement_count)``: strict decode under ``charset``,
+    else strict under ``default``, else replacement decode under
+    ``default`` with the U+FFFD count as the damage measure."""
+    for name in (charset, default):
+        try:
+            return body.decode(name), 0
+        except (LookupError, UnicodeDecodeError):
+            continue
+    text = body.decode(default, errors="replace")
+    return text, text.count("�")
+
+
+@dataclass(frozen=True)
+class FetchResponse:
+    """One successfully fetched (2xx, decoded) response."""
+
+    url: str
+    #: Where the redirect chain landed (== ``url`` without redirects).
+    final_url: str
+    status: int
+    headers: Mapping[str, str] = field(repr=False, hash=False)
+    body: bytes = field(repr=False)
+    text: str = field(repr=False)
+    charset: str = "utf-8"
+    #: ``header`` / ``meta`` / ``default``, with ``+replace`` appended
+    #: when the strict decode failed and bytes were replaced.
+    charset_source: str = "default"
+    replacements: int = 0
+    redirects: int = 0
+    elapsed_s: float = 0.0
+
+
+class FetcherStats:
+    """Thread-safe named counters (see module docstring for the set)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+
+    def bump(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + value
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._counts.items()))
+
+
+class _StaleConnection(Exception):
+    """A pooled keep-alive connection died before yielding any response
+    byte — retry once on a fresh connection, then count it."""
+
+    def __init__(self, detail: str) -> None:
+        self.detail = detail
+        super().__init__(detail)
+
+
+class HttpFetcher:
+    """Pooled, breaker-guarded, robots-honoring HTTP fetch.
+
+    The instance is what ``CrawlService`` (and ``api.crawl``) accept as
+    the ``fetch`` argument: the service unwraps :meth:`fetch` as the
+    callable and adopts :attr:`breakers` for checkpointing and
+    quarantine reporting. Thread-safe — the probe executor calls it
+    from its worker pool.
+    """
+
+    def __init__(
+        self,
+        config: Optional[TransportConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.config = config or TransportConfig()
+        self.seed = seed
+        self.stats = FetcherStats()
+        self.breakers = BreakerRegistry(
+            failure_threshold=self.config.breaker_failures,
+            cooldown=self.config.breaker_cooldown,
+            seed=seed,
+        )
+        self.robots: Optional[RobotsCache] = (
+            RobotsCache(self._fetch_robots) if self.config.obey_robots else None
+        )
+        self._pool_lock = threading.Lock()
+        self._idle: dict[tuple[str, str, int], list] = {}
+
+    # -- the frontier-facing contract -------------------------------------
+
+    def fetch(self, url: str) -> str:
+        """``fetch(url) -> html`` — the crawl service's callable."""
+        return self.fetch_response(url).text
+
+    def fetch_response(self, url: str) -> FetchResponse:
+        """Fetch ``url`` through robots, breaker, and transfer; raises
+        the transport taxonomy on every failure path."""
+        self.stats.bump("requests")
+        if self.robots is not None and not self.robots.allows(url):
+            self.stats.bump("robots_denied")
+            raise RobotsDisallowed(url, "disallowed by robots.txt")
+        breaker = self.breakers.lane(site_of(url))
+        try:
+            breaker.admit()
+        except CircuitOpenError:
+            self.stats.bump("breaker_rejections")
+            raise
+        try:
+            response = self._perform(url)
+        except TransportError as exc:
+            breaker.record_failure()
+            self.stats.bump(f"fault_{exc.fault}")
+            raise
+        breaker.record_success()
+        self.stats.bump("fetched")
+        self.stats.bump("bytes_read", len(response.body))
+        return response
+
+    # -- robots plumbing ---------------------------------------------------
+
+    def _fetch_robots(self, url: str) -> tuple[int, str]:
+        """The :class:`RobotsCache` fetch hook: raw transfer, no robots
+        check (it *is* the robots check) and no breaker involvement."""
+        self.stats.bump("robots_fetches")
+        response = self._perform(url)
+        return response.status, response.text
+
+    # -- connection pool ---------------------------------------------------
+
+    def _connection(self, scheme: str, host: str, port: int, fresh: bool = False):
+        key = (scheme, host, port)
+        if not fresh:
+            with self._pool_lock:
+                bucket = self._idle.get(key)
+                if bucket:
+                    self.stats.bump("connections_reused")
+                    return key, bucket.pop(), True
+        timeout = self.config.connect_timeout_s
+        if scheme == "https":
+            conn = http_client.HTTPSConnection(
+                host, port, timeout=timeout, context=ssl.create_default_context()
+            )
+        else:
+            conn = http_client.HTTPConnection(host, port, timeout=timeout)
+        self.stats.bump("connections_opened")
+        return key, conn, False
+
+    def _release(self, key, conn) -> None:
+        with self._pool_lock:
+            bucket = self._idle.setdefault(key, [])
+            if len(bucket) < self.config.pool_per_host:
+                bucket.append(conn)
+                return
+        conn.close()
+
+    def close(self) -> None:
+        """Close every pooled idle connection."""
+        with self._pool_lock:
+            for bucket in self._idle.values():
+                for conn in bucket:
+                    conn.close()
+            self._idle.clear()
+
+    def __enter__(self) -> "HttpFetcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- one transfer ------------------------------------------------------
+
+    def _perform(self, url: str) -> FetchResponse:
+        """Follow redirects from ``url`` and classify the final answer."""
+        started = time.monotonic()
+        current = url
+        seen = {canonicalize_url(url) or url}
+        redirects = 0
+        while True:
+            status, headers, body = self._request(current)
+            if status in REDIRECT_STATUSES:
+                location = headers.get("location", "").strip()
+                if not location:
+                    raise RedirectStorm(
+                        url, f"HTTP {status} without a Location header"
+                    )
+                target = urljoin(current, location)
+                canonical = canonicalize_url(target) or target
+                redirects += 1
+                self.stats.bump("redirects")
+                if redirects > self.config.max_redirects:
+                    raise RedirectStorm(
+                        url, f"more than {self.config.max_redirects} redirects"
+                    )
+                if canonical in seen:
+                    raise RedirectStorm(url, f"redirect loop via {target}")
+                seen.add(canonical)
+                current = target
+                continue
+            break
+        retry_after = parse_retry_after(headers.get("retry-after"))
+        if status == 429:
+            raise HttpThrottled(
+                url, "HTTP 429", status=status, retry_after=retry_after
+            )
+        if 500 <= status <= 599:
+            raise HttpServerError(
+                url, f"HTTP {status}", status=status, retry_after=retry_after
+            )
+        if not 200 <= status <= 299:
+            raise HttpClientError(url, f"HTTP {status}", status=status)
+        charset, source = resolve_charset(
+            headers.get("content-type"), body, self.config.default_charset
+        )
+        text, replacements = decode_body(
+            body, charset, self.config.default_charset
+        )
+        if replacements:
+            source = f"{source}+replace"
+            self.stats.bump("replacement_decodes")
+            self.stats.bump("replacement_chars", replacements)
+        self.stats.bump(f"charset_{source.split('+', 1)[0]}")
+        return FetchResponse(
+            url=url,
+            final_url=current,
+            status=status,
+            headers=headers,
+            body=body,
+            text=text,
+            charset=charset,
+            charset_source=source,
+            replacements=replacements,
+            redirects=redirects,
+            elapsed_s=time.monotonic() - started,
+        )
+
+    def _request(self, url: str) -> tuple[int, dict[str, str], bytes]:
+        """One GET (no redirect following): ``(status, headers, body)``."""
+        parts = urlsplit(url)
+        scheme = (parts.scheme or "http").lower()
+        host = parts.hostname or ""
+        if not host:
+            raise HttpClientError(url, "URL has no host")
+        try:
+            port = parts.port or (443 if scheme == "https" else 80)
+        except ValueError as exc:
+            raise HttpClientError(url, str(exc)) from exc
+        target = parts.path or "/"
+        if parts.query:
+            target = f"{target}?{parts.query}"
+        fresh = False
+        while True:
+            key, conn, reused = self._connection(scheme, host, port, fresh=fresh)
+            try:
+                return self._request_on(conn, key, url, target)
+            except _StaleConnection as exc:
+                if reused and not fresh:
+                    # The server closed the idle keep-alive under us;
+                    # one retry on a guaranteed-fresh connection is
+                    # free of charge.
+                    fresh = True
+                    self.stats.bump("stale_retries")
+                    continue
+                raise TruncatedBody(url, exc.detail) from exc
+
+    def _request_on(
+        self, conn, key, url: str, target: str
+    ) -> tuple[int, dict[str, str], bytes]:
+        if conn.sock is None:
+            try:
+                conn.connect()
+            except socket.gaierror as exc:
+                conn.close()
+                raise DnsError(url, str(exc)) from exc
+            except ssl.SSLError as exc:
+                conn.close()
+                raise TlsError(url, str(exc)) from exc
+            except (socket.timeout, TimeoutError) as exc:
+                conn.close()
+                raise ConnectError(url, "connect timed out") from exc
+            except OSError as exc:
+                conn.close()
+                raise ConnectError(url, str(exc) or type(exc).__name__) from exc
+        if conn.sock is not None and self.config.read_timeout_s is not None:
+            conn.sock.settimeout(self.config.read_timeout_s)
+        started = time.monotonic()
+        got_response = False
+        try:
+            conn.request(
+                "GET",
+                target,
+                headers={
+                    "User-Agent": self.config.user_agent,
+                    "Accept": "text/html,application/xhtml+xml;q=0.9,*/*;q=0.5",
+                    "Connection": "keep-alive",
+                },
+            )
+            response = conn.getresponse()
+            got_response = True
+            status = response.status
+            headers = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            body = self._read_body(response, url, started)
+            keep = not response.will_close
+        except TransportError:
+            conn.close()
+            raise
+        except ssl.SSLError as exc:
+            conn.close()
+            raise TlsError(url, str(exc)) from exc
+        except (socket.timeout, TimeoutError) as exc:
+            conn.close()
+            raise ReadTimeout(url, "no data within read timeout") from exc
+        except (http_client.HTTPException, OSError) as exc:
+            conn.close()
+            detail = str(exc) or type(exc).__name__
+            if got_response:
+                raise TruncatedBody(url, detail) from exc
+            raise _StaleConnection(detail) from exc
+        if keep and conn.sock is not None:
+            self._release(key, conn)
+        else:
+            conn.close()
+        return status, headers, body
+
+    def _read_body(self, response, url: str, started: float) -> bytes:
+        cap = self.config.max_response_bytes
+        deadline = None
+        if self.config.read_timeout_s is not None:
+            deadline = started + self.config.read_timeout_s * _BODY_DEADLINE_FACTOR
+        chunks: list[bytes] = []
+        total = 0
+        while True:
+            if deadline is not None and time.monotonic() > deadline:
+                raise ReadTimeout(url, "slow body: total read deadline exceeded")
+            try:
+                chunk = response.read(_READ_CHUNK)
+            except (socket.timeout, TimeoutError) as exc:
+                raise ReadTimeout(url, "no data within read timeout") from exc
+            except http_client.IncompleteRead as exc:
+                raise TruncatedBody(
+                    url, "body ended short of Content-Length"
+                ) from exc
+            except ssl.SSLError as exc:
+                raise TlsError(url, str(exc)) from exc
+            except (http_client.HTTPException, OSError) as exc:
+                raise TruncatedBody(
+                    url, str(exc) or type(exc).__name__
+                ) from exc
+            if not chunk:
+                # ``read(amt)`` reports a premature EOF as an empty
+                # chunk, not IncompleteRead — the undelivered remainder
+                # is still on ``response.length``.
+                if response.length:
+                    raise TruncatedBody(
+                        url, "body ended short of Content-Length"
+                    )
+                return b"".join(chunks)
+            total += len(chunk)
+            if total > cap:
+                raise ResponseTooLarge(url, f"body exceeded {cap} bytes")
+            chunks.append(chunk)
+
+
+__all__ = [
+    "REDIRECT_STATUSES",
+    "FetchResponse",
+    "FetcherStats",
+    "HttpFetcher",
+    "decode_body",
+    "parse_retry_after",
+    "resolve_charset",
+]

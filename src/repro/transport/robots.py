@@ -1,0 +1,124 @@
+"""Real ``robots.txt`` retrieval feeding the frontier's existing parser.
+
+The frontier has had robots *semantics* since PR 8
+(:mod:`repro.frontier.robots`: ``parse_robots`` + ``ExclusionRules``)
+but no way to obtain the file. :class:`RobotsCache` closes that gap:
+``/robots.txt`` is fetched over the real transport **once per site**,
+parsed with the existing ``parse_robots``, and the resulting
+:class:`~repro.frontier.robots.ExclusionRules` cached for the life of
+the fetcher.
+
+Failure policy — the operationally important part:
+
+* **2xx** — parse the body; its ``User-agent: *`` Disallow rules apply.
+* **403** — *fail closed*: the site explicitly refuses the robots
+  probe, so the whole host is treated as disallowed.
+* **other 4xx (404 …)** — no robots file; everything is allowed.
+* **5xx, timeouts, DNS, resets, TLS** — *fail open*: a broken robots
+  endpoint must not mask an otherwise healthy site; the page fetches
+  themselves will surface (and breaker-account) real trouble.
+
+The robots fetch itself bypasses both the robots check (obviously) and
+the site's circuit breaker — an infrastructure probe, not page load,
+so it neither charges nor consults the breaker.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+from urllib.parse import urlsplit
+
+from repro.frontier.robots import ExclusionRules, parse_robots
+from repro.transport.errors import HttpClientError, TransportError
+
+#: Cache outcome labels, for stats and tests.
+OUTCOME_PARSED = "parsed"
+OUTCOME_ALLOW_ALL = "allow_all"
+OUTCOME_FAIL_OPEN = "fail_open"
+OUTCOME_FAIL_CLOSED = "fail_closed"
+
+#: A fetch callable: ``(url) -> (status, body_text)``; raises
+#: :class:`~repro.transport.errors.TransportError` on network faults.
+RobotsFetch = Callable[[str], "tuple[int, str]"]
+
+_ALLOW_ALL = ExclusionRules(())
+
+
+class RobotsCache:
+    """Per-site robots rules, fetched once and memoized.
+
+    Strict once-per-site: concurrent first requests for one site
+    serialize on a per-site lock, so exactly one network fetch happens
+    no matter how many worker threads race in.
+    """
+
+    def __init__(self, fetch: RobotsFetch) -> None:
+        self._fetch = fetch
+        self._lock = threading.Lock()
+        self._site_locks: dict[str, threading.Lock] = {}
+        self._rules: dict[str, ExclusionRules] = {}
+        self._outcomes: dict[str, str] = {}
+        #: Network fetches actually performed (== distinct sites asked).
+        self.fetches = 0
+
+    def _resolve(self, site: str, scheme: str) -> ExclusionRules:
+        robots_url = f"{scheme}://{site}/robots.txt"
+        try:
+            status, text = self._fetch(robots_url)
+        except HttpClientError as exc:
+            if exc.status == 403:
+                # The site refuses the robots probe: fail closed on the
+                # whole host.
+                self._outcomes[site] = OUTCOME_FAIL_CLOSED
+                return ExclusionRules((site,))
+            self._outcomes[site] = OUTCOME_ALLOW_ALL
+            return _ALLOW_ALL
+        except TransportError:
+            # 5xx / timeout / DNS / reset / TLS: fail open.
+            self._outcomes[site] = OUTCOME_FAIL_OPEN
+            return _ALLOW_ALL
+        self._outcomes[site] = OUTCOME_PARSED
+        return parse_robots(text, host=site)
+
+    def rules_for(self, site: str, scheme: str = "http") -> ExclusionRules:
+        with self._lock:
+            cached = self._rules.get(site)
+            if cached is not None:
+                return cached
+            site_lock = self._site_locks.setdefault(site, threading.Lock())
+        with site_lock:
+            with self._lock:
+                cached = self._rules.get(site)
+                if cached is not None:
+                    return cached
+            rules = self._resolve(site, scheme)
+            with self._lock:
+                self.fetches += 1
+                self._rules[site] = rules
+            return rules
+
+    def allows(self, url: str) -> bool:
+        """Whether ``url`` may be fetched. ``/robots.txt`` itself is
+        always allowed (the file governs pages, not itself)."""
+        parts = urlsplit(url)
+        if not parts.netloc:
+            return True
+        if parts.path == "/robots.txt":
+            return True
+        scheme = parts.scheme or "http"
+        return self.rules_for(parts.netloc, scheme).allows(url)
+
+    def outcome(self, site: str) -> Optional[str]:
+        """How ``site``'s rules were obtained (one of the ``OUTCOME_*``
+        labels), or ``None`` if never asked."""
+        return self._outcomes.get(site)
+
+
+__all__ = [
+    "OUTCOME_ALLOW_ALL",
+    "OUTCOME_FAIL_CLOSED",
+    "OUTCOME_FAIL_OPEN",
+    "OUTCOME_PARSED",
+    "RobotsCache",
+]

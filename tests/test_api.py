@@ -26,6 +26,7 @@ EXPECTED_ALL = [
     "FleetReport",
     "FleetSpec",
     "GcReport",
+    "HttpFetcher",
     "IncrementalConfig",
     "Page",
     "ProbeConfig",
@@ -45,6 +46,7 @@ EXPECTED_ALL = [
     "ThorConfig",
     "ThorError",
     "ThorResult",
+    "TransportConfig",
     "collect_artifacts",
     "crawl",
     "extract",

@@ -93,9 +93,46 @@ class TestCanonicalizeUrl:
     def test_non_http_scheme_is_none(self):
         assert canonicalize_url("ftp://x.org/file") is None
 
+    def test_percent_escaped_unreserved_decodes(self):
+        # RFC 3986 §2.3: %41 is 'A', %7E is '~' — same resource, so the
+        # frontier's seen-set must collapse the spellings.
+        assert (
+            canonicalize_url("http://x.org/%7Euser/%41lbum")
+            == "http://x.org/~user/Album"
+        )
+        assert canonicalize_url("http://x.org/%7euser") == canonicalize_url(
+            "http://x.org/~user"
+        )
+
+    def test_percent_reserved_escapes_kept_with_lower_hex(self):
+        # Reserved characters stay escaped (decoding %2F would change
+        # the path structure), but the hex case is normalized.
+        assert (
+            canonicalize_url("http://x.org/a%2Fb?q=%5B1%5D")
+            == "http://x.org/a%2fb?q=%5b1%5d"
+        )
+
+    def test_percent_malformed_sequences_untouched(self):
+        assert canonicalize_url("http://x.org/50%off") == "http://x.org/50%off"
+        assert canonicalize_url("http://x.org/a%2") == "http://x.org/a%2"
+        assert (
+            canonicalize_url("http://x.org/50%25off")
+            == "http://x.org/50%25off"
+        )
+
+    def test_percent_spellings_dedup_to_one_url(self):
+        spellings = [
+            "http://x.org/%7Euser?q=%41",
+            "http://x.org/%7euser?q=A",
+            "http://x.org/~user?q=%41",
+        ]
+        assert len({canonicalize_url(u) for u in spellings}) == 1
+
     def test_idempotent(self):
         url = canonicalize_url("Page/2?q=a#f", base="HTTP://X.org:80/d/i")
         assert canonicalize_url(url) == url
+        escaped = canonicalize_url("http://x.org/%7E%2F%3f")
+        assert canonicalize_url(escaped) == escaped
 
     def test_site_of(self):
         assert site_of("http://shop.example.com/s?q=a") == "shop.example.com"

@@ -1,0 +1,545 @@
+"""Unit and property tests for the hardened real-HTTP transport.
+
+The ISSUE-10 contracts under test:
+
+- every scripted hostile-server fault maps to **exactly one** probe
+  error class (the dual-inheritance taxonomy), so the probe executor's
+  retry machinery sees real network faults as ordinary probe failures;
+- circuit-breaker transitions are a pure function of the attempt
+  sequence and the seed — two breakers fed the same history agree on
+  every transition and cooldown;
+- ``Retry-After`` is honored in both RFC 9110 forms and capped at the
+  retry policy's backoff ceiling;
+- charset resolution walks header -> meta sniff -> default, with
+  counted replacement decoding as the last resort;
+- real ``robots.txt`` retrieval happens once per site and fails open
+  on server trouble but closed on an explicit 403.
+"""
+
+from __future__ import annotations
+
+import socket
+from datetime import datetime, timezone
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import TransportConfig
+from repro.errors import ProbeError
+from repro.probe.errors import (
+    ERROR,
+    MALFORMED,
+    SERVER_ERROR,
+    THROTTLED,
+    TIMEOUT,
+    classify_failure,
+    retry_after_hint,
+)
+from repro.probe.retry import RetryPolicy
+from repro.transport.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerRegistry,
+    CircuitBreaker,
+)
+from repro.transport.errors import (
+    FAULT_CLASSES,
+    CircuitOpenError,
+    ConnectError,
+    DnsError,
+    HttpClientError,
+    HttpServerError,
+    HttpThrottled,
+    ReadTimeout,
+    RedirectStorm,
+    ResponseTooLarge,
+    RobotsDisallowed,
+    TransportError,
+    TruncatedBody,
+    fault_of,
+)
+from repro.transport.http import (
+    HttpFetcher,
+    decode_body,
+    parse_retry_after,
+    resolve_charset,
+)
+from repro.transport.robots import (
+    OUTCOME_ALLOW_ALL,
+    OUTCOME_FAIL_CLOSED,
+    OUTCOME_FAIL_OPEN,
+    OUTCOME_PARSED,
+)
+from repro.transport.testserver import (
+    HostileHttpServer,
+    ok,
+    redirect,
+    reset,
+    slow,
+    status,
+    throttle,
+    truncate,
+    wrong_charset,
+)
+
+
+def fetcher(**overrides) -> HttpFetcher:
+    defaults = dict(
+        connect_timeout_s=2.0,
+        read_timeout_s=0.5,
+        breaker_failures=50,  # units shouldn't trip breakers by accident
+        obey_robots=False,
+    )
+    defaults.update(overrides)
+    return HttpFetcher(TransportConfig(**defaults), seed=3)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with HostileHttpServer() as srv:
+        yield srv
+
+
+class TestRetryAfter:
+    def test_delta_seconds(self):
+        assert parse_retry_after("7") == 7.0
+        assert parse_retry_after("0.5") == 0.5
+        assert parse_retry_after("-3") == 0.0
+
+    def test_http_date(self):
+        ref = datetime(2026, 1, 1, 12, 0, 0, tzinfo=timezone.utc)
+        assert (
+            parse_retry_after("Thu, 01 Jan 2026 12:01:00 GMT", now=ref) == 60.0
+        )
+        # A date in the past clamps to "retry now", not a negative wait.
+        assert (
+            parse_retry_after("Thu, 01 Jan 2026 11:00:00 GMT", now=ref) == 0.0
+        )
+
+    def test_garbage_and_missing(self):
+        assert parse_retry_after(None) is None
+        assert parse_retry_after("") is None
+        assert parse_retry_after("soon") is None
+
+    def test_hint_reads_exception_attribute(self):
+        exc = HttpThrottled("http://x/", "HTTP 429", status=429, retry_after=9.0)
+        assert retry_after_hint(exc) == 9.0
+        assert retry_after_hint(ValueError("no attr")) is None
+
+    def test_policy_honors_hint_capped(self):
+        policy = RetryPolicy(max_retries=3, seed=1)
+        # The server's request wins over jittered exponential backoff...
+        assert policy.backoff_delay("t", 1, retry_after=1.5) == 1.5
+        # ...but never past the policy's own ceiling.
+        huge = policy.backoff_delay("t", 1, retry_after=1e9)
+        assert huge == policy.backoff_cap_s
+
+    @given(seconds=st.floats(min_value=0, max_value=1e6))
+    def test_policy_cap_property(self, seconds):
+        policy = RetryPolicy(max_retries=2, seed=0)
+        delay = policy.backoff_delay("term", 1, retry_after=seconds)
+        assert 0.0 <= delay <= policy.backoff_cap_s
+
+
+class TestCharset:
+    def test_header_wins_over_meta(self):
+        charset, source = resolve_charset(
+            "text/html; charset=ISO-8859-1", b'<meta charset="koi8-r">'
+        )
+        assert (charset, source) == ("ISO-8859-1", "header")
+
+    def test_meta_sniff_then_default(self):
+        assert resolve_charset("text/html", b'<meta charset="koi8-r">') == (
+            "koi8-r",
+            "meta",
+        )
+        assert resolve_charset(None, b"<p>plain</p>") == ("utf-8", "default")
+
+    def test_decode_falls_back_with_counted_replacements(self):
+        text, n = decode_body("café".encode("latin-1"), "utf-8")
+        assert n > 0 and "caf" in text
+        # A decodable body under the declared charset costs nothing.
+        assert decode_body("café".encode("utf-8"), "utf-8") == ("café", 0)
+
+    def test_unknown_charset_name_falls_back(self):
+        text, n = decode_body(b"plain ascii", "no-such-charset")
+        assert (text, n) == ("plain ascii", 0)
+
+
+#: fault label -> (exception class, probe taxonomy kind).
+TAXONOMY = {
+    "dns": (DnsError, SERVER_ERROR),
+    "connect": (ConnectError, TIMEOUT),
+    "read_timeout": (ReadTimeout, TIMEOUT),
+    "http_4xx": (HttpClientError, MALFORMED),
+    "http_5xx": (HttpServerError, SERVER_ERROR),
+    "throttled": (HttpThrottled, THROTTLED),
+    "truncated": (TruncatedBody, SERVER_ERROR),
+    "oversize": (ResponseTooLarge, MALFORMED),
+    "redirect_storm": (RedirectStorm, MALFORMED),
+    "robots": (RobotsDisallowed, ERROR),
+    "circuit_open": (CircuitOpenError, ERROR),
+}
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize("fault", sorted(TAXONOMY))
+    def test_every_fault_is_exactly_one_probe_kind(self, fault):
+        cls, kind = TAXONOMY[fault]
+        exc = cls("http://x/", "detail")
+        assert isinstance(exc, ProbeError)
+        assert classify_failure(exc) == kind
+        assert fault_of(exc) == fault
+        assert FAULT_CLASSES[fault] is cls
+
+    def test_non_transport_exceptions_have_no_fault(self):
+        assert fault_of(ValueError("nope")) is None
+
+    def test_rejection_faults_never_retry(self):
+        policy = RetryPolicy(max_retries=5, seed=0)
+        for cls in (RobotsDisallowed, CircuitOpenError):
+            kind = classify_failure(cls("http://x/", ""))
+            assert not policy.should_retry(kind, 1)
+
+
+class TestBreaker:
+    def test_trip_reject_halfopen_recover(self):
+        b = CircuitBreaker("s", failure_threshold=2, cooldown=2, seed=0)
+        b.record_failure()
+        assert b.state == CLOSED
+        b.record_failure()
+        assert b.state == OPEN and b.tripped
+        rejected = 0
+        while b.state == OPEN:
+            try:
+                b.admit()
+            except CircuitOpenError:
+                rejected += 1
+        # The jittered cooldown is within [cooldown, 2*cooldown].
+        assert 2 <= rejected <= 4
+        assert b.state == HALF_OPEN
+        b.record_success()
+        assert b.state == CLOSED and b.consecutive_failures == 0
+
+    def test_halfopen_failure_retrips(self):
+        b = CircuitBreaker("s", failure_threshold=1, cooldown=1, seed=0)
+        b.record_failure()
+        while b.state == OPEN:
+            try:
+                b.admit()
+            except CircuitOpenError:
+                pass
+        assert b.state == HALF_OPEN
+        b.record_failure()
+        assert b.state == OPEN and b.trips == 2
+
+    def test_state_roundtrip(self):
+        b = CircuitBreaker("s", failure_threshold=1, cooldown=3, seed=9)
+        b.record_failure()
+        with pytest.raises(CircuitOpenError):
+            b.admit()
+        clone = CircuitBreaker("s", failure_threshold=1, cooldown=3, seed=9)
+        clone.restore(b.to_state())
+        assert clone.to_state() == b.to_state()
+
+    def test_registry_quarantine_list(self):
+        reg = BreakerRegistry(failure_threshold=1, cooldown=2, seed=4)
+        reg.lane("b.example").record_failure()
+        reg.lane("a.example").record_success()
+        assert reg.tripped_sites() == ("b.example",)
+        assert reg.total_trips == 1
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        history=st.lists(st.booleans(), min_size=1, max_size=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_transitions_are_seed_deterministic(self, seed, history):
+        def replay():
+            b = CircuitBreaker("site.example:8080", failure_threshold=3,
+                               cooldown=2, seed=seed)
+            for succeeded in history:
+                try:
+                    b.admit()
+                except CircuitOpenError:
+                    continue  # rejected attempts never reach the network
+                if succeeded:
+                    b.record_success()
+                else:
+                    b.record_failure()
+            return b
+
+        first, second = replay(), replay()
+        assert first.transitions == second.transitions
+        assert first.to_state() == second.to_state()
+
+
+class TestServerFaults:
+    """Each hostile-server fault, over a real socket, raises exactly the
+    taxonomy class the mapping table promises."""
+
+    def _expect(self, server, path, steps, exc_class, kind, **overrides):
+        server.set_script({**server._script, path: steps})
+        with fetcher(**overrides) as http:
+            with pytest.raises(exc_class) as info:
+                http.fetch(server.url(path))
+        assert classify_failure(info.value) == kind
+        return info.value
+
+    def test_500(self, server):
+        self._expect(server, "/f/500", [status(500, "boom")],
+                     HttpServerError, SERVER_ERROR)
+
+    def test_429_carries_retry_after(self, server):
+        exc = self._expect(server, "/f/429", [throttle(retry_after="3")],
+                           HttpThrottled, THROTTLED)
+        assert exc.retry_after == 3.0
+
+    def test_503_http_date_retry_after(self, server):
+        exc = self._expect(
+            server, "/f/503",
+            [status(503, "later", retry_after="Thu, 01 Jan 2099 00:00:00 GMT")],
+            HttpServerError, SERVER_ERROR,
+        )
+        assert exc.retry_after is not None and exc.retry_after > 0
+
+    def test_404(self, server):
+        self._expect(server, "/f/404", [status(404, "gone")],
+                     HttpClientError, MALFORMED)
+
+    def test_truncated_body(self, server):
+        self._expect(server, "/f/torn", [truncate("<html>torn</html>")],
+                     TruncatedBody, SERVER_ERROR)
+
+    def test_connection_reset(self, server):
+        self._expect(server, "/f/rst", [reset()], TruncatedBody, SERVER_ERROR)
+
+    def test_slow_loris_hits_read_timeout(self, server):
+        self._expect(server, "/f/slow", [slow(delay_s=30.0)],
+                     ReadTimeout, TIMEOUT, read_timeout_s=0.3)
+
+    def test_redirect_loop(self, server):
+        server.set_script({
+            **server._script,
+            "/f/loop-a": [redirect("/f/loop-b")],
+            "/f/loop-b": [redirect("/f/loop-a")],
+        })
+        with fetcher() as http:
+            with pytest.raises(RedirectStorm) as info:
+                http.fetch(server.url("/f/loop-a"))
+        assert classify_failure(info.value) == MALFORMED
+
+    def test_redirect_chain_past_cap(self, server):
+        script = dict(server._script)
+        for i in range(5):
+            script[f"/f/chain-{i}"] = [redirect(f"/f/chain-{i + 1}")]
+        script["/f/chain-5"] = [ok("<html>end</html>")]
+        server.set_script(script)
+        with fetcher(max_redirects=3) as http:
+            with pytest.raises(RedirectStorm):
+                http.fetch(server.url("/f/chain-0"))
+        # A generous cap follows the same chain to the end.
+        with fetcher(max_redirects=8) as http:
+            assert "end" in http.fetch(server.url("/f/chain-0"))
+
+    def test_oversize_body(self, server):
+        big = "<html>" + "x" * 10_000 + "</html>"
+        self._expect(server, "/f/big", [ok(big)],
+                     ResponseTooLarge, MALFORMED, max_response_bytes=1024)
+
+    def test_wrong_charset_succeeds_with_counted_damage(self, server):
+        server.set_script({
+            **server._script,
+            "/f/moji": [wrong_charset("<p>café crème</p>")],
+        })
+        with fetcher() as http:
+            response = http.fetch_response(server.url("/f/moji"))
+        assert response.replacements > 0
+        assert response.charset_source.endswith("+replace")
+        assert http.stats.get("replacement_decodes") == 1
+
+    def test_transient_then_ok_is_one_retry_away(self, server):
+        server.set_script({
+            **server._script,
+            "/f/flaky": [status(500, "once"), ok("<html>fine</html>")],
+        })
+        with fetcher() as http:
+            with pytest.raises(HttpServerError):
+                http.fetch(server.url("/f/flaky"))
+            assert "fine" in http.fetch(server.url("/f/flaky"))
+
+    def test_dns_failure(self):
+        with fetcher() as http:
+            with pytest.raises(DnsError) as info:
+                http.fetch("http://no-such-host.invalid/")
+        assert classify_failure(info.value) == SERVER_ERROR
+
+    def test_connection_refused(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here now
+        with fetcher() as http:
+            with pytest.raises(ConnectError) as info:
+                http.fetch(f"http://127.0.0.1:{port}/")
+        assert classify_failure(info.value) == TIMEOUT
+
+    def test_breaker_trips_and_rejects_without_network(self, server):
+        server.set_script({**server._script, "/f/dead": [status(503, "dead")]})
+        with fetcher(breaker_failures=2, breaker_cooldown=2) as http:
+            for _ in range(2):
+                with pytest.raises(HttpServerError):
+                    http.fetch(server.url("/f/dead"))
+            served = server.requests["/f/dead"]
+            with pytest.raises(CircuitOpenError):
+                http.fetch(server.url("/f/dead"))
+            # The rejection never reached the socket.
+            assert server.requests["/f/dead"] == served
+            assert http.breakers.tripped_sites() == (
+                f"{server.host}:{server.port}",
+            )
+
+
+#: Scripted-fault menu for the property test: label -> (steps builder,
+#: expected exception class). Every entry must raise exactly this class.
+_FAULT_MENU = {
+    "500": (lambda: status(500, "err"), HttpServerError),
+    "429": (lambda: throttle(retry_after="1"), HttpThrottled),
+    "404": (lambda: status(404, "missing"), HttpClientError),
+    "truncate": (lambda: truncate("<html>half</html>"), TruncatedBody),
+    "reset": (lambda: reset(), TruncatedBody),
+}
+
+
+class TestFaultSequenceProperty:
+    _counter = 0
+
+    @given(sequence=st.lists(st.sampled_from(sorted(_FAULT_MENU)),
+                             min_size=1, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_each_scripted_fault_maps_to_exactly_one_class(self, sequence):
+        # One fresh path per example: per-path scripting means the
+        # outcome depends only on this path's own request count.
+        TestFaultSequenceProperty._counter += 1
+        path = f"/prop/{TestFaultSequenceProperty._counter}"
+        server = type(self)._server
+        steps = [_FAULT_MENU[label][0]() for label in sequence]
+        steps.append(ok("<html>recovered</html>"))
+        server.set_script({**server._script, path: steps})
+        # A fresh fetcher per step keeps every request on a fresh
+        # connection: a reset on a *reused* keep-alive would instead be
+        # absorbed by the transport's one free stale-connection retry
+        # (by design), consuming an extra script step.
+        for label in sequence:
+            expected = _FAULT_MENU[label][1]
+            with fetcher() as http:
+                with pytest.raises(TransportError) as info:
+                    http.fetch(server.url(path))
+            assert type(info.value) is expected
+            others = [c for c in TAXONOMY.values()
+                      if c[0] is not expected and
+                      not issubclass(expected, c[0])]
+            assert not any(isinstance(info.value, c) for c, _ in others)
+        with fetcher() as http:
+            assert "recovered" in http.fetch(server.url(path))
+
+    @classmethod
+    def setup_class(cls):
+        cls._server = HostileHttpServer().start()
+
+    @classmethod
+    def teardown_class(cls):
+        cls._server.stop()
+
+
+class TestRobots:
+    def _server_with_robots(self, robots_steps):
+        srv = HostileHttpServer({
+            "/robots.txt": robots_steps,
+            "/open": [ok("<html>open</html>")],
+            "/private/x": [ok("<html>hidden</html>")],
+        })
+        return srv.start()
+
+    def test_parsed_rules_enforced_and_fetched_once(self):
+        srv = self._server_with_robots(
+            [ok("User-agent: *\nDisallow: /private/\n",
+                content_type="text/plain")]
+        )
+        try:
+            with fetcher(obey_robots=True) as http:
+                site = f"{srv.host}:{srv.port}"
+                assert "open" in http.fetch(srv.url("/open"))
+                with pytest.raises(RobotsDisallowed):
+                    http.fetch(srv.url("/private/x"))
+                http.fetch(srv.url("/open"))
+                assert srv.requests["/robots.txt"] == 1  # once per site
+                assert srv.requests.get("/private/x") is None
+                assert http.robots.outcome(site) == OUTCOME_PARSED
+        finally:
+            srv.stop()
+
+    def test_403_fails_closed_on_whole_host(self):
+        srv = self._server_with_robots([status(403, "go away")])
+        try:
+            with fetcher(obey_robots=True) as http:
+                with pytest.raises(RobotsDisallowed):
+                    http.fetch(srv.url("/open"))
+                site = f"{srv.host}:{srv.port}"
+                assert http.robots.outcome(site) == OUTCOME_FAIL_CLOSED
+        finally:
+            srv.stop()
+
+    def test_404_allows_all(self):
+        srv = self._server_with_robots([status(404, "none")])
+        try:
+            with fetcher(obey_robots=True) as http:
+                assert "hidden" in http.fetch(srv.url("/private/x"))
+                site = f"{srv.host}:{srv.port}"
+                assert http.robots.outcome(site) == OUTCOME_ALLOW_ALL
+        finally:
+            srv.stop()
+
+    def test_5xx_fails_open(self):
+        srv = self._server_with_robots([status(500, "robots broken")])
+        try:
+            with fetcher(obey_robots=True) as http:
+                assert "open" in http.fetch(srv.url("/open"))
+                site = f"{srv.host}:{srv.port}"
+                assert http.robots.outcome(site) == OUTCOME_FAIL_OPEN
+        finally:
+            srv.stop()
+
+
+class TestPoolAndResponse:
+    def test_keepalive_reuse_and_final_url(self, server):
+        server.set_script({
+            **server._script,
+            "/pool/a": [ok("<html>a</html>")],
+            "/pool/b": [ok("<html>b</html>")],
+            "/pool/hop": [redirect("/pool/a")],
+        })
+        with fetcher() as http:
+            http.fetch(server.url("/pool/a"))
+            http.fetch(server.url("/pool/b"))
+            assert http.stats.get("connections_reused") >= 1
+            response = http.fetch_response(server.url("/pool/hop"))
+            assert response.redirects == 1
+            assert response.final_url.endswith("/pool/a")
+
+    def test_stale_keepalive_gets_one_free_retry(self, server):
+        server.set_script({
+            **server._script,
+            "/pool/stale": [ok("<html>one</html>"), reset(),
+                            ok("<html>two</html>")],
+        })
+        with fetcher() as http:
+            assert "one" in http.fetch(server.url("/pool/stale"))
+            # The pooled keep-alive dies (RST) on reuse; the transport
+            # retries once on a guaranteed-fresh connection instead of
+            # surfacing a fault for a connection the server was always
+            # entitled to close.
+            assert "two" in http.fetch(server.url("/pool/stale"))
+            assert http.stats.get("stale_retries") == 1

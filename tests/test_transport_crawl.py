@@ -1,0 +1,240 @@
+"""Crawl-service integration over the hostile real-HTTP harness.
+
+The ISSUE-10 acceptance criterion lives here: a crawl of the two-site
+hostile fixture (one healthy site with transient scripted faults, one
+doomed site that never answers), interrupted and resumed, produces a
+corpus digest identical to the uninterrupted crawl's — while the
+doomed site trips its circuit breaker and is reported quarantined on
+the :class:`~repro.frontier.service.CrawlReport`, across the resume
+boundary. Plus the sharded-corpus checkpoint round-trip and the
+robots-over-HTTP enforcement the transport feeds the frontier.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.artifacts import ArtifactStore
+from repro.artifacts.corpus import (
+    load_corpus_shards,
+    publish_corpus_shards,
+    shard_path,
+)
+from repro.config import (
+    CrawlConfig,
+    ExecutionConfig,
+    RunOptions,
+    ThorConfig,
+    TransportConfig,
+)
+from repro.frontier.service import format_crawl_report, run_crawl
+from repro.transport.http import HttpFetcher
+from repro.transport.testserver import HostilePair
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def pair():
+    with HostilePair(seed=SEED) as fixture:
+        yield fixture
+
+
+def transport_config(**overrides) -> TransportConfig:
+    defaults = dict(
+        connect_timeout_s=2.0,
+        read_timeout_s=1.0,
+        breaker_failures=5,
+        breaker_cooldown=4,
+        obey_robots=True,
+    )
+    defaults.update(overrides)
+    return TransportConfig(**defaults)
+
+
+def config(cache_dir=None, transport=None, **crawl_kwargs) -> ThorConfig:
+    crawl_kwargs.setdefault("max_pages", 40)
+    crawl_kwargs.setdefault("batch_size", 4)
+    crawl_kwargs.setdefault("timeout_s", 5.0)
+    crawl_kwargs.setdefault("max_retries", 2)
+    return ThorConfig(
+        seed=SEED,
+        crawl=CrawlConfig(**crawl_kwargs),
+        execution=ExecutionConfig(cache_dir=cache_dir),
+        transport=transport or transport_config(),
+    )
+
+
+def crawl_once(pair, cfg, options=None):
+    """One crawl over the (rewound) harness with a fresh fetcher."""
+    pair.reset_positions()
+    with HttpFetcher(cfg.transport, seed=cfg.seed) as fetcher:
+        return run_crawl(
+            fetcher, seeds=pair.seeds, config=cfg, options=options
+        )
+
+
+class TestHostileCrawl:
+    def test_uninterrupted_crawl_quarantines_doomed_site(self, pair):
+        report = crawl_once(pair, config())
+        assert report.finished
+        assert report.pages_fetched >= 8  # the healthy site's page set
+        # The doomed site tripped its breaker and is on the report.
+        assert report.breaker_trips >= 1
+        assert pair.doomed_site in report.quarantined_sites
+        # Transient faults were absorbed by retries, not lost pages.
+        assert report.transport.get("fault_http_5xx", 0) >= 1
+        text = format_crawl_report(report)
+        assert "breakers: tripped=" in text
+        assert f"quarantined={pair.doomed_site}" in text
+
+    def test_interrupted_resume_digest_identical_with_quarantine(
+        self, pair, tmp_path
+    ):
+        """The acceptance criterion: interrupted+resumed == uninterrupted,
+        and the breaker quarantine survives the resume boundary."""
+        baseline = crawl_once(pair, config(corpus_shard_pages=3))
+
+        cache = str(tmp_path / "cache")
+        cfg = config(cache_dir=cache, corpus_shard_pages=3)
+        options = RunOptions(run_id="hostile-a")
+        pair.reset_positions()
+        with HttpFetcher(cfg.transport, seed=cfg.seed) as fetcher:
+            drained = run_crawl(
+                fetcher,
+                seeds=pair.seeds,
+                config=ThorConfig(
+                    seed=cfg.seed,
+                    crawl=CrawlConfig(
+                        max_pages=40, batch_size=4, timeout_s=5.0,
+                        max_retries=2, corpus_shard_pages=3,
+                        max_pages_per_run=5,
+                    ),
+                    execution=ExecutionConfig(cache_dir=cache),
+                    transport=cfg.transport,
+                ),
+                options=options,
+            )
+        assert not drained.finished
+
+        # Resume with a *fresh* fetcher: breaker state must come back
+        # from the checkpoint, not process memory. The harness is NOT
+        # rewound here — the resumed crawl continues mid-script, the
+        # way a real resumed crawl meets the network mid-history.
+        with HttpFetcher(cfg.transport, seed=cfg.seed) as fetcher:
+            resumed = run_crawl(
+                fetcher,
+                seeds=pair.seeds,
+                config=cfg,
+                options=RunOptions(run_id="hostile-a", resume=True),
+            )
+        assert resumed.finished
+        assert resumed.corpus_digest == baseline.corpus_digest
+        assert resumed.resume_hits >= 1
+        assert resumed.breaker_trips >= 1
+        assert pair.doomed_site in resumed.quarantined_sites
+        assert resumed.corpus_shards >= 1
+
+    def test_robots_disallowed_page_never_requested(self, pair):
+        report = crawl_once(pair, config())
+        assert "/private/secret" not in pair.healthy.requests
+        assert report.robots_denied >= 1
+        assert all("/private/" not in page.url for page in report.pages)
+
+    def test_no_robots_fetches_the_hidden_page(self, pair):
+        report = crawl_once(
+            pair, config(transport=transport_config(obey_robots=False))
+        )
+        assert any("/private/secret" in page.url for page in report.pages)
+        assert report.robots_denied == 0
+
+    def test_seed_only_moves_fault_placement(self, pair):
+        # A different transport seed re-jitters breaker cooldowns but
+        # cannot change which pages exist: digests stay equal because
+        # the corpus is defined by the link graph, not the fault order.
+        first = crawl_once(pair, config())
+        cfg = config()
+        pair.reset_positions()
+        with HttpFetcher(cfg.transport, seed=99) as fetcher:
+            second = run_crawl(fetcher, seeds=pair.seeds, config=cfg)
+        assert second.corpus_digest == first.corpus_digest
+
+
+class TestCorpusShards:
+    def _corpus(self, n):
+        return [
+            (f"http://s.example/p/{i}", i % 3, f"<html>page {i}</html>")
+            for i in range(n)
+        ]
+
+    def test_round_trip_with_inline_tail(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        corpus = self._corpus(11)
+        meta = publish_corpus_shards(store, "c1", corpus, pages_per_shard=4)
+        assert meta == {"pages_per_shard": 4, "count": 2, "pages": 8}
+        loaded = load_corpus_shards(store, "c1", meta)
+        assert loaded == corpus[:8]  # the tail stays inline
+
+    def test_shards_are_immutable_once_published(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        corpus = self._corpus(8)
+        publish_corpus_shards(store, "c2", corpus, pages_per_shard=4)
+        path = shard_path(store, "c2", 4, 0)
+        before = os.stat(path).st_mtime_ns, open(path, "rb").read()
+        # Re-publishing a longer corpus only writes the *new* shard.
+        publish_corpus_shards(store, "c2", self._corpus(12), pages_per_shard=4)
+        after = os.stat(path).st_mtime_ns, open(path, "rb").read()
+        assert before == after
+
+    def test_torn_shard_voids_the_load(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        corpus = self._corpus(8)
+        meta = publish_corpus_shards(store, "c3", corpus, pages_per_shard=4)
+        path = shard_path(store, "c3", 4, 1)
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])  # torn write
+        assert load_corpus_shards(store, "c3", meta) is None
+
+    def test_corrupt_shard_forces_clean_restart(self, pair, tmp_path):
+        """A torn shard must not poison a resume: the crawl restarts
+        fresh and still converges on the same digest."""
+        baseline = crawl_once(pair, config(corpus_shard_pages=3))
+
+        cache = str(tmp_path / "cache")
+        cfg = config(cache_dir=cache, corpus_shard_pages=3)
+        interrupted = ThorConfig(
+            seed=cfg.seed,
+            crawl=CrawlConfig(
+                max_pages=40, batch_size=4, timeout_s=5.0, max_retries=2,
+                corpus_shard_pages=3, max_pages_per_run=5,
+            ),
+            execution=ExecutionConfig(cache_dir=cache),
+            transport=cfg.transport,
+        )
+        pair.reset_positions()
+        with HttpFetcher(cfg.transport, seed=cfg.seed) as fetcher:
+            drained = run_crawl(
+                fetcher, seeds=pair.seeds, config=interrupted,
+                options=RunOptions(run_id="hostile-torn"),
+            )
+        assert not drained.finished and drained.corpus_shards >= 1
+
+        store = ArtifactStore(cache)  # the store root IS the cache dir
+        path = shard_path(store, "hostile-torn", 3, 0)
+        assert os.path.exists(path)
+        with open(path, "ab") as handle:
+            handle.write(b"{torn")  # corrupt the shard
+
+        pair.reset_positions()
+        with HttpFetcher(cfg.transport, seed=cfg.seed) as fetcher:
+            recovered = run_crawl(
+                fetcher, seeds=pair.seeds, config=cfg,
+                options=RunOptions(run_id="hostile-torn", resume=True),
+            )
+        assert recovered.finished
+        assert recovered.resume_hits == 0  # fresh start, not a resume
+        assert recovered.corpus_digest == baseline.corpus_digest
